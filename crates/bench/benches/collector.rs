@@ -1,0 +1,48 @@
+//! Criterion benches: collector-node and object-categorization throughput.
+//!
+//! The whole point of sampling in the NSFNET pipeline was to keep the
+//! per-packet categorization cost inside the processor budget; these
+//! benches measure that cost directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netstat_sim::{CollectorNode, ObjectSet};
+use nettrace::Micros;
+use std::hint::black_box;
+
+fn packets(n: usize) -> Vec<nettrace::PacketRecord> {
+    (0..n)
+        .map(|i| {
+            let size = if i % 5 < 2 { 40 } else { 552 };
+            nettrace::PacketRecord::new(Micros(i as u64 * 2358), size)
+                .with_ports(1024 + (i % 3000) as u16, [20, 23, 25, 53][i % 4])
+                .with_nets((i % 120) as u16 + 1, (i % 1500) as u16 + 1)
+        })
+        .collect()
+}
+
+fn bench_collector(c: &mut Criterion) {
+    let pkts = packets(100_000);
+    let mut group = c.benchmark_group("collector_offer");
+    group.throughput(Throughput::Elements(pkts.len() as u64));
+    for (label, set, sampling) in [
+        ("t1_unsampled", ObjectSet::T1, 1u64),
+        ("t1_1in50", ObjectSet::T1, 50),
+        ("t3_unsampled", ObjectSet::T3, 1),
+        ("t3_1in50", ObjectSet::T3, 50),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &pkts, |b, pkts| {
+            b.iter(|| {
+                let mut node = CollectorNode::new(set, u64::MAX / 2);
+                node.deploy_sampling(sampling);
+                for p in pkts {
+                    black_box(node.offer(black_box(p)));
+                }
+                black_box(node.collect())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collector);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches: disparity-metric computation and target binning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nettrace::Micros;
+use sampling::{disparity, Target};
+use std::hint::black_box;
+
+fn packets(n: usize) -> Vec<nettrace::PacketRecord> {
+    (0..n)
+        .map(|i| {
+            let size = if i % 5 < 2 { 40 } else { 552 };
+            nettrace::PacketRecord::new(Micros(i as u64 * 2358), size)
+        })
+        .collect()
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("target_binning");
+    for n in [10_000usize, 100_000] {
+        let pkts = packets(n);
+        group.throughput(Throughput::Elements(n as u64));
+        for target in [Target::PacketSize, Target::Interarrival] {
+            group.bench_with_input(
+                BenchmarkId::new(target.to_string(), n),
+                &pkts,
+                |b, pkts| b.iter(|| black_box(target.population_histogram(black_box(pkts)))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_disparity(c: &mut Criterion) {
+    let pkts = packets(100_000);
+    let pop = Target::PacketSize.population_histogram(&pkts);
+    let selected: Vec<usize> = (0..pkts.len()).step_by(50).collect();
+    let sam = Target::PacketSize.sample_histogram(&pkts, &selected);
+    c.bench_function("disparity_suite", |b| {
+        b.iter(|| black_box(disparity(black_box(&pop), black_box(&sam))))
+    });
+}
+
+criterion_group!(benches, bench_binning, bench_disparity);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches: synthetic-trace generation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netsynth::flows::FlowProfile;
+use netsynth::TraceProfile;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_generation");
+    group.sample_size(10);
+    for secs in [10u32, 60] {
+        let profile = TraceProfile::short(secs);
+        group.throughput(Throughput::Elements(u64::from(secs) * 424));
+        group.bench_with_input(BenchmarkId::from_parameter(secs), &profile, |b, p| {
+            b.iter(|| black_box(netsynth::generate(black_box(p), 7)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_flow_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flow_generation");
+    group.sample_size(10);
+    for secs in [30u32, 120] {
+        let profile = FlowProfile {
+            duration_secs: secs,
+            ..FlowProfile::default()
+        };
+        group.throughput(Throughput::Elements(u64::from(secs) * 420));
+        group.bench_with_input(BenchmarkId::new("flows", secs), &profile, |b, p| {
+            b.iter(|| black_box(netsynth::flows::generate_flows(black_box(p), 7)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_flow_generation);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Run the adaptive-vs-fixed sampling ablation.
+fn main() {
+    print!("{}", bench::experiments::adaptive_ablation::run(bench::STUDY_SEED));
+}

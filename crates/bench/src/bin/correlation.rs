@@ -1,0 +1,4 @@
+//! Run the within-flow correlation ablation on flow-level traffic.
+fn main() {
+    print!("{}", bench::experiments::correlation::run(bench::STUDY_SEED));
+}

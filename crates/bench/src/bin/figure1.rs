@@ -1,0 +1,4 @@
+//! Reproduce Figure 1: SNMP vs NNStat monthly totals and the Sept-91 sampling fix.
+fn main() {
+    print!("{}", bench::experiments::figure1::run());
+}

@@ -1,0 +1,5 @@
+//! Reproduce Figure 4: packet-size histograms at five systematic granularities.
+fn main() {
+    let t = bench::study_trace();
+    print!("{}", bench::experiments::figure4_5::run(&t, sampling::Target::PacketSize));
+}

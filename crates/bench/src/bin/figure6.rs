@@ -1,0 +1,4 @@
+//! Reproduce Figure 6 (phi boxplots vs fraction); Figure 7's means are appended.
+fn main() {
+    print!("{}", bench::experiments::figure6_7::run(&bench::study_trace()));
+}

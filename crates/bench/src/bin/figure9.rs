@@ -1,0 +1,5 @@
+//! Reproduce Figure 9: mean phi vs fraction for all five methods (interarrival).
+fn main() {
+    let t = bench::study_trace();
+    print!("{}", bench::experiments::figure8_9::run(&t, sampling::Target::Interarrival));
+}

@@ -1,0 +1,4 @@
+//! Run the §8 extension: proportion targets (protocol/port distributions).
+fn main() {
+    print!("{}", bench::experiments::proportions::run(&bench::study_trace()));
+}

@@ -1,0 +1,33 @@
+//! Run every reproduction in order; the output is the source of EXPERIMENTS.md.
+use bench::experiments as ex;
+use sampling::Target;
+
+fn main() {
+    let t = bench::study_trace();
+    println!("# Reproduction run (seed {}, {} packets)\n", bench::STUDY_SEED, t.len());
+    println!("{}", ex::table1::run(&t));
+    println!("{}", ex::figure1::run());
+    println!("{}", ex::table2_3::run_table2(&t));
+    println!("{}", ex::table2_3::run_table3(&t));
+    println!("{}", ex::samplesize::run(&t));
+    println!("{}", ex::figure3::run(&t, Target::PacketSize));
+    println!("{}", ex::figure4_5::run(&t, Target::PacketSize));
+    println!("{}", ex::figure4_5::run(&t, Target::Interarrival));
+    println!("{}", ex::figure6_7::run(&t));
+    println!("{}", ex::figure8_9::run(&t, Target::PacketSize));
+    println!("{}", ex::figure8_9::run(&t, Target::Interarrival));
+    println!("{}", ex::figure10_11::run(&t, Target::PacketSize));
+    println!("{}", ex::figure10_11::run(&t, Target::Interarrival));
+    println!("{}", ex::chi2test::run(&t));
+    println!("{}", ex::proportions::run(&t));
+    println!("{}", ex::theory::run(bench::STUDY_SEED));
+    println!("{}", ex::matrix::run(&t, 100));
+    println!("{}", ex::acf_ablation::run(&t, bench::STUDY_SEED));
+    println!("{}", ex::robustness::run(bench::STUDY_SEED));
+    println!("{}", ex::adaptive_ablation::run(bench::STUDY_SEED));
+    println!("{}", ex::correlation::run(bench::STUDY_SEED));
+    println!("{}", ex::gof_difficulty::run(bench::STUDY_SEED));
+    println!("{}", ex::volume::run(&t));
+    println!("{}", ex::bins::run(&t, bench::STUDY_SEED));
+    println!("{}", ex::nullband::run(&t, bench::STUDY_SEED));
+}

@@ -1,0 +1,4 @@
+//! Run the footnote-3 robustness check: SDSC vs FIX-West profiles.
+fn main() {
+    print!("{}", bench::experiments::robustness::run(bench::STUDY_SEED));
+}

@@ -1,0 +1,4 @@
+//! Reproduce the §5.1 Cochran sample-size worked examples.
+fn main() {
+    print!("{}", bench::experiments::samplesize::run(&bench::study_trace()));
+}

@@ -1,0 +1,4 @@
+//! Reproduce Table 1: the per-node statistical object inventory, built live.
+fn main() {
+    print!("{}", bench::experiments::table1::run(&bench::study_trace()));
+}

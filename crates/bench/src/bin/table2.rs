@@ -1,0 +1,4 @@
+//! Reproduce Table 2: per-second packet/byte/mean-size summary statistics.
+fn main() {
+    print!("{}", bench::experiments::table2_3::run_table2(&bench::study_trace()));
+}

@@ -1,0 +1,4 @@
+//! Run the §5 theory ablation: efficiency orderings on structured populations.
+fn main() {
+    print!("{}", bench::experiments::theory::run(bench::STUDY_SEED));
+}

@@ -1,0 +1,4 @@
+//! Measure collection report volume against the paper's 25 MB/workday figure.
+fn main() {
+    print!("{}", bench::experiments::volume::run(&bench::study_trace()));
+}

@@ -1,0 +1,85 @@
+//! Ablation: *why* the paper's packet-driven methods tie.
+//!
+//! Cochran's theory (paper §5) says systematic sampling only differs
+//! from random sampling when the population has serial correlation at
+//! the sampling lag. This experiment measures the packet-size sequence's
+//! autocorrelation on the study trace (inside the white-noise band at
+//! the sampled lags → ties expected) and contrasts it with a
+//! deliberately periodic population, where the ACF — and the method
+//! variances — blow apart.
+
+use netsynth::canonical;
+use nettrace::Trace;
+use sampling::experiment::MethodFamily;
+use sampling::theory::estimator_variance;
+use statkit::acf::{acf, white_noise_band};
+use std::fmt::Write;
+
+/// Render the ACF table and the matched variance comparison.
+#[must_use]
+pub fn run(trace: &Trace, seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Ablation — serial correlation explains the method ties (§5)").unwrap();
+
+    let sizes: Vec<f64> = trace.sizes().iter().map(|&s| f64::from(s)).collect();
+    let lags = [1usize, 2, 10, 50, 200, 1000];
+    let band = white_noise_band(sizes.len());
+
+    let periodic = canonical::periodic(100_000, 50, seed);
+    let periodic_sizes: Vec<f64> = periodic.sizes().iter().map(|&s| f64::from(s)).collect();
+
+    writeln!(out, "\npacket-size ACF (white-noise 95% band: ±{band:.5})").unwrap();
+    writeln!(
+        out,
+        "{:>8} {:>14} {:>16}",
+        "lag", "study trace", "periodic (p=50)"
+    )
+    .unwrap();
+    let study_acf = acf(&sizes, &lags);
+    let periodic_acf = acf(&periodic_sizes, &lags);
+    for ((lag, s), p) in lags.iter().zip(&study_acf).zip(&periodic_acf) {
+        writeln!(out, "{lag:>8} {s:>14.5} {p:>16.5}").unwrap();
+    }
+
+    // Matched consequence: method variances at k = 50.
+    writeln!(out, "\nmean-size estimator variance at k = 50 (consequence of the ACF):").unwrap();
+    writeln!(
+        out,
+        "{:>18} {:>13} {:>13} {:>13}",
+        "population", "systematic", "stratified", "random"
+    )
+    .unwrap();
+    for (name, packets) in [
+        ("study trace", trace.packets()),
+        ("periodic (p=50)", periodic.packets()),
+    ] {
+        let sys = estimator_variance(packets, MethodFamily::Systematic, 50, 50, seed).variance;
+        let strat =
+            estimator_variance(packets, MethodFamily::StratifiedRandom, 50, 50, seed).variance;
+        let rand =
+            estimator_variance(packets, MethodFamily::SimpleRandom, 50, 50, seed).variance;
+        writeln!(out, "{name:>18} {sys:>13.2} {strat:>13.2} {rand:>13.2}").unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: the study trace's size ACF at the sampling lags is tiny (|r| ~ band),\n\
+         so the three packet methods tie; the periodic population's ACF is ±1 at\n\
+         resonant lags and systematic sampling's variance explodes accordingly."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn renders_acf_and_variances() {
+        let t = netsynth::generate(&TraceProfile::short(60), 13);
+        let s = super::run(&t, 13);
+        assert!(s.contains("ACF"));
+        assert!(s.contains("periodic"));
+        assert!(s.contains("systematic"));
+    }
+}

@@ -1,0 +1,116 @@
+//! Ablation: fixed-interval vs adaptive sampling under load growth.
+//!
+//! The NSFNET fixed its overload with a hand-picked constant interval
+//! (1-in-50). A fixed interval is wrong twice: under light load it
+//! throws away resolution it could afford, and under heavier-than-
+//! planned load it overruns the processor again. The AIMD controller of
+//! `sampling::adaptive` fixes both. This experiment drives three load
+//! regimes through each design and reports the categorization load and
+//! the resulting sample sizes.
+
+use nettrace::Trace;
+use sampling::adaptive::{AdaptiveConfig, AdaptiveSampler};
+use sampling::{Sampler, SystematicSampler};
+use std::fmt::Write;
+
+/// Selections per second, summarized: total selections and the peak
+/// per-second selection rate after a 20-second warm-up (the adaptive
+/// controller needs a few control periods to converge; steady-state
+/// behavior is what a capacity plan cares about).
+const WARMUP_SECS: u64 = 20;
+
+fn drive(sampler: &mut dyn Sampler, trace: &Trace) -> (usize, u32) {
+    let mut total = 0usize;
+    let mut peak_per_sec = 0u32;
+    let mut current_sec = u64::MAX;
+    let mut this_sec = 0u32;
+    for p in trace.iter() {
+        let sec = p.timestamp.whole_secs();
+        if sec != current_sec {
+            if current_sec != u64::MAX && current_sec >= WARMUP_SECS {
+                peak_per_sec = peak_per_sec.max(this_sec);
+            }
+            this_sec = 0;
+            current_sec = sec;
+        }
+        if sampler.offer(p) {
+            total += 1;
+            this_sec += 1;
+        }
+    }
+    if current_sec != u64::MAX && current_sec >= WARMUP_SECS {
+        peak_per_sec = peak_per_sec.max(this_sec);
+    }
+    (total, peak_per_sec)
+}
+
+/// Render the fixed-vs-adaptive comparison over three load regimes.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Ablation — fixed 1-in-50 vs adaptive sampling (processor budget 20/s)").unwrap();
+    writeln!(
+        out,
+        "{:<12} {:>10} {:>22} {:>22}",
+        "load", "packets", "fixed: total/peak*", "adaptive: total/peak*"
+    )
+    .unwrap();
+
+    let regimes = [("light", 120.0), ("design", 1000.0), ("heavy", 6000.0)];
+    let budget = 20u32;
+    for (name, pps) in regimes {
+        let mut profile = netsynth::TraceProfile::short(120);
+        profile.mean_pps = pps;
+        profile.rate_clamp = (0.3, 2.5);
+        let trace = netsynth::generate(&profile, seed);
+
+        let mut fixed = SystematicSampler::new(50);
+        let (f_total, f_peak) = drive(&mut fixed, &trace);
+
+        let mut adaptive = AdaptiveSampler::new(
+            50,
+            AdaptiveConfig {
+                budget_per_period: budget,
+                ..AdaptiveConfig::default()
+            },
+        );
+        let (a_total, a_peak) = drive(&mut adaptive, &trace);
+
+        writeln!(
+            out,
+            "{:<12} {:>10} {:>15}/{:<6} {:>15}/{:<6}",
+            name,
+            trace.len(),
+            f_total,
+            f_peak,
+            a_total,
+            a_peak
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check (*peak after 20 s warm-up): the fixed interval's peak selection rate scales with offered load\n\
+         (overrunning the {budget}/s budget under heavy load and starving under light load),\n\
+         while the adaptive controller holds its peak near the budget in every regime\n\
+         and *increases* its total sample when load is light."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adaptive_respects_budget_fixed_does_not() {
+        let s = super::run(3);
+        // Parse the heavy-load row: fixed peak should exceed the budget,
+        // adaptive peak should be near it.
+        let heavy = s.lines().find(|l| l.starts_with("heavy")).unwrap();
+        let fields: Vec<&str> = heavy.split_whitespace().collect();
+        let fixed_peak: u32 = fields[2].split('/').nth(1).unwrap().parse().unwrap();
+        let adaptive_peak: u32 = fields[3].split('/').nth(1).unwrap().parse().unwrap();
+        assert!(fixed_peak > 60, "fixed peak {fixed_peak}");
+        assert!(adaptive_peak < 60, "adaptive peak {adaptive_peak}");
+    }
+}

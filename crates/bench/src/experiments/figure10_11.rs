@@ -1,0 +1,98 @@
+//! Figures 10 and 11: mean systematic φ versus elapsed time.
+//!
+//! The other way to grow a sample is to lengthen the measurement
+//! interval (§7.3). Windows grow exponentially from the start of the
+//! hour; for every sampling fraction the score improves with elapsed
+//! time (the left side is noisy, exactly as the paper notes).
+
+use nettrace::{Micros, Trace};
+use sampling::experiment::{interval_sweep, MethodFamily};
+use sampling::Target;
+use std::fmt::Write;
+
+/// The sampling fractions plotted (one curve each).
+pub const CURVE_GRANULARITIES: [usize; 4] = [16, 256, 2048, 16_384];
+
+/// Exponentially growing windows from the start of the trace, in
+/// seconds: 64, 128, …, 2048, then the full hour.
+#[must_use]
+pub fn windows() -> Vec<Micros> {
+    let mut v: Vec<Micros> = (6..=11).map(|i| Micros::from_secs(1 << i)).collect();
+    v.push(Micros::from_secs(3600));
+    v
+}
+
+/// Render one of the two figures: rows = elapsed minutes, columns =
+/// granularity curves.
+#[must_use]
+pub fn run(trace: &Trace, target: Target) -> String {
+    let mut out = String::new();
+    let fig = match target {
+        Target::PacketSize => "Figure 10 — systematic phi vs elapsed time, packet-size target",
+        Target::Interarrival => {
+            "Figure 11 — systematic phi vs elapsed time, interarrival target"
+        }
+        _ => "phi vs elapsed time",
+    };
+    writeln!(out, "## {fig}").unwrap();
+    write!(out, "{:>10}", "minutes").unwrap();
+    for k in CURVE_GRANULARITIES {
+        write!(out, " {:>12}", format!("1/{k}")).unwrap();
+    }
+    writeln!(out).unwrap();
+
+    let lengths = windows();
+    // One sweep per curve, assembled row-wise.
+    let mut columns = Vec::new();
+    for k in CURVE_GRANULARITIES {
+        let sweep = interval_sweep(
+            trace,
+            target,
+            MethodFamily::Systematic,
+            k,
+            Micros::ZERO,
+            &lengths,
+            10,
+            crate::STUDY_SEED,
+        );
+        columns.push(sweep);
+    }
+    for (row, len) in lengths.iter().enumerate() {
+        write!(out, "{:>10.1}", len.as_secs_f64() / 60.0).unwrap();
+        for col in &columns {
+            match col[row].1.as_ref().and_then(|r| r.mean_phi()) {
+                Some(phi) => write!(out, " {phi:>12.5}").unwrap(),
+                None => write!(out, " {:>12}", "empty").unwrap(),
+            }
+        }
+        writeln!(out).unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: every column decreases from its first to its last row\n(sampling scores improve with elapsed time, for all fractions)."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn renders_growing_windows() {
+        let t = netsynth::generate(&TraceProfile::short(70), 7);
+        let s = run(&t, Target::PacketSize);
+        assert!(s.contains("minutes"));
+        assert!(s.contains("1/16"));
+    }
+
+    #[test]
+    fn window_schedule_is_exponential_then_full_hour() {
+        let w = windows();
+        assert_eq!(w[0], Micros::from_secs(64));
+        assert_eq!(w[w.len() - 2], Micros::from_secs(2048));
+        assert_eq!(*w.last().unwrap(), Micros::from_secs(3600));
+    }
+}

@@ -1,0 +1,81 @@
+//! Figure 3: all disparity metrics as a function of sampling
+//! granularity, over a 2048-second interval, systematic sampling.
+//!
+//! The paper uses this figure to pick its metric: χ² and the
+//! significance level are erratic/saturating, while cost, X², and φ rise
+//! together as the sampling fraction falls; φ is adopted for the rest of
+//! the study.
+
+use crate::paper_granularities;
+use nettrace::{Micros, Trace};
+use sampling::experiment::{Experiment, MethodFamily};
+use sampling::Target;
+use std::fmt::Write;
+
+/// Render the metric table: one row per granularity, one column per
+/// metric, for the given target.
+#[must_use]
+pub fn run(trace: &Trace, target: Target) -> String {
+    let mut out = String::new();
+    writeln!(
+        out,
+        "## Figure 3 — disparity metrics vs granularity (2048 s interval, systematic, target: {target})"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>9} {:>10} {:>12} {:>8} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "1/k", "n", "chi2", "1-sig", "cost", "rcost", "X2", "k_avg", "phi"
+    )
+    .unwrap();
+
+    let exp = Experiment::over_window(trace, Micros::ZERO, Micros::from_secs(2048), target);
+    for k in paper_granularities() {
+        let result = exp.run_family(MethodFamily::Systematic, k, 5, crate::STUDY_SEED);
+        if result.replications.is_empty() {
+            writeln!(out, "{k:>9} (all samples empty)").unwrap();
+            continue;
+        }
+        // Average each metric across replications.
+        let n = result.replications.len() as f64;
+        let avg = |f: &dyn Fn(&sampling::DisparityReport) -> f64| {
+            result.replications.iter().map(|r| f(&r.report)).sum::<f64>() / n
+        };
+        writeln!(
+            out,
+            "{:>9} {:>10.0} {:>12.2} {:>8.4} {:>12.0} {:>10.1} {:>10.5} {:>9.5} {:>9.5}",
+            k,
+            avg(&|r| r.sample_size as f64),
+            avg(&|r| r.chi2),
+            avg(&|r| r.one_minus_significance()),
+            avg(&|r| r.cost),
+            avg(&|r| r.relative_cost),
+            avg(&|r| r.x2),
+            avg(&|r| r.k_avg),
+            avg(&|r| r.phi),
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: cost, X2 and phi rise monotonically as the fraction falls;\nchi2/significance do not separate granularities cleanly — the paper's reason for adopting phi."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn renders_metric_columns() {
+        let t = netsynth::generate(&TraceProfile::short(60), 3);
+        // Shorter interval than 2048 s: window clamps to the trace.
+        let s = run(&t, Target::PacketSize);
+        assert!(s.contains("phi"));
+        assert!(s.contains("rcost"));
+        assert!(s.lines().count() > 10);
+    }
+}

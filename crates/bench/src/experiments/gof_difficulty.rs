@@ -1,0 +1,140 @@
+//! The §5.2 claim, demonstrated: K-S and Anderson–Darling "have proven
+//! difficult to apply to wide-area network traffic data".
+//!
+//! Two mechanisms make the classical continuous goodness-of-fit tests
+//! misbehave on this data, and both are shown directly:
+//!
+//! 1. **Discreteness.** Packet sizes concentrate on a few atoms (40,
+//!    552, …) and interarrivals live on the 400 µs capture grid. A
+//!    continuous *model* fitted to the data (an exponential with the
+//!    matched mean, the textbook choice for interarrivals) is rejected
+//!    overwhelmingly by K-S and A-D at any realistic sample size — not
+//!    because the mean is wrong but because the support is discrete.
+//! 2. **Power at scale.** Comparing two *different hours* of the same
+//!    workload (different seeds — distributions that an operator would
+//!    call identical), the two-sample K-S p-value collapses to ~0 as the
+//!    sample grows: any real trace pair differs by more than K-S's
+//!    resolution at n in the millions. χ²-family metrics over coarse
+//!    bins (and the size-free φ) are what remain usable — the paper's
+//!    conclusion.
+
+use netsynth::TraceProfile;
+use sampling::{select_indices, MethodSpec};
+use statkit::ad::AndersonDarling;
+use statkit::ks::{ks_one_sample, ks_two_sample};
+use statkit::Moments;
+use nettrace::Micros;
+use std::fmt::Write;
+
+/// Render both demonstrations.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "## §5.2 — why K-S and A-D are hard to apply to WAN traffic").unwrap();
+
+    let trace = netsynth::generate(&TraceProfile::short(600), seed);
+    let ia: Vec<f64> = trace.interarrivals().iter().map(|&x| x as f64).collect();
+    let mean = Moments::from_values(ia.iter().copied()).mean();
+
+    // 1: a fitted continuous exponential vs the discrete data.
+    writeln!(
+        out,
+        "\n(1) one-sample tests of interarrivals against Exp(mean = {mean:.0} us):"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>10} {:>12} {:>12} {:>14} {:>18}",
+        "n", "KS D", "KS p-value", "A2", "A2 rejects @.01"
+    )
+    .unwrap();
+    for n in [500usize, 5_000, 50_000] {
+        let sample = &ia[..n.min(ia.len())];
+        let cdf = |x: f64| 1.0 - (-x / mean).exp();
+        let ks = ks_one_sample(sample, cdf);
+        let ad = AndersonDarling::test(sample, cdf);
+        writeln!(
+            out,
+            "{:>10} {:>12.4} {:>12.2e} {:>14.1} {:>18}",
+            sample.len(),
+            ks.statistic,
+            ks.p_value,
+            ad.statistic,
+            ad.rejects_at(0.01)
+        )
+        .unwrap();
+    }
+
+    // 2: two-sample KS between statistically identical workloads.
+    writeln!(
+        out,
+        "\n(2) two-sample K-S between two independent hours of the same workload\n    (same generator, different seeds — 'identical' to an operator):"
+    )
+    .unwrap();
+    writeln!(out, "{:>10} {:>12} {:>12}", "n/side", "KS D", "p-value").unwrap();
+    let other = netsynth::generate(&TraceProfile::short(600), seed + 1);
+    let ia2: Vec<f64> = other.interarrivals().iter().map(|&x| x as f64).collect();
+    for n in [1_000usize, 10_000, 100_000] {
+        let a = &ia[..n.min(ia.len())];
+        let b = &ia2[..n.min(ia2.len())];
+        let ks = ks_two_sample(a, b);
+        writeln!(
+            out,
+            "{:>10} {:>12.4} {:>12.2e}",
+            a.len(),
+            ks.statistic,
+            ks.p_value
+        )
+        .unwrap();
+    }
+
+    // Contrast: phi between the same two populations stays small and
+    // stable — the usable alternative.
+    let packets_a = trace.packets();
+    let packets_b = other.packets();
+    let target = sampling::Target::Interarrival;
+    let pop_a = target.population_histogram(packets_a);
+    let pop_b = target.population_histogram(packets_b);
+    // Score B's distribution against A's by treating B as a "sample".
+    let mut sampler = MethodSpec::Systematic { interval: 1 }.build(
+        packets_b.len(),
+        Micros::ZERO,
+        0,
+        0,
+    );
+    let all_b = select_indices(sampler.as_mut(), packets_b);
+    let hist_b = target.sample_histogram(packets_b, &all_b);
+    debug_assert_eq!(hist_b.counts(), pop_b.counts());
+    let phi = sampling::disparity(&pop_a, &hist_b).map(|r| r.phi);
+    writeln!(
+        out,
+        "\ncontrast: phi between the two hours' binned interarrival distributions = {}",
+        phi.map_or("n/a".into(), |p| format!("{p:.5}"))
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "\nshape check: K-S/A-D reject the fitted continuous model and even 'identical'\n\
+         workload pairs at scale, while phi stays small and comparable across sizes —\n\
+         the paper's reason for building its evaluation on chi-square-family metrics."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn demonstrates_both_failure_modes() {
+        let s = super::run(31);
+        assert!(s.contains("one-sample"));
+        assert!(s.contains("two-sample"));
+        assert!(s.contains("contrast: phi"));
+        // The largest one-sample test must reject the continuous model.
+        let last_one_sample = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("50000") || l.trim_start().starts_with("49"))
+            .expect("large-n row");
+        assert!(last_one_sample.contains("true"), "{last_one_sample}");
+    }
+}

@@ -1,0 +1,24 @@
+//! One module per reproduced table/figure. Every `run` function returns
+//! the rendered text so `repro_all` can compose the full report.
+
+pub mod acf_ablation;
+pub mod adaptive_ablation;
+pub mod bins;
+pub mod chi2test;
+pub mod correlation;
+pub mod figure1;
+pub mod figure10_11;
+pub mod figure3;
+pub mod figure4_5;
+pub mod figure6_7;
+pub mod figure8_9;
+pub mod gof_difficulty;
+pub mod matrix;
+pub mod nullband;
+pub mod proportions;
+pub mod robustness;
+pub mod samplesize;
+pub mod table1;
+pub mod table2_3;
+pub mod theory;
+pub mod volume;

@@ -1,0 +1,105 @@
+//! The §8 extension: proportion-style characterization targets.
+//!
+//! "Our methodology can be extended and applied to characterizations of
+//! network traffic that are based on proportions, e.g., TCP/UDP port
+//! distribution." This experiment does exactly that: φ sweeps for the
+//! protocol-over-IP and well-known-port targets — and for the
+//! byte-weighted views every Table 1 object also reports — plus
+//! per-class proportion estimates with confidence intervals at the
+//! operational 1-in-50 fraction.
+
+use nettrace::{Micros, Trace};
+use sampling::estimate::proportion;
+use sampling::experiment::{Experiment, MethodFamily};
+use sampling::{select_indices, Target};
+use std::fmt::Write;
+
+/// Render the proportion-target sweeps and estimates.
+#[must_use]
+pub fn run(trace: &Trace) -> String {
+    let mut out = String::new();
+    writeln!(out, "## §8 extension — proportion targets (protocol and port distributions)").unwrap();
+
+    for target in [
+        Target::Protocol,
+        Target::Port,
+        Target::ByteVolume,
+        Target::ProtocolBytes,
+    ] {
+        writeln!(out, "\nmean phi vs fraction, target: {target} (1024 s interval)").unwrap();
+        writeln!(
+            out,
+            "{:>9} {:>12} {:>12} {:>12}",
+            "1/k", "systematic", "stratified", "random"
+        )
+        .unwrap();
+        let exp = Experiment::over_window(trace, Micros::ZERO, Micros::from_secs(1024), target);
+        for k in [16usize, 128, 1024, 8192] {
+            write!(out, "{k:>9}").unwrap();
+            for f in [
+                MethodFamily::Systematic,
+                MethodFamily::StratifiedRandom,
+                MethodFamily::SimpleRandom,
+            ] {
+                let r = exp.run_family(f, k, 5, crate::STUDY_SEED);
+                match r.mean_phi() {
+                    Some(phi) => write!(out, " {phi:>12.5}").unwrap(),
+                    None => write!(out, " {:>12}", "empty").unwrap(),
+                }
+            }
+            writeln!(out).unwrap();
+        }
+    }
+
+    // Per-class estimates at the operational fraction.
+    writeln!(
+        out,
+        "\nprotocol proportions at 1-in-50 systematic sampling (95% CIs vs truth):"
+    )
+    .unwrap();
+    let packets = trace.packets();
+    let pop_hist = Target::Protocol.population_histogram(packets);
+    let mut sampler = MethodFamily::Systematic
+        .at_granularity(50, 424.0)
+        .build(packets.len(), Micros::ZERO, 0, crate::STUDY_SEED);
+    let selected = select_indices(sampler.as_mut(), packets);
+    let sam_hist = Target::Protocol.sample_histogram(packets, &selected);
+    let labels = Target::Protocol.labels();
+    for (i, label) in labels.iter().enumerate() {
+        let truth = pop_hist.counts()[i] as f64 / pop_hist.total() as f64;
+        let est = proportion(
+            sam_hist.counts()[i] as usize,
+            sam_hist.total() as usize,
+            packets.len(),
+        );
+        let (lo, hi) = est.confidence_interval(0.95);
+        let covered = (lo..=hi).contains(&truth);
+        writeln!(
+            out,
+            "  {:<6} truth {:>7.4}  estimate {:>7.4}  CI [{:>7.4}, {:>7.4}]  {}",
+            label,
+            truth,
+            est.p,
+            lo,
+            hi,
+            if covered { "covered" } else { "MISSED" }
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn renders_sweeps_and_cis() {
+        let t = netsynth::generate(&TraceProfile::short(40), 10);
+        let s = run(&t);
+        assert!(s.contains("protocol"));
+        assert!(s.contains("port"));
+        assert!(s.contains("CI ["));
+    }
+}

@@ -1,0 +1,98 @@
+//! Footnote 3: the conclusions are not specific to the SDSC trace.
+//!
+//! The paper's preliminary experiments used FIX-West data and found "the
+//! results of the two data sets were quite similar". This experiment
+//! reruns the headline comparison (mean φ of each method class, both
+//! targets) on the SDSC and FIX-West workload profiles and on multiple
+//! seeds, and checks the orderings agree.
+
+use netsynth::TraceProfile;
+use nettrace::Micros;
+use sampling::experiment::{Experiment, MethodFamily};
+use sampling::Target;
+use std::fmt::Write;
+
+/// Mean φ of the packet-driven trio and the timer pair at k.
+fn class_phis(trace: &nettrace::Trace, target: Target, k: usize) -> (f64, f64) {
+    let exp = Experiment::over_window(trace, Micros::ZERO, Micros::from_secs(900), target);
+    let phi = |f: MethodFamily| exp.run_family(f, k, 5, 17).mean_phi().unwrap_or(f64::NAN);
+    let packet = (phi(MethodFamily::Systematic)
+        + phi(MethodFamily::StratifiedRandom)
+        + phi(MethodFamily::SimpleRandom))
+        / 3.0;
+    let timer = (phi(MethodFamily::SystematicTimer) + phi(MethodFamily::StratifiedTimer)) / 2.0;
+    (packet, timer)
+}
+
+/// Render the two-dataset comparison.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "## Footnote 3 — robustness across data sets (SDSC vs FIX-West profile)").unwrap();
+    writeln!(
+        out,
+        "{:<22} {:>14} {:>13} {:>13} {:>8}",
+        "dataset/target", "k", "packet phi", "timer phi", "ratio"
+    )
+    .unwrap();
+
+    let datasets = [
+        ("SDSC entrance", TraceProfile::short(900)),
+        ("FIX-West exchange", {
+            let mut p = TraceProfile::fixwest_1993();
+            p.duration_secs = 900;
+            p
+        }),
+    ];
+    let mut ratios = Vec::new();
+    for (name, profile) in &datasets {
+        let trace = netsynth::generate(profile, seed);
+        for target in [Target::PacketSize, Target::Interarrival] {
+            for k in [64usize, 1024] {
+                let (packet, timer) = class_phis(&trace, target, k);
+                let ratio = timer / packet.max(1e-12);
+                if target == Target::Interarrival {
+                    ratios.push(ratio);
+                }
+                writeln!(
+                    out,
+                    "{:<22} {:>14} {:>13.5} {:>13.5} {:>8.2}",
+                    format!("{name}/{target}"),
+                    k,
+                    packet,
+                    timer,
+                    ratio
+                )
+                .unwrap();
+            }
+        }
+    }
+    let all_agree = ratios.iter().all(|&r| r > 2.0);
+    writeln!(
+        out,
+        "\nshape check: on both data sets the interarrival timer/packet phi ratio stays\n\
+         well above 1 ({}) — \"the results of the two data sets were quite similar\".",
+        if all_agree { "it does" } else { "VIOLATED" }
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[ignore = "900-second double-dataset sweep; run with --ignored or via the binary"]
+    fn orderings_agree_across_datasets() {
+        let s = super::run(5);
+        assert!(!s.contains("VIOLATED"), "{s}");
+    }
+
+    #[test]
+    fn renders() {
+        // Smoke test against tiny traces is done by integration tests;
+        // here just check the module compiles its format strings.
+        assert!(super::run
+            as fn(u64) -> String as usize
+            != 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Tables 2 and 3: population summary statistics of the study hour.
+//!
+//! Table 2 summarizes the per-second packet/byte/mean-size
+//! distributions; Table 3 summarizes the packet-size and
+//! interarrival-time populations (under the 400 µs capture clock). Both
+//! are printed next to the paper's published values.
+
+use nettrace::{PerSecondSeries, Trace};
+use netsynth::PaperTargets;
+use statkit::SummaryRow;
+use std::fmt::Write;
+
+/// Render Table 2.
+#[must_use]
+pub fn run_table2(trace: &Trace) -> String {
+    let mut out = String::new();
+    let t = PaperTargets::sdsc_1993();
+    let s = PerSecondSeries::from_trace(trace);
+    writeln!(out, "## Table 2 — per-second distributions (synthetic hour, {} packets)", trace.len()).unwrap();
+    writeln!(out, "{}", SummaryRow::header()).unwrap();
+    writeln!(out, "packets/s (measured)").unwrap();
+    writeln!(out, "{}", SummaryRow::from_data(&s.packet_rates())).unwrap();
+    writeln!(
+        out,
+        "packets/s (paper)      min {} | 25% {} | med {} | 75% {} | max {} | mean {} | sd {} | skew {} | kurt {}",
+        t.pps.0, t.pps.1, t.pps.2, t.pps.3, t.pps.4, t.pps.5, t.pps.6, t.pps.7, t.pps.8
+    )
+    .unwrap();
+    writeln!(out, "kB/s (measured)").unwrap();
+    writeln!(out, "{}", SummaryRow::from_data(&s.kilobyte_rates())).unwrap();
+    writeln!(
+        out,
+        "kB/s (paper)           min {} | 25% {} | med {} | 75% {} | max {} | mean {} | sd {} | skew {} | kurt {}",
+        t.kbps.0, t.kbps.1, t.kbps.2, t.kbps.3, t.kbps.4, t.kbps.5, t.kbps.6, t.kbps.7, t.kbps.8
+    )
+    .unwrap();
+    writeln!(out, "mean size/s (measured)").unwrap();
+    writeln!(out, "{}", SummaryRow::from_data(&s.mean_sizes())).unwrap();
+    writeln!(
+        out,
+        "mean size/s (paper)    min {} | 25% {} | med {} | 75% {} | max {} | mean {} | sd {} | skew {} | kurt {}",
+        t.mean_size.0,
+        t.mean_size.1,
+        t.mean_size.2,
+        t.mean_size.3,
+        t.mean_size.4,
+        t.mean_size.5,
+        t.mean_size.6,
+        t.mean_size.7,
+        t.mean_size.8
+    )
+    .unwrap();
+    out
+}
+
+/// Render Table 3.
+#[must_use]
+pub fn run_table3(trace: &Trace) -> String {
+    let mut out = String::new();
+    let t = PaperTargets::sdsc_1993();
+    writeln!(out, "## Table 3 — population packet size and interarrival time").unwrap();
+    writeln!(out, "{}", SummaryRow::header()).unwrap();
+    let sizes: Vec<f64> = trace.sizes().iter().map(|&x| f64::from(x)).collect();
+    writeln!(out, "packet size (measured)").unwrap();
+    writeln!(out, "{}", SummaryRow::from_data(&sizes)).unwrap();
+    writeln!(
+        out,
+        "packet size (paper)    min {} | 5% {} | 25% {} | med {} | 75% {} | 95% {} | max {} | mean {} | sd {}",
+        t.size.0, t.size.1, t.size.2, t.size.3, t.size.4, t.size.5, t.size.6, t.size.7, t.size.8
+    )
+    .unwrap();
+    let ia: Vec<f64> = trace.interarrivals().iter().map(|&x| x as f64).collect();
+    writeln!(out, "interarrival us (measured, 400us clock)").unwrap();
+    writeln!(out, "{}", SummaryRow::from_data(&ia)).unwrap();
+    writeln!(
+        out,
+        "interarrival (paper)   min <400 | 5% <400 | 25% {} | med {} | 75% {} | 95% {} | max {} | mean {} | sd {}",
+        t.interarrival.0,
+        t.interarrival.1,
+        t.interarrival.2,
+        t.interarrival.3,
+        t.interarrival.4,
+        t.interarrival.5,
+        t.interarrival.6
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn renders_on_short_trace() {
+        let t = netsynth::generate(&TraceProfile::short(30), 1);
+        let t2 = run_table2(&t);
+        assert!(t2.contains("Table 2"));
+        assert!(t2.contains("packets/s"));
+        let t3 = run_table3(&t);
+        assert!(t3.contains("Table 3"));
+        assert!(t3.contains("interarrival"));
+    }
+}

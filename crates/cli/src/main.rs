@@ -1,0 +1,128 @@
+//! `netsample` — synthesize, analyze, sample, and score packet traces.
+//!
+//! The command-line face of the SIGCOMM 1993 sampling-methodology
+//! reproduction:
+//!
+//! ```text
+//! netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
+//! netsample analyze <trace.pcap>
+//! netsample sample  <in.pcap> <out.pcap> [--method systematic|stratified|random|geometric]
+//!                   [--interval k] [--seed S]
+//! netsample score   <population.pcap> [--method M] [--interval k]
+//!                   [--target packet-size|interarrival|protocol|port] [--replications R]
+//! netsample compare <a.pcap> <b.pcap> [--target T]
+//! netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "netsample — packet-sampling toolkit (SIGCOMM 1993 reproduction)
+
+USAGE:
+  netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
+  netsample analyze <trace.pcap>
+  netsample sample  <in.pcap> <out.pcap> [--method M] [--interval k] [--seed S]
+  netsample score   <population.pcap> [--method M] [--interval k] [--target T] [--replications R]
+  netsample compare <a.pcap> <b.pcap> [--target T]
+  netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+
+methods: systematic | stratified | random | geometric
+targets: packet-size | interarrival | protocol | port
+";
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(cmd) = argv.next() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest: Vec<String> = argv.collect();
+    let result = run(&cmd, rest);
+    match result {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("netsample {cmd}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
+    match cmd {
+        "synth" => {
+            let a = Args::parse(rest, &["profile", "seconds", "seed"])?;
+            commands::synth(&a)
+        }
+        "analyze" => {
+            let a = Args::parse(rest, &[])?;
+            commands::analyze(&a)
+        }
+        "sample" => {
+            let a = Args::parse(rest, &["method", "interval", "seed"])?;
+            commands::sample(&a)
+        }
+        "score" => {
+            let a = Args::parse(
+                rest,
+                &["method", "interval", "seed", "target", "replications"],
+            )?;
+            commands::score(&a)
+        }
+        "compare" => {
+            let a = Args::parse(rest, &["target"])?;
+            commands::compare(&a)
+        }
+        "sweep" => {
+            let a = Args::parse(rest, &["target", "replications", "seed", "max-interval"])?;
+            commands::sweep(&a)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run("help", vec![]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(out.contains("sweep"));
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let e = run("frobnicate", vec![]).unwrap_err();
+        assert!(e.to_string().contains("unknown command"));
+        assert!(e.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn end_to_end_via_dispatcher() {
+        let pop = std::env::temp_dir()
+            .join(format!("netsample_main_{}.pcap", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let out = run(
+            "synth",
+            vec![pop.clone(), "--seconds".into(), "10".into()],
+        )
+        .unwrap();
+        assert!(out.contains("wrote"));
+        let out = run("analyze", vec![pop.clone()]).unwrap();
+        assert!(out.contains("packets/s") || out.contains("packet size"));
+        std::fs::remove_file(&pop).ok();
+    }
+}

@@ -1,0 +1,79 @@
+//! End-to-end tests driving the compiled `netsample` binary.
+
+use std::process::Command;
+
+fn netsample(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_netsample"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn tmp(name: &str) -> String {
+    std::env::temp_dir()
+        .join(format!("netsample_bin_{name}_{}.pcap", std::process::id()))
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let pop = tmp("pop");
+    let sam = tmp("sam");
+
+    let out = netsample(&["synth", &pop, "--seconds", "15", "--seed", "11"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
+
+    let out = netsample(&["analyze", &pop]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("packet size"));
+    assert!(text.contains("protocol distribution"));
+
+    let out = netsample(&[
+        "sample", &pop, &sam, "--method", "stratified", "--interval", "25",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("selected"));
+
+    let out = netsample(&["score", &pop, "--interval", "50", "--target", "ia"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mean phi"));
+
+    let out = netsample(&["compare", &pop, &sam]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("phi="));
+
+    std::fs::remove_file(&pop).ok();
+    std::fs::remove_file(&sam).ok();
+}
+
+#[test]
+fn no_args_prints_usage_and_fails() {
+    let out = netsample(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn bad_option_is_a_clean_error() {
+    let out = netsample(&["synth", "/tmp/x.pcap", "--sed", "1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("unknown option --sed"), "{err}");
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = netsample(&["analyze", "/nonexistent/trace.pcap"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = netsample(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("sweep"));
+}

@@ -1,0 +1,487 @@
+//! The replication/sweep experiment framework (paper §6–7).
+//!
+//! An [`Experiment`] fixes a population window and a characterization
+//! target, precomputes the population's binned distribution, and then
+//! scores replicated runs of any sampling method against it with the φ
+//! metric suite. "We ran five replications for each method to avoid
+//! misleading outlying samples" (§7); systematic replications vary the
+//! starting offset, randomized replications vary the seed.
+//!
+//! The free functions [`granularity_sweep`] and [`interval_sweep`]
+//! produce the two figure families of the paper: φ versus sampling
+//! fraction (Figures 6–9) and φ versus interval length (Figures 10–11).
+
+use crate::metrics::{disparity, DisparityReport};
+use crate::sampler::{select_indices, MethodSpec};
+use crate::targets::Target;
+use nettrace::{Histogram, Micros, PacketRecord, Trace};
+use statkit::Boxplot;
+
+/// A family of sampling methods parameterized by granularity, used for
+/// sweeps where every method is run at the same sampling fraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodFamily {
+    /// Every k-th packet.
+    Systematic,
+    /// One random pick per k-packet bucket.
+    StratifiedRandom,
+    /// Uniform n-of-N with n = N/k.
+    SimpleRandom,
+    /// Timer-driven systematic at the rate-equivalent period.
+    SystematicTimer,
+    /// Timer-driven stratified at the rate-equivalent period.
+    StratifiedTimer,
+    /// i.i.d. 1-in-k via geometric skips (extension).
+    GeometricSkip,
+}
+
+impl MethodFamily {
+    /// The paper's five families, in its order of presentation.
+    #[must_use]
+    pub fn paper_five() -> [MethodFamily; 5] {
+        [
+            MethodFamily::Systematic,
+            MethodFamily::StratifiedRandom,
+            MethodFamily::SimpleRandom,
+            MethodFamily::SystematicTimer,
+            MethodFamily::StratifiedTimer,
+        ]
+    }
+
+    /// The concrete method at packet granularity `k`, with timer periods
+    /// chosen so the *expected* sampling fraction matches (`k / mean_pps`
+    /// seconds per selection).
+    ///
+    /// # Panics
+    /// Panics if `k` is zero or `mean_pps` is nonpositive.
+    #[must_use]
+    pub fn at_granularity(&self, k: usize, mean_pps: f64) -> MethodSpec {
+        assert!(k > 0, "granularity must be positive");
+        assert!(mean_pps > 0.0, "mean packet rate must be positive");
+        let period = Micros(((k as f64 / mean_pps) * 1e6).round().max(1.0) as u64);
+        match self {
+            MethodFamily::Systematic => MethodSpec::Systematic { interval: k },
+            MethodFamily::StratifiedRandom => MethodSpec::StratifiedRandom { bucket: k },
+            MethodFamily::SimpleRandom => MethodSpec::SimpleRandom {
+                fraction: 1.0 / k as f64,
+            },
+            MethodFamily::SystematicTimer => MethodSpec::SystematicTimer { period },
+            MethodFamily::StratifiedTimer => MethodSpec::StratifiedTimer { period },
+            MethodFamily::GeometricSkip => MethodSpec::GeometricSkip { mean_interval: k },
+        }
+    }
+
+    /// Short display name matching the paper's figure legends.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodFamily::Systematic => "systematic",
+            MethodFamily::StratifiedRandom => "stratified",
+            MethodFamily::SimpleRandom => "random",
+            MethodFamily::SystematicTimer => "sys-timer",
+            MethodFamily::StratifiedTimer => "strat-timer",
+            MethodFamily::GeometricSkip => "geometric",
+        }
+    }
+
+    /// Whether the family is timer-triggered.
+    #[must_use]
+    pub fn is_timer_driven(&self) -> bool {
+        matches!(
+            self,
+            MethodFamily::SystematicTimer | MethodFamily::StratifiedTimer
+        )
+    }
+}
+
+/// One scored replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replication {
+    /// Replication index.
+    pub replication: u64,
+    /// Full disparity metric suite for this sample.
+    pub report: DisparityReport,
+}
+
+/// All replications of one method on one window/target.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// The method that was run.
+    pub method: MethodSpec,
+    /// The characterization target.
+    pub target: Target,
+    /// Scored replications (empty samples are counted separately).
+    pub replications: Vec<Replication>,
+    /// Replications whose sample was empty (unscorable).
+    pub empty_samples: u32,
+}
+
+impl ExperimentResult {
+    /// The φ score of each scored replication.
+    #[must_use]
+    pub fn phi_values(&self) -> Vec<f64> {
+        self.replications.iter().map(|r| r.report.phi).collect()
+    }
+
+    /// Mean φ across replications; `None` if none were scorable.
+    #[must_use]
+    pub fn mean_phi(&self) -> Option<f64> {
+        if self.replications.is_empty() {
+            return None;
+        }
+        Some(self.phi_values().iter().sum::<f64>() / self.replications.len() as f64)
+    }
+
+    /// Boxplot of the φ scores (Figure 6's presentation); `None` if no
+    /// replication was scorable.
+    #[must_use]
+    pub fn phi_boxplot(&self) -> Option<Boxplot> {
+        let v = self.phi_values();
+        if v.is_empty() {
+            None
+        } else {
+            Some(Boxplot::from_data(&v))
+        }
+    }
+
+    /// Mean sample size across scored replications.
+    #[must_use]
+    pub fn mean_sample_size(&self) -> Option<f64> {
+        if self.replications.is_empty() {
+            return None;
+        }
+        Some(
+            self.replications
+                .iter()
+                .map(|r| r.report.sample_size as f64)
+                .sum::<f64>()
+                / self.replications.len() as f64,
+        )
+    }
+
+    /// How many scored replications reject the population hypothesis at
+    /// `alpha` under the χ² test (the paper's §6 experiment).
+    #[must_use]
+    pub fn rejections_at(&self, alpha: f64) -> usize {
+        self.replications
+            .iter()
+            .filter(|r| r.report.rejects_at(alpha))
+            .count()
+    }
+}
+
+/// A fixed population window + target, ready to score methods.
+#[derive(Debug, Clone)]
+pub struct Experiment<'a> {
+    packets: &'a [PacketRecord],
+    target: Target,
+    population: Histogram,
+    window_start: Micros,
+}
+
+impl<'a> Experiment<'a> {
+    /// Set up over a packet window.
+    ///
+    /// # Panics
+    /// Panics if the window is empty: an experiment needs a parent
+    /// population.
+    #[must_use]
+    pub fn new(packets: &'a [PacketRecord], target: Target) -> Self {
+        assert!(!packets.is_empty(), "experiment needs a nonempty window");
+        let population = target.population_histogram(packets);
+        Experiment {
+            packets,
+            target,
+            population,
+            window_start: packets[0].timestamp,
+        }
+    }
+
+    /// Set up over a trace's `[from, to)` window.
+    ///
+    /// # Panics
+    /// Panics if the window holds no packets.
+    #[must_use]
+    pub fn over_window(trace: &'a Trace, from: Micros, to: Micros, target: Target) -> Self {
+        Self::new(trace.window(from, to), target)
+    }
+
+    /// The window's packet count (population size `N`).
+    #[must_use]
+    pub fn population_len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// The window's mean packet rate, packets/second (used to convert
+    /// packet granularities into rate-equivalent timer periods).
+    #[must_use]
+    pub fn mean_pps(&self) -> f64 {
+        let dur = self
+            .packets
+            .last()
+            .expect("nonempty")
+            .timestamp
+            .saturating_sub(self.window_start)
+            .as_secs_f64();
+        if dur > 0.0 {
+            self.packets.len() as f64 / dur
+        } else {
+            self.packets.len() as f64
+        }
+    }
+
+    /// The precomputed population histogram.
+    #[must_use]
+    pub fn population_histogram(&self) -> &Histogram {
+        &self.population
+    }
+
+    /// Score one concrete method over `replications` runs.
+    pub fn run(&self, method: MethodSpec, replications: u32, seed: u64) -> ExperimentResult {
+        let mut result = ExperimentResult {
+            method,
+            target: self.target,
+            replications: Vec::with_capacity(replications as usize),
+            empty_samples: 0,
+        };
+        for rep in 0..u64::from(replications) {
+            let mut sampler = method.build(self.packets.len(), self.window_start, rep, seed);
+            let selected = select_indices(sampler.as_mut(), self.packets);
+            let sample = self.target.sample_histogram(self.packets, &selected);
+            match disparity(&self.population, &sample) {
+                Some(report) => result.replications.push(Replication {
+                    replication: rep,
+                    report,
+                }),
+                None => result.empty_samples += 1,
+            }
+        }
+        result
+    }
+
+    /// Score a method family at packet granularity `k` (timer periods
+    /// rate-equivalent for this window).
+    pub fn run_family(
+        &self,
+        family: MethodFamily,
+        k: usize,
+        replications: u32,
+        seed: u64,
+    ) -> ExperimentResult {
+        // A systematic sample has only k distinct replications.
+        let reps = if family == MethodFamily::Systematic {
+            replications.min(k as u32)
+        } else {
+            replications
+        };
+        self.run(family.at_granularity(k, self.mean_pps()), reps, seed)
+    }
+}
+
+/// φ versus sampling granularity: run `family` at each granularity in
+/// `ks` over the window, `replications` runs each (Figures 6–9).
+pub fn granularity_sweep(
+    packets: &[PacketRecord],
+    target: Target,
+    family: MethodFamily,
+    ks: &[usize],
+    replications: u32,
+    seed: u64,
+) -> Vec<(usize, ExperimentResult)> {
+    let exp = Experiment::new(packets, target);
+    ks.iter()
+        .map(|&k| (k, exp.run_family(family, k, replications, seed)))
+        .collect()
+}
+
+/// φ versus interval length: run `family` at fixed granularity `k` over
+/// each window `[start, start + len)` for the lengths given
+/// (Figures 10–11).
+#[allow(clippy::too_many_arguments)] // a sweep is inherently a full parameter tuple
+pub fn interval_sweep(
+    trace: &Trace,
+    target: Target,
+    family: MethodFamily,
+    k: usize,
+    start: Micros,
+    lengths: &[Micros],
+    replications: u32,
+    seed: u64,
+) -> Vec<(Micros, Option<ExperimentResult>)> {
+    lengths
+        .iter()
+        .map(|&len| {
+            let window = trace.window(start, start + len);
+            if window.is_empty() {
+                (len, None)
+            } else {
+                let exp = Experiment::new(window, target);
+                (len, Some(exp.run_family(family, k, replications, seed)))
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::PacketRecord;
+
+    /// A deterministic bimodal window: sizes alternate irregularly, gaps
+    /// vary.
+    fn window(n: usize) -> Vec<PacketRecord> {
+        let mut t = 0u64;
+        (0..n)
+            .map(|i| {
+                t += 400 + (i as u64 * 179) % 4400;
+                let size = if (i * 7919) % 10 < 4 { 40 } else { 552 };
+                PacketRecord::new(Micros(t), size)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_sampling_scores_zero_phi() {
+        let w = window(5000);
+        let exp = Experiment::new(&w, Target::PacketSize);
+        let r = exp.run(MethodSpec::Systematic { interval: 1 }, 1, 0);
+        assert_eq!(r.replications.len(), 1);
+        assert_eq!(r.replications[0].report.phi, 0.0);
+    }
+
+    #[test]
+    fn phi_grows_with_granularity() {
+        let w = window(20_000);
+        let sweep = granularity_sweep(
+            &w,
+            Target::PacketSize,
+            MethodFamily::StratifiedRandom,
+            &[4, 64, 1024],
+            10,
+            42,
+        );
+        let phis: Vec<f64> = sweep
+            .iter()
+            .map(|(_, r)| r.mean_phi().expect("scorable"))
+            .collect();
+        assert!(
+            phis[0] < phis[1] && phis[1] < phis[2],
+            "phi not monotone: {phis:?}"
+        );
+    }
+
+    #[test]
+    fn systematic_replications_capped_at_k() {
+        let w = window(1000);
+        let exp = Experiment::new(&w, Target::PacketSize);
+        let r = exp.run_family(MethodFamily::Systematic, 3, 50, 0);
+        assert_eq!(r.replications.len(), 3);
+    }
+
+    #[test]
+    fn replication_variance_grows_with_granularity() {
+        let w = window(20_000);
+        let exp = Experiment::new(&w, Target::PacketSize);
+        let fine = exp.run_family(MethodFamily::SimpleRandom, 8, 20, 1);
+        let coarse = exp.run_family(MethodFamily::SimpleRandom, 512, 20, 1);
+        let var = |r: &ExperimentResult| {
+            let b = r.phi_boxplot().unwrap();
+            b.iqr()
+        };
+        assert!(
+            var(&coarse) > var(&fine),
+            "IQR fine {} coarse {}",
+            var(&fine),
+            var(&coarse)
+        );
+    }
+
+    #[test]
+    fn empty_samples_are_counted_not_scored() {
+        let w = window(10);
+        let exp = Experiment::new(&w, Target::PacketSize);
+        // Granularity far above the population: offset 0 still catches
+        // packet 0 (scored); later offsets catch nothing.
+        let r = exp.run(MethodSpec::Systematic { interval: 1000 }, 1, 0);
+        assert_eq!(r.replications.len(), 1);
+        let r2 = exp.run(
+            MethodSpec::SystematicTimer {
+                period: Micros(1 << 40),
+            },
+            1,
+            0,
+        );
+        // Timer anchored at first packet fires immediately -> selects
+        // packet 0; the subsequent schedule never fires again.
+        assert!(r2.replications.len() + r2.empty_samples as usize == 1);
+    }
+
+    #[test]
+    fn interval_sweep_improves_with_length() {
+        let w = window(50_000);
+        let trace = Trace::new(w).unwrap();
+        let dur = trace.duration();
+        let lengths = [
+            Micros(dur.as_u64() / 64),
+            Micros(dur.as_u64() / 8),
+            Micros(dur.as_u64()),
+        ];
+        let sweep = interval_sweep(
+            &trace,
+            Target::PacketSize,
+            MethodFamily::StratifiedRandom,
+            64,
+            Micros(0),
+            &lengths,
+            10,
+            7,
+        );
+        let phis: Vec<f64> = sweep
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().mean_phi().unwrap())
+            .collect();
+        assert!(
+            phis[2] < phis[0],
+            "longer interval should score better: {phis:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_experiments() {
+        let w = window(5000);
+        let exp = Experiment::new(&w, Target::Interarrival);
+        for family in MethodFamily::paper_five() {
+            let a = exp.run_family(family, 16, 5, 99);
+            let b = exp.run_family(family, 16, 5, 99);
+            assert_eq!(a, b, "{}", family.name());
+        }
+    }
+
+    #[test]
+    fn family_names_and_flags() {
+        assert_eq!(MethodFamily::paper_five().len(), 5);
+        assert_eq!(
+            MethodFamily::paper_five()
+                .iter()
+                .filter(|f| f.is_timer_driven())
+                .count(),
+            2
+        );
+        assert_eq!(MethodFamily::Systematic.name(), "systematic");
+    }
+
+    #[test]
+    fn mean_pps_is_sane() {
+        let w = window(1000);
+        let exp = Experiment::new(&w, Target::PacketSize);
+        // Mean gap ~ 400 + avg(i*179 % 4400) ~ 2600us -> ~385 pps.
+        let pps = exp.mean_pps();
+        assert!(pps > 200.0 && pps < 800.0, "pps {pps}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty window")]
+    fn empty_window_panics() {
+        let _ = Experiment::new(&[], Target::PacketSize);
+    }
+}

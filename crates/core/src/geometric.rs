@@ -1,0 +1,158 @@
+//! Geometric-skip (i.i.d. Bernoulli) 1-in-k sampling.
+//!
+//! An operational descendant of the paper's methods: instead of a strict
+//! every-k-th count (systematic) or one-per-bucket (stratified), each
+//! packet is selected independently with probability `1/k`. Implemented,
+//! as production samplers do (sFlow, RFC 3176), by drawing the *skip
+//! count* to the next selection from the geometric distribution — one
+//! random draw per selection instead of one per packet.
+
+use crate::sampler::Sampler;
+use nettrace::PacketRecord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// i.i.d. 1-in-k sampling via geometric skips.
+#[derive(Debug)]
+pub struct GeometricSkipSampler {
+    mean_interval: usize,
+    seed: u64,
+    rng: StdRng,
+    /// Packets still to skip before the next selection.
+    skip: u64,
+}
+
+impl GeometricSkipSampler {
+    /// Select each packet independently with probability
+    /// `1 / mean_interval`.
+    ///
+    /// # Panics
+    /// Panics if `mean_interval` is zero.
+    #[must_use]
+    pub fn new(mean_interval: usize, seed: u64) -> Self {
+        assert!(mean_interval > 0, "mean interval must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skip = Self::draw_skip(&mut rng, mean_interval);
+        GeometricSkipSampler {
+            mean_interval,
+            seed,
+            rng,
+            skip,
+        }
+    }
+
+    /// Geometric skip: number of failures before the first success at
+    /// probability `p = 1/k`, by inversion.
+    fn draw_skip(rng: &mut StdRng, k: usize) -> u64 {
+        if k == 1 {
+            return 0;
+        }
+        let p = 1.0 / k as f64;
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0,1]
+        // floor(ln(u) / ln(1-p)) is Geometric(p) on {0,1,2,…}.
+        (u.ln() / (1.0 - p).ln()).floor() as u64
+    }
+
+    /// The mean selection interval `k`.
+    #[must_use]
+    pub fn mean_interval(&self) -> usize {
+        self.mean_interval
+    }
+}
+
+impl Sampler for GeometricSkipSampler {
+    fn offer(&mut self, _pkt: &PacketRecord) -> bool {
+        if self.skip > 0 {
+            self.skip -= 1;
+            return false;
+        }
+        self.skip = Self::draw_skip(&mut self.rng, self.mean_interval);
+        true
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.skip = Self::draw_skip(&mut self.rng, self.mean_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::select_indices;
+    use nettrace::Micros;
+
+    fn packets(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64), 40))
+            .collect()
+    }
+
+    #[test]
+    fn selection_rate_matches_one_over_k() {
+        let pkts = packets(200_000);
+        let mut s = GeometricSkipSampler::new(50, 42);
+        let sel = select_indices(&mut s, &pkts);
+        let rate = sel.len() as f64 / pkts.len() as f64;
+        assert!((rate - 0.02).abs() < 0.002, "rate {rate}");
+    }
+
+    #[test]
+    fn interval_one_selects_all() {
+        let pkts = packets(100);
+        let mut s = GeometricSkipSampler::new(1, 0);
+        assert_eq!(select_indices(&mut s, &pkts).len(), 100);
+    }
+
+    #[test]
+    fn skips_are_geometric() {
+        // Gaps between selections should have mean k and variance
+        // ~ k(k-1) (geometric on {1,2,...} shifted).
+        let pkts = packets(500_000);
+        let mut s = GeometricSkipSampler::new(20, 7);
+        let sel = select_indices(&mut s, &pkts);
+        let gaps: Vec<f64> = sel.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let m = statkit::Moments::from_values(gaps.iter().copied());
+        assert!((m.mean() - 20.0).abs() < 0.5, "mean gap {}", m.mean());
+        let expected_var = 20.0 * 19.0;
+        assert!(
+            (m.variance() - expected_var).abs() / expected_var < 0.1,
+            "var {}",
+            m.variance()
+        );
+    }
+
+    #[test]
+    fn independence_no_periodicity() {
+        // Unlike systematic sampling, selection positions mod k are
+        // uniform, not constant.
+        let pkts = packets(100_000);
+        let mut s = GeometricSkipSampler::new(10, 3);
+        let sel = select_indices(&mut s, &pkts);
+        let mut residues = [0u32; 10];
+        for i in &sel {
+            residues[i % 10] += 1;
+        }
+        let total: u32 = residues.iter().sum();
+        for (r, &c) in residues.iter().enumerate() {
+            let p = f64::from(c) / f64::from(total);
+            assert!((p - 0.1).abs() < 0.02, "residue {r}: {p}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_resettable() {
+        let pkts = packets(10_000);
+        let mut s = GeometricSkipSampler::new(13, 11);
+        let a = select_indices(&mut s, &pkts);
+        s.reset();
+        assert_eq!(a, select_indices(&mut s, &pkts));
+        assert_eq!(s.mean_interval(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = GeometricSkipSampler::new(0, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Reservoir sampling: a fixed-size uniform sample over a stream of
+//! unknown length.
+//!
+//! The paper's simple random sampling assumes the population size is
+//! known (a replayed trace). An operational monitor does not know how
+//! many packets the next interval will carry; reservoir sampling
+//! (Vitter's Algorithm R) maintains a uniform `n`-subset of everything
+//! seen so far, replacing entries with decreasing probability.
+//!
+//! Because a selection can later be *evicted*, the reservoir does not
+//! implement [`crate::sampler::Sampler`] (whose `offer → bool` contract
+//! promises final decisions); the sample is read out at the end of the
+//! interval, which matches the 15-minute collect-and-reset cycle of the
+//! NSFNET statistics pipeline (paper §2).
+
+use nettrace::PacketRecord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fixed-capacity uniform reservoir (Vitter's Algorithm R).
+#[derive(Debug)]
+pub struct ReservoirSampler {
+    capacity: usize,
+    seed: u64,
+    rng: StdRng,
+    seen: u64,
+    reservoir: Vec<PacketRecord>,
+}
+
+impl ReservoirSampler {
+    /// A reservoir holding at most `capacity` packets.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        ReservoirSampler {
+            capacity,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            seen: 0,
+            reservoir: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer one packet from the stream.
+    pub fn offer(&mut self, pkt: &PacketRecord) {
+        self.seen += 1;
+        if self.reservoir.len() < self.capacity {
+            self.reservoir.push(*pkt);
+            return;
+        }
+        // Replace a random slot with probability capacity / seen.
+        let j = self.rng.random_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.reservoir[j as usize] = *pkt;
+        }
+    }
+
+    /// The current sample (uniform over everything offered so far).
+    /// Order within the reservoir is not meaningful.
+    #[must_use]
+    pub fn sample(&self) -> &[PacketRecord] {
+        &self.reservoir
+    }
+
+    /// Total packets offered.
+    #[must_use]
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Report the sample and clear for the next collection interval
+    /// (collect-and-reset, like the NSFNET 15-minute cycle).
+    pub fn drain(&mut self) -> Vec<PacketRecord> {
+        self.seen = 0;
+        std::mem::take(&mut self.reservoir)
+    }
+
+    /// Full reset including the random stream.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.seen = 0;
+        self.reservoir.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::Micros;
+
+    fn packets(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64), (i % 1500) as u16 + 1))
+            .collect()
+    }
+
+    #[test]
+    fn fills_up_then_stays_at_capacity() {
+        let pkts = packets(100);
+        let mut r = ReservoirSampler::new(10, 1);
+        for (i, p) in pkts.iter().enumerate() {
+            r.offer(p);
+            assert_eq!(r.sample().len(), (i + 1).min(10));
+        }
+        assert_eq!(r.seen(), 100);
+        assert_eq!(r.capacity(), 10);
+    }
+
+    #[test]
+    fn short_stream_keeps_everything() {
+        let pkts = packets(5);
+        let mut r = ReservoirSampler::new(10, 2);
+        for p in &pkts {
+            r.offer(p);
+        }
+        assert_eq!(r.sample().len(), 5);
+        let ts: std::collections::HashSet<u64> =
+            r.sample().iter().map(|p| p.timestamp.as_u64()).collect();
+        assert_eq!(ts.len(), 5);
+    }
+
+    #[test]
+    fn inclusion_is_uniform() {
+        // Every stream position should end in the reservoir with
+        // probability capacity/N.
+        let n = 50;
+        let cap = 10;
+        let trials = 20_000u64;
+        let pkts = packets(n);
+        let mut counts = vec![0u32; n];
+        for seed in 0..trials {
+            let mut r = ReservoirSampler::new(cap, seed);
+            for p in &pkts {
+                r.offer(p);
+            }
+            for p in r.sample() {
+                counts[p.timestamp.as_u64() as usize] += 1;
+            }
+        }
+        let expected = cap as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let p = f64::from(c) / trials as f64;
+            assert!((p - expected).abs() < 0.02, "position {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn drain_resets_interval() {
+        let pkts = packets(30);
+        let mut r = ReservoirSampler::new(5, 3);
+        for p in &pkts {
+            r.offer(p);
+        }
+        let s1 = r.drain();
+        assert_eq!(s1.len(), 5);
+        assert_eq!(r.seen(), 0);
+        assert!(r.sample().is_empty());
+        // Works again after drain.
+        for p in &pkts {
+            r.offer(p);
+        }
+        assert_eq!(r.sample().len(), 5);
+    }
+
+    #[test]
+    fn reset_reproduces() {
+        let pkts = packets(200);
+        let mut r = ReservoirSampler::new(7, 9);
+        for p in &pkts {
+            r.offer(p);
+        }
+        let a: Vec<u64> = r.sample().iter().map(|p| p.timestamp.as_u64()).collect();
+        r.reset();
+        for p in &pkts {
+            r.offer(p);
+        }
+        let b: Vec<u64> = r.sample().iter().map(|p| p.timestamp.as_u64()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReservoirSampler::new(0, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The [`Sampler`] trait and the [`MethodSpec`] configuration type.
+//!
+//! A sampler is an event-driven decision machine: for each arriving
+//! packet it answers, in O(1) and without buffering, whether that packet
+//! enters the sample. This is the deployment shape of the paper's §2 —
+//! the T3 backbone's forwarding firmware selects "currently every
+//! fiftieth" packet header and forwards it to the characterization
+//! processor.
+
+use crate::geometric::GeometricSkipSampler;
+use crate::random::SimpleRandomSampler;
+use crate::stratified::StratifiedSampler;
+use crate::systematic::SystematicSampler;
+use crate::timer::{StratifiedTimerSampler, SystematicTimerSampler};
+use nettrace::{Micros, PacketRecord};
+use std::fmt;
+
+/// An event-driven packet sampler.
+pub trait Sampler {
+    /// Offer one arriving packet; returns `true` if it is selected into
+    /// the sample. Packets must be offered in arrival order.
+    fn offer(&mut self, pkt: &PacketRecord) -> bool;
+
+    /// Restore the initial state (counters, schedules, and the random
+    /// stream position are all reset to their post-construction values).
+    fn reset(&mut self);
+}
+
+/// Run a sampler over a packet slice, returning the *indices* of selected
+/// packets.
+///
+/// Indices (rather than copies) let characterization targets look up
+/// per-packet attributes computed in the parent population — in
+/// particular each packet's interarrival time to its *population*
+/// predecessor, which is how the interarrival distribution is sampled
+/// (see [`crate::targets::Target::Interarrival`]).
+pub fn select_indices<S: Sampler + ?Sized>(sampler: &mut S, packets: &[PacketRecord]) -> Vec<usize> {
+    packets
+        .iter()
+        .enumerate()
+        .filter_map(|(i, p)| sampler.offer(p).then_some(i))
+        .collect()
+}
+
+/// The broad class of a sampling method (paper §4, Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodClass {
+    /// Deterministic every-k-th selection.
+    Systematic,
+    /// One random pick per bucket/stratum.
+    StratifiedRandom,
+    /// Uniform selection over the whole population.
+    SimpleRandom,
+}
+
+/// A fully specified sampling method: class × trigger × granularity.
+///
+/// `MethodSpec` is configuration; [`MethodSpec::build`] instantiates the
+/// concrete sampler for a particular population window and replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MethodSpec {
+    /// Every `interval`-th packet (1-in-k), deterministic.
+    Systematic {
+        /// Selection interval `k` (the T3 backbone ran `k = 50`).
+        interval: usize,
+    },
+    /// One uniform pick from each bucket of `bucket` consecutive packets.
+    StratifiedRandom {
+        /// Bucket size `k` (the sampling fraction is `1/k`).
+        bucket: usize,
+    },
+    /// `n ≈ N·fraction` packets drawn uniformly from the population
+    /// (Knuth's sequential Algorithm S; needs the window's packet count).
+    SimpleRandom {
+        /// Target sampling fraction in `(0, 1]`.
+        fraction: f64,
+    },
+    /// Timer-driven systematic: when the periodic timer has expired,
+    /// select the next packet to arrive.
+    SystematicTimer {
+        /// Timer period.
+        period: Micros,
+    },
+    /// Timer-driven stratified: one uniformly-placed firing time per
+    /// period; the next packet at/after it is selected.
+    StratifiedTimer {
+        /// Stratum length.
+        period: Micros,
+    },
+    /// i.i.d. 1-in-k selection via geometric skip counts (the sFlow
+    /// lineage of this paper's method; an extension beyond the paper's
+    /// five).
+    GeometricSkip {
+        /// Mean selection interval `k`.
+        mean_interval: usize,
+    },
+}
+
+impl MethodSpec {
+    /// The paper's five methods at a given packet granularity `k` /
+    /// equivalent timer period, in the order the paper lists them.
+    ///
+    /// The timer period is chosen to produce the same *expected* sampling
+    /// fraction on a population with mean rate `mean_pps`: one selection
+    /// per `k / mean_pps` seconds.
+    #[must_use]
+    pub fn paper_five(k: usize, mean_pps: f64) -> [MethodSpec; 5] {
+        let period = Micros((k as f64 / mean_pps * 1e6).round().max(1.0) as u64);
+        [
+            MethodSpec::Systematic { interval: k },
+            MethodSpec::StratifiedRandom { bucket: k },
+            MethodSpec::SimpleRandom {
+                fraction: 1.0 / k as f64,
+            },
+            MethodSpec::SystematicTimer { period },
+            MethodSpec::StratifiedTimer { period },
+        ]
+    }
+
+    /// Whether this method is triggered by a timer rather than by packet
+    /// arrival counts.
+    #[must_use]
+    pub fn is_timer_driven(&self) -> bool {
+        matches!(
+            self,
+            MethodSpec::SystematicTimer { .. } | MethodSpec::StratifiedTimer { .. }
+        )
+    }
+
+    /// The method's class.
+    #[must_use]
+    pub fn class(&self) -> MethodClass {
+        match self {
+            MethodSpec::Systematic { .. } | MethodSpec::SystematicTimer { .. } => {
+                MethodClass::Systematic
+            }
+            MethodSpec::StratifiedRandom { .. } | MethodSpec::StratifiedTimer { .. } => {
+                MethodClass::StratifiedRandom
+            }
+            MethodSpec::SimpleRandom { .. } | MethodSpec::GeometricSkip { .. } => {
+                MethodClass::SimpleRandom
+            }
+        }
+    }
+
+    /// Build the concrete sampler for one replication.
+    ///
+    /// * `population_len` — packet count of the window (used by simple
+    ///   random sampling's exact n-of-N algorithm);
+    /// * `window_start` — first timestamp of the window (anchors timer
+    ///   schedules);
+    /// * `replication` — replication index; deterministic methods vary
+    ///   their start offset with it (the paper "varied the point within
+    ///   the data set at which to begin the sampling procedure"),
+    ///   randomized methods fold it into their seed;
+    /// * `seed` — base random seed.
+    ///
+    /// # Panics
+    /// Panics on degenerate configuration (zero interval/bucket/period,
+    /// fraction outside `(0, 1]`).
+    #[must_use]
+    pub fn build(
+        &self,
+        population_len: usize,
+        window_start: Micros,
+        replication: u64,
+        seed: u64,
+    ) -> Box<dyn Sampler> {
+        let seed = seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(replication);
+        match *self {
+            MethodSpec::Systematic { interval } => {
+                let offset = if interval == 0 {
+                    0
+                } else {
+                    (replication as usize) % interval
+                };
+                Box::new(SystematicSampler::with_offset(interval, offset))
+            }
+            MethodSpec::StratifiedRandom { bucket } => {
+                Box::new(StratifiedSampler::new(bucket, seed))
+            }
+            MethodSpec::SimpleRandom { fraction } => {
+                assert!(
+                    fraction > 0.0 && fraction <= 1.0,
+                    "fraction must be in (0,1], got {fraction}"
+                );
+                let n = ((population_len as f64 * fraction).round() as usize)
+                    .clamp(1, population_len.max(1));
+                Box::new(SimpleRandomSampler::new(population_len, n, seed))
+            }
+            MethodSpec::SystematicTimer { period } => {
+                // Spread replication start phases across the period.
+                let phase = if period.as_u64() == 0 {
+                    0
+                } else {
+                    (replication.wrapping_mul(2_654_435_761)) % period.as_u64()
+                };
+                Box::new(SystematicTimerSampler::new(
+                    period,
+                    window_start + Micros(phase),
+                ))
+            }
+            MethodSpec::StratifiedTimer { period } => Box::new(StratifiedTimerSampler::new(
+                period,
+                window_start,
+                seed,
+            )),
+            MethodSpec::GeometricSkip { mean_interval } => {
+                Box::new(GeometricSkipSampler::new(mean_interval, seed))
+            }
+        }
+    }
+}
+
+impl fmt::Display for MethodSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MethodSpec::Systematic { interval } => write!(f, "systematic(1/{interval})"),
+            MethodSpec::StratifiedRandom { bucket } => write!(f, "stratified(1/{bucket})"),
+            MethodSpec::SimpleRandom { fraction } => {
+                write!(f, "random(f={fraction:.6})")
+            }
+            MethodSpec::SystematicTimer { period } => {
+                write!(f, "sys-timer({period})")
+            }
+            MethodSpec::StratifiedTimer { period } => {
+                write!(f, "strat-timer({period})")
+            }
+            MethodSpec::GeometricSkip { mean_interval } => {
+                write!(f, "geometric(1/{mean_interval})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::Micros;
+
+    fn packets(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64 * 1000), 100))
+            .collect()
+    }
+
+    #[test]
+    fn paper_five_covers_both_triggers() {
+        let five = MethodSpec::paper_five(50, 424.2);
+        assert_eq!(five.len(), 5);
+        assert_eq!(five.iter().filter(|m| m.is_timer_driven()).count(), 2);
+        // Timer period ~ 50/424.2 s ≈ 117,869 µs.
+        if let MethodSpec::SystematicTimer { period } = five[3] {
+            assert!((period.as_u64() as i64 - 117_869).abs() < 5);
+        } else {
+            panic!("expected systematic timer in slot 3");
+        }
+    }
+
+    #[test]
+    fn classes_are_assigned() {
+        assert_eq!(
+            MethodSpec::Systematic { interval: 10 }.class(),
+            MethodClass::Systematic
+        );
+        assert_eq!(
+            MethodSpec::StratifiedTimer {
+                period: Micros(100)
+            }
+            .class(),
+            MethodClass::StratifiedRandom
+        );
+        assert_eq!(
+            MethodSpec::GeometricSkip { mean_interval: 10 }.class(),
+            MethodClass::SimpleRandom
+        );
+    }
+
+    #[test]
+    fn build_produces_working_samplers() {
+        let pkts = packets(1000);
+        for spec in MethodSpec::paper_five(10, 1000.0) {
+            let mut s = spec.build(pkts.len(), Micros(0), 0, 42);
+            let selected = select_indices(s.as_mut(), &pkts);
+            assert!(
+                !selected.is_empty(),
+                "{spec} selected nothing from 1000 packets"
+            );
+            // Roughly 1-in-10 (timer methods approximate).
+            assert!(
+                selected.len() >= 50 && selected.len() <= 200,
+                "{spec}: {}",
+                selected.len()
+            );
+        }
+    }
+
+    #[test]
+    fn replications_differ() {
+        let pkts = packets(100);
+        let spec = MethodSpec::Systematic { interval: 10 };
+        let a = select_indices(spec.build(100, Micros(0), 0, 1).as_mut(), &pkts);
+        let b = select_indices(spec.build(100, Micros(0), 1, 1).as_mut(), &pkts);
+        assert_ne!(a, b, "offset must vary with replication");
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn same_replication_is_deterministic() {
+        let pkts = packets(500);
+        for spec in MethodSpec::paper_five(7, 1000.0) {
+            let a = select_indices(spec.build(500, Micros(0), 3, 9).as_mut(), &pkts);
+            let b = select_indices(spec.build(500, Micros(0), 3, 9).as_mut(), &pkts);
+            assert_eq!(a, b, "{spec} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            MethodSpec::Systematic { interval: 50 }.to_string(),
+            "systematic(1/50)"
+        );
+        assert!(MethodSpec::SimpleRandom { fraction: 0.02 }
+            .to_string()
+            .starts_with("random"));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in (0,1]")]
+    fn bad_fraction_panics() {
+        let _ = MethodSpec::SimpleRandom { fraction: 1.5 }.build(10, Micros(0), 0, 0);
+    }
+}

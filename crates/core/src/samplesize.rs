@@ -1,0 +1,188 @@
+//! Cochran's sample-size determination (paper §5.1).
+//!
+//! For estimating a population mean to within a relative accuracy `r`
+//! (in percent) at confidence `100(1−α)%`, the required simple random
+//! sample size is
+//!
+//! ```text
+//! n = (100 · z · σ / (r · µ))²
+//! ```
+//!
+//! with `z` the standard-normal quantile for the confidence level. The
+//! formula assumes an effectively infinite population; the finite-
+//! population correction `n' = n / (1 + n/N)` is also provided.
+//!
+//! The paper's worked examples (reproduced by tests below and by the
+//! `samplesize` bench binary): packet sizes (µ = 232, σ = 236) need
+//! n ≈ 1590 at ±5% / 95%, and n ≈ 39 752 at ±1%; interarrival times
+//! (µ = 2358, σ = 2734) need n ≈ 2066 and n ≈ 51 644.
+
+use statkit::special::normal_quantile;
+
+/// A sample-size requirement specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleSizeSpec {
+    /// Population mean µ.
+    pub mean: f64,
+    /// Population standard deviation σ.
+    pub std_dev: f64,
+    /// Desired relative accuracy, in percent (e.g. `5.0` for ±5%).
+    pub accuracy_pct: f64,
+    /// Confidence level in `(0, 1)` (e.g. `0.95`).
+    pub confidence: f64,
+}
+
+impl SampleSizeSpec {
+    /// The z-value for this spec's confidence level (two-sided).
+    #[must_use]
+    pub fn z_value(&self) -> f64 {
+        normal_quantile(1.0 - (1.0 - self.confidence) / 2.0)
+    }
+}
+
+/// Required simple-random sample size for estimating the mean
+/// (infinite-population formula), rounded up.
+///
+/// ```
+/// use sampling::samplesize::{required_sample_size, SampleSizeSpec};
+/// // The paper's §5.1 worked example: packet sizes, ±5% at 95%.
+/// let n = required_sample_size(&SampleSizeSpec {
+///     mean: 232.0,
+///     std_dev: 236.0,
+///     accuracy_pct: 5.0,
+///     confidence: 0.95,
+/// });
+/// assert!((1588..=1592).contains(&n)); // paper: 1590
+/// ```
+///
+/// # Panics
+/// Panics on nonpositive mean/σ/accuracy or a confidence outside (0, 1).
+#[must_use]
+pub fn required_sample_size(spec: &SampleSizeSpec) -> u64 {
+    assert!(spec.mean > 0.0, "mean must be positive");
+    assert!(spec.std_dev > 0.0, "std dev must be positive");
+    assert!(spec.accuracy_pct > 0.0, "accuracy must be positive");
+    assert!(
+        spec.confidence > 0.0 && spec.confidence < 1.0,
+        "confidence must be in (0,1)"
+    );
+    let z = spec.z_value();
+    let n = (100.0 * z * spec.std_dev / (spec.accuracy_pct * spec.mean)).powi(2);
+    n.ceil() as u64
+}
+
+/// Finite-population correction: the sample size needed from a
+/// population of `population` members, given the infinite-population
+/// requirement.
+#[must_use]
+pub fn finite_population_correction(n_infinite: u64, population: u64) -> u64 {
+    assert!(population > 0, "population must be positive");
+    let n = n_infinite as f64;
+    let corrected = n / (1.0 + n / population as f64);
+    corrected.ceil() as u64
+}
+
+/// The sampling fraction implied by a sample size over a population.
+#[must_use]
+pub fn implied_fraction(sample: u64, population: u64) -> f64 {
+    assert!(population > 0, "population must be positive");
+    sample as f64 / population as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper §5.1: packet sizes, µ = 232, σ = 236.
+    fn size_spec(accuracy: f64) -> SampleSizeSpec {
+        SampleSizeSpec {
+            mean: 232.0,
+            std_dev: 236.0,
+            accuracy_pct: accuracy,
+            confidence: 0.95,
+        }
+    }
+
+    /// Paper §5.1: interarrivals, µ = 2358, σ = 2734.
+    fn ia_spec(accuracy: f64) -> SampleSizeSpec {
+        SampleSizeSpec {
+            mean: 2358.0,
+            std_dev: 2734.0,
+            accuracy_pct: accuracy,
+            confidence: 0.95,
+        }
+    }
+
+    #[test]
+    fn z_value_at_95_percent() {
+        let z = size_spec(5.0).z_value();
+        assert!((z - 1.96).abs() < 0.001, "z = {z}");
+    }
+
+    #[test]
+    fn paper_packet_size_examples() {
+        // The paper reports 1590 at ±5% and 39 752 at ±1% (it used
+        // z = 1.96 exactly; we match within a packet either way).
+        let n5 = required_sample_size(&size_spec(5.0));
+        assert!((1588..=1592).contains(&n5), "n5 = {n5}");
+        let n1 = required_sample_size(&size_spec(1.0));
+        assert!((39_700..=39_800).contains(&n1), "n1 = {n1}");
+    }
+
+    #[test]
+    fn paper_interarrival_examples() {
+        let n5 = required_sample_size(&ia_spec(5.0));
+        assert!((2064..=2068).contains(&n5), "n5 = {n5}");
+        let n1 = required_sample_size(&ia_spec(1.0));
+        assert!((51_550..=51_700).contains(&n1), "n1 = {n1}");
+    }
+
+    #[test]
+    fn paper_sampling_fraction_remark() {
+        // "1,590 constitutes a sampling fraction of around 0.10%" of the
+        // 1.6 million packet population.
+        let f = implied_fraction(1590, 1_600_000);
+        assert!((f - 0.001).abs() < 1e-4, "fraction {f}");
+    }
+
+    #[test]
+    fn tighter_accuracy_needs_quadratically_more() {
+        let n5 = required_sample_size(&size_spec(5.0)) as f64;
+        let n1 = required_sample_size(&size_spec(1.0)) as f64;
+        assert!((n1 / n5 - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn higher_confidence_needs_more() {
+        let mut spec = size_spec(5.0);
+        let n95 = required_sample_size(&spec);
+        spec.confidence = 0.99;
+        let n99 = required_sample_size(&spec);
+        assert!(n99 > n95);
+    }
+
+    #[test]
+    fn finite_population_correction_shrinks() {
+        let n = required_sample_size(&size_spec(1.0)); // ~39.7k
+        let corrected = finite_population_correction(n, 1_600_000);
+        assert!(corrected < n);
+        assert!(corrected > n * 9 / 10); // small correction for 1.6M pop
+        // Tiny population: correction dominates.
+        let tiny = finite_population_correction(n, 1000);
+        assert!(tiny <= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0,1)")]
+    fn bad_confidence_panics() {
+        let mut s = size_spec(5.0);
+        s.confidence = 1.0;
+        let _ = required_sample_size(&s);
+    }
+
+    #[test]
+    #[should_panic(expected = "accuracy must be positive")]
+    fn bad_accuracy_panics() {
+        let _ = required_sample_size(&size_spec(0.0));
+    }
+}

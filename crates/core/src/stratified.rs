@@ -1,0 +1,159 @@
+//! Stratified random sampling over packet-count buckets.
+//!
+//! "Stratified random sampling is similar to systematic sampling, except
+//! that rather than selecting the first packet from each bucket, a packet
+//! is selected randomly from each bucket" (paper §4). Selection is still
+//! streaming and O(1) per packet: at each bucket boundary the sampler
+//! pre-draws the index to select within the coming bucket.
+
+use crate::sampler::Sampler;
+use nettrace::PacketRecord;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One uniform pick from every bucket of `bucket` consecutive packets.
+#[derive(Debug)]
+pub struct StratifiedSampler {
+    bucket: usize,
+    seed: u64,
+    rng: StdRng,
+    /// Position within the current bucket (0-based).
+    pos: usize,
+    /// The pre-drawn index to select in the current bucket.
+    target: usize,
+}
+
+impl StratifiedSampler {
+    /// Create with bucket size `bucket` and a deterministic seed.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is zero.
+    #[must_use]
+    pub fn new(bucket: usize, seed: u64) -> Self {
+        assert!(bucket > 0, "bucket size must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target = rng.random_range(0..bucket);
+        StratifiedSampler {
+            bucket,
+            seed,
+            rng,
+            pos: 0,
+            target,
+        }
+    }
+
+    /// Bucket size `k`.
+    #[must_use]
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+}
+
+impl Sampler for StratifiedSampler {
+    fn offer(&mut self, _pkt: &PacketRecord) -> bool {
+        let selected = self.pos == self.target;
+        self.pos += 1;
+        if self.pos == self.bucket {
+            self.pos = 0;
+            self.target = self.rng.random_range(0..self.bucket);
+        }
+        selected
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.pos = 0;
+        self.target = self.rng.random_range(0..self.bucket);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::select_indices;
+    use nettrace::Micros;
+
+    fn packets(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64), 40))
+            .collect()
+    }
+
+    #[test]
+    fn exactly_one_per_full_bucket() {
+        let pkts = packets(100);
+        for seed in 0..20 {
+            let mut s = StratifiedSampler::new(10, seed);
+            let sel = select_indices(&mut s, &pkts);
+            assert_eq!(sel.len(), 10, "seed {seed}");
+            for (b, &i) in sel.iter().enumerate() {
+                assert!(
+                    (b * 10..(b + 1) * 10).contains(&i),
+                    "seed {seed}: index {i} outside bucket {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_final_bucket_selects_at_most_one() {
+        let pkts = packets(25);
+        for seed in 0..50 {
+            let mut s = StratifiedSampler::new(10, seed);
+            let sel = select_indices(&mut s, &pkts);
+            let in_last = sel.iter().filter(|&&i| i >= 20).count();
+            assert!(in_last <= 1);
+            assert!(sel.len() == 2 || sel.len() == 3);
+        }
+    }
+
+    #[test]
+    fn selection_is_uniform_within_bucket() {
+        // Over many seeds, each in-bucket position should be picked
+        // approximately equally often.
+        let pkts = packets(10);
+        let mut counts = [0u32; 10];
+        let trials = 20_000;
+        for seed in 0..trials {
+            let mut s = StratifiedSampler::new(10, seed);
+            let sel = select_indices(&mut s, &pkts);
+            assert_eq!(sel.len(), 1);
+            counts[sel[0]] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = f64::from(c) / trials as f64;
+            assert!((p - 0.1).abs() < 0.012, "position {i}: {p}");
+        }
+    }
+
+    #[test]
+    fn bucket_one_selects_everything() {
+        let pkts = packets(9);
+        let mut s = StratifiedSampler::new(1, 7);
+        assert_eq!(select_indices(&mut s, &pkts).len(), 9);
+    }
+
+    #[test]
+    fn reset_reproduces_sequence() {
+        let pkts = packets(200);
+        let mut s = StratifiedSampler::new(7, 123);
+        let a = select_indices(&mut s, &pkts);
+        s.reset();
+        let b = select_indices(&mut s, &pkts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let pkts = packets(1000);
+        let a = select_indices(&mut StratifiedSampler::new(10, 1), &pkts);
+        let b = select_indices(&mut StratifiedSampler::new(10, 2), &pkts);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket size must be positive")]
+    fn zero_bucket_panics() {
+        let _ = StratifiedSampler::new(0, 0);
+    }
+}

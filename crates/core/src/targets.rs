@@ -1,0 +1,339 @@
+//! Characterization targets: what distribution a sample is asked to
+//! estimate, and how it is binned.
+//!
+//! The paper evaluates two targets — the packet size distribution
+//! (§7.1.1: bins `<41`, `41–180`, `>180` bytes) and the packet
+//! interarrival time distribution (§7.1.2: bins `<800`, `800–1199`,
+//! `1200–2399`, `2400–3599`, `≥3600` µs) — and names proportion-style
+//! targets (protocol and port distributions) as the natural extension
+//! (§8). All are implemented here.
+//!
+//! ## Sampling the interarrival distribution
+//!
+//! Each packet carries, as an attribute, its interarrival time from its
+//! *population* predecessor. A sampling method selects packets; the
+//! sampled interarrival distribution is the distribution of that
+//! attribute over selected packets. (It is **not** the gaps between
+//! consecutive selected packets — those would scale with the sampling
+//! interval.) This attribute view is what makes the paper's timer-bias
+//! result legible: timer methods preferentially select packets that
+//! follow long gaps, inflating the attribute's upper bins.
+
+use nettrace::{BinSpec, Histogram, PacketRecord, Protocol};
+
+/// A binned characterization target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Packet size distribution, the paper's three protocol-motivated
+    /// bins.
+    PacketSize,
+    /// Packet interarrival time distribution, the paper's five bins.
+    Interarrival,
+    /// Distribution of protocol over IP (TCP / UDP / ICMP / other) —
+    /// Table 1 object, §8 extension.
+    Protocol,
+    /// Well-known destination-port distribution (Table 1 object, §8
+    /// extension): FTP-data(20), telnet(23), SMTP(25), DNS(53),
+    /// NNTP(119), other.
+    Port,
+    /// **Byte volume** by packet-size class: the same three size bins,
+    /// weighted by bytes rather than packets. Every Table 1 object
+    /// reports both packets *and* bytes; billing and capacity planning
+    /// care about the byte view, where the 552-byte mode dominates even
+    /// though 40-byte ACKs dominate the packet view.
+    ///
+    /// Caveat: χ²-based *significance levels* assume independent count
+    /// data; for byte-weighted targets treat φ as a relative score
+    /// across methods/fractions, not as a hypothesis test.
+    ByteVolume,
+    /// Byte volume by protocol (TCP / UDP / ICMP / other).
+    ProtocolBytes,
+}
+
+/// Well-known ports tracked by the [`Target::Port`] target, in bin order.
+pub const TRACKED_PORTS: [u16; 5] = [20, 23, 25, 53, 119];
+
+impl Target {
+    /// The bin specification for this target.
+    #[must_use]
+    pub fn bins(&self) -> BinSpec {
+        match self {
+            Target::PacketSize | Target::ByteVolume => BinSpec::paper_packet_size(),
+            Target::Interarrival => BinSpec::paper_interarrival(),
+            // Categorical targets use small integer codes.
+            Target::Protocol | Target::ProtocolBytes => BinSpec::Edges(vec![1, 2, 3]),
+            Target::Port => BinSpec::Edges(vec![1, 2, 3, 4, 5]),
+        }
+    }
+
+    /// The weight one packet contributes to its bin: 1 for packet-count
+    /// targets, the packet's size for byte-volume targets.
+    #[must_use]
+    pub fn weight(&self, pkt: &PacketRecord) -> u64 {
+        match self {
+            Target::ByteVolume | Target::ProtocolBytes => u64::from(pkt.size),
+            _ => 1,
+        }
+    }
+
+    /// Human-readable bin labels.
+    #[must_use]
+    pub fn labels(&self) -> Vec<String> {
+        match self {
+            Target::PacketSize | Target::ByteVolume => {
+                vec!["<41B".into(), "41-180B".into(), ">180B".into()]
+            }
+            Target::Interarrival => vec![
+                "<800us".into(),
+                "800-1199us".into(),
+                "1200-2399us".into(),
+                "2400-3599us".into(),
+                ">=3600us".into(),
+            ],
+            Target::Protocol | Target::ProtocolBytes => {
+                vec!["TCP".into(), "UDP".into(), "ICMP".into(), "other".into()]
+            }
+            Target::Port => {
+                let mut v: Vec<String> =
+                    TRACKED_PORTS.iter().map(|p| format!("port {p}")).collect();
+                v.push("other".into());
+                v
+            }
+        }
+    }
+
+    /// The per-packet attribute value fed into the bins.
+    ///
+    /// `gap_us` is the packet's interarrival time from its population
+    /// predecessor (`None` for the first packet of the window, which the
+    /// interarrival target skips).
+    #[must_use]
+    pub fn value(&self, pkt: &PacketRecord, gap_us: Option<u64>) -> Option<u64> {
+        match self {
+            Target::PacketSize | Target::ByteVolume => Some(u64::from(pkt.size)),
+            Target::Interarrival => gap_us,
+            Target::Protocol | Target::ProtocolBytes => Some(match pkt.protocol {
+                Protocol::Tcp => 0,
+                Protocol::Udp => 1,
+                Protocol::Icmp => 2,
+                Protocol::Other(_) => 3,
+            }),
+            Target::Port => Some(
+                TRACKED_PORTS
+                    .iter()
+                    .position(|&p| p == pkt.dst_port)
+                    .map_or(TRACKED_PORTS.len() as u64, |i| i as u64),
+            ),
+        }
+    }
+
+    /// Histogram of this target over an entire packet window (the parent
+    /// population's distribution).
+    #[must_use]
+    pub fn population_histogram(&self, packets: &[PacketRecord]) -> Histogram {
+        let mut h = Histogram::new(self.bins());
+        let mut prev_ts: Option<u64> = None;
+        for p in packets {
+            let gap = prev_ts.map(|t| p.timestamp.as_u64().saturating_sub(t));
+            prev_ts = Some(p.timestamp.as_u64());
+            if let Some(v) = self.value(p, gap) {
+                h.observe_weighted(v, self.weight(p));
+            }
+        }
+        h
+    }
+
+    /// Histogram of this target over the packets at `selected` indices of
+    /// `packets` (a sample), with interarrival attributes computed from
+    /// the *population* predecessor.
+    ///
+    /// # Panics
+    /// Panics if any selected index is out of bounds.
+    #[must_use]
+    pub fn sample_histogram(&self, packets: &[PacketRecord], selected: &[usize]) -> Histogram {
+        let mut h = Histogram::new(self.bins());
+        for &i in selected {
+            let gap = if i == 0 {
+                None
+            } else {
+                Some(
+                    packets[i]
+                        .timestamp
+                        .saturating_sub(packets[i - 1].timestamp)
+                        .as_u64(),
+                )
+            };
+            if let Some(v) = self.value(&packets[i], gap) {
+                h.observe_weighted(v, self.weight(&packets[i]));
+            }
+        }
+        h
+    }
+
+    /// The paper's four packet-count targets.
+    #[must_use]
+    pub fn all() -> [Target; 4] {
+        [
+            Target::PacketSize,
+            Target::Interarrival,
+            Target::Protocol,
+            Target::Port,
+        ]
+    }
+
+    /// All targets including the byte-weighted extensions.
+    #[must_use]
+    pub fn all_extended() -> [Target; 6] {
+        [
+            Target::PacketSize,
+            Target::Interarrival,
+            Target::Protocol,
+            Target::Port,
+            Target::ByteVolume,
+            Target::ProtocolBytes,
+        ]
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Target::PacketSize => "packet-size",
+            Target::Interarrival => "interarrival",
+            Target::Protocol => "protocol",
+            Target::Port => "port",
+            Target::ByteVolume => "byte-volume",
+            Target::ProtocolBytes => "protocol-bytes",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::Micros;
+
+    fn pkt(t: u64, size: u16) -> PacketRecord {
+        PacketRecord::new(Micros(t), size)
+    }
+
+    #[test]
+    fn labels_match_bin_counts() {
+        for t in Target::all() {
+            assert_eq!(t.labels().len(), t.bins().bin_count(), "{t}");
+        }
+    }
+
+    #[test]
+    fn packet_size_population_histogram() {
+        let pkts = [pkt(0, 40), pkt(400, 100), pkt(800, 552), pkt(1200, 40)];
+        let h = Target::PacketSize.population_histogram(&pkts);
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn interarrival_population_skips_first_packet() {
+        let pkts = [pkt(0, 40), pkt(400, 40), pkt(2000, 40), pkt(6000, 40)];
+        let h = Target::Interarrival.population_histogram(&pkts);
+        // gaps: 400, 1600, 4000 -> bins: <800, 1200-2399, >=3600.
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts(), &[1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn sample_histogram_uses_population_gaps() {
+        let pkts = [pkt(0, 40), pkt(1000, 40), pkt(2000, 40), pkt(3000, 40)];
+        // Select every other packet: indices 0 and 2. Packet 2's gap is to
+        // population packet 1 (1000us), NOT to selected packet 0 (2000us).
+        let h = Target::Interarrival.sample_histogram(&pkts, &[0, 2]);
+        assert_eq!(h.total(), 1); // index 0 contributes no gap
+        assert_eq!(h.counts(), &[0, 1, 0, 0, 0]); // 1000us -> 800-1199 bin
+    }
+
+    #[test]
+    fn protocol_target_bins() {
+        let pkts = [
+            pkt(0, 40),
+            pkt(1, 40).with_protocol(Protocol::Udp),
+            pkt(2, 40).with_protocol(Protocol::Icmp),
+            pkt(3, 40).with_protocol(Protocol::Other(89)),
+            pkt(4, 40),
+        ];
+        let h = Target::Protocol.population_histogram(&pkts);
+        assert_eq!(h.counts(), &[2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn port_target_bins() {
+        let pkts = [
+            pkt(0, 40).with_ports(1024, 20),
+            pkt(1, 40).with_ports(1024, 23),
+            pkt(2, 40).with_ports(1024, 25),
+            pkt(3, 40).with_ports(1024, 53),
+            pkt(4, 40).with_ports(1024, 119),
+            pkt(5, 40).with_ports(1024, 8080),
+        ];
+        let h = Target::Port.population_histogram(&pkts);
+        assert_eq!(h.counts(), &[1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn full_selection_reproduces_population() {
+        let pkts: Vec<PacketRecord> = (0..100)
+            .map(|i| pkt(i * 500, if i % 3 == 0 { 40 } else { 552 }))
+            .collect();
+        let all: Vec<usize> = (0..pkts.len()).collect();
+        for t in Target::all() {
+            let pop = t.population_histogram(&pkts);
+            let sam = t.sample_histogram(&pkts, &all);
+            assert_eq!(pop, sam, "{t}");
+        }
+    }
+
+    #[test]
+    fn empty_window_histograms_are_empty() {
+        for t in Target::all() {
+            assert_eq!(t.population_histogram(&[]).total(), 0);
+            assert_eq!(t.sample_histogram(&[], &[]).total(), 0);
+        }
+    }
+
+    #[test]
+    fn byte_volume_weights_by_size() {
+        let pkts = [pkt(0, 40), pkt(400, 40), pkt(800, 552)];
+        let counts = Target::PacketSize.population_histogram(&pkts);
+        assert_eq!(counts.counts(), &[2, 0, 1]);
+        let bytes = Target::ByteVolume.population_histogram(&pkts);
+        assert_eq!(bytes.counts(), &[80, 0, 552]);
+        assert_eq!(bytes.total(), 632);
+        // The byte view flips which bin dominates.
+        assert!(bytes.proportions()[2] > 0.8);
+        assert!(counts.proportions()[0] > 0.6);
+    }
+
+    #[test]
+    fn protocol_bytes_weighting() {
+        let pkts = [
+            pkt(0, 1000),
+            pkt(1, 40).with_protocol(Protocol::Udp),
+        ];
+        let h = Target::ProtocolBytes.population_histogram(&pkts);
+        assert_eq!(h.counts(), &[1000, 40, 0, 0]);
+    }
+
+    #[test]
+    fn extended_targets_have_consistent_labels() {
+        for t in Target::all_extended() {
+            assert_eq!(t.labels().len(), t.bins().bin_count(), "{t}");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Target::PacketSize.to_string(), "packet-size");
+        assert_eq!(Target::Interarrival.to_string(), "interarrival");
+        assert_eq!(Target::ByteVolume.to_string(), "byte-volume");
+    }
+}

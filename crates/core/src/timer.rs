@@ -1,0 +1,337 @@
+//! Timer-driven sampling.
+//!
+//! "Timer-driven sampling methods use a timer rather than a packet
+//! counter to trigger the selection of packets … When the timer expires,
+//! we select the next packet to arrive" (paper §4). Both timer methods
+//! below implement exactly that arm-and-fire semantics:
+//!
+//! * the timer maintains a schedule of *firing times*;
+//! * once the current firing time has passed, the sampler is **armed**;
+//! * the first packet offered at or after the firing time is selected,
+//!   and the schedule advances to the next firing time after that packet
+//!   (multiple expirations while no packets arrive still select only the
+//!   single next packet — re-arming during idle is idempotent).
+//!
+//! The paper found these methods uniformly worse than the packet-driven
+//! ones, *especially* for interarrival times: selection after a timer
+//! expiry is biased toward packets that follow long quiet gaps, so
+//! bursts are systematically under-represented (§7.2). This module exists
+//! so the workspace can reproduce that negative result.
+
+use crate::sampler::Sampler;
+use nettrace::{Micros, PacketRecord};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Systematic timer sampling: firing times at `start + i·period`.
+#[derive(Debug, Clone)]
+pub struct SystematicTimerSampler {
+    period: u64,
+    start: u64,
+    next_fire: u64,
+}
+
+impl SystematicTimerSampler {
+    /// Fire every `period`, first firing at `start`.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: Micros, start: Micros) -> Self {
+        assert!(period.as_u64() > 0, "timer period must be positive");
+        SystematicTimerSampler {
+            period: period.as_u64(),
+            start: start.as_u64(),
+            next_fire: start.as_u64(),
+        }
+    }
+
+    /// The timer period.
+    #[must_use]
+    pub fn period(&self) -> Micros {
+        Micros(self.period)
+    }
+}
+
+impl Sampler for SystematicTimerSampler {
+    fn offer(&mut self, pkt: &PacketRecord) -> bool {
+        let ts = pkt.timestamp.as_u64();
+        if ts < self.next_fire {
+            return false;
+        }
+        // Armed: select this packet, re-arm at the first scheduled firing
+        // strictly after it.
+        let elapsed = ts - self.start;
+        self.next_fire = self.start + (elapsed / self.period + 1) * self.period;
+        true
+    }
+
+    fn reset(&mut self) {
+        self.next_fire = self.start;
+    }
+}
+
+/// Stratified timer sampling: one uniformly-placed firing time per
+/// stratum `[start + i·period, start + (i+1)·period)`.
+#[derive(Debug)]
+pub struct StratifiedTimerSampler {
+    period: u64,
+    start: u64,
+    seed: u64,
+    rng: StdRng,
+    /// Index of the stratum the current firing time belongs to.
+    stratum: u64,
+    /// Absolute firing time within the current stratum.
+    fire_at: u64,
+    /// Whether the current stratum's firing has already selected a packet.
+    fired: bool,
+}
+
+impl StratifiedTimerSampler {
+    /// One firing per `period`, strata anchored at `start`.
+    ///
+    /// # Panics
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: Micros, start: Micros, seed: u64) -> Self {
+        assert!(period.as_u64() > 0, "timer period must be positive");
+        let mut s = StratifiedTimerSampler {
+            period: period.as_u64(),
+            start: start.as_u64(),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            stratum: 0,
+            fire_at: 0,
+            fired: false,
+        };
+        s.draw_firing();
+        s
+    }
+
+    /// Draw the firing time for the current stratum.
+    fn draw_firing(&mut self) {
+        let offset = self.rng.random_range(0..self.period);
+        self.fire_at = self.start + self.stratum * self.period + offset;
+        self.fired = false;
+    }
+
+    /// Advance strata until the current one is `target` or later,
+    /// re-drawing firing times for each skipped stratum (the timer kept
+    /// running while no packets arrived).
+    fn advance_to_stratum(&mut self, target: u64) {
+        while self.stratum < target {
+            self.stratum += 1;
+            self.draw_firing();
+        }
+    }
+
+    /// The stratum length.
+    #[must_use]
+    pub fn period(&self) -> Micros {
+        Micros(self.period)
+    }
+}
+
+impl Sampler for StratifiedTimerSampler {
+    fn offer(&mut self, pkt: &PacketRecord) -> bool {
+        let ts = pkt.timestamp.as_u64();
+        if ts < self.start {
+            return false;
+        }
+        let pkt_stratum = (ts - self.start) / self.period;
+
+        // If the packet has moved past the stratum holding the pending
+        // firing and that firing already selected (or the packet is in a
+        // later stratum than an unfired timer whose chance has not yet
+        // come — it still fires: select-next-packet semantics), handle
+        // arming first.
+        if !self.fired && ts >= self.fire_at {
+            // The timer expired at fire_at (possibly strata ago); this is
+            // the next packet to arrive. Select it, then move the schedule
+            // to the stratum after this packet.
+            self.fired = true;
+            self.advance_to_stratum(pkt_stratum + 1);
+            return true;
+        }
+        if pkt_stratum > self.stratum {
+            // Stratum rolled over without (or after) firing; catch up and
+            // re-check arming against the fresh firing time.
+            self.advance_to_stratum(pkt_stratum);
+            if ts >= self.fire_at {
+                self.fired = true;
+                self.advance_to_stratum(pkt_stratum + 1);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.stratum = 0;
+        self.draw_firing();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::select_indices;
+
+    fn regular_packets(n: usize, spacing: u64) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64 * spacing), 40))
+            .collect()
+    }
+
+    #[test]
+    fn systematic_timer_regular_stream() {
+        // Packets every 100us, timer every 1000us: one selection per
+        // 10 packets.
+        let pkts = regular_packets(100, 100);
+        let mut s = SystematicTimerSampler::new(Micros(1000), Micros(0));
+        let sel = select_indices(&mut s, &pkts);
+        assert_eq!(sel, vec![0, 10, 20, 30, 40, 50, 60, 70, 80, 90]);
+    }
+
+    #[test]
+    fn systematic_timer_selects_next_after_idle() {
+        // A long silence spanning several periods still yields exactly
+        // one selection when traffic resumes.
+        let pkts = vec![
+            PacketRecord::new(Micros(0), 40),
+            PacketRecord::new(Micros(10_000), 40), // 10 periods later
+            PacketRecord::new(Micros(10_100), 40),
+        ];
+        let mut s = SystematicTimerSampler::new(Micros(1000), Micros(0));
+        let sel = select_indices(&mut s, &pkts);
+        assert_eq!(sel, vec![0, 1]);
+    }
+
+    #[test]
+    fn systematic_timer_phase_shifts_selection() {
+        let pkts = regular_packets(50, 100);
+        let a = select_indices(
+            &mut SystematicTimerSampler::new(Micros(1000), Micros(0)),
+            &pkts,
+        );
+        let b = select_indices(
+            &mut SystematicTimerSampler::new(Micros(1000), Micros(500)),
+            &pkts,
+        );
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn systematic_timer_length_bias() {
+        // Alternating short/long gaps: the packet after the long gap is
+        // always the one selected when the timer spans the burst —
+        // the bias the paper blames for skewed interarrival samples.
+        // Bursts of 10 packets 10us apart, then 10_000us silence.
+        let mut pkts = Vec::new();
+        let mut t = 0u64;
+        for _burst in 0..20 {
+            for _ in 0..10 {
+                pkts.push(PacketRecord::new(Micros(t), 40));
+                t += 10;
+            }
+            t += 10_000;
+        }
+        let mut s = SystematicTimerSampler::new(Micros(5_000), Micros(0));
+        let sel = select_indices(&mut s, &pkts);
+        // Burst heads (post-gap packets) are indices 0, 10, 20, …
+        let heads = sel.iter().filter(|&&i| i % 10 == 0).count();
+        assert!(
+            heads * 2 > sel.len(),
+            "timer selection should over-represent post-gap packets: {heads}/{}",
+            sel.len()
+        );
+    }
+
+    #[test]
+    fn stratified_timer_one_per_stratum_under_dense_traffic() {
+        // Dense regular packets: every stratum's firing finds a packet in
+        // that same stratum -> exactly one selection per full stratum.
+        let pkts = regular_packets(1000, 10); // 10us spacing, 10ms total
+        for seed in 0..10 {
+            let mut s = StratifiedTimerSampler::new(Micros(1000), Micros(0), seed);
+            let sel = select_indices(&mut s, &pkts);
+            // A firing in the last 10us of a stratum slides its selection
+            // into the next stratum and consumes that stratum's firing
+            // (select-next-packet semantics), so 10 strata yield 9 or 10
+            // selections.
+            assert!(
+                (9..=10).contains(&sel.len()),
+                "seed {seed}: {}",
+                sel.len()
+            );
+            // Selected packets land in distinct strata.
+            let strata: std::collections::HashSet<u64> = sel
+                .iter()
+                .map(|&i| pkts[i].timestamp.as_u64() / 1000)
+                .collect();
+            assert_eq!(strata.len(), sel.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stratified_timer_varies_with_seed() {
+        let pkts = regular_packets(1000, 10);
+        let a = select_indices(
+            &mut StratifiedTimerSampler::new(Micros(1000), Micros(0), 1),
+            &pkts,
+        );
+        let b = select_indices(
+            &mut StratifiedTimerSampler::new(Micros(1000), Micros(0), 2),
+            &pkts,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stratified_timer_idle_strata_yield_single_selection() {
+        let pkts = vec![
+            PacketRecord::new(Micros(100), 40),
+            PacketRecord::new(Micros(50_000), 40),
+            PacketRecord::new(Micros(50_001), 40),
+        ];
+        for seed in 0..30 {
+            let mut s = StratifiedTimerSampler::new(Micros(1000), Micros(0), seed);
+            let sel = select_indices(&mut s, &pkts);
+            // At most one selection per packet; the long idle gap must not
+            // produce a burst of selections when traffic resumes.
+            assert!(sel.len() <= 2, "seed {seed}: {sel:?}");
+            assert!(!sel.is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn resets_are_reproducible() {
+        let pkts = regular_packets(500, 37);
+        let mut s1 = SystematicTimerSampler::new(Micros(777), Micros(0));
+        let a = select_indices(&mut s1, &pkts);
+        s1.reset();
+        assert_eq!(a, select_indices(&mut s1, &pkts));
+
+        let mut s2 = StratifiedTimerSampler::new(Micros(777), Micros(0), 5);
+        let b = select_indices(&mut s2, &pkts);
+        s2.reset();
+        assert_eq!(b, select_indices(&mut s2, &pkts));
+    }
+
+    #[test]
+    fn packets_before_start_are_ignored() {
+        let pkts = regular_packets(10, 100); // t = 0..900
+        let mut s = SystematicTimerSampler::new(Micros(100), Micros(10_000));
+        assert!(select_indices(&mut s, &pkts).is_empty());
+        let mut s = StratifiedTimerSampler::new(Micros(100), Micros(10_000), 0);
+        assert!(select_indices(&mut s, &pkts).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn zero_period_panics() {
+        let _ = SystematicTimerSampler::new(Micros(0), Micros(0));
+    }
+}

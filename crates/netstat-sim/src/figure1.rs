@@ -1,0 +1,239 @@
+//! The Figure 1 scenario: monthly SNMP vs NNStat packet totals.
+//!
+//! The paper's Figure 1 plots, per month, the T1 backbone's total packet
+//! count as reported independently by SNMP (forwarding path, reliable)
+//! and by NNStat (categorization path, capacity-limited). Through 1990–91
+//! traffic growth pushed peak rates past the dedicated statistics
+//! processors, the NNStat totals fell increasingly short, and in
+//! **September 1991** the operator deployed 1-in-50 sampling, after which
+//! "the result was a significant reduction in the discrepancies" (§2).
+//!
+//! This module regenerates that series from the capacity model in
+//! [`crate::node`]: exponential monthly growth, a diurnal rate profile
+//! with lognormal noise, a fixed categorization capacity, and the
+//! sampling intervention at the configured month.
+
+use crate::node::CollectorNode;
+use crate::objects::ObjectSet;
+
+/// Scenario parameters; defaults reproduce the published shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure1Config {
+    /// Number of months simulated (month 0 = January 1990).
+    pub months: usize,
+    /// Monthly packet total in month 0.
+    pub initial_monthly_packets: f64,
+    /// Exponential growth per month (e.g. 0.068 ≈ doubling yearly).
+    pub monthly_growth: f64,
+    /// Aggregate categorization capacity, headers/second.
+    pub capacity_pps: u64,
+    /// Month index at which 1-in-k sampling is deployed.
+    pub sampling_deployed_month: usize,
+    /// The sampling interval deployed (the NSFNET used 50).
+    pub sampling_interval: u64,
+    /// Representative seconds simulated per month (scaled up to the
+    /// month's true duration).
+    pub seconds_sampled: usize,
+    /// Random seed for the diurnal noise.
+    pub seed: u64,
+}
+
+impl Default for Figure1Config {
+    fn default() -> Self {
+        Figure1Config {
+            months: 36,
+            initial_monthly_packets: 0.9e9,
+            monthly_growth: 0.068,
+            capacity_pps: 1500,
+            sampling_deployed_month: 20, // September 1991
+            sampling_interval: 50,
+            seconds_sampled: 2000,
+            seed: 1991,
+        }
+    }
+}
+
+/// One month of the Figure 1 series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonthPoint {
+    /// Label, e.g. `"Sep91"`.
+    pub label: String,
+    /// SNMP (forwarding-path) total, billions of packets.
+    pub snmp_billions: f64,
+    /// NNStat/ARTS categorization estimate, billions of packets.
+    pub nnstat_billions: f64,
+    /// Whether sampling was in force this month.
+    pub sampled: bool,
+}
+
+impl MonthPoint {
+    /// Relative shortfall of the categorization estimate.
+    #[must_use]
+    pub fn discrepancy(&self) -> f64 {
+        if self.snmp_billions == 0.0 {
+            return 0.0;
+        }
+        (self.snmp_billions - self.nnstat_billions) / self.snmp_billions
+    }
+}
+
+/// SplitMix64: a tiny deterministic generator so this crate does not need
+/// a `rand` dependency for one noise source.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform in [0, 1).
+fn uniform(state: &mut u64) -> f64 {
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const MONTH_NAMES: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+const SECONDS_PER_MONTH: f64 = 30.44 * 86_400.0;
+
+/// Generate the Figure 1 monthly series.
+///
+/// # Panics
+/// Panics on a degenerate configuration (zero months or zero sampled
+/// seconds).
+#[must_use]
+pub fn figure1_series(config: &Figure1Config) -> Vec<MonthPoint> {
+    assert!(config.months > 0, "need at least one month");
+    assert!(config.seconds_sampled > 0, "need sampled seconds");
+    let mut rng_state = config.seed;
+    let mut out = Vec::with_capacity(config.months);
+
+    for m in 0..config.months {
+        let monthly_total =
+            config.initial_monthly_packets * (config.monthly_growth * m as f64).exp();
+        let mean_rate = monthly_total / SECONDS_PER_MONTH;
+
+        let mut node = CollectorNode::new(ObjectSet::T1, config.capacity_pps);
+        let sampled = m >= config.sampling_deployed_month;
+        if sampled {
+            node.deploy_sampling(config.sampling_interval);
+        }
+
+        // Representative seconds spread across the diurnal cycle.
+        for s in 0..config.seconds_sampled {
+            let tod = s as f64 / config.seconds_sampled as f64; // time of day, [0,1)
+            let diurnal =
+                1.0 + 0.6 * (2.0 * std::f64::consts::PI * (tod - 0.25)).sin();
+            // Lognormal noise, cv ~ 0.3.
+            let sigma = 0.294; // sqrt(ln(1 + 0.3^2))
+            let u1 = uniform(&mut rng_state).max(1e-12);
+            let u2 = uniform(&mut rng_state);
+            let normal =
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let noise = (sigma * normal - sigma * sigma / 2.0).exp();
+            let rate = (mean_rate * diurnal * noise).max(0.0);
+            let pkts = rate.round() as u64;
+            node.offer_second_bulk(pkts, pkts * 232);
+        }
+        let report = node.collect();
+
+        // Scale the sampled seconds up to the month.
+        let scale = SECONDS_PER_MONTH / config.seconds_sampled as f64;
+        let snmp = report.snmp_packets as f64 * scale;
+        let nnstat = report.estimated_packets() as f64 * scale;
+
+        out.push(MonthPoint {
+            label: format!("{}{}", MONTH_NAMES[m % 12], 90 + m / 12),
+            snmp_billions: snmp / 1e9,
+            nnstat_billions: nnstat / 1e9,
+            sampled,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Vec<MonthPoint> {
+        figure1_series(&Figure1Config::default())
+    }
+
+    #[test]
+    fn series_has_one_point_per_month() {
+        let s = series();
+        assert_eq!(s.len(), 36);
+        assert_eq!(s[0].label, "Jan90");
+        assert_eq!(s[20].label, "Sep91");
+        assert_eq!(s[35].label, "Dec92");
+    }
+
+    #[test]
+    fn traffic_grows_roughly_exponentially() {
+        let s = series();
+        assert!(s[35].snmp_billions > 5.0 * s[0].snmp_billions);
+        assert!(s[0].snmp_billions > 0.5 && s[0].snmp_billions < 1.5);
+    }
+
+    #[test]
+    fn discrepancy_grows_before_sampling() {
+        let s = series();
+        // Early months: processor keeps up.
+        assert!(
+            s[3].discrepancy() < 0.02,
+            "early discrepancy {}",
+            s[3].discrepancy()
+        );
+        // Just before deployment: significant fraction lost.
+        let before = s[19].discrepancy();
+        assert!(before > 0.10, "pre-sampling discrepancy {before}");
+        // And it was growing.
+        assert!(s[19].discrepancy() > s[10].discrepancy());
+    }
+
+    #[test]
+    fn sampling_closes_the_gap() {
+        let s = series();
+        for p in &s[20..] {
+            assert!(p.sampled);
+            assert!(
+                p.discrepancy().abs() < 0.02,
+                "{}: post-sampling discrepancy {}",
+                p.label,
+                p.discrepancy()
+            );
+        }
+        // The drop at the deployment boundary is sharp.
+        assert!(s[19].discrepancy() > s[20].discrepancy() + 0.10);
+    }
+
+    #[test]
+    fn nnstat_never_exceeds_snmp_before_sampling() {
+        let s = series();
+        for p in &s[..20] {
+            assert!(p.nnstat_billions <= p.snmp_billions + 1e-9, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(series(), series());
+        let other = Figure1Config {
+            seed: 7,
+            ..Figure1Config::default()
+        };
+        assert_ne!(figure1_series(&other), series());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one month")]
+    fn zero_months_panics() {
+        let c = Figure1Config {
+            months: 0,
+            ..Figure1Config::default()
+        };
+        let _ = figure1_series(&c);
+    }
+}

@@ -1,0 +1,37 @@
+//! # netstat-sim — the NSFNET statistics-collection substrate
+//!
+//! The paper's motivation (§2) is operational: the NSFNET backbones
+//! categorized traffic with dedicated software (NNStat on T1, ARTS on
+//! T3), and under load the categorization processor fell behind while the
+//! forwarding-path SNMP counters kept counting — the growing discrepancy
+//! of the paper's Figure 1 — until 1-in-50 packet sampling was deployed
+//! in September 1991 and closed the gap. This crate models that
+//! pipeline:
+//!
+//! * [`objects`] — the Table 1 statistical objects: source/destination
+//!   traffic matrix by network number, TCP/UDP well-known-port
+//!   distribution, protocol-over-IP distribution, the T1-only 50-byte
+//!   packet-length histogram, per-second arrival-rate histogram (20 pps
+//!   bins), and transit volume;
+//! * [`snmp`] — forwarding-path interface counters (always correct, the
+//!   paper's footnote 2);
+//! * [`node`] — a collector node whose header-examination processor has
+//!   finite capacity and optional 1-in-k systematic sampling;
+//! * [`backbone`] — multiple nodes polled by a central agent every
+//!   fifteen minutes, collect-and-reset (§2);
+//! * [`figure1`] — the monthly growth scenario that reproduces Figure 1.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod backbone;
+pub mod figure1;
+pub mod node;
+pub mod objects;
+pub mod snmp;
+
+pub use backbone::{Backbone, PollCycle};
+pub use figure1::{figure1_series, Figure1Config, MonthPoint};
+pub use node::{CollectorNode, NodeReport};
+pub use objects::{ArtsObjects, Counts, ObjectSet};
+pub use snmp::SnmpCounters;

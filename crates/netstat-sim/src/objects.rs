@@ -1,0 +1,472 @@
+//! The Table 1 statistical objects.
+//!
+//! Both backbones categorized packets into aggregate objects; the table
+//! distinguishes which ran where. The T3 backbone (ARTS) supports only
+//! the first three — the same subset this module marks as
+//! [`ObjectSet::T3`]:
+//!
+//! | object | T1 | T3 |
+//! |---|---|---|
+//! | src/dst traffic matrix by network number (pkts/bytes) | ✓ | ✓ |
+//! | TCP/UDP well-known port distribution (pkts/bytes)     | ✓ | ✓ |
+//! | protocol-over-IP distribution (pkts/bytes)            | ✓ | ✓ |
+//! | packet-length histogram, 50-byte bins                 | ✓ | — |
+//! | per-second arrival-rate histogram, 20 pps bins        | ✓ | — |
+//! | transit traffic volume                                | ✓ | — |
+//!
+//! Every object supports the 15-minute collect-and-reset cycle and can
+//! scale its counts by the sampling interval to produce population
+//! estimates (the T3 pipeline characterizes from every 50th packet).
+
+use nettrace::{BinSpec, Histogram, PacketRecord, Protocol};
+use std::collections::HashMap;
+
+/// Packet and byte counters (every Table 1 object counts both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Counts {
+    /// Packets observed.
+    pub packets: u64,
+    /// Bytes observed.
+    pub bytes: u64,
+}
+
+impl Counts {
+    /// Add one packet.
+    pub fn add(&mut self, size: u16) {
+        self.packets += 1;
+        self.bytes += u64::from(size);
+    }
+
+    /// Scale counts by the sampling interval to estimate the population
+    /// (the provider's view of a 1-in-k sample).
+    #[must_use]
+    pub fn scaled(&self, k: u64) -> Counts {
+        Counts {
+            packets: self.packets * k,
+            bytes: self.bytes * k,
+        }
+    }
+}
+
+/// Which backbone's object set to maintain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectSet {
+    /// The full T1/NNStat set (all six objects).
+    T1,
+    /// The T3/ARTS subset (matrix, ports, protocols).
+    T3,
+}
+
+/// Source/destination traffic-volume matrix by network number.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficMatrix {
+    cells: HashMap<(u16, u16), Counts>,
+}
+
+impl TrafficMatrix {
+    /// Record one packet.
+    pub fn observe(&mut self, pkt: &PacketRecord) {
+        self.cells
+            .entry((pkt.src_net, pkt.dst_net))
+            .or_default()
+            .add(pkt.size);
+    }
+
+    /// Number of distinct (src, dst) pairs seen.
+    #[must_use]
+    pub fn pairs(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The counts for one pair.
+    #[must_use]
+    pub fn cell(&self, src: u16, dst: u16) -> Counts {
+        self.cells.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// The `n` heaviest pairs by packet count, descending.
+    #[must_use]
+    pub fn top_pairs(&self, n: usize) -> Vec<((u16, u16), Counts)> {
+        let mut v: Vec<_> = self.cells.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+        v.truncate(n);
+        v
+    }
+
+    /// Total packets across all cells.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.cells.values().map(|c| c.packets).sum()
+    }
+
+    /// Clear all cells (collection cycle reset).
+    pub fn reset(&mut self) {
+        self.cells.clear();
+    }
+}
+
+/// The well-known TCP/UDP ports the NSFNET reports tracked ("well-known
+/// subset", Table 1).
+pub const WELL_KNOWN_PORTS: [u16; 10] = [20, 21, 23, 25, 53, 70, 79, 113, 119, 123];
+
+/// TCP/UDP port distribution over the well-known subset.
+#[derive(Debug, Clone, Default)]
+pub struct PortDistribution {
+    ports: HashMap<u16, Counts>,
+    other: Counts,
+}
+
+impl PortDistribution {
+    /// Record one packet (TCP/UDP only; others are ignored).
+    pub fn observe(&mut self, pkt: &PacketRecord) {
+        if !matches!(pkt.protocol, Protocol::Tcp | Protocol::Udp) {
+            return;
+        }
+        // The collection attributes a packet to a well-known port on
+        // either side; unmatched packets fall into "other".
+        let port = [pkt.dst_port, pkt.src_port]
+            .into_iter()
+            .find(|p| WELL_KNOWN_PORTS.contains(p));
+        match port {
+            Some(p) => self.ports.entry(p).or_default().add(pkt.size),
+            None => self.other.add(pkt.size),
+        }
+    }
+
+    /// Counts for one well-known port.
+    #[must_use]
+    pub fn port(&self, port: u16) -> Counts {
+        self.ports.get(&port).copied().unwrap_or_default()
+    }
+
+    /// Counts for traffic matching no well-known port.
+    #[must_use]
+    pub fn other(&self) -> Counts {
+        self.other
+    }
+
+    /// (port, counts) pairs sorted by descending packets.
+    #[must_use]
+    pub fn ranked(&self) -> Vec<(u16, Counts)> {
+        let mut v: Vec<_> = self.ports.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Clear (collection cycle reset).
+    pub fn reset(&mut self) {
+        self.ports.clear();
+        self.other = Counts::default();
+    }
+}
+
+/// Distribution of protocol over IP.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolDistribution {
+    /// TCP counts.
+    pub tcp: Counts,
+    /// UDP counts.
+    pub udp: Counts,
+    /// ICMP counts.
+    pub icmp: Counts,
+    /// Everything else.
+    pub other: Counts,
+}
+
+impl ProtocolDistribution {
+    /// Record one packet.
+    pub fn observe(&mut self, pkt: &PacketRecord) {
+        match pkt.protocol {
+            Protocol::Tcp => self.tcp.add(pkt.size),
+            Protocol::Udp => self.udp.add(pkt.size),
+            Protocol::Icmp => self.icmp.add(pkt.size),
+            Protocol::Other(_) => self.other.add(pkt.size),
+        }
+    }
+
+    /// Total packets.
+    #[must_use]
+    pub fn total_packets(&self) -> u64 {
+        self.tcp.packets + self.udp.packets + self.icmp.packets + self.other.packets
+    }
+
+    /// Clear (collection cycle reset).
+    pub fn reset(&mut self) {
+        *self = ProtocolDistribution::default();
+    }
+}
+
+/// Per-second arrival-rate histogram at 20 pps granularity (T1 only).
+///
+/// Feeds on per-packet timestamps; each completed second contributes one
+/// observation of that second's packet count.
+#[derive(Debug, Clone)]
+pub struct ArrivalRateHistogram {
+    hist: Histogram,
+    current_second: Option<u64>,
+    count_this_second: u64,
+}
+
+impl ArrivalRateHistogram {
+    /// Empty histogram (20 pps bins, capped at 2000 pps).
+    #[must_use]
+    pub fn new() -> Self {
+        ArrivalRateHistogram {
+            hist: Histogram::new(BinSpec::t1_arrival_rate()),
+            current_second: None,
+            count_this_second: 0,
+        }
+    }
+
+    /// Record one packet arrival.
+    pub fn observe(&mut self, pkt: &PacketRecord) {
+        let sec = pkt.timestamp.whole_secs();
+        match self.current_second {
+            Some(s) if s == sec => self.count_this_second += 1,
+            Some(s) => {
+                self.hist.observe(self.count_this_second);
+                // Interior silent seconds are rate-zero observations.
+                for _ in s + 1..sec {
+                    self.hist.observe(0);
+                }
+                self.current_second = Some(sec);
+                self.count_this_second = 1;
+            }
+            None => {
+                self.current_second = Some(sec);
+                self.count_this_second = 1;
+            }
+        }
+    }
+
+    /// Flush the in-progress second and return the histogram counts.
+    pub fn finish(&mut self) -> &Histogram {
+        if self.current_second.take().is_some() {
+            self.hist.observe(self.count_this_second);
+            self.count_this_second = 0;
+        }
+        &self.hist
+    }
+
+    /// Clear (collection cycle reset).
+    pub fn reset(&mut self) {
+        self.hist.reset();
+        self.current_second = None;
+        self.count_this_second = 0;
+    }
+}
+
+impl Default for ArrivalRateHistogram {
+    fn default() -> Self {
+        ArrivalRateHistogram::new()
+    }
+}
+
+/// The complete per-node object set.
+#[derive(Debug, Clone)]
+pub struct ArtsObjects {
+    /// Which backbone's subset is live.
+    pub set: ObjectSet,
+    /// Source/destination matrix.
+    pub matrix: TrafficMatrix,
+    /// Well-known port distribution.
+    pub ports: PortDistribution,
+    /// Protocol distribution.
+    pub protocols: ProtocolDistribution,
+    /// 50-byte packet-length histogram (T1 only; empty under T3).
+    pub lengths: Histogram,
+    /// Arrival-rate histogram (T1 only; empty under T3).
+    pub rates: ArrivalRateHistogram,
+    /// Transit volume (T1 only).
+    pub transit: Counts,
+}
+
+impl ArtsObjects {
+    /// Empty object set for the given backbone flavor.
+    #[must_use]
+    pub fn new(set: ObjectSet) -> Self {
+        ArtsObjects {
+            set,
+            matrix: TrafficMatrix::default(),
+            ports: PortDistribution::default(),
+            protocols: ProtocolDistribution::default(),
+            lengths: Histogram::new(BinSpec::t1_packet_length()),
+            rates: ArrivalRateHistogram::new(),
+            transit: Counts::default(),
+        }
+    }
+
+    /// Categorize one packet into every live object.
+    pub fn observe(&mut self, pkt: &PacketRecord) {
+        self.matrix.observe(pkt);
+        self.ports.observe(pkt);
+        self.protocols.observe(pkt);
+        if self.set == ObjectSet::T1 {
+            self.lengths.observe(u64::from(pkt.size));
+            self.rates.observe(pkt);
+            self.transit.add(pkt.size);
+        }
+    }
+
+    /// Approximate serialized size of one collection report, in bytes.
+    ///
+    /// Models the NOC's archive volume (§2: "during mid-February 1993
+    /// [the collection host] was collecting around 25 MB of ARTS traffic
+    /// characterization data on a typical workday"). Each matrix cell
+    /// costs 20 bytes (two network numbers + packet and byte counters);
+    /// collection systems cap their tables — NNStat's objects were
+    /// fixed-size — so `max_matrix_entries` bounds the matrix's
+    /// contribution the way the deployed object tables did.
+    #[must_use]
+    pub fn report_size_bytes(&self, max_matrix_entries: usize) -> u64 {
+        let matrix = self.matrix.pairs().min(max_matrix_entries) as u64 * 20;
+        let ports = (self.ports.ranked().len() as u64 + 1) * 18;
+        let protocols = 4 * 16;
+        let (lengths, rates, transit) = if self.set == ObjectSet::T1 {
+            (
+                self.lengths.counts().len() as u64 * 8,
+                101 * 8, // 20 pps bins to 2000 + overflow
+                16,
+            )
+        } else {
+            (0, 0, 0)
+        };
+        matrix + ports + protocols + lengths + rates + transit
+    }
+
+    /// Collect-and-reset: clear every object (the 15-minute cycle).
+    pub fn reset(&mut self) {
+        self.matrix.reset();
+        self.ports.reset();
+        self.protocols.reset();
+        self.lengths.reset();
+        self.rates.reset();
+        self.transit = Counts::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nettrace::Micros;
+
+    fn pkt(t: u64, size: u16) -> PacketRecord {
+        PacketRecord::new(Micros(t), size)
+    }
+
+    #[test]
+    fn counts_add_and_scale() {
+        let mut c = Counts::default();
+        c.add(100);
+        c.add(200);
+        assert_eq!(c, Counts { packets: 2, bytes: 300 });
+        assert_eq!(c.scaled(50), Counts { packets: 100, bytes: 15_000 });
+    }
+
+    #[test]
+    fn matrix_accumulates_pairs() {
+        let mut m = TrafficMatrix::default();
+        m.observe(&pkt(0, 100).with_nets(1, 2));
+        m.observe(&pkt(1, 200).with_nets(1, 2));
+        m.observe(&pkt(2, 300).with_nets(3, 4));
+        assert_eq!(m.pairs(), 2);
+        assert_eq!(m.cell(1, 2), Counts { packets: 2, bytes: 300 });
+        assert_eq!(m.cell(3, 4).packets, 1);
+        assert_eq!(m.cell(9, 9).packets, 0);
+        assert_eq!(m.total_packets(), 3);
+        let top = m.top_pairs(1);
+        assert_eq!(top[0].0, (1, 2));
+        m.reset();
+        assert_eq!(m.pairs(), 0);
+    }
+
+    #[test]
+    fn port_distribution_well_known_matching() {
+        let mut p = PortDistribution::default();
+        p.observe(&pkt(0, 100).with_ports(1024, 23)); // dst telnet
+        p.observe(&pkt(1, 100).with_ports(20, 1024)); // src ftp-data
+        p.observe(&pkt(2, 100).with_ports(5000, 6000)); // other
+        p.observe(&pkt(3, 100).with_protocol(Protocol::Icmp)); // ignored
+        assert_eq!(p.port(23).packets, 1);
+        assert_eq!(p.port(20).packets, 1);
+        assert_eq!(p.other().packets, 1);
+        let ranked = p.ranked();
+        assert_eq!(ranked.len(), 2);
+        p.reset();
+        assert_eq!(p.port(23).packets, 0);
+    }
+
+    #[test]
+    fn protocol_distribution() {
+        let mut d = ProtocolDistribution::default();
+        d.observe(&pkt(0, 40));
+        d.observe(&pkt(1, 40).with_protocol(Protocol::Udp));
+        d.observe(&pkt(2, 40).with_protocol(Protocol::Icmp));
+        d.observe(&pkt(3, 40).with_protocol(Protocol::Other(89)));
+        assert_eq!(d.tcp.packets, 1);
+        assert_eq!(d.udp.packets, 1);
+        assert_eq!(d.icmp.packets, 1);
+        assert_eq!(d.other.packets, 1);
+        assert_eq!(d.total_packets(), 4);
+    }
+
+    #[test]
+    fn arrival_rate_histogram_bins_seconds() {
+        let mut h = ArrivalRateHistogram::new();
+        // 30 packets in second 0, 1 packet in second 2 (second 1 silent).
+        for i in 0..30 {
+            h.observe(&pkt(i * 1000, 40));
+        }
+        h.observe(&pkt(2_500_000, 40));
+        let hist = h.finish().clone();
+        assert_eq!(hist.total(), 3); // seconds 0, 1, 2
+        // Second 0: 30 pps -> bin [20,40); second 1: 0 -> [0,20);
+        // second 2: 1 -> [0,20).
+        assert_eq!(hist.counts()[0], 2);
+        assert_eq!(hist.counts()[1], 1);
+    }
+
+    #[test]
+    fn t3_objects_skip_t1_only() {
+        let mut o = ArtsObjects::new(ObjectSet::T3);
+        o.observe(&pkt(0, 500).with_nets(1, 2));
+        assert_eq!(o.matrix.total_packets(), 1);
+        assert_eq!(o.lengths.total(), 0);
+        assert_eq!(o.transit.packets, 0);
+        let mut t1 = ArtsObjects::new(ObjectSet::T1);
+        t1.observe(&pkt(0, 500).with_nets(1, 2));
+        assert_eq!(t1.lengths.total(), 1);
+        assert_eq!(t1.transit.packets, 1);
+    }
+
+    #[test]
+    fn report_size_accounts_for_objects_and_caps() {
+        let mut o = ArtsObjects::new(ObjectSet::T1);
+        for i in 0..50u16 {
+            o.observe(&pkt(u64::from(i) * 1000, 100).with_nets(1, i).with_ports(1024, 25));
+        }
+        let uncapped = o.report_size_bytes(usize::MAX);
+        let capped = o.report_size_bytes(10);
+        assert!(uncapped > capped);
+        assert_eq!(uncapped - capped, (50 - 10) * 20);
+        // T3 subset is strictly smaller (no histograms/transit).
+        let mut t3 = ArtsObjects::new(ObjectSet::T3);
+        for i in 0..50u16 {
+            t3.observe(&pkt(u64::from(i) * 1000, 100).with_nets(1, i).with_ports(1024, 25));
+        }
+        assert!(t3.report_size_bytes(usize::MAX) < uncapped);
+    }
+
+    #[test]
+    fn objects_reset_clears_everything() {
+        let mut o = ArtsObjects::new(ObjectSet::T1);
+        for i in 0..10 {
+            o.observe(&pkt(i * 100_000, 100).with_nets(1, 2).with_ports(1024, 25));
+        }
+        o.reset();
+        assert_eq!(o.matrix.pairs(), 0);
+        assert_eq!(o.protocols.total_packets(), 0);
+        assert_eq!(o.lengths.total(), 0);
+        assert_eq!(o.transit.packets, 0);
+    }
+}

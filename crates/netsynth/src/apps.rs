@@ -1,0 +1,327 @@
+//! Application classes: the size/protocol/port signatures of early-1990s
+//! WAN traffic.
+//!
+//! The paper chose its packet-size bins to "characterize certain
+//! protocols: ACKs, character echos, transaction-oriented, bulk transfer"
+//! (§7.1.1). Each [`AppClass`] models one of those signatures: a size
+//! distribution plus a protocol/port assignment consistent with the
+//! NSFNET application mix of March 1993 (telnet, FTP, SMTP, NNTP, DNS,
+//! NFS, ICMP). Network numbers for the traffic-matrix objects are drawn
+//! from Zipf-like popularity distributions ([`ZipfNets`]).
+
+use nettrace::Protocol;
+use rand::{Rng, RngExt};
+use statkit::rand_ext::Discrete;
+
+/// One application-level packet signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AppClass {
+    /// ICMP control packets, 28–39 bytes (below the TCP ACK size).
+    IcmpControl,
+    /// Bare TCP acknowledgments: exactly 40 bytes (20 IP + 20 TCP).
+    /// The dominant atom — ACKs of inbound bulk transfers.
+    TcpAck,
+    /// Interactive telnet/rlogin keystroke traffic, 41–75 bytes.
+    Telnet,
+    /// Character-echo packets with options: exactly 76 bytes.
+    TelnetEcho,
+    /// Transaction-oriented datagrams (DNS, SMTP handshakes, NTP),
+    /// 77–250 bytes.
+    Transaction,
+    /// Mid-size transfer segments, 251–551 bytes.
+    MidTransfer,
+    /// Full bulk-transfer segments at the era's common 552-byte MSS.
+    BulkMss,
+    /// Large datagrams: 576 (default IP MTU), 1006, up to the 1500-byte
+    /// MTU (NFS over UDP, large FTP segments).
+    LargeData,
+}
+
+impl AppClass {
+    /// Draw a packet size for this class.
+    pub fn sample_size<R: Rng + ?Sized>(self, rng: &mut R) -> u16 {
+        match self {
+            AppClass::IcmpControl => rng.random_range(28..=39),
+            AppClass::TcpAck => 40,
+            AppClass::Telnet => rng.random_range(41..=75),
+            AppClass::TelnetEcho => 76,
+            AppClass::Transaction => rng.random_range(77..=250),
+            AppClass::MidTransfer => rng.random_range(251..=551),
+            AppClass::BulkMss => 552,
+            AppClass::LargeData => {
+                let u: f64 = rng.random();
+                if u < 0.45 {
+                    576
+                } else if u < 0.60 {
+                    1006
+                } else if u < 0.72 {
+                    1500
+                } else {
+                    rng.random_range(553..=1500)
+                }
+            }
+        }
+    }
+
+    /// Draw a (protocol, src port, dst port) assignment for this class.
+    ///
+    /// The trace is unidirectional (SDSC → backbone), so "client" ports
+    /// are ephemeral SDSC-side ports and "server" ports are the
+    /// well-known destination services.
+    pub fn sample_app<R: Rng + ?Sized>(self, rng: &mut R) -> (Protocol, u16, u16) {
+        let ephemeral = rng.random_range(1024..=4999);
+        match self {
+            AppClass::IcmpControl => (Protocol::Icmp, 0, 0),
+            AppClass::TcpAck => {
+                let dst = pick(rng, &[(20, 0.5), (119, 0.3), (25, 0.2)]);
+                (Protocol::Tcp, ephemeral, dst)
+            }
+            AppClass::Telnet | AppClass::TelnetEcho => {
+                let dst = pick(rng, &[(23, 0.8), (513, 0.2)]);
+                (Protocol::Tcp, ephemeral, dst)
+            }
+            AppClass::Transaction => {
+                let u: f64 = rng.random();
+                if u < 0.45 {
+                    (Protocol::Udp, ephemeral, 53)
+                } else if u < 0.80 {
+                    (Protocol::Tcp, ephemeral, 25)
+                } else {
+                    (Protocol::Udp, ephemeral, 123)
+                }
+            }
+            AppClass::MidTransfer => {
+                let dst = pick(rng, &[(25, 0.5), (119, 0.5)]);
+                (Protocol::Tcp, ephemeral, dst)
+            }
+            AppClass::BulkMss => {
+                let dst = pick(rng, &[(20, 0.5), (119, 0.3), (25, 0.2)]);
+                (Protocol::Tcp, ephemeral, dst)
+            }
+            AppClass::LargeData => {
+                if rng.random::<f64>() < 0.5 {
+                    (Protocol::Udp, ephemeral, 2049)
+                } else {
+                    (Protocol::Tcp, ephemeral, 20)
+                }
+            }
+        }
+    }
+
+    /// Analytic mean packet size of this class (used by calibration
+    /// tests).
+    #[must_use]
+    pub fn mean_size(self) -> f64 {
+        match self {
+            AppClass::IcmpControl => (28.0 + 39.0) / 2.0,
+            AppClass::TcpAck => 40.0,
+            AppClass::Telnet => (41.0 + 75.0) / 2.0,
+            AppClass::TelnetEcho => 76.0,
+            AppClass::Transaction => (77.0 + 250.0) / 2.0,
+            AppClass::MidTransfer => (251.0 + 551.0) / 2.0,
+            AppClass::BulkMss => 552.0,
+            AppClass::LargeData => {
+                0.45 * 576.0 + 0.15 * 1006.0 + 0.12 * 1500.0 + 0.28 * (553.0 + 1500.0) / 2.0
+            }
+        }
+    }
+}
+
+/// Weighted choice over a tiny static table.
+fn pick<R: Rng + ?Sized>(rng: &mut R, table: &[(u16, f64)]) -> u16 {
+    let mut u: f64 = rng.random();
+    for &(v, w) in table {
+        if u < w {
+            return v;
+        }
+        u -= w;
+    }
+    table[table.len() - 1].0
+}
+
+/// Zipf-like source/destination network-number popularity.
+///
+/// The NSFNET traffic matrix is dominated by a few heavy pairs with a
+/// long tail of pairs exchanging little traffic — the property the paper
+/// singles out as making the sampled matrix hard to validate (§8). A
+/// Zipf(s) popularity over network numbers reproduces it.
+#[derive(Debug, Clone)]
+pub struct ZipfNets {
+    src: Discrete<u16>,
+    dst: Discrete<u16>,
+}
+
+impl ZipfNets {
+    /// Build with `n_src` source networks and `n_dst` destination
+    /// networks, both with Zipf exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(n_src: u16, n_dst: u16, s: f64) -> Self {
+        assert!(n_src > 0 && n_dst > 0, "network counts must be positive");
+        let weights = |n: u16| -> Vec<(u16, f64)> {
+            (1..=n)
+                .map(|k| (k, 1.0 / f64::from(k).powf(s)))
+                .collect()
+        };
+        ZipfNets {
+            src: Discrete::new(&weights(n_src)),
+            dst: Discrete::new(&weights(n_dst)),
+        }
+    }
+
+    /// The SDSC-side default: ~120 campus/regional source networks,
+    /// ~1500 destination networks, exponent 1.0.
+    #[must_use]
+    pub fn standard() -> Self {
+        ZipfNets::new(120, 1500, 1.0)
+    }
+
+    /// Draw a (src, dst) network pair.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (u16, u16) {
+        (*self.src.sample(rng), *self.dst.sample(rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    const ALL: [AppClass; 8] = [
+        AppClass::IcmpControl,
+        AppClass::TcpAck,
+        AppClass::Telnet,
+        AppClass::TelnetEcho,
+        AppClass::Transaction,
+        AppClass::MidTransfer,
+        AppClass::BulkMss,
+        AppClass::LargeData,
+    ];
+
+    #[test]
+    fn sizes_stay_in_class_ranges() {
+        let mut r = rng(1);
+        for class in ALL {
+            for _ in 0..2000 {
+                let s = class.sample_size(&mut r);
+                let ok = match class {
+                    AppClass::IcmpControl => (28..=39).contains(&s),
+                    AppClass::TcpAck => s == 40,
+                    AppClass::Telnet => (41..=75).contains(&s),
+                    AppClass::TelnetEcho => s == 76,
+                    AppClass::Transaction => (77..=250).contains(&s),
+                    AppClass::MidTransfer => (251..=551).contains(&s),
+                    AppClass::BulkMss => s == 552,
+                    AppClass::LargeData => (553..=1500).contains(&s) || s == 553,
+                };
+                assert!(ok, "{class:?} produced {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn global_size_bounds_match_table3() {
+        let mut r = rng(2);
+        let mut lo = u16::MAX;
+        let mut hi = 0u16;
+        for class in ALL {
+            for _ in 0..5000 {
+                let s = class.sample_size(&mut r);
+                lo = lo.min(s);
+                hi = hi.max(s);
+            }
+        }
+        assert_eq!(lo, 28, "Table 3 min");
+        assert_eq!(hi, 1500, "Table 3 max");
+    }
+
+    #[test]
+    fn empirical_means_match_analytic() {
+        let mut r = rng(3);
+        for class in ALL {
+            let n = 20_000;
+            let sum: f64 = (0..n).map(|_| f64::from(class.sample_size(&mut r))).sum();
+            let emp = sum / f64::from(n);
+            assert!(
+                (emp - class.mean_size()).abs() / class.mean_size() < 0.02,
+                "{class:?}: {emp} vs {}",
+                class.mean_size()
+            );
+        }
+    }
+
+    #[test]
+    fn protocols_match_class() {
+        let mut r = rng(4);
+        for _ in 0..1000 {
+            let (p, _, _) = AppClass::IcmpControl.sample_app(&mut r);
+            assert_eq!(p, Protocol::Icmp);
+            let (p, _, d) = AppClass::BulkMss.sample_app(&mut r);
+            assert_eq!(p, Protocol::Tcp);
+            assert!([20, 119, 25].contains(&d));
+            let (p, _, d) = AppClass::Telnet.sample_app(&mut r);
+            assert_eq!(p, Protocol::Tcp);
+            assert!([23, 513].contains(&d));
+        }
+    }
+
+    #[test]
+    fn transaction_mix_includes_udp_dns() {
+        let mut r = rng(5);
+        let mut dns = 0;
+        for _ in 0..5000 {
+            let (p, _, d) = AppClass::Transaction.sample_app(&mut r);
+            if p == Protocol::Udp && d == 53 {
+                dns += 1;
+            }
+        }
+        let frac = f64::from(dns) / 5000.0;
+        assert!((frac - 0.45).abs() < 0.03, "DNS fraction {frac}");
+    }
+
+    #[test]
+    fn ephemeral_ports_in_range() {
+        let mut r = rng(6);
+        for _ in 0..1000 {
+            let (_, s, _) = AppClass::BulkMss.sample_app(&mut r);
+            assert!((1024..=4999).contains(&s));
+        }
+    }
+
+    #[test]
+    fn zipf_nets_are_skewed() {
+        let z = ZipfNets::standard();
+        let mut r = rng(7);
+        let mut top_src = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50_000 {
+            let (s, _) = z.sample(&mut r);
+            assert!((1..=120).contains(&s));
+            if s == 1 {
+                top_src += 1;
+            }
+            total += 1;
+        }
+        // Zipf(1.0) over 120 ranks: rank 1 has weight 1/H_120 ≈ 0.186.
+        let frac = top_src as f64 / total as f64;
+        assert!((frac - 0.186).abs() < 0.02, "top-rank fraction {frac}");
+    }
+
+    #[test]
+    fn zipf_dst_range() {
+        let z = ZipfNets::new(10, 50, 0.8);
+        let mut r = rng(8);
+        for _ in 0..10_000 {
+            let (s, d) = z.sample(&mut r);
+            assert!((1..=10).contains(&s));
+            assert!((1..=50).contains(&d));
+        }
+    }
+}

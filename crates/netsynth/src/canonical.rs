@@ -1,0 +1,139 @@
+//! The structured populations of the paper's §5.
+//!
+//! Cochran's comparative theory (which the paper summarizes) predicts how
+//! systematic, stratified random, and simple random sampling rank on
+//! three canonical population structures:
+//!
+//! * **randomly ordered** — all three methods are equivalent;
+//! * **linear trend** — stratified beats systematic beats simple random;
+//! * **periodic correlation** — systematic sampling degrades badly when
+//!   the sampling interval resonates with the period.
+//!
+//! These generators build packet populations with exactly those
+//! structures in the *packet-size* variate (uniform spacing in time), so
+//! the `sampling::theory` experiments can verify the orderings
+//! empirically.
+
+use nettrace::{Micros, PacketRecord, Trace};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Mean spacing used by the canonical populations (the study population's
+/// mean interarrival, for familiarity).
+const SPACING_US: u64 = 2358;
+
+fn at(i: usize) -> Micros {
+    Micros(i as u64 * SPACING_US)
+}
+
+/// A randomly ordered population: i.i.d. sizes uniform in `[40, 552]`,
+/// uniform spacing. Under this structure all three sampling methods
+/// should estimate the mean size with the same efficiency.
+#[must_use]
+pub fn randomly_ordered(n: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let packets = (0..n)
+        .map(|i| PacketRecord::new(at(i), rng.random_range(40..=552)))
+        .collect();
+    Trace::new(packets).expect("ordered by construction")
+}
+
+/// A linear-trend population: sizes rise linearly from 40 to 552 over the
+/// trace (plus small i.i.d. noise so stratified/random choices differ
+/// within strata). Stratified random sampling should be most efficient,
+/// then systematic, then simple random (§5, citing Krishnaiah & Rao).
+#[must_use]
+pub fn linear_trend(n: usize, seed: u64) -> Trace {
+    assert!(n >= 2, "trend population needs at least 2 packets");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let packets = (0..n)
+        .map(|i| {
+            let base = 40.0 + 512.0 * i as f64 / (n - 1) as f64;
+            let noise: f64 = rng.random_range(-8.0..=8.0);
+            let size = (base + noise).round().clamp(28.0, 1500.0) as u16;
+            PacketRecord::new(at(i), size)
+        })
+        .collect();
+    Trace::new(packets).expect("ordered by construction")
+}
+
+/// A periodic population: sizes follow a sinusoid of the given `period`
+/// (in packets) between 40 and 552. Systematic sampling with an interval
+/// equal to (or resonant with) the period sees only one phase and
+/// estimates the mean catastrophically badly; stratified and random
+/// sampling are immune.
+#[must_use]
+pub fn periodic(n: usize, period: usize, seed: u64) -> Trace {
+    assert!(period >= 2, "period must be at least 2 packets");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let packets = (0..n)
+        .map(|i| {
+            let phase = 2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64;
+            let base = 296.0 + 256.0 * phase.sin();
+            let noise: f64 = rng.random_range(-4.0..=4.0);
+            let size = (base + noise).round().clamp(28.0, 1500.0) as u16;
+            PacketRecord::new(at(i), size)
+        })
+        .collect();
+    Trace::new(packets).expect("ordered by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statkit::Moments;
+
+    #[test]
+    fn randomly_ordered_is_flat() {
+        let t = randomly_ordered(10_000, 1);
+        assert_eq!(t.len(), 10_000);
+        let m = Moments::from_values(t.iter().map(|p| f64::from(p.size)));
+        assert!((m.mean() - 296.0).abs() < 10.0, "mean {}", m.mean());
+        // First and second halves statistically identical.
+        let h1 = Moments::from_values(t.packets()[..5000].iter().map(|p| f64::from(p.size)));
+        let h2 = Moments::from_values(t.packets()[5000..].iter().map(|p| f64::from(p.size)));
+        assert!((h1.mean() - h2.mean()).abs() < 15.0);
+    }
+
+    #[test]
+    fn linear_trend_rises() {
+        let t = linear_trend(10_000, 2);
+        let h1 = Moments::from_values(t.packets()[..5000].iter().map(|p| f64::from(p.size)));
+        let h2 = Moments::from_values(t.packets()[5000..].iter().map(|p| f64::from(p.size)));
+        assert!(h2.mean() - h1.mean() > 200.0, "halves {} {}", h1.mean(), h2.mean());
+        // Endpoints near 40 and 552.
+        assert!(f64::from(t.packets()[0].size) < 60.0);
+        assert!(f64::from(t.packets()[9999].size) > 530.0);
+    }
+
+    #[test]
+    fn periodic_population_cycles() {
+        let period = 64;
+        let t = periodic(6400, period, 3);
+        // Same phase across periods -> nearly equal sizes.
+        let a = f64::from(t.packets()[10].size);
+        let b = f64::from(t.packets()[10 + period].size);
+        assert!((a - b).abs() < 20.0, "{a} vs {b}");
+        // Opposite phases differ by ~2 amplitudes.
+        let c = f64::from(t.packets()[10 + period / 2].size);
+        assert!((a - c).abs() > 200.0, "{a} vs {c}");
+    }
+
+    #[test]
+    fn uniform_spacing() {
+        for t in [
+            randomly_ordered(100, 4),
+            linear_trend(100, 4),
+            periodic(100, 10, 4),
+        ] {
+            let ia = t.interarrivals();
+            assert!(ia.iter().all(|&g| g == SPACING_US));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn degenerate_trend_panics() {
+        let _ = linear_trend(1, 0);
+    }
+}

@@ -1,0 +1,438 @@
+//! Flow-level traffic generation — the correlation ablation.
+//!
+//! The paper's authors chose their methods because they "were motivated
+//! by an interest in the effects of patterns in the data" (§4). The
+//! calibrated per-second mixture generator ([`crate::gen`]) has only
+//! per-second correlation; this module generates traffic as explicit
+//! **flows** (connections), each emitting its packets with its
+//! application's temporal signature:
+//!
+//! * **bulk transfers** (FTP-data/NNTP/SMTP): heavy-tailed packet counts,
+//!   window-of-segments bursts separated by an RTT — back-to-back MSS
+//!   packets, strong short-range correlation;
+//! * **interactive sessions** (telnet/rlogin): long sparse trains of
+//!   small packets at human typing timescales;
+//! * **transactions** (DNS/NTP): one or two datagrams.
+//!
+//! Consecutive packets on the wire are then often *from the same flow
+//! and the same size class* — precisely the short-range correlation that
+//! could, in principle, separate systematic from random sampling. The
+//! `correlation` ablation experiment shows it does not at operational
+//! sampling intervals (the sampling lag outstrips the burst length),
+//! which is why the paper's methods tie on real traffic too.
+
+use crate::apps::ZipfNets;
+use nettrace::{ClockModel, Micros, PacketRecord, Protocol, Trace};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use statkit::rand_ext::{Exponential, Pareto};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The kind of flow, determining packet sizes and temporal signature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowKind {
+    /// Window-burst bulk transfer (552-byte MSS segments + trailing
+    /// smaller segment behavior folded into the MSS class).
+    Bulk,
+    /// Interactive keystroke session (small packets, seconds apart).
+    Interactive,
+    /// Short transaction (1–2 datagrams).
+    Transaction,
+    /// Outbound ACK stream of an *inbound* transfer (40-byte packets at
+    /// the inbound data rate — the dominant small-packet source on a
+    /// unidirectional campus-egress link).
+    AckStream,
+}
+
+/// Parameters of the flow-level generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowProfile {
+    /// Trace duration in seconds.
+    pub duration_secs: u32,
+    /// Flow arrivals per second (all kinds).
+    pub flow_rate: f64,
+    /// Mix of flow kinds (bulk, interactive, transaction, ack-stream);
+    /// must sum to ~1.
+    pub kind_mix: [f64; 4],
+    /// Round-trip time range for bulk window pacing, microseconds.
+    pub rtt_us: (u64, u64),
+    /// TCP window in segments for bulk bursts.
+    pub window_segments: u32,
+    /// Pareto shape for bulk transfer lengths (in segments).
+    pub bulk_alpha: f64,
+    /// Minimum bulk transfer length in segments.
+    pub bulk_min_segments: f64,
+    /// Cap on segments per flow (keeps the tail finite).
+    pub max_segments: u32,
+    /// Capture clock.
+    pub clock: ClockModel,
+}
+
+impl Default for FlowProfile {
+    fn default() -> Self {
+        FlowProfile {
+            duration_secs: 300,
+            // ~30 flows/s at ~14 packets/flow ≈ 420 pps.
+            flow_rate: 30.0,
+            kind_mix: [0.22, 0.12, 0.36, 0.30],
+            rtt_us: (30_000, 120_000),
+            window_segments: 4,
+            bulk_alpha: 1.3,
+            bulk_min_segments: 6.0,
+            max_segments: 4000,
+            clock: ClockModel::SDSC_1993,
+        }
+    }
+}
+
+impl FlowProfile {
+    /// Sanity checks.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    pub fn validate(&self) {
+        assert!(self.duration_secs > 0, "duration must be positive");
+        assert!(self.flow_rate > 0.0, "flow rate must be positive");
+        let sum: f64 = self.kind_mix.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "kind mix must sum to 1");
+        assert!(self.rtt_us.0 > 0 && self.rtt_us.0 <= self.rtt_us.1, "bad RTT range");
+        assert!(self.window_segments >= 1, "window must be >= 1 segment");
+        assert!(self.bulk_alpha > 1.0, "bulk alpha must exceed 1");
+        assert!(self.max_segments >= 1, "segment cap must be >= 1");
+    }
+}
+
+/// One packet scheduled for emission.
+#[derive(Debug, Clone, Copy)]
+struct Emission {
+    at: u64,
+    record: PacketRecord,
+}
+
+/// Generate a flow-level trace, deterministic under `seed`.
+#[must_use]
+pub fn generate_flows(profile: &FlowProfile, seed: u64) -> Trace {
+    profile.validate();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nets = ZipfNets::standard();
+    let horizon = u64::from(profile.duration_secs) * 1_000_000;
+    let flow_gap = Exponential::new(1e6 / profile.flow_rate);
+
+    // Schedule every flow's packets eagerly into a heap, then drain in
+    // time order. Memory: a few hundred thousand emissions for the
+    // default profile — fine.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    let mut emissions: Vec<Emission> = Vec::new();
+
+    let mut t = 0.0f64;
+    loop {
+        t += flow_gap.sample(&mut rng);
+        let start = t as u64;
+        if start >= horizon {
+            break;
+        }
+        let kind = pick_kind(profile.kind_mix, &mut rng);
+        schedule_flow(profile, kind, start, &nets, &mut rng, &mut emissions);
+    }
+    for (i, e) in emissions.iter().enumerate() {
+        if e.at < horizon {
+            heap.push(Reverse((e.at, i)));
+        }
+    }
+
+    let mut packets = Vec::with_capacity(heap.len());
+    while let Some(Reverse((at, i))) = heap.pop() {
+        let mut rec = emissions[i].record;
+        rec.timestamp = Micros(at);
+        packets.push(rec);
+    }
+    Trace::new(packets)
+        .expect("heap drain is time-ordered")
+        .quantized(profile.clock)
+}
+
+fn pick_kind<R: Rng + ?Sized>(mix: [f64; 4], rng: &mut R) -> FlowKind {
+    let kinds = [
+        FlowKind::Bulk,
+        FlowKind::Interactive,
+        FlowKind::Transaction,
+        FlowKind::AckStream,
+    ];
+    let mut u: f64 = rng.random();
+    for (k, w) in kinds.iter().zip(mix) {
+        if u < w {
+            return *k;
+        }
+        u -= w;
+    }
+    FlowKind::AckStream
+}
+
+/// Emit one flow's packets.
+fn schedule_flow(
+    profile: &FlowProfile,
+    kind: FlowKind,
+    start: u64,
+    nets: &ZipfNets,
+    rng: &mut StdRng,
+    out: &mut Vec<Emission>,
+) {
+    let (src_net, dst_net) = nets.sample(rng);
+    let mut push = |at: u64, size: u16, protocol: Protocol, sport: u16, dport: u16| {
+        out.push(Emission {
+            at,
+            record: PacketRecord {
+                timestamp: Micros(at),
+                size,
+                protocol,
+                src_port: sport,
+                dst_port: dport,
+                src_net,
+                dst_net,
+            },
+        });
+    };
+    let ephemeral: u16 = rng.random_range(1024..=4999);
+    match kind {
+        FlowKind::Bulk => {
+            let dport = [20u16, 119, 25][rng.random_range(0..3usize)];
+            let segments =
+                (bulk_segments(profile, rng)).min(profile.max_segments);
+            let rtt = rng.random_range(profile.rtt_us.0..=profile.rtt_us.1);
+            let mut at = start;
+            let mut sent = 0u32;
+            while sent < segments {
+                let burst = profile.window_segments.min(segments - sent);
+                for b in 0..burst {
+                    // Back-to-back segments ~0.8 ms apart (serialization
+                    // + queueing on the campus path).
+                    let jitter = rng.random_range(0..400);
+                    push(
+                        at + u64::from(b) * 800 + jitter,
+                        552,
+                        Protocol::Tcp,
+                        ephemeral,
+                        dport,
+                    );
+                }
+                sent += burst;
+                at += rtt + rng.random_range(0..rtt / 4 + 1);
+            }
+        }
+        FlowKind::Interactive => {
+            let dport = if rng.random::<f64>() < 0.8 { 23 } else { 513 };
+            let keystrokes = rng.random_range(5..60u32);
+            let think = Exponential::new(900_000.0); // ~0.9 s between keys
+            let mut at = start as f64;
+            for _ in 0..keystrokes {
+                at += think.sample(rng);
+                let size = if rng.random::<f64>() < 0.3 {
+                    76
+                } else {
+                    rng.random_range(41..=75)
+                };
+                push(at as u64, size, Protocol::Tcp, ephemeral, dport);
+            }
+        }
+        FlowKind::Transaction => {
+            let (proto, dport) = if rng.random::<f64>() < 0.7 {
+                (Protocol::Udp, 53)
+            } else {
+                (Protocol::Udp, 123)
+            };
+            let n = rng.random_range(1..=2);
+            for i in 0..n {
+                push(
+                    start + i * rng.random_range(2_000..50_000),
+                    rng.random_range(77..=250),
+                    proto,
+                    ephemeral,
+                    dport,
+                );
+            }
+        }
+        FlowKind::AckStream => {
+            // ACK clocking of an inbound transfer: one 40-byte ACK per
+            // inbound window, i.e. bursts of ~window/2 ACKs per RTT.
+            let dport = [20u16, 119, 25][rng.random_range(0..3usize)];
+            let segments = (bulk_segments(profile, rng)).min(profile.max_segments);
+            let acks = segments.div_ceil(2);
+            let rtt = rng.random_range(profile.rtt_us.0..=profile.rtt_us.1);
+            let per_rtt = (profile.window_segments / 2).max(1);
+            let mut at = start;
+            let mut sent = 0u32;
+            while sent < acks {
+                let burst = per_rtt.min(acks - sent);
+                for b in 0..burst {
+                    push(
+                        at + u64::from(b) * 900 + rng.random_range(0..400),
+                        40,
+                        Protocol::Tcp,
+                        ephemeral,
+                        dport,
+                    );
+                }
+                sent += burst;
+                at += rtt + rng.random_range(0..rtt / 4 + 1);
+            }
+        }
+    }
+}
+
+fn bulk_segments(profile: &FlowProfile, rng: &mut StdRng) -> u32 {
+    Pareto::new(profile.bulk_min_segments, profile.bulk_alpha)
+        .sample(rng)
+        .round()
+        .clamp(1.0, f64::from(u32::MAX)) as u32
+}
+
+/// Summary of within-flow structure, for tests and the correlation
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlowStats {
+    /// Number of packets generated.
+    pub packets: usize,
+    /// Fraction of adjacent wire packets that share (src_port, dst_net)
+    /// — i.e. belong to the same flow.
+    pub adjacent_same_flow: f64,
+}
+
+/// Measure flow-adjacency on a trace (flows identified by
+/// `(src_port, src_net, dst_net, dst_port)`).
+#[must_use]
+pub fn flow_adjacency(trace: &Trace) -> FlowStats {
+    let packets = trace.packets();
+    let mut same = 0usize;
+    for w in packets.windows(2) {
+        if w[0].src_port == w[1].src_port
+            && w[0].src_net == w[1].src_net
+            && w[0].dst_net == w[1].dst_net
+            && w[0].dst_port == w[1].dst_port
+        {
+            same += 1;
+        }
+    }
+    FlowStats {
+        packets: packets.len(),
+        adjacent_same_flow: if packets.len() > 1 {
+            same as f64 / (packets.len() - 1) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use statkit::acf::{acf, white_noise_band};
+
+    fn trace(seed: u64) -> Trace {
+        generate_flows(&FlowProfile::default(), seed)
+    }
+
+    #[test]
+    fn deterministic_and_ordered() {
+        let a = trace(1);
+        let b = trace(1);
+        assert_eq!(a, b);
+        assert!(a
+            .packets()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn volume_in_expected_range() {
+        let t = trace(2);
+        // ~26 flows/s * ~16 pkts * 300 s ~ 125k; accept a broad band
+        // (heavy-tailed flow sizes).
+        assert!(t.len() > 40_000, "{}", t.len());
+        assert!(t.len() < 600_000, "{}", t.len());
+    }
+
+    #[test]
+    fn sizes_have_the_wan_signature() {
+        let t = trace(3);
+        let n = t.len() as f64;
+        let acks = t.iter().filter(|p| p.size == 40).count() as f64 / n;
+        let mss = t.iter().filter(|p| p.size == 552).count() as f64 / n;
+        assert!(acks > 0.15, "ACK fraction {acks}");
+        assert!(mss > 0.15, "MSS fraction {mss}");
+        assert!(t.iter().all(|p| (28..=1500).contains(&p.size)));
+    }
+
+    #[test]
+    fn flows_create_wire_adjacency() {
+        // In flow-level traffic many adjacent packets belong to the same
+        // flow; in the per-second mixture generator almost none do.
+        let flow_stats = flow_adjacency(&trace(4));
+        assert!(
+            flow_stats.adjacent_same_flow > 0.15,
+            "adjacency {}",
+            flow_stats.adjacent_same_flow
+        );
+        let mixture = crate::generate(&crate::TraceProfile::short(60), 4);
+        let mix_stats = flow_adjacency(&mixture);
+        assert!(
+            mix_stats.adjacent_same_flow < 0.05,
+            "mixture adjacency {}",
+            mix_stats.adjacent_same_flow
+        );
+    }
+
+    #[test]
+    fn short_lag_size_correlation_exists() {
+        // The point of this generator: packet sizes are serially
+        // correlated at short lags (within a burst)...
+        let t = trace(5);
+        let sizes: Vec<f64> = t.sizes().iter().map(|&s| f64::from(s)).collect();
+        let band = white_noise_band(sizes.len());
+        let r = acf(&sizes, &[1, 2, 50]);
+        assert!(r[0] > 5.0 * band, "lag-1 ACF {} vs band {band}", r[0]);
+        // ...but has decayed by lag 50 (an operational sampling interval).
+        assert!(
+            r[2] < r[0] / 2.0,
+            "lag-50 ACF {} should be far below lag-1 {}",
+            r[2],
+            r[0]
+        );
+    }
+
+    #[test]
+    fn clock_quantization_applies() {
+        let t = trace(6);
+        assert!(t.iter().all(|p| p.timestamp.as_u64() % 400 == 0));
+    }
+
+    #[test]
+    fn bulk_flows_pace_by_rtt() {
+        // A profile of pure bulk flows at a low rate: gaps inside a
+        // window are sub-millisecond, gaps between windows are ~RTT.
+        let profile = FlowProfile {
+            flow_rate: 0.2,
+            kind_mix: [1.0, 0.0, 0.0, 0.0],
+            ..FlowProfile::default()
+        };
+        let t = generate_flows(&profile, 7);
+        let ia = t.interarrivals();
+        let tiny = ia.iter().filter(|&&g| g <= 1600).count();
+        let rttish = ia
+            .iter()
+            .filter(|&&g| (20_000..300_000).contains(&g))
+            .count();
+        assert!(tiny > ia.len() / 3, "in-window gaps {tiny}/{}", ia.len());
+        assert!(rttish > ia.len() / 20, "rtt gaps {rttish}/{}", ia.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mix must sum to 1")]
+    fn bad_mix_panics() {
+        let profile = FlowProfile {
+            kind_mix: [0.5, 0.0, 0.0, 0.0],
+            ..FlowProfile::default()
+        };
+        profile.validate();
+    }
+}

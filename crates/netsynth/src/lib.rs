@@ -1,0 +1,47 @@
+//! # netsynth — calibrated synthetic wide-area traffic
+//!
+//! The SIGCOMM 1993 study this workspace reproduces ran its sampling
+//! simulations over a proprietary one-hour packet trace (1.6 million
+//! packets, SDSC → NSFNET E-NSS, 23 March 1993). That trace no longer
+//! being available, this crate synthesizes a population with the same
+//! published statistical structure, so that every experiment exercises the
+//! same code paths against a population of the same shape:
+//!
+//! * **per-second packet rate** — an AR(1) log-normal intensity process
+//!   with burst/lull episodes, calibrated to Table 2 (mean ≈ 424 pps,
+//!   σ ≈ 85, right-skewed, heavy-tailed);
+//! * **packet sizes** — the bimodal WAN mix of the era, calibrated to
+//!   Table 3 (atoms at 40 and 552 bytes, median 76, min 28, max 1500,
+//!   mean ≈ 232, σ ≈ 236), with a per-second *bulk tilt* correlated with
+//!   the rate so bulk-transfer bursts raise both rate and mean size (the
+//!   mechanism behind Table 2's mean-size spread);
+//! * **interarrival times** — within-second exponential gaps with rare
+//!   pause episodes, rate-modulated across seconds, then quantized by the
+//!   400 µs capture clock, calibrated to Table 3 (mean ≈ 2358 µs,
+//!   σ ≈ 2734, quartiles on the 400 µs grid);
+//! * **protocol/port/network attributes** — an application mix (telnet,
+//!   ftp-data, SMTP/NNTP, DNS, ICMP, NFS) consistent with each size
+//!   class, plus Zipf-distributed network numbers, for the traffic-matrix
+//!   and proportion-target experiments.
+//!
+//! Everything is deterministic under an explicit seed.
+//!
+//! The [`canonical`] module additionally provides the three *structured*
+//! populations of the paper's §5 (randomly ordered, linear trend,
+//! periodic), used to verify the classical sampling-theory orderings of
+//! systematic vs stratified vs simple random sampling.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod canonical;
+pub mod flows;
+pub mod gen;
+pub mod profile;
+pub mod rate;
+pub mod sizes;
+
+pub use flows::{generate_flows, FlowProfile};
+pub use gen::{generate, sdsc_hour};
+pub use profile::{PaperTargets, TraceProfile};

@@ -1,0 +1,181 @@
+//! The two-component packet-size mixture.
+//!
+//! Table 3's packet-size population is sharply bimodal: mass at 40 bytes
+//! (ACKs/keystrokes), a long interactive/transaction shoulder, and a
+//! second mode at the 552-byte MSS. We split the application classes into
+//! a **small** component (ACKs, telnet, transactions) and a **bulk**
+//! component (mid/MSS/large transfers) and mix them with a per-second
+//! weight `w_t` supplied by the rate process. The time-averaged weight
+//! reproduces Table 3's marginal; the per-second variation of `w_t`
+//! reproduces Table 2's mean-size spread.
+
+use crate::apps::AppClass;
+use rand::{Rng, RngExt};
+use statkit::rand_ext::Discrete;
+
+/// The calibrated size mixture.
+#[derive(Debug, Clone)]
+pub struct SizeModel {
+    small: Discrete<AppClass>,
+    bulk: Discrete<AppClass>,
+}
+
+/// Small-component weights (sum to 1): ICMP, ACK, telnet, echo-76,
+/// transaction. Chosen so that, mixed at the baseline bulk weight, the
+/// marginal hits Table 3's quantile structure exactly:
+/// `P(size ≤ 40) ≈ 0.41` (5% and 25% quantiles at 40),
+/// `P(size ≤ 76)` crosses 0.5 at the 76-byte atom (median 76),
+/// `P(size ≤ 552)` crosses both 0.75 and 0.95 at the 552 atom.
+const SMALL_WEIGHTS: [(AppClass, f64); 5] = [
+    (AppClass::IcmpControl, 0.031),
+    (AppClass::TcpAck, 0.585),
+    (AppClass::Telnet, 0.108),
+    (AppClass::TelnetEcho, 0.077),
+    (AppClass::Transaction, 0.199),
+];
+
+/// Bulk-component weights (sum to 1): mid-size, MSS atom, large.
+const BULK_WEIGHTS: [(AppClass, f64); 3] = [
+    (AppClass::MidTransfer, 0.25),
+    (AppClass::BulkMss, 0.70),
+    (AppClass::LargeData, 0.05),
+];
+
+impl SizeModel {
+    /// The calibrated standard model.
+    #[must_use]
+    pub fn standard() -> Self {
+        SizeModel {
+            small: Discrete::new(&SMALL_WEIGHTS),
+            bulk: Discrete::new(&BULK_WEIGHTS),
+        }
+    }
+
+    /// Draw an application class given this second's bulk weight.
+    pub fn sample_class<R: Rng + ?Sized>(&self, bulk_weight: f64, rng: &mut R) -> AppClass {
+        debug_assert!((0.0..=1.0).contains(&bulk_weight));
+        if rng.random::<f64>() < bulk_weight {
+            *self.bulk.sample(rng)
+        } else {
+            *self.small.sample(rng)
+        }
+    }
+
+    /// Analytic mean of the small component.
+    #[must_use]
+    pub fn small_mean(&self) -> f64 {
+        SMALL_WEIGHTS
+            .iter()
+            .map(|(c, w)| w * c.mean_size())
+            .sum()
+    }
+
+    /// Analytic mean of the bulk component.
+    #[must_use]
+    pub fn bulk_mean(&self) -> f64 {
+        BULK_WEIGHTS.iter().map(|(c, w)| w * c.mean_size()).sum()
+    }
+
+    /// Analytic mean packet size at a given bulk weight.
+    #[must_use]
+    pub fn mean_size_at(&self, bulk_weight: f64) -> f64 {
+        (1.0 - bulk_weight) * self.small_mean() + bulk_weight * self.bulk_mean()
+    }
+}
+
+impl Default for SizeModel {
+    fn default() -> Self {
+        SizeModel::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn component_weights_sum_to_one() {
+        let s: f64 = SMALL_WEIGHTS.iter().map(|(_, w)| w).sum();
+        let b: f64 = BULK_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_means_are_sane() {
+        let m = SizeModel::standard();
+        // Small component is dominated by 40-byte ACKs.
+        assert!(m.small_mean() > 55.0 && m.small_mean() < 85.0, "{}", m.small_mean());
+        // Bulk component is dominated by the 552 atom.
+        assert!(m.bulk_mean() > 500.0 && m.bulk_mean() < 600.0, "{}", m.bulk_mean());
+        // At the calibrated baseline weight, the marginal mean is near
+        // Table 2's per-second average of 226.
+        let at_baseline = m.mean_size_at(0.340);
+        assert!((at_baseline - 226.2).abs() < 8.0, "{at_baseline}");
+    }
+
+    #[test]
+    fn quantile_structure_at_baseline() {
+        // Empirical CDF checkpoints that pin Table 3's quantiles.
+        let m = SizeModel::standard();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 400_000;
+        let mut le40 = 0u32;
+        let mut lt40 = 0u32;
+        let mut le75 = 0u32;
+        let mut le76 = 0u32;
+        let mut le551 = 0u32;
+        let mut le552 = 0u32;
+        for _ in 0..n {
+            let c = m.sample_class(0.340, &mut rng);
+            let s = c.sample_size(&mut rng);
+            if s < 40 {
+                lt40 += 1;
+            }
+            if s <= 40 {
+                le40 += 1;
+            }
+            if s <= 75 {
+                le75 += 1;
+            }
+            if s <= 76 {
+                le76 += 1;
+            }
+            if s <= 551 {
+                le551 += 1;
+            }
+            if s <= 552 {
+                le552 += 1;
+            }
+        }
+        let f = |c: u32| f64::from(c) / f64::from(n);
+        assert!(f(lt40) < 0.05, "5% quantile must be 40: F(<40) = {}", f(lt40));
+        assert!(f(le40) >= 0.25, "25% quantile must be 40: F(40) = {}", f(le40));
+        assert!(f(le75) < 0.5, "median must exceed 75: F(75) = {}", f(le75));
+        assert!(f(le76) >= 0.5, "median must be 76: F(76) = {}", f(le76));
+        assert!(f(le551) < 0.75, "75% must be 552: F(551) = {}", f(le551));
+        assert!(f(le552) >= 0.95, "95% must be 552: F(552) = {}", f(le552));
+    }
+
+    #[test]
+    fn bulk_weight_zero_and_one_select_components() {
+        let m = SizeModel::standard();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let c = m.sample_class(0.0, &mut rng);
+            assert!(c.mean_size() < 170.0, "{c:?} from small component");
+            let c = m.sample_class(1.0, &mut rng);
+            assert!(c.mean_size() > 250.0, "{c:?} from bulk component");
+        }
+    }
+
+    #[test]
+    fn mean_size_responds_to_tilt() {
+        let m = SizeModel::standard();
+        // Table 2 mean-size extremes: 82 (quiet) to 398 (bulk-heavy).
+        assert!(m.mean_size_at(0.04) < 95.0);
+        assert!(m.mean_size_at(0.68) > 370.0);
+    }
+}

@@ -1,0 +1,351 @@
+//! Integer-domain histograms.
+//!
+//! Every characterization in the paper is a binned distribution: the
+//! packet-size target uses three bins (`<41`, `41–180`, `>180` bytes,
+//! §7.1.1), the interarrival target uses five (§7.1.2), the T1 backbone
+//! kept a 50-byte-granularity packet-length histogram and a 20 pps
+//! arrival-rate histogram (Table 1). [`BinSpec`] expresses all of these;
+//! [`Histogram`] accumulates counts over them.
+
+/// A specification of how an integer domain `0..=u64::MAX` is partitioned
+/// into consecutive bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinSpec {
+    /// Bins of equal `width`: `[0,w) [w,2w) …`, with a final open bin
+    /// starting at `cap` collecting everything `>= cap`.
+    FixedWidth {
+        /// Width of each regular bin; must be positive.
+        width: u64,
+        /// Lower edge of the final open (overflow) bin; values `>= cap`
+        /// land there. Must be a multiple of `width`.
+        cap: u64,
+    },
+    /// Explicit ascending upper edges. `edges = [e1, e2, …, ek]` produces
+    /// `k + 1` bins: `[0,e1) [e1,e2) … [ek, ∞)`.
+    Edges(Vec<u64>),
+}
+
+impl BinSpec {
+    /// The paper's packet-size bins (§7.1.1): `<41`, `41–180`, `>180` bytes.
+    /// (ACKs/character echoes; transaction-oriented; bulk transfer.)
+    #[must_use]
+    pub fn paper_packet_size() -> BinSpec {
+        BinSpec::Edges(vec![41, 181])
+    }
+
+    /// The paper's interarrival-time bins (§7.1.2), microseconds:
+    /// `<800`, `800–1199`, `1200–2399`, `2400–3599`, `>=3600`.
+    #[must_use]
+    pub fn paper_interarrival() -> BinSpec {
+        BinSpec::Edges(vec![800, 1200, 2400, 3600])
+    }
+
+    /// The T1 backbone's 50-byte packet-length histogram (Table 1),
+    /// capped at the 1500-byte FDDI→T3 MTU.
+    #[must_use]
+    pub fn t1_packet_length() -> BinSpec {
+        BinSpec::FixedWidth {
+            width: 50,
+            cap: 1500,
+        }
+    }
+
+    /// The T1 backbone's per-second arrival-rate histogram at 20 pps
+    /// granularity (Table 1), capped at 2000 pps.
+    #[must_use]
+    pub fn t1_arrival_rate() -> BinSpec {
+        BinSpec::FixedWidth {
+            width: 20,
+            cap: 2000,
+        }
+    }
+
+    /// Number of bins this spec produces.
+    ///
+    /// # Panics
+    /// Panics if the spec is malformed (zero width, `cap` not a multiple of
+    /// `width`, or non-ascending edges). Malformed specs are programming
+    /// errors, not data errors.
+    #[must_use]
+    pub fn bin_count(&self) -> usize {
+        match self {
+            BinSpec::FixedWidth { width, cap } => {
+                assert!(*width > 0, "bin width must be positive");
+                assert!(
+                    cap % width == 0,
+                    "cap {cap} must be a multiple of width {width}"
+                );
+                (cap / width) as usize + 1
+            }
+            BinSpec::Edges(edges) => {
+                assert!(
+                    edges.windows(2).all(|w| w[0] < w[1]),
+                    "bin edges must be strictly ascending"
+                );
+                edges.len() + 1
+            }
+        }
+    }
+
+    /// The bin index a value falls into.
+    #[must_use]
+    pub fn bin_index(&self, value: u64) -> usize {
+        match self {
+            BinSpec::FixedWidth { width, cap } => {
+                if value >= *cap {
+                    (cap / width) as usize
+                } else {
+                    (value / width) as usize
+                }
+            }
+            BinSpec::Edges(edges) => edges.partition_point(|&e| e <= value),
+        }
+    }
+
+    /// Human-readable label for a bin, e.g. `"[41,181)"` or `">=3600"`.
+    #[must_use]
+    pub fn bin_label(&self, index: usize) -> String {
+        let n = self.bin_count();
+        assert!(index < n, "bin index {index} out of range (bins: {n})");
+        match self {
+            BinSpec::FixedWidth { width, cap } => {
+                if index == n - 1 {
+                    format!(">={cap}")
+                } else {
+                    let lo = index as u64 * width;
+                    format!("[{},{})", lo, lo + width)
+                }
+            }
+            BinSpec::Edges(edges) => {
+                if index == 0 {
+                    format!("<{}", edges[0])
+                } else if index == n - 1 {
+                    format!(">={}", edges[n - 2])
+                } else {
+                    format!("[{},{})", edges[index - 1], edges[index])
+                }
+            }
+        }
+    }
+}
+
+/// Counts accumulated over a [`BinSpec`].
+///
+/// ```
+/// use nettrace::{BinSpec, Histogram};
+/// let h = Histogram::from_values(BinSpec::paper_packet_size(), [40, 40, 100, 552]);
+/// assert_eq!(h.counts(), &[2, 1, 1]); // <41, 41-180, >180
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.proportions()[0], 0.5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    spec: BinSpec,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bins.
+    #[must_use]
+    pub fn new(spec: BinSpec) -> Self {
+        let counts = vec![0; spec.bin_count()];
+        Histogram {
+            spec,
+            counts,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        let i = self.spec.bin_index(value);
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Record a weighted observation (e.g. byte-weighted objects).
+    pub fn observe_weighted(&mut self, value: u64, weight: u64) {
+        let i = self.spec.bin_index(value);
+        self.counts[i] += weight;
+        self.total += weight;
+    }
+
+    /// Build a histogram from an iterator of values.
+    #[must_use]
+    pub fn from_values<I: IntoIterator<Item = u64>>(spec: BinSpec, values: I) -> Self {
+        let mut h = Histogram::new(spec);
+        for v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    /// The bin specification.
+    #[must_use]
+    pub fn spec(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations (sum of counts).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin proportions; all zeros if the histogram is empty.
+    #[must_use]
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Merge another histogram over the *same* spec into this one.
+    ///
+    /// # Panics
+    /// Panics if the specs differ: merging incompatible binnings is a
+    /// programming error.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.spec, other.spec, "cannot merge differing bin specs");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Reset all counts to zero (the 15-minute NSFNET collection cycle
+    /// reports and then resets its object counters; paper §2).
+    pub fn reset(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_packet_size_bins() {
+        let s = BinSpec::paper_packet_size();
+        assert_eq!(s.bin_count(), 3);
+        assert_eq!(s.bin_index(28), 0);
+        assert_eq!(s.bin_index(40), 0);
+        assert_eq!(s.bin_index(41), 1);
+        assert_eq!(s.bin_index(180), 1);
+        assert_eq!(s.bin_index(181), 2);
+        assert_eq!(s.bin_index(1500), 2);
+        assert_eq!(s.bin_label(0), "<41");
+        assert_eq!(s.bin_label(1), "[41,181)");
+        assert_eq!(s.bin_label(2), ">=181");
+    }
+
+    #[test]
+    fn paper_interarrival_bins() {
+        let s = BinSpec::paper_interarrival();
+        assert_eq!(s.bin_count(), 5);
+        assert_eq!(s.bin_index(0), 0);
+        assert_eq!(s.bin_index(799), 0);
+        assert_eq!(s.bin_index(800), 1);
+        assert_eq!(s.bin_index(1199), 1);
+        assert_eq!(s.bin_index(1200), 2);
+        assert_eq!(s.bin_index(2399), 2);
+        assert_eq!(s.bin_index(2400), 3);
+        assert_eq!(s.bin_index(3599), 3);
+        assert_eq!(s.bin_index(3600), 4);
+        assert_eq!(s.bin_index(49600), 4);
+    }
+
+    #[test]
+    fn fixed_width_bins() {
+        let s = BinSpec::t1_packet_length();
+        assert_eq!(s.bin_count(), 31); // 30 regular 50-byte bins + overflow
+        assert_eq!(s.bin_index(0), 0);
+        assert_eq!(s.bin_index(49), 0);
+        assert_eq!(s.bin_index(50), 1);
+        assert_eq!(s.bin_index(1499), 29);
+        assert_eq!(s.bin_index(1500), 30);
+        assert_eq!(s.bin_index(9000), 30);
+        assert_eq!(s.bin_label(0), "[0,50)");
+        assert_eq!(s.bin_label(30), ">=1500");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn bad_edges_panic() {
+        let _ = BinSpec::Edges(vec![10, 10]).bin_count();
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of width")]
+    fn bad_cap_panics() {
+        let _ = BinSpec::FixedWidth { width: 7, cap: 20 }.bin_count();
+    }
+
+    #[test]
+    fn histogram_observe_and_proportions() {
+        let mut h = Histogram::new(BinSpec::paper_packet_size());
+        for v in [40, 40, 100, 552] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1]);
+        assert_eq!(h.total(), 4);
+        let p = h.proportions();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_proportions_are_zero() {
+        let h = Histogram::new(BinSpec::paper_interarrival());
+        assert_eq!(h.total(), 0);
+        assert!(h.proportions().iter().all(|&p| p == 0.0));
+    }
+
+    #[test]
+    fn weighted_observations() {
+        let mut h = Histogram::new(BinSpec::paper_packet_size());
+        h.observe_weighted(552, 552);
+        h.observe_weighted(40, 40);
+        assert_eq!(h.total(), 592);
+        assert_eq!(h.counts(), &[40, 0, 552]);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = Histogram::from_values(BinSpec::paper_packet_size(), [40, 552]);
+        let b = Histogram::from_values(BinSpec::paper_packet_size(), [100, 100]);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 2, 1]);
+        assert_eq!(a.total(), 4);
+        a.reset();
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.counts(), &[0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "differing bin specs")]
+    fn merge_incompatible_panics() {
+        let mut a = Histogram::new(BinSpec::paper_packet_size());
+        let b = Histogram::new(BinSpec::paper_interarrival());
+        a.merge(&b);
+    }
+
+    #[test]
+    fn from_values_matches_manual() {
+        let vals = [0u64, 799, 800, 3600, 50_000];
+        let h = Histogram::from_values(BinSpec::paper_interarrival(), vals);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 2]);
+    }
+}

@@ -1,0 +1,43 @@
+//! # nettrace — packet record and trace substrate
+//!
+//! This crate provides the data model that every other crate in the
+//! workspace builds on: packet records, traces with nondecreasing
+//! timestamps, capture-clock models, libpcap file I/O, per-second
+//! time series, and integer-domain histograms.
+//!
+//! The design follows the conventions of the SIGCOMM 1993 study this
+//! workspace reproduces (Claffy, Polyzos, Braun, *Application of Sampling
+//! Methodologies to Network Traffic Characterization*):
+//!
+//! * timestamps are in **microseconds** since the start of the trace;
+//! * the capture clock of the original SDSC/E-NSS monitor had a
+//!   **400 µs granularity**, modeled by [`time::ClockModel`];
+//! * a trace is treated as a fixed *parent population* from which samples
+//!   are drawn by the `sampling` crate.
+//!
+//! The crate is synchronous and allocation-conscious: a [`packet::PacketRecord`]
+//! is a small `Copy` struct and a [`trace::Trace`] is a flat `Vec` of them,
+//! so a one-hour, 1.6-million-packet population fits comfortably in memory
+//! and iterates at cache speed.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod histogram;
+pub mod merge;
+pub mod packet;
+pub mod pcap;
+pub mod pcapng;
+pub mod series;
+pub mod time;
+pub mod trace;
+
+pub use error::TraceError;
+pub use histogram::{BinSpec, Histogram};
+pub use merge::{merge, rebase, shift};
+pub use pcapng::read_capture;
+pub use packet::{PacketRecord, Protocol};
+pub use series::{PerSecondSeries, SecondStats};
+pub use time::{ClockModel, Micros};
+pub use trace::{Trace, TraceStats};

@@ -1,0 +1,155 @@
+//! Merging traces from multiple capture points.
+//!
+//! The T3 node architecture has "multiple subsystems, including those
+//! connected to T3, Ethernet, and FDDI external interfaces, forwarding
+//! to the RS/6000 processor in parallel" (paper §2): the stream the
+//! statistics processor sees is a time-ordered merge of several
+//! interfaces' selections. [`merge`] performs that k-way merge; [`shift`]
+//! and [`rebase`] align traces captured with different time origins.
+
+use crate::packet::PacketRecord;
+use crate::time::Micros;
+use crate::trace::Trace;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// K-way merge of traces into one time-ordered trace.
+///
+/// Ties are broken by input order (stable for equal timestamps), so a
+/// merge of already-merged traces is deterministic.
+#[must_use]
+pub fn merge(traces: &[&Trace]) -> Trace {
+    // (timestamp, source index, position) min-heap.
+    let mut heap: BinaryHeap<Reverse<(Micros, usize, usize)>> = BinaryHeap::new();
+    let mut total = 0;
+    for (src, t) in traces.iter().enumerate() {
+        total += t.len();
+        if !t.is_empty() {
+            heap.push(Reverse((t.packets()[0].timestamp, src, 0)));
+        }
+    }
+    let mut out: Vec<PacketRecord> = Vec::with_capacity(total);
+    while let Some(Reverse((_, src, pos))) = heap.pop() {
+        let t = traces[src];
+        out.push(t.packets()[pos]);
+        if pos + 1 < t.len() {
+            heap.push(Reverse((t.packets()[pos + 1].timestamp, src, pos + 1)));
+        }
+    }
+    Trace::new(out).expect("merge preserves ordering")
+}
+
+/// Shift every timestamp forward by `offset` (aligning a capture that
+/// started later).
+#[must_use]
+pub fn shift(trace: &Trace, offset: Micros) -> Trace {
+    let packets = trace
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.timestamp = p.timestamp + offset;
+            q
+        })
+        .collect();
+    Trace::new(packets).expect("shifting preserves ordering")
+}
+
+/// Rebase so the first packet is at time zero (trace-relative time, the
+/// convention of this workspace's analyses).
+#[must_use]
+pub fn rebase(trace: &Trace) -> Trace {
+    let Some(start) = trace.start() else {
+        return Trace::empty();
+    };
+    let packets = trace
+        .iter()
+        .map(|p| {
+            let mut q = *p;
+            q.timestamp = p.timestamp.saturating_sub(start);
+            q
+        })
+        .collect();
+    Trace::new(packets).expect("rebasing preserves ordering")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(t: u64, size: u16) -> PacketRecord {
+        PacketRecord::new(Micros(t), size)
+    }
+
+    fn trace(ts: &[u64]) -> Trace {
+        Trace::new(ts.iter().map(|&t| pkt(t, 40)).collect()).unwrap()
+    }
+
+    #[test]
+    fn merge_interleaves_in_time_order() {
+        let a = trace(&[0, 400, 1000]);
+        let b = trace(&[200, 500, 2000]);
+        let m = merge(&[&a, &b]);
+        let ts: Vec<u64> = m.iter().map(|p| p.timestamp.as_u64()).collect();
+        assert_eq!(ts, vec![0, 200, 400, 500, 1000, 2000]);
+    }
+
+    #[test]
+    fn merge_handles_empty_and_single_inputs() {
+        let a = trace(&[1, 2]);
+        let empty = Trace::empty();
+        assert_eq!(merge(&[&a, &empty]).len(), 2);
+        assert_eq!(merge(&[&empty]).len(), 0);
+        assert_eq!(merge(&[]).len(), 0);
+    }
+
+    #[test]
+    fn merge_is_stable_for_ties() {
+        let a = Trace::new(vec![pkt(100, 1)]).unwrap();
+        let b = Trace::new(vec![pkt(100, 2)]).unwrap();
+        let m = merge(&[&a, &b]);
+        // Equal timestamps: source 0 first.
+        assert_eq!(m.packets()[0].size, 1);
+        assert_eq!(m.packets()[1].size, 2);
+    }
+
+    #[test]
+    fn merge_three_sources_conserves_packets() {
+        let a = trace(&[0, 300, 600, 900]);
+        let b = trace(&[100, 400, 700]);
+        let c = trace(&[200, 500, 800, 1100, 1400]);
+        let m = merge(&[&a, &b, &c]);
+        assert_eq!(m.len(), 12);
+        assert!(m
+            .packets()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn shift_moves_origin() {
+        let a = trace(&[0, 100]);
+        let s = shift(&a, Micros(5000));
+        assert_eq!(s.start(), Some(Micros(5000)));
+        assert_eq!(s.end(), Some(Micros(5100)));
+        assert_eq!(s.duration(), a.duration());
+    }
+
+    #[test]
+    fn rebase_zeroes_the_start() {
+        let a = trace(&[7000, 7400, 9000]);
+        let r = rebase(&a);
+        assert_eq!(r.start(), Some(Micros::ZERO));
+        assert_eq!(r.interarrivals(), a.interarrivals());
+        assert!(rebase(&Trace::empty()).is_empty());
+    }
+
+    #[test]
+    fn shifted_captures_merge_correctly() {
+        // Two interfaces whose captures started 250us apart.
+        let fddi = trace(&[0, 1000]);
+        let ethernet = shift(&trace(&[0, 1000]), Micros(250));
+        let m = merge(&[&fddi, &ethernet]);
+        let ts: Vec<u64> = m.iter().map(|p| p.timestamp.as_u64()).collect();
+        assert_eq!(ts, vec![0, 250, 1000, 1250]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Packet records: the unit of observation for all sampling and
+//! characterization in this workspace.
+//!
+//! A [`PacketRecord`] captures exactly the header-derived fields the NSFNET
+//! statistics pipeline (NNStat on T1, ARTS on T3) extracted per packet:
+//! arrival time, IP length, transport protocol, well-known ports, and the
+//! source/destination *network numbers* used for the traffic matrix
+//! (paper §2, Table 1).
+
+use crate::time::Micros;
+use std::fmt;
+
+/// Transport (or network) protocol carried over IP, as categorized by the
+/// NSFNET collection objects ("distribution of protocol over IP (e.g. TCP,
+/// UDP, ICMP)", paper Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Protocol {
+    /// Transmission Control Protocol (IP proto 6).
+    Tcp,
+    /// User Datagram Protocol (IP proto 17).
+    Udp,
+    /// Internet Control Message Protocol (IP proto 1).
+    Icmp,
+    /// Any other IP protocol, with its protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// The IP protocol number.
+    #[must_use]
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// Categorize an IP protocol number.
+    #[must_use]
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Protocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Protocol::Tcp => write!(f, "TCP"),
+            Protocol::Udp => write!(f, "UDP"),
+            Protocol::Icmp => write!(f, "ICMP"),
+            Protocol::Other(n) => write!(f, "IP#{n}"),
+        }
+    }
+}
+
+/// A single observed packet.
+///
+/// This is a compact, `Copy` record: traces hold millions of them and the
+/// samplers are driven one record at a time, so keeping the record small
+/// (32 bytes) matters for iteration speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketRecord {
+    /// Arrival timestamp, microseconds since trace start (possibly quantized
+    /// by a [`crate::time::ClockModel`]).
+    pub timestamp: Micros,
+    /// IP packet length in bytes (header + payload), 28..=1500 in the
+    /// study's FDDI→T3 environment.
+    pub size: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Source port for TCP/UDP, 0 otherwise.
+    pub src_port: u16,
+    /// Destination port for TCP/UDP, 0 otherwise.
+    pub dst_port: u16,
+    /// Source network number (classful network identifier used by the
+    /// NSFNET traffic matrix objects).
+    pub src_net: u16,
+    /// Destination network number.
+    pub dst_net: u16,
+}
+
+impl PacketRecord {
+    /// A minimal record with the given timestamp and size; protocol defaults
+    /// to TCP and all other fields to zero. Convenient for tests and for
+    /// size/interarrival-only analyses.
+    #[must_use]
+    pub fn new(timestamp: Micros, size: u16) -> Self {
+        PacketRecord {
+            timestamp,
+            size,
+            protocol: Protocol::Tcp,
+            src_port: 0,
+            dst_port: 0,
+            src_net: 0,
+            dst_net: 0,
+        }
+    }
+
+    /// Builder-style: set protocol.
+    #[must_use]
+    pub fn with_protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Builder-style: set source/destination ports.
+    #[must_use]
+    pub fn with_ports(mut self, src: u16, dst: u16) -> Self {
+        self.src_port = src;
+        self.dst_port = dst;
+        self
+    }
+
+    /// Builder-style: set source/destination network numbers.
+    #[must_use]
+    pub fn with_nets(mut self, src: u16, dst: u16) -> Self {
+        self.src_net = src;
+        self.dst_net = dst;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_number_roundtrip() {
+        for n in 0u8..=255 {
+            assert_eq!(Protocol::from_number(n).number(), n);
+        }
+    }
+
+    #[test]
+    fn protocol_well_known() {
+        assert_eq!(Protocol::from_number(6), Protocol::Tcp);
+        assert_eq!(Protocol::from_number(17), Protocol::Udp);
+        assert_eq!(Protocol::from_number(1), Protocol::Icmp);
+        assert_eq!(Protocol::from_number(89), Protocol::Other(89));
+    }
+
+    #[test]
+    fn protocol_display() {
+        assert_eq!(Protocol::Tcp.to_string(), "TCP");
+        assert_eq!(Protocol::Other(89).to_string(), "IP#89");
+    }
+
+    #[test]
+    fn record_is_small() {
+        // Samplers iterate millions of these; the size is part of the
+        // substrate's contract.
+        assert!(std::mem::size_of::<PacketRecord>() <= 32);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let p = PacketRecord::new(Micros(400), 552)
+            .with_protocol(Protocol::Udp)
+            .with_ports(53, 2049)
+            .with_nets(192, 35);
+        assert_eq!(p.timestamp, Micros(400));
+        assert_eq!(p.size, 552);
+        assert_eq!(p.protocol, Protocol::Udp);
+        assert_eq!((p.src_port, p.dst_port), (53, 2049));
+        assert_eq!((p.src_net, p.dst_net), (192, 35));
+    }
+}

@@ -1,0 +1,418 @@
+//! Classic libpcap file format reader and writer.
+//!
+//! The study's trace was captured to disk (650 MB for 24 hours); where a
+//! real trace is available this module lets the workspace consume it, and
+//! the synthetic generator can export its traces for inspection in
+//! standard tools (tcpdump/Wireshark), mirroring the `--pcap` facility of
+//! the smoltcp examples this workspace's style follows.
+//!
+//! Supported: the classic (non-ng) format, microsecond and nanosecond
+//! timestamp magics, both byte orders. Written files use the
+//! `LINKTYPE_RAW` (101) link layer carrying a synthetic IPv4 header, so a
+//! [`PacketRecord`]'s protocol, ports and network numbers survive a
+//! write/read round trip even though no real payload exists.
+
+use crate::error::TraceError;
+use crate::packet::{PacketRecord, Protocol};
+use crate::time::Micros;
+use crate::trace::Trace;
+use std::io::{Read, Write};
+
+/// Microsecond-timestamp pcap magic.
+const MAGIC_US: u32 = 0xa1b2_c3d4;
+/// Nanosecond-timestamp pcap magic.
+const MAGIC_NS: u32 = 0xa1b2_3c4d;
+/// `LINKTYPE_RAW`: packets begin directly with an IPv4/IPv6 header.
+const LINKTYPE_RAW: u32 = 101;
+/// Sanity cap on record capture length: real WAN packets in this study are
+/// at most 1500 bytes; 256 KiB tolerates jumbo captures while rejecting
+/// corrupt headers.
+const MAX_CAPLEN: u32 = 256 * 1024;
+/// Bytes of synthetic header we write per packet: IPv4 (20) + 8 bytes of
+/// transport header (enough for ports).
+const WRITE_CAPLEN: usize = 28;
+
+/// Byte order of a parsed pcap stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endian {
+    Little,
+    Big,
+}
+
+fn u16_from(e: Endian, b: [u8; 2]) -> u16 {
+    match e {
+        Endian::Little => u16::from_le_bytes(b),
+        Endian::Big => u16::from_be_bytes(b),
+    }
+}
+
+fn u32_from(e: Endian, b: [u8; 4]) -> u32 {
+    match e {
+        Endian::Little => u32::from_le_bytes(b),
+        Endian::Big => u32::from_be_bytes(b),
+    }
+}
+
+/// Write a trace as a classic little-endian, microsecond pcap file.
+///
+/// Each record carries a 28-byte synthetic `LINKTYPE_RAW` IPv4 header whose
+/// total-length field is the packet's true size, so `orig_len`, protocol,
+/// ports and network numbers are all recoverable by [`read_pcap`].
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_pcap<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+    // Global header.
+    w.write_all(&MAGIC_US.to_le_bytes())?;
+    w.write_all(&2u16.to_le_bytes())?; // version major
+    w.write_all(&4u16.to_le_bytes())?; // version minor
+    w.write_all(&0i32.to_le_bytes())?; // thiszone
+    w.write_all(&0u32.to_le_bytes())?; // sigfigs
+    w.write_all(&(WRITE_CAPLEN as u32).to_le_bytes())?; // snaplen
+    w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+
+    for p in trace.iter() {
+        let ts = p.timestamp.as_u64();
+        let sec = (ts / 1_000_000) as u32;
+        let usec = (ts % 1_000_000) as u32;
+        let caplen = WRITE_CAPLEN.min(usize::from(p.size.max(28))) as u32;
+        w.write_all(&sec.to_le_bytes())?;
+        w.write_all(&usec.to_le_bytes())?;
+        w.write_all(&caplen.to_le_bytes())?;
+        w.write_all(&u32::from(p.size).to_le_bytes())?;
+        w.write_all(&synth_header(p)[..caplen as usize])?;
+    }
+    Ok(())
+}
+
+/// Build the synthetic 28-byte IPv4 + transport header for a record.
+fn synth_header(p: &PacketRecord) -> [u8; WRITE_CAPLEN] {
+    let mut h = [0u8; WRITE_CAPLEN];
+    h[0] = 0x45; // version 4, IHL 5
+    h[2..4].copy_from_slice(&p.size.to_be_bytes()); // total length
+    h[8] = 64; // TTL
+    h[9] = p.protocol.number();
+    // Addresses: 10.<net_hi>.<net_lo>.1 — encodes the classful "network
+    // number" used by the traffic-matrix objects.
+    h[12] = 10;
+    h[13..15].copy_from_slice(&p.src_net.to_be_bytes());
+    h[15] = 1;
+    h[16] = 10;
+    h[17..19].copy_from_slice(&p.dst_net.to_be_bytes());
+    h[19] = 1;
+    // First 4 bytes of TCP/UDP header: source and destination ports.
+    h[20..22].copy_from_slice(&p.src_port.to_be_bytes());
+    h[22..24].copy_from_slice(&p.dst_port.to_be_bytes());
+    h
+}
+
+/// Parse a record's synthetic (or real) IPv4 header back into packet fields.
+fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
+    let mut rec = PacketRecord::new(ts, orig_len.min(u32::from(u16::MAX)) as u16);
+    if data.len() >= 20 && data[0] >> 4 == 4 {
+        rec.protocol = Protocol::from_number(data[9]);
+        rec.src_net = u16::from_be_bytes([data[13], data[14]]);
+        rec.dst_net = u16::from_be_bytes([data[17], data[18]]);
+        let ihl = usize::from(data[0] & 0x0f) * 4;
+        let total_len = u16::from_be_bytes([data[2], data[3]]);
+        if total_len > 0 {
+            rec.size = total_len;
+        }
+        if matches!(rec.protocol, Protocol::Tcp | Protocol::Udp) && data.len() >= ihl + 4 {
+            rec.src_port = u16::from_be_bytes([data[ihl], data[ihl + 1]]);
+            rec.dst_port = u16::from_be_bytes([data[ihl + 2], data[ihl + 3]]);
+        }
+    }
+    rec
+}
+
+/// Read a classic pcap stream into a [`Trace`].
+///
+/// Timestamps are absolute microseconds from the pcap epoch values;
+/// call [`Trace::from_unordered`]-style rebasing downstream if a
+/// trace-relative timeline is wanted. Packets are defensively sorted if
+/// the capture interleaved timestamps (multi-interface captures do this).
+///
+/// # Errors
+/// * [`TraceError::BadMagic`] if the stream is not pcap;
+/// * [`TraceError::TruncatedRecord`] if it ends mid-record;
+/// * [`TraceError::OversizedRecord`] on an implausible capture length;
+/// * [`TraceError::Io`] on underlying read failures.
+pub fn read_pcap<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    read_pcap_with_magic(magic, r)
+}
+
+/// Continue reading a classic pcap stream whose 4 magic bytes were
+/// already consumed (the format-sniffing entry point
+/// [`crate::pcapng::read_capture`] uses this).
+pub(crate) fn read_pcap_with_magic<R: Read>(
+    magic: [u8; 4],
+    mut r: R,
+) -> Result<Trace, TraceError> {
+    let magic_le = u32::from_le_bytes(magic);
+    let magic_be = u32::from_be_bytes(magic);
+    let (endian, nanos) = match (magic_le, magic_be) {
+        (MAGIC_US, _) => (Endian::Little, false),
+        (MAGIC_NS, _) => (Endian::Little, true),
+        (_, MAGIC_US) => (Endian::Big, false),
+        (_, MAGIC_NS) => (Endian::Big, true),
+        _ => return Err(TraceError::BadMagic(magic_le)),
+    };
+
+    // Remainder of the 24-byte global header.
+    let mut rest = [0u8; 20];
+    r.read_exact(&mut rest)?;
+    let _version_major = u16_from(endian, [rest[0], rest[1]]);
+    // thiszone/sigfigs/snaplen/linktype are not needed for decoding records.
+
+    let mut packets = Vec::new();
+    loop {
+        let mut rec_hdr = [0u8; 16];
+        match read_exact_or_eof(&mut r, &mut rec_hdr) {
+            ReadOutcome::Eof => break,
+            ReadOutcome::Partial => {
+                return Err(TraceError::TruncatedRecord {
+                    packets_read: packets.len(),
+                })
+            }
+            ReadOutcome::Full => {}
+        }
+        let sec = u32_from(endian, [rec_hdr[0], rec_hdr[1], rec_hdr[2], rec_hdr[3]]);
+        let frac = u32_from(endian, [rec_hdr[4], rec_hdr[5], rec_hdr[6], rec_hdr[7]]);
+        let caplen = u32_from(endian, [rec_hdr[8], rec_hdr[9], rec_hdr[10], rec_hdr[11]]);
+        let orig_len = u32_from(endian, [rec_hdr[12], rec_hdr[13], rec_hdr[14], rec_hdr[15]]);
+        if caplen > MAX_CAPLEN {
+            return Err(TraceError::OversizedRecord { caplen });
+        }
+        let mut data = vec![0u8; caplen as usize];
+        if !matches!(read_exact_or_eof(&mut r, &mut data), ReadOutcome::Full) {
+            return Err(TraceError::TruncatedRecord {
+                packets_read: packets.len(),
+            });
+        }
+        let usec = if nanos { u64::from(frac) / 1000 } else { u64::from(frac) };
+        let ts = Micros(u64::from(sec) * 1_000_000 + usec);
+        packets.push(parse_ipv4(&data, orig_len, ts));
+    }
+    Ok(Trace::from_unordered(packets))
+}
+
+enum ReadOutcome {
+    Full,
+    Partial,
+    Eof,
+}
+
+/// Read exactly `buf.len()` bytes, distinguishing clean EOF (zero bytes)
+/// from truncation (some bytes then EOF).
+fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                }
+            }
+            Ok(n) => filled += n,
+            Err(ref e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Partial,
+        }
+    }
+    ReadOutcome::Full
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+
+    fn sample_trace() -> Trace {
+        Trace::new(vec![
+            PacketRecord::new(Micros(0), 40)
+                .with_protocol(Protocol::Tcp)
+                .with_ports(1023, 23)
+                .with_nets(192, 35),
+            PacketRecord::new(Micros(2358), 552)
+                .with_protocol(Protocol::Udp)
+                .with_ports(53, 53)
+                .with_nets(16, 128),
+            PacketRecord::new(Micros(1_000_000), 1500).with_protocol(Protocol::Icmp),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_records() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        let back = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), t.len());
+        for (a, b) in t.iter().zip(back.iter()) {
+            assert_eq!(a.timestamp, b.timestamp);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.protocol, b.protocol);
+            assert_eq!(a.src_port, b.src_port);
+            assert_eq!(a.dst_port, b.dst_port);
+            assert_eq!(a.src_net, b.src_net);
+            assert_eq!(a.dst_net, b.dst_net);
+        }
+    }
+
+    #[test]
+    fn empty_trace_roundtrip() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::empty()).unwrap();
+        assert_eq!(buf.len(), 24); // header only
+        let back = read_pcap(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_magic() {
+        let garbage = [0u8; 24];
+        assert!(matches!(
+            read_pcap(&garbage[..]),
+            Err(TraceError::BadMagic(_))
+        ));
+    }
+
+    #[test]
+    fn detects_truncated_record() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 5);
+        match read_pcap(buf.as_slice()) {
+            Err(TraceError::TruncatedRecord { packets_read }) => assert_eq!(packets_read, 2),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_truncated_header() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        // Cut into the second record's 16-byte header.
+        buf.truncate(24 + 16 + WRITE_CAPLEN + 7);
+        assert!(matches!(
+            read_pcap(buf.as_slice()),
+            Err(TraceError::TruncatedRecord { packets_read: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_caplen() {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::empty()).unwrap();
+        // Append a record header declaring a huge caplen.
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&(MAX_CAPLEN + 1).to_le_bytes());
+        buf.extend_from_slice(&40u32.to_le_bytes());
+        assert!(matches!(
+            read_pcap(buf.as_slice()),
+            Err(TraceError::OversizedRecord { .. })
+        ));
+    }
+
+    #[test]
+    fn reads_big_endian_and_nanosecond_streams() {
+        // Hand-build a big-endian, nanosecond-magic stream with one record.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&MAGIC_NS.to_be_bytes());
+        buf.extend_from_slice(&2u16.to_be_bytes());
+        buf.extend_from_slice(&4u16.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_be_bytes()); // sigfigs
+        buf.extend_from_slice(&65535u32.to_be_bytes()); // snaplen
+        buf.extend_from_slice(&LINKTYPE_RAW.to_be_bytes());
+        // record: ts = 1s + 500_000ns -> 1_000_500us
+        buf.extend_from_slice(&1u32.to_be_bytes());
+        buf.extend_from_slice(&500_000u32.to_be_bytes());
+        buf.extend_from_slice(&0u32.to_be_bytes()); // caplen 0 (headerless)
+        buf.extend_from_slice(&576u32.to_be_bytes()); // orig_len
+        let t = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.packets()[0].timestamp, Micros(1_000_500));
+        assert_eq!(t.packets()[0].size, 576);
+    }
+
+    #[test]
+    fn non_ipv4_payload_falls_back_to_orig_len() {
+        // A record whose payload is not IPv4 (version nibble 6): parse
+        // falls back to orig_len and zeroed fields.
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::empty()).unwrap();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&100u32.to_le_bytes());
+        buf.extend_from_slice(&20u32.to_le_bytes()); // caplen 20
+        buf.extend_from_slice(&1280u32.to_le_bytes()); // orig_len
+        let mut payload = [0u8; 20];
+        payload[0] = 0x60; // IPv6 version nibble
+        buf.extend_from_slice(&payload);
+        let t = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.packets()[0].size, 1280);
+        assert_eq!(t.packets()[0].src_port, 0);
+    }
+
+    #[test]
+    fn short_caplen_record_keeps_protocol_but_not_ports() {
+        // caplen 20: the IPv4 header fits but the transport header does
+        // not; protocol and nets parse, ports stay zero.
+        let t = Trace::new(vec![PacketRecord::new(Micros(0), 40)
+            .with_protocol(Protocol::Tcp)
+            .with_ports(1024, 23)
+            .with_nets(5, 9)])
+        .unwrap();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        // Rewrite the record's caplen from 28 to 20 and drop 8 bytes.
+        let rec_hdr = 24;
+        buf[rec_hdr + 8..rec_hdr + 12].copy_from_slice(&20u32.to_le_bytes());
+        buf.truncate(rec_hdr + 16 + 20);
+        let back = read_pcap(buf.as_slice()).unwrap();
+        let p = back.packets()[0];
+        assert_eq!(p.protocol, Protocol::Tcp);
+        assert_eq!((p.src_net, p.dst_net), (5, 9));
+        assert_eq!((p.src_port, p.dst_port), (0, 0));
+    }
+
+    #[test]
+    fn zero_total_length_field_uses_orig_len() {
+        // A capture tool that zeroes the IPv4 total-length field: the
+        // record header's orig_len wins.
+        let t = Trace::new(vec![PacketRecord::new(Micros(0), 576)]).unwrap();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        // Zero the total-length bytes inside the synthetic IPv4 header.
+        let data_start = 24 + 16;
+        buf[data_start + 2] = 0;
+        buf[data_start + 3] = 0;
+        let back = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(back.packets()[0].size, 576);
+    }
+
+    #[test]
+    fn out_of_order_capture_is_sorted() {
+        // Little-endian us stream with two records out of order.
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::empty()).unwrap();
+        for (sec, usec) in [(5u32, 0u32), (1, 0)] {
+            buf.extend_from_slice(&sec.to_le_bytes());
+            buf.extend_from_slice(&usec.to_le_bytes());
+            buf.extend_from_slice(&0u32.to_le_bytes());
+            buf.extend_from_slice(&40u32.to_le_bytes());
+        }
+        let t = read_pcap(buf.as_slice()).unwrap();
+        assert_eq!(t.packets()[0].timestamp, Micros(1_000_000));
+        assert_eq!(t.packets()[1].timestamp, Micros(5_000_000));
+    }
+}

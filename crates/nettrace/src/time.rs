@@ -1,0 +1,208 @@
+//! Time representation for packet traces.
+//!
+//! All timestamps are microseconds since the start of the trace, stored in
+//! a [`Micros`] newtype. The original study's capture hardware had a 400 µs
+//! clock granularity (paper §7.1.2, Table 3 caption); [`ClockModel`]
+//! reproduces that quantization so interarrival-time distributions have the
+//! same discrete support as the paper's.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in time (or a duration), in microseconds.
+///
+/// `Micros` is used both for absolute trace-relative timestamps and for
+/// durations (e.g. interarrival times); the arithmetic provided covers both
+/// uses. Saturating subtraction is deliberate: a quantized pair of
+/// timestamps may compare equal, and the interarrival time is then zero,
+/// never negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Micros(pub u64);
+
+impl Micros {
+    /// Zero microseconds (start of trace).
+    pub const ZERO: Micros = Micros(0);
+
+    /// Construct from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        Micros(secs * 1_000_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        Micros(ms * 1_000)
+    }
+
+    /// The raw microsecond count.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (fractional) seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Whole seconds elapsed (floor).
+    #[must_use]
+    pub const fn whole_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Saturating difference, for interarrival computation on quantized
+    /// timestamps.
+    #[must_use]
+    pub const fn saturating_sub(self, other: Micros) -> Micros {
+        Micros(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for Micros {
+    type Output = Micros;
+    fn add(self, rhs: Micros) -> Micros {
+        Micros(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Micros {
+    fn add_assign(&mut self, rhs: Micros) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Micros {
+    type Output = Micros;
+    /// Panics in debug builds on underflow; use
+    /// [`Micros::saturating_sub`] when operands may be equal-after-quantization.
+    fn sub(self, rhs: Micros) -> Micros {
+        Micros(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Micros {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}us", self.0)
+    }
+}
+
+/// A model of the capture clock used to timestamp packets.
+///
+/// The SDSC monitor that produced the paper's trace reported timestamps at
+/// a 400 µs granularity. Quantization floors a timestamp to the nearest
+/// lower clock tick, which is what a free-running tick counter sampled at
+/// packet arrival produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockModel {
+    /// Clock tick length in microseconds. `1` means an ideal clock.
+    tick_us: u64,
+}
+
+impl ClockModel {
+    /// An ideal, microsecond-resolution clock (no quantization).
+    pub const IDEAL: ClockModel = ClockModel { tick_us: 1 };
+
+    /// The 400 µs clock of the paper's capture environment.
+    pub const SDSC_1993: ClockModel = ClockModel { tick_us: 400 };
+
+    /// A clock with the given tick length in microseconds.
+    ///
+    /// # Panics
+    /// Panics if `tick_us` is zero.
+    #[must_use]
+    pub fn new(tick_us: u64) -> Self {
+        assert!(tick_us > 0, "clock tick must be positive");
+        ClockModel { tick_us }
+    }
+
+    /// The tick length in microseconds.
+    #[must_use]
+    pub const fn tick_us(self) -> u64 {
+        self.tick_us
+    }
+
+    /// Quantize a timestamp to this clock (floor to tick).
+    #[must_use]
+    pub const fn quantize(self, t: Micros) -> Micros {
+        Micros(t.0 / self.tick_us * self.tick_us)
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        ClockModel::IDEAL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_constructors() {
+        assert_eq!(Micros::from_secs(2).as_u64(), 2_000_000);
+        assert_eq!(Micros::from_millis(3).as_u64(), 3_000);
+        assert_eq!(Micros::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn micros_arithmetic() {
+        let a = Micros(1500);
+        let b = Micros(400);
+        assert_eq!(a + b, Micros(1900));
+        assert_eq!(a - b, Micros(1100));
+        assert_eq!(b.saturating_sub(a), Micros::ZERO);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Micros(1900));
+    }
+
+    #[test]
+    fn micros_seconds_views() {
+        let t = Micros(2_500_000);
+        assert_eq!(t.whole_secs(), 2);
+        assert!((t.as_secs_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micros_ordering_and_display() {
+        assert!(Micros(1) < Micros(2));
+        assert_eq!(Micros(42).to_string(), "42us");
+    }
+
+    #[test]
+    fn ideal_clock_is_identity() {
+        let c = ClockModel::IDEAL;
+        for t in [0u64, 1, 399, 400, 12345] {
+            assert_eq!(c.quantize(Micros(t)), Micros(t));
+        }
+    }
+
+    #[test]
+    fn sdsc_clock_floors_to_400us() {
+        let c = ClockModel::SDSC_1993;
+        assert_eq!(c.quantize(Micros(0)), Micros(0));
+        assert_eq!(c.quantize(Micros(399)), Micros(0));
+        assert_eq!(c.quantize(Micros(400)), Micros(400));
+        assert_eq!(c.quantize(Micros(401)), Micros(400));
+        assert_eq!(c.quantize(Micros(1_000_000)), Micros(999_600 + 400));
+    }
+
+    #[test]
+    fn quantization_is_idempotent() {
+        let c = ClockModel::new(400);
+        for t in [0u64, 1, 399, 400, 799, 800, 123_456_789] {
+            let q = c.quantize(Micros(t));
+            assert_eq!(c.quantize(q), q);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clock tick must be positive")]
+    fn zero_tick_panics() {
+        let _ = ClockModel::new(0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Sample autocorrelation function.
+//!
+//! Cochran's comparison of sampling methods (paper §5) turns entirely on
+//! the *serial correlation structure* of the population: systematic
+//! sampling wins or loses against random sampling depending on the
+//! correlation between elements `k` apart. The ACF makes that structure
+//! measurable, and the `acf` ablation experiment uses it to show *why*
+//! the study trace's methods tie: its packet-size sequence has almost no
+//! correlation at the sampled lags.
+
+/// Sample autocorrelation of `data` at the given `lags`.
+///
+/// Uses the standard biased estimator `r(h) = c(h)/c(0)` with
+/// `c(h) = (1/n) Σ (x_t − x̄)(x_{t+h} − x̄)`, which guarantees
+/// `|r(h)| ≤ 1`.
+///
+/// # Panics
+/// Panics if `data` has fewer than two points, has zero variance, or any
+/// lag is ≥ `data.len()`.
+#[must_use]
+pub fn acf(data: &[f64], lags: &[usize]) -> Vec<f64> {
+    assert!(data.len() >= 2, "ACF needs at least two points");
+    let n = data.len();
+    let mean = data.iter().sum::<f64>() / n as f64;
+    let c0: f64 = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    assert!(c0 > 0.0, "ACF undefined for constant data");
+    lags.iter()
+        .map(|&h| {
+            assert!(h < n, "lag {h} exceeds series length {n}");
+            let ch: f64 = (0..n - h)
+                .map(|t| (data[t] - mean) * (data[t + h] - mean))
+                .sum::<f64>()
+                / n as f64;
+            ch / c0
+        })
+        .collect()
+}
+
+/// Lag-1 autocorrelation convenience wrapper.
+///
+/// # Panics
+/// As [`acf`].
+#[must_use]
+pub fn lag1(data: &[f64]) -> f64 {
+    acf(data, &[1])[0]
+}
+
+/// The approximate two-sided 95% significance band for a white-noise
+/// null: `±1.96/√n`. Values inside the band are statistically
+/// indistinguishable from no correlation.
+#[must_use]
+pub fn white_noise_band(n: usize) -> f64 {
+    1.96 / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lag_is_one() {
+        let d = [1.0, 5.0, 2.0, 8.0, 3.0];
+        assert!((acf(&d, &[0])[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alternating_series_has_negative_lag1() {
+        let d: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(lag1(&d) < -0.9);
+    }
+
+    #[test]
+    fn periodic_series_peaks_at_period() {
+        let period = 10;
+        let d: Vec<f64> = (0..1000)
+            .map(|i| (2.0 * std::f64::consts::PI * (i % period) as f64 / period as f64).sin())
+            .collect();
+        let r = acf(&d, &[period, period / 2]);
+        assert!(r[0] > 0.9, "at-period {}", r[0]);
+        assert!(r[1] < -0.9, "half-period {}", r[1]);
+    }
+
+    #[test]
+    fn linear_trend_has_long_positive_correlation() {
+        let d: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let r = acf(&d, &[1, 100]);
+        assert!(r[0] > 0.99);
+        assert!(r[1] > 0.7);
+    }
+
+    #[test]
+    fn iid_series_is_inside_the_band() {
+        use crate::rand_ext::standard_normal;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let d: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let band = white_noise_band(d.len());
+        for r in acf(&d, &[1, 5, 50, 500]) {
+            assert!(r.abs() < 2.0 * band, "r = {r}, band = {band}");
+        }
+    }
+
+    #[test]
+    fn biased_estimator_is_bounded() {
+        let d: Vec<f64> = (0..500).map(|i| ((i * 37) % 97) as f64).collect();
+        for r in acf(&d, &[0, 1, 2, 10, 100, 499]) {
+            assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "constant data")]
+    fn constant_series_panics() {
+        let _ = acf(&[2.0; 10], &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds series length")]
+    fn oversized_lag_panics() {
+        let _ = acf(&[1.0, 2.0, 3.0], &[3]);
+    }
+}

@@ -1,0 +1,138 @@
+//! Anderson–Darling goodness-of-fit test (one sample, fully specified
+//! reference distribution — "case 0").
+//!
+//! The paper (§5.2) cites the A² test [Anderson & Darling 1954] among the
+//! sophisticated alternatives that proved hard to apply to WAN traffic.
+//! We implement the case-0 statistic and the standard upper-tail critical
+//! values so the workspace can demonstrate the difficulty directly: the
+//! test assumes a continuous reference CDF, and the massive ties of
+//! discretized traffic data drive `F(xᵢ)` to exact 0/1 values where the
+//! statistic degenerates (handled here by clamping, as is conventional).
+
+/// Upper-tail critical values for the case-0 A² statistic
+/// (D'Agostino & Stephens, *Goodness of Fit*, Table 4.2).
+const CRITICAL: [(f64, f64); 5] = [
+    (0.10, 1.933),
+    (0.05, 2.492),
+    (0.025, 3.070),
+    (0.01, 3.880),
+    (0.005, 4.500),
+];
+
+/// Result of a one-sample Anderson–Darling test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndersonDarling {
+    /// The A² statistic.
+    pub statistic: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl AndersonDarling {
+    /// Compute A² of `data` against a fully specified reference CDF.
+    ///
+    /// CDF values are clamped to `[1e-12, 1 − 1e-12]` so discrete or
+    /// truncated references do not produce infinities; heavy clamping is
+    /// itself the signal that A² is inappropriate for the data (the
+    /// paper's point).
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn test<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> AndersonDarling {
+        assert!(!data.is_empty(), "A-D requires a nonempty sample");
+        let mut xs = data.to_vec();
+        xs.sort_by(f64::total_cmp);
+        let n = xs.len();
+        let nf = n as f64;
+        let mut s = 0.0;
+        for i in 0..n {
+            let fi = cdf(xs[i]).clamp(1e-12, 1.0 - 1e-12);
+            let fni = cdf(xs[n - 1 - i]).clamp(1e-12, 1.0 - 1e-12);
+            s += (2.0 * i as f64 + 1.0) * (fi.ln() + (1.0 - fni).ln());
+        }
+        AndersonDarling {
+            statistic: -nf - s / nf,
+            n,
+        }
+    }
+
+    /// Whether the null hypothesis is rejected at `alpha`. Only the
+    /// tabulated case-0 levels (0.10, 0.05, 0.025, 0.01, 0.005) are
+    /// supported.
+    ///
+    /// # Panics
+    /// Panics on an untabulated `alpha`.
+    #[must_use]
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        for &(a, crit) in &CRITICAL {
+            if (a - alpha).abs() < 1e-12 {
+                return self.statistic > crit;
+            }
+        }
+        panic!("alpha {alpha} not in the case-0 critical value table");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_grid(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect()
+    }
+
+    #[test]
+    fn uniform_data_against_uniform_cdf_accepts() {
+        let data = uniform_grid(200);
+        let t = AndersonDarling::test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(t.statistic < 1.0, "A2 = {}", t.statistic);
+        assert!(!t.rejects_at(0.05));
+        assert_eq!(t.n, 200);
+    }
+
+    #[test]
+    fn wrong_reference_rejects() {
+        let data = uniform_grid(200);
+        // Claim data ~ concentrated near 0.
+        let t = AndersonDarling::test(&data, |x| (x * x).clamp(0.0, 1.0));
+        assert!(t.rejects_at(0.01), "A2 = {}", t.statistic);
+    }
+
+    #[test]
+    fn shifted_data_rejects() {
+        let data: Vec<f64> = uniform_grid(300).iter().map(|x| x * 0.5).collect();
+        let t = AndersonDarling::test(&data, |x| x.clamp(0.0, 1.0));
+        assert!(t.rejects_at(0.005));
+    }
+
+    #[test]
+    fn degenerate_discrete_reference_is_finite() {
+        // A step CDF (all mass below the data) clamps rather than blows up.
+        let data = uniform_grid(50);
+        let t = AndersonDarling::test(&data, |_| 1.0);
+        assert!(t.statistic.is_finite());
+        assert!(t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn statistic_grows_with_divergence() {
+        let data = uniform_grid(100);
+        let mild = AndersonDarling::test(&data, |x: f64| x.powf(1.1).clamp(0.0, 1.0));
+        let severe = AndersonDarling::test(&data, |x: f64| x.powf(3.0).clamp(0.0, 1.0));
+        assert!(severe.statistic > mild.statistic);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sample_panics() {
+        let _ = AndersonDarling::test(&[], |x| x);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the case-0")]
+    fn untabulated_alpha_panics() {
+        let t = AndersonDarling::test(&[0.5], |x| x);
+        let _ = t.rejects_at(0.2);
+    }
+}

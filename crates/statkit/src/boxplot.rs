@@ -1,0 +1,198 @@
+//! Boxplot five-number summaries.
+//!
+//! Figure 6 of the paper shows boxplots of φ-value scores per sampling
+//! granularity. Its footnote fixes the convention: whiskers "extend to
+//! the extreme values of data or 1.5 times the interquartile difference
+//! from the center, whichever is less". [`Boxplot`] reproduces exactly
+//! that, and renders a one-line ASCII form for the reproduction binaries.
+
+use crate::quantile::quantile;
+
+/// A boxplot summary of one data set.
+///
+/// ```
+/// use statkit::Boxplot;
+/// let mut data: Vec<f64> = (1..=9).map(f64::from).collect();
+/// data.push(100.0); // an outlier
+/// let b = Boxplot::from_data(&data);
+/// assert_eq!(b.max, 100.0);
+/// assert!(b.upper_whisker < 100.0); // whisker stops at the fence
+/// assert_eq!(b.outliers, 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boxplot {
+    /// Smallest observation.
+    pub min: f64,
+    /// Lower whisker end (≥ min).
+    pub lower_whisker: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Upper whisker end (≤ max).
+    pub upper_whisker: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Arithmetic mean (Figure 7 plots the means of Figure 6's boxes).
+    pub mean: f64,
+    /// Number of observations outside the whiskers.
+    pub outliers: usize,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Boxplot {
+    /// Summarize a data set.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn from_data(data: &[f64]) -> Boxplot {
+        assert!(!data.is_empty(), "boxplot of empty data");
+        let q1 = quantile(data, 0.25);
+        let median = quantile(data, 0.5);
+        let q3 = quantile(data, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut lower_whisker = f64::INFINITY;
+        let mut upper_whisker = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut outliers = 0;
+        for &x in data {
+            sum += x;
+            min = min.min(x);
+            max = max.max(x);
+            if x >= lo_fence && x < lower_whisker {
+                lower_whisker = x;
+            }
+            if x <= hi_fence && x > upper_whisker {
+                upper_whisker = x;
+            }
+            if x < lo_fence || x > hi_fence {
+                outliers += 1;
+            }
+        }
+        // Degenerate all-outlier sides cannot occur (quartiles are inside
+        // the fences), but guard anyway.
+        if !lower_whisker.is_finite() {
+            lower_whisker = q1;
+        }
+        if !upper_whisker.is_finite() {
+            upper_whisker = q3;
+        }
+        Boxplot {
+            min,
+            lower_whisker,
+            q1,
+            median,
+            q3,
+            upper_whisker,
+            max,
+            mean: sum / data.len() as f64,
+            outliers,
+            n: data.len(),
+        }
+    }
+
+    /// Interquartile range.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Compact single-line rendering:
+    /// `min ⊢ [q1 | median | q3] ⊣ max (mean=…, outliers=…)`.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{:.4} |-- [{:.4} {{{:.4}}} {:.4}] --| {:.4}  mean={:.4} n={} outliers={}",
+            self.lower_whisker,
+            self.q1,
+            self.median,
+            self.q3,
+            self.upper_whisker,
+            self.mean,
+            self.n,
+            self.outliers
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_symmetric_data() {
+        let d: Vec<f64> = (1..=9).map(f64::from).collect();
+        let b = Boxplot::from_data(&d);
+        assert_eq!(b.median, 5.0);
+        assert_eq!(b.q1, 3.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.min, 1.0);
+        assert_eq!(b.max, 9.0);
+        // No outliers: whiskers reach the extremes.
+        assert_eq!(b.lower_whisker, 1.0);
+        assert_eq!(b.upper_whisker, 9.0);
+        assert_eq!(b.outliers, 0);
+        assert_eq!(b.mean, 5.0);
+        assert_eq!(b.n, 9);
+    }
+
+    #[test]
+    fn outlier_is_excluded_from_whisker() {
+        let mut d: Vec<f64> = (1..=9).map(f64::from).collect();
+        d.push(100.0);
+        let b = Boxplot::from_data(&d);
+        assert_eq!(b.max, 100.0);
+        assert!(b.upper_whisker < 100.0);
+        assert_eq!(b.outliers, 1);
+    }
+
+    #[test]
+    fn whisker_is_an_actual_observation() {
+        // Whiskers extend to the most extreme data point within the fence,
+        // not to the fence itself.
+        let d = [0.0, 10.0, 11.0, 12.0, 13.0, 14.0, 30.0];
+        let b = Boxplot::from_data(&d);
+        assert!(d.contains(&b.lower_whisker));
+        assert!(d.contains(&b.upper_whisker));
+    }
+
+    #[test]
+    fn constant_data() {
+        let b = Boxplot::from_data(&[7.0; 5]);
+        assert_eq!(b.min, 7.0);
+        assert_eq!(b.max, 7.0);
+        assert_eq!(b.iqr(), 0.0);
+        assert_eq!(b.outliers, 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let b = Boxplot::from_data(&[3.5]);
+        assert_eq!(b.median, 3.5);
+        assert_eq!(b.lower_whisker, 3.5);
+        assert_eq!(b.upper_whisker, 3.5);
+        assert_eq!(b.n, 1);
+    }
+
+    #[test]
+    fn render_contains_fields() {
+        let b = Boxplot::from_data(&[1.0, 2.0, 3.0]);
+        let s = b.render();
+        assert!(s.contains("mean="));
+        assert!(s.contains("n=3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = Boxplot::from_data(&[]);
+    }
+}

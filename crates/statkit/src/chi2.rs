@@ -1,0 +1,217 @@
+//! The χ² distribution and Pearson's χ² goodness-of-fit test.
+//!
+//! This is the statistical backbone of the paper's §5.2: the χ² statistic
+//! over binned counts, its significance level from the χ² distribution
+//! with `bins − 1 − fitted` degrees of freedom, and the 0.05-level
+//! decision applied to the 1-in-50 systematic samples in §6.
+
+use crate::special::{gamma_p, gamma_q};
+
+/// χ² cumulative distribution function with `df` degrees of freedom.
+///
+/// # Panics
+/// Panics if `df` is zero or `x` is negative.
+#[must_use]
+pub fn chi2_cdf(df: u32, x: f64) -> f64 {
+    assert!(df > 0, "chi-square requires df >= 1");
+    assert!(x >= 0.0, "chi-square statistic cannot be negative");
+    gamma_p(f64::from(df) / 2.0, x / 2.0)
+}
+
+/// χ² survival function (upper tail): the p-value of a χ² statistic.
+///
+/// # Panics
+/// Panics if `df` is zero or `x` is negative.
+#[must_use]
+pub fn chi2_sf(df: u32, x: f64) -> f64 {
+    assert!(df > 0, "chi-square requires df >= 1");
+    assert!(x >= 0.0, "chi-square statistic cannot be negative");
+    gamma_q(f64::from(df) / 2.0, x / 2.0)
+}
+
+/// χ² quantile (inverse CDF) by bisection; accurate to ~1e-10.
+///
+/// # Panics
+/// Panics unless `0 < p < 1` and `df >= 1`.
+#[must_use]
+pub fn chi2_quantile(df: u32, p: f64) -> f64 {
+    assert!(df > 0, "chi-square requires df >= 1");
+    assert!(p > 0.0 && p < 1.0, "quantile requires 0 < p < 1");
+    let mut lo = 0.0;
+    let mut hi = f64::from(df).max(1.0);
+    while chi2_cdf(df, hi) < p {
+        hi *= 2.0;
+        assert!(hi.is_finite(), "chi2_quantile bracket failed");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if chi2_cdf(df, mid) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * hi.max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Result of a Pearson χ² goodness-of-fit test.
+///
+/// ```
+/// use statkit::Chi2Test;
+/// // Observed vs expected over three bins.
+/// let t = Chi2Test::from_counts(&[48.0, 35.0, 17.0], &[50.0, 30.0, 20.0], 0);
+/// assert_eq!(t.df, 2);
+/// assert!(!t.rejects_at(0.05)); // consistent with the expectation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Test {
+    /// The χ² statistic `Σ (Oᵢ − Eᵢ)² / Eᵢ`.
+    pub statistic: f64,
+    /// Degrees of freedom used (`bins − 1 − fitted_params`).
+    pub df: u32,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+impl Chi2Test {
+    /// Pearson χ² test of observed counts against expected counts.
+    ///
+    /// Bins with zero expected count are skipped (they carry no
+    /// information and would divide by zero); the degrees of freedom are
+    /// reduced accordingly. `fitted_params` is the number of parameters
+    /// estimated from the data (0 in this workspace: the parent population
+    /// is fully known, paper §4).
+    ///
+    /// # Panics
+    /// Panics if the slices differ in length, if fewer than two usable
+    /// bins remain, or if any expected count is negative.
+    #[must_use]
+    pub fn from_counts(observed: &[f64], expected: &[f64], fitted_params: u32) -> Chi2Test {
+        assert_eq!(
+            observed.len(),
+            expected.len(),
+            "observed/expected bin counts differ in length"
+        );
+        let mut stat = 0.0;
+        let mut used = 0u32;
+        for (&o, &e) in observed.iter().zip(expected) {
+            assert!(e >= 0.0, "expected counts cannot be negative");
+            if e > 0.0 {
+                let d = o - e;
+                stat += d * d / e;
+                used += 1;
+            }
+        }
+        assert!(
+            used >= 2,
+            "chi-square test needs at least two bins with expected counts"
+        );
+        let df = used - 1 - fitted_params;
+        assert!(df >= 1, "no degrees of freedom left after fitting");
+        Chi2Test {
+            statistic: stat,
+            df,
+            p_value: chi2_sf(df, stat),
+        }
+    }
+
+    /// Whether the null hypothesis (sample drawn from the reference
+    /// distribution) is rejected at significance level `alpha`.
+    #[must_use]
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+
+    /// The paper plots `1 − significance level` for ease of comparison
+    /// (Figure 3); this is that quantity.
+    #[must_use]
+    pub fn one_minus_significance(&self) -> f64 {
+        1.0 - self.p_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // chi2 with 2 df is Exp(1/2): CDF(x) = 1 - exp(-x/2).
+        for x in [0.5, 1.0, 2.0, 5.0] {
+            close(chi2_cdf(2, x), 1.0 - (-x / 2.0).exp(), 1e-12);
+        }
+        // Known upper critical value: P(chi2_1 > 3.841) ~ 0.05.
+        close(chi2_sf(1, 3.841_458_820_694_124), 0.05, 1e-9);
+        // P(chi2_4 > 9.487729) ~ 0.05 (df for the 5 interarrival bins).
+        close(chi2_sf(4, 9.487_729_036_781_154), 0.05, 1e-9);
+        // P(chi2_2 > 5.991465) ~ 0.05 (df for the 3 packet-size bins).
+        close(chi2_sf(2, 5.991_464_547_107_979), 0.05, 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [1u32, 2, 4, 10, 49] {
+            for p in [0.01, 0.05, 0.5, 0.95, 0.99] {
+                let x = chi2_quantile(df, p);
+                close(chi2_cdf(df, x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_statistic() {
+        let t = Chi2Test::from_counts(&[10.0, 20.0, 30.0], &[10.0, 20.0, 30.0], 0);
+        assert_eq!(t.statistic, 0.0);
+        assert_eq!(t.df, 2);
+        close(t.p_value, 1.0, 1e-12);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn textbook_example() {
+        // Classic die example: observed [16,18,16,14,12,12], expected 88/6 each.
+        let e = 88.0 / 6.0;
+        let t = Chi2Test::from_counts(
+            &[16.0, 18.0, 16.0, 14.0, 12.0, 12.0],
+            &[e, e, e, e, e, e],
+            0,
+        );
+        close(t.statistic, 2.0, 1e-9);
+        assert_eq!(t.df, 5);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn gross_misfit_rejects() {
+        let t = Chi2Test::from_counts(&[100.0, 0.0], &[50.0, 50.0], 0);
+        assert!(t.statistic > 90.0);
+        assert!(t.rejects_at(0.001));
+        assert!(t.one_minus_significance() > 0.999);
+    }
+
+    #[test]
+    fn zero_expected_bins_are_skipped() {
+        let t = Chi2Test::from_counts(&[10.0, 0.0, 10.0], &[10.0, 0.0, 10.0], 0);
+        assert_eq!(t.df, 1); // only two usable bins
+        assert_eq!(t.statistic, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "differ in length")]
+    fn mismatched_lengths_panic() {
+        let _ = Chi2Test::from_counts(&[1.0], &[1.0, 2.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two bins")]
+    fn degenerate_bins_panic() {
+        let _ = Chi2Test::from_counts(&[5.0, 3.0], &[8.0, 0.0], 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Kolmogorov–Smirnov tests.
+//!
+//! The paper (§5.2) cites K-S as a goodness-of-fit alternative that "has
+//! proven difficult to apply to wide-area network traffic data". We
+//! implement it anyway: the two-sample test lets the workspace *show*
+//! that difficulty (heavily discretized distributions — 400 µs clock
+//! ticks, a handful of dominant packet sizes — violate K-S's continuity
+//! assumption, making it grossly conservative or anticonservative).
+
+/// Result of a Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The K-S statistic `D = sup |F₁ − F₂|`.
+    pub statistic: f64,
+    /// Asymptotic p-value (Kolmogorov distribution with the Stephens
+    /// small-sample correction).
+    pub p_value: f64,
+    /// Effective sample size `n₁n₂/(n₁+n₂)` used for the asymptotics.
+    pub effective_n: f64,
+}
+
+impl KsTest {
+    /// Whether the hypothesis of a common distribution is rejected at
+    /// level `alpha`.
+    #[must_use]
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Kolmogorov distribution tail `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²}`.
+fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Two-sample K-S test on unsorted data.
+///
+/// # Panics
+/// Panics if either sample is empty.
+#[must_use]
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
+    assert!(!a.is_empty() && !b.is_empty(), "K-S requires nonempty samples");
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+
+    let (n1, n2) = (xs.len(), ys.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < n1 && j < n2 {
+        let x = xs[i].min(ys[j]);
+        // Advance past all points equal to x in each sample (handles the
+        // heavy ties of discretized traffic data consistently).
+        while i < n1 && xs[i] <= x {
+            i += 1;
+        }
+        while j < n2 && ys[j] <= x {
+            j += 1;
+        }
+        let f1 = i as f64 / n1 as f64;
+        let f2 = j as f64 / n2 as f64;
+        d = d.max((f1 - f2).abs());
+    }
+    let ne = (n1 as f64 * n2 as f64) / (n1 as f64 + n2 as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: ne,
+    }
+}
+
+/// One-sample K-S test of data against a reference CDF.
+///
+/// # Panics
+/// Panics if `data` is empty.
+#[must_use]
+pub fn ks_one_sample<F: Fn(f64) -> f64>(data: &[f64], cdf: F) -> KsTest {
+    assert!(!data.is_empty(), "K-S requires a nonempty sample");
+    let mut xs = data.to_vec();
+    xs.sort_by(f64::total_cmp);
+    let n = xs.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in xs.iter().enumerate() {
+        let f = cdf(x);
+        let f_lo = i as f64 / n;
+        let f_hi = (i + 1) as f64 / n;
+        d = d.max((f - f_lo).abs()).max((f_hi - f).abs());
+    }
+    let sqrt_n = n.sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        effective_n: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a: Vec<f64> = (0..100).map(f64::from).collect();
+        let t = ks_two_sample(&a, &a);
+        assert_eq!(t.statistic, 0.0);
+        assert!((t.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let t = ks_two_sample(&a, &b);
+        assert!((t.statistic - 1.0).abs() < 1e-12);
+        assert!(t.p_value < 0.1);
+    }
+
+    #[test]
+    fn shifted_uniforms_are_detected() {
+        let a: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        let b: Vec<f64> = (0..500).map(|i| i as f64 / 500.0 + 0.3).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(t.rejects_at(0.001), "D = {}", t.statistic);
+    }
+
+    #[test]
+    fn same_distribution_usually_accepted() {
+        // Deterministic interleaved picks from the same grid.
+        let a: Vec<f64> = (0..400).map(|i| (i * 2) as f64).collect();
+        let b: Vec<f64> = (0..400).map(|i| (i * 2 + 1) as f64).collect();
+        let t = ks_two_sample(&a, &b);
+        assert!(!t.rejects_at(0.05), "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn one_sample_against_uniform_cdf() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        let t = ks_one_sample(&data, |x| x.clamp(0.0, 1.0));
+        assert!(t.statistic < 0.01);
+        assert!(!t.rejects_at(0.05));
+    }
+
+    #[test]
+    fn one_sample_against_wrong_cdf_rejects() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64 + 0.5) / 1000.0).collect();
+        // Claim the data is concentrated near zero.
+        let t = ks_one_sample(&data, |x| (5.0 * x).min(1.0));
+        assert!(t.rejects_at(0.001));
+    }
+
+    #[test]
+    fn effective_n_formula() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let t = ks_two_sample(&a, &b);
+        assert!((t.effective_n - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn empty_sample_panics() {
+        let _ = ks_two_sample(&[], &[1.0]);
+    }
+
+    #[test]
+    fn kolmogorov_q_monotone() {
+        let mut last = 1.0;
+        for i in 1..=30 {
+            let q = kolmogorov_q(i as f64 * 0.1);
+            assert!(q <= last + 1e-12);
+            last = q;
+        }
+        assert!(kolmogorov_q(0.0) == 1.0);
+        assert!(kolmogorov_q(3.0) < 1e-6);
+    }
+}

@@ -1,0 +1,135 @@
+//! Exact quantiles of finite data sets.
+//!
+//! The paper's summary tables (Tables 2 and 3) report min/5%/25%/median/
+//! 75%/95%/max. We use the linear-interpolation convention (R/S type 7,
+//! the default of the S-Plus environment contemporaneous with the paper):
+//! for probability `p` and `n` sorted points, `h = (n-1)p`, and the
+//! quantile interpolates between the floor and ceiling order statistics.
+
+/// Quantile of already-sorted data by linear interpolation (type 7).
+///
+/// # Panics
+/// Panics if `sorted` is empty or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let frac = h - lo as f64;
+    if lo + 1 >= n {
+        return sorted[n - 1];
+    }
+    sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+}
+
+/// Quantile of unsorted data (copies and sorts).
+///
+/// # Panics
+/// Panics if `data` is empty or `p` is outside `[0, 1]`.
+#[must_use]
+pub fn quantile(data: &[f64], p: f64) -> f64 {
+    let mut v = data.to_vec();
+    v.sort_by(f64::total_cmp);
+    quantile_sorted(&v, p)
+}
+
+/// Compute several quantiles of one data set with a single sort.
+///
+/// # Panics
+/// Panics if `data` is empty or any probability is outside `[0, 1]`.
+#[must_use]
+pub fn quantiles(data: &[f64], ps: &[f64]) -> Vec<f64> {
+    let mut v = data.to_vec();
+    v.sort_by(f64::total_cmp);
+    ps.iter().map(|&p| quantile_sorted(&v, p)).collect()
+}
+
+/// Median convenience wrapper.
+///
+/// # Panics
+/// Panics if `data` is empty.
+#[must_use]
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn single_element() {
+        close(quantile(&[42.0], 0.0), 42.0);
+        close(quantile(&[42.0], 0.5), 42.0);
+        close(quantile(&[42.0], 1.0), 42.0);
+    }
+
+    #[test]
+    fn extremes_are_min_max() {
+        let d = [3.0, 1.0, 4.0, 1.0, 5.0];
+        close(quantile(&d, 0.0), 1.0);
+        close(quantile(&d, 1.0), 5.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        close(median(&[1.0, 2.0, 3.0]), 2.0);
+        close(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn type7_interpolation() {
+        // R: quantile(c(1,2,3,4), 0.25) = 1.75 under type 7.
+        close(quantile(&[1.0, 2.0, 3.0, 4.0], 0.25), 1.75);
+        close(quantile(&[1.0, 2.0, 3.0, 4.0], 0.75), 3.25);
+        // R: quantile(1:5, 0.1) = 1.4
+        close(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.1), 1.4);
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        close(quantile(&[9.0, 1.0, 5.0], 0.5), 5.0);
+    }
+
+    #[test]
+    fn batch_quantiles_match_individual() {
+        let d: Vec<f64> = (0..100).map(|i| ((i * 31) % 97) as f64).collect();
+        let ps = [0.05, 0.25, 0.5, 0.75, 0.95];
+        let batch = quantiles(&d, &ps);
+        for (q, &p) in batch.iter().zip(&ps) {
+            close(*q, quantile(&d, p));
+        }
+    }
+
+    #[test]
+    fn monotone_in_p() {
+        let d: Vec<f64> = (0..57).map(|i| ((i * 13) % 41) as f64).collect();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile(&d, i as f64 / 20.0);
+            assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn out_of_range_p_panics() {
+        let _ = quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Table 2/3-style summary rows.
+//!
+//! The paper summarizes each distribution with the same row format:
+//! `Min. 5% 25% Median 75% 95% Max. Mean Std.Dev.` (Table 3) plus
+//! `Skew Kurtosis` (Table 2). [`SummaryRow`] computes and renders that
+//! row so the reproduction binaries print tables directly comparable to
+//! the paper's.
+
+use crate::moments::Moments;
+use crate::quantile::quantiles;
+use std::fmt;
+
+/// A full summary of one distribution in the paper's table format.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SummaryRow {
+    /// Smallest observation.
+    pub min: f64,
+    /// 5th percentile.
+    pub p5: f64,
+    /// 25th percentile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub q3: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper uses population
+    /// parameters of its trace; §4).
+    pub std_dev: f64,
+    /// Skewness.
+    pub skew: f64,
+    /// Plain (non-excess) kurtosis; 3 for a normal population.
+    pub kurtosis: f64,
+    /// Number of observations.
+    pub n: u64,
+}
+
+impl SummaryRow {
+    /// Summarize a data set.
+    ///
+    /// # Panics
+    /// Panics if `data` is empty.
+    #[must_use]
+    pub fn from_data(data: &[f64]) -> SummaryRow {
+        assert!(!data.is_empty(), "summary of empty data");
+        let qs = quantiles(data, &[0.05, 0.25, 0.5, 0.75, 0.95]);
+        let m = Moments::from_values(data.iter().copied());
+        SummaryRow {
+            min: m.min(),
+            p5: qs[0],
+            q1: qs[1],
+            median: qs[2],
+            q3: qs[3],
+            p95: qs[4],
+            max: m.max(),
+            mean: m.mean(),
+            std_dev: m.std_dev(),
+            skew: m.skewness(),
+            kurtosis: m.kurtosis(),
+            n: m.count(),
+        }
+    }
+
+    /// Header matching [`SummaryRow`]'s `Display` columns.
+    #[must_use]
+    pub fn header() -> &'static str {
+        "      Min        5%       25%    Median       75%       95%       Max      Mean   Std.Dev      Skew  Kurtosis"
+    }
+}
+
+impl fmt::Display for SummaryRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.2} {:>9.2}",
+            self.min,
+            self.p5,
+            self.q1,
+            self.median,
+            self.q3,
+            self.p95,
+            self.max,
+            self.mean,
+            self.std_dev,
+            self.skew,
+            self.kurtosis
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let d: Vec<f64> = (1..=100).map(f64::from).collect();
+        let s = SummaryRow::from_data(&d);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.median - 50.5).abs() < 1e-9);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert!((s.p5 - 5.95).abs() < 1e-9); // type-7 on 1..100
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+        assert_eq!(s.n, 100);
+        assert!(s.skew.abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_columns() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        let s = SummaryRow::from_data(&d).to_string();
+        // 11 numeric columns.
+        assert_eq!(s.split_whitespace().count(), 11);
+        assert_eq!(
+            SummaryRow::header().split_whitespace().count(),
+            11,
+            "header/row column mismatch"
+        );
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let d: Vec<f64> = (0..500).map(|i| ((i * 7919) % 104729) as f64).collect();
+        let s = SummaryRow::from_data(&d);
+        assert!(s.min <= s.p5);
+        assert!(s.p5 <= s.q1);
+        assert!(s.q1 <= s.median);
+        assert!(s.median <= s.q3);
+        assert!(s.q3 <= s.p95);
+        assert!(s.p95 <= s.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_data_panics() {
+        let _ = SummaryRow::from_data(&[]);
+    }
+}

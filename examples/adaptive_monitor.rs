@@ -1,0 +1,78 @@
+//! A self-tuning monitor: adaptive sampling under changing load.
+//!
+//! The NSFNET fixed its 1991 overload with a hand-picked 1-in-50. This
+//! example runs the AIMD adaptive sampler against a day-like load swing
+//! (quiet night → busy afternoon → night again) and prints, per epoch,
+//! the interval the controller chose and the resulting selection rate —
+//! holding the categorization budget without operator intervention.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_monitor
+//! ```
+
+use netsample::netsynth::{self, TraceProfile};
+use netsample::sampling::adaptive::{AdaptiveConfig, AdaptiveSampler};
+use netsample::sampling::Sampler;
+use nettrace::merge::shift;
+use nettrace::Micros;
+
+fn main() {
+    // Three 2-minute epochs of different intensity, stitched together.
+    let epochs = [("night", 80.0), ("afternoon peak", 2500.0), ("evening", 400.0)];
+    let mut parts = Vec::new();
+    for (i, (_, pps)) in epochs.iter().enumerate() {
+        let mut p = TraceProfile::short(120);
+        p.mean_pps = *pps;
+        let t = netsynth::generate(&p, 7 + i as u64);
+        parts.push(shift(&t, Micros::from_secs(120 * i as u64)));
+    }
+    let refs: Vec<&nettrace::Trace> = parts.iter().collect();
+    let day = nettrace::merge::merge(&refs);
+    println!(
+        "driving {} packets through an adaptive sampler (budget 25 selections/s)\n",
+        day.len()
+    );
+
+    let mut sampler = AdaptiveSampler::new(
+        50,
+        AdaptiveConfig {
+            budget_per_period: 25,
+            ..AdaptiveConfig::default()
+        },
+    );
+
+    let mut per_epoch = vec![(0u64, 0u64); epochs.len()]; // (offered, selected)
+    let mut interval_at_end = vec![0usize; epochs.len()];
+    for p in day.iter() {
+        let epoch = (p.timestamp.whole_secs() / 120).min(2) as usize;
+        per_epoch[epoch].0 += 1;
+        if sampler.offer(p) {
+            per_epoch[epoch].1 += 1;
+        }
+        interval_at_end[epoch] = sampler.current_interval();
+    }
+
+    println!(
+        "{:<16} {:>10} {:>10} {:>12} {:>14}",
+        "epoch", "offered", "selected", "sel/s", "interval@end"
+    );
+    for ((name, _), ((offered, selected), interval)) in epochs
+        .iter()
+        .zip(per_epoch.iter().zip(&interval_at_end))
+    {
+        println!(
+            "{:<16} {:>10} {:>10} {:>12.1} {:>14}",
+            name,
+            offered,
+            selected,
+            *selected as f64 / 120.0,
+            interval
+        );
+    }
+    println!(
+        "\nacross a {}x load swing the controller made {} adjustments and kept the\n\
+         selection rate near budget — no hand-retuned 1-in-k required.",
+        (2500.0f64 / 80.0).round(),
+        sampler.adjustments()
+    );
+}

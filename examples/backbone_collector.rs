@@ -1,0 +1,63 @@
+//! The NSFNET statistics pipeline end to end (paper §2): a two-node
+//! backbone with capacity-limited categorization processors, polled by
+//! the central agent every (scaled-down) collection cycle — first
+//! without sampling under overload, then with the 1-in-50 fix.
+//!
+//! ```sh
+//! cargo run --release --example backbone_collector
+//! ```
+
+use netsample::netstat::{Backbone, CollectorNode, ObjectSet};
+use netsample::netsynth;
+use nettrace::Micros;
+
+fn run(label: &str, sampling: Option<u64>, trace: &nettrace::Trace) {
+    // Each node's categorization processor can examine 150 headers/s —
+    // well under the ~210 pps each node receives from the split trace.
+    let mut nodes = vec![
+        CollectorNode::new(ObjectSet::T3, 150),
+        CollectorNode::new(ObjectSet::T3, 150),
+    ];
+    if let Some(k) = sampling {
+        for n in &mut nodes {
+            n.deploy_sampling(k);
+        }
+    }
+    // Poll every 2 minutes (the real NOC used 15; scaled to the trace).
+    let mut backbone = Backbone::new(nodes, Micros::from_secs(120));
+
+    // Route by destination network parity — a stand-in for backbone
+    // routing.
+    let cycles = backbone.run_trace(trace, |p| usize::from(p.dst_net % 2 == 0));
+
+    println!("{label}");
+    println!(
+        "  {:>6} {:>12} {:>12} {:>8}",
+        "cycle", "SNMP pkts", "estimate", "gap%"
+    );
+    for (i, c) in cycles.iter().enumerate() {
+        let snmp = c.snmp_packets();
+        let est = c.estimated_packets();
+        let gap = if snmp > 0 {
+            (snmp as f64 - est as f64) / snmp as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!("  {:>6} {:>12} {:>12} {:>7.1}%", i + 1, snmp, est, gap);
+    }
+}
+
+fn main() {
+    let trace = netsynth::generate(&netsynth::TraceProfile::short(600), 2024);
+    println!(
+        "driving {} packets through a 2-node backbone (150 pps categorization capacity per node)\n",
+        trace.len()
+    );
+    run("unsampled categorization (processor overloaded):", None, &trace);
+    println!();
+    run("with 1-in-50 systematic sampling (the Sept-1991 fix):", Some(50), &trace);
+    println!(
+        "\nSNMP never loses packets; the categorization estimate only matches it once\n\
+         sampling reduces the header-examination load below processor capacity."
+    );
+}

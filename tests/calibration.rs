@@ -1,0 +1,139 @@
+//! Integration test: the synthetic SDSC hour reproduces the paper's
+//! published population statistics (Tables 2 and 3).
+//!
+//! The quantile targets are asserted *exactly* (they are structural:
+//! atoms at 40/76/552 bytes, the 400 µs interarrival grid); moments are
+//! asserted within bands. See EXPERIMENTS.md for the measured values.
+
+use netsample::netsynth;
+use nettrace::PerSecondSeries;
+use statkit::SummaryRow;
+use std::sync::OnceLock;
+
+fn hour() -> &'static nettrace::Trace {
+    static TRACE: OnceLock<nettrace::Trace> = OnceLock::new();
+    TRACE.get_or_init(|| netsynth::sdsc_hour(1993))
+}
+
+fn within(measured: f64, target: f64, rel: f64) {
+    assert!(
+        (measured - target).abs() / target.abs() <= rel,
+        "measured {measured} vs target {target} (allowed ±{}%)",
+        rel * 100.0
+    );
+}
+
+#[test]
+fn population_size_near_paper() {
+    // Paper: "1.63 million packets". (Its own Table 2 mean of 424.2 pps
+    // over 3600 s implies 1.527M; we target the per-second statistics.)
+    let n = hour().len() as f64;
+    assert!(n > 1.40e6 && n < 1.70e6, "population {n}");
+}
+
+#[test]
+fn table3_packet_size_quantiles_exact() {
+    let sizes: Vec<f64> = hour().sizes().iter().map(|&s| f64::from(s)).collect();
+    let row = SummaryRow::from_data(&sizes);
+    assert_eq!(row.min, 28.0);
+    assert_eq!(row.p5, 40.0);
+    assert_eq!(row.q1, 40.0);
+    assert_eq!(row.median, 76.0);
+    assert_eq!(row.q3, 552.0);
+    assert_eq!(row.p95, 552.0);
+    assert_eq!(row.max, 1500.0);
+}
+
+#[test]
+fn table3_packet_size_moments() {
+    let sizes: Vec<f64> = hour().sizes().iter().map(|&s| f64::from(s)).collect();
+    let row = SummaryRow::from_data(&sizes);
+    within(row.mean, 232.0, 0.02);
+    within(row.std_dev, 236.0, 0.03);
+}
+
+#[test]
+fn table3_interarrival_quantiles_exact() {
+    let ia: Vec<f64> = hour().interarrivals().iter().map(|&x| x as f64).collect();
+    let row = SummaryRow::from_data(&ia);
+    // min and 5% are "< 400" in the paper: zero ticks of the 400us clock.
+    assert_eq!(row.min, 0.0);
+    assert_eq!(row.p5, 0.0);
+    assert_eq!(row.q1, 400.0);
+    assert_eq!(row.median, 1600.0);
+    assert_eq!(row.q3, 3200.0);
+    assert_eq!(row.p95, 7600.0);
+    // All values sit on the 400us capture grid.
+    assert!(hour()
+        .interarrivals()
+        .iter()
+        .all(|&g| g % 400 == 0));
+}
+
+#[test]
+fn table3_interarrival_moments() {
+    let ia: Vec<f64> = hour().interarrivals().iter().map(|&x| x as f64).collect();
+    let row = SummaryRow::from_data(&ia);
+    within(row.mean, 2358.0, 0.02);
+    within(row.std_dev, 2734.0, 0.05);
+}
+
+#[test]
+fn table2_per_second_rates() {
+    let s = PerSecondSeries::from_trace(hour());
+    let row = SummaryRow::from_data(&s.packet_rates());
+    within(row.mean, 424.2, 0.02);
+    within(row.std_dev, 85.1, 0.08);
+    within(row.q1, 364.0, 0.03);
+    within(row.median, 412.0, 0.03);
+    within(row.q3, 473.0, 0.03);
+    assert!(row.skew > 0.4 && row.skew < 1.6, "skew {}", row.skew);
+    assert!(row.kurtosis > 3.0, "kurtosis {}", row.kurtosis);
+    // Extremes within a factor-ish of the paper's single draw.
+    assert!(row.min > 100.0 && row.min < 250.0, "min {}", row.min);
+    assert!(row.max > 700.0 && row.max < 1300.0, "max {}", row.max);
+}
+
+#[test]
+fn table2_byte_rates() {
+    let s = PerSecondSeries::from_trace(hour());
+    let row = SummaryRow::from_data(&s.kilobyte_rates());
+    within(row.mean, 98.6, 0.03);
+    within(row.std_dev, 38.6, 0.10);
+    // Bytes skew harder than packets (bursts are bulk transfers).
+    let pps_skew = SummaryRow::from_data(&s.packet_rates()).skew;
+    assert!(row.skew > pps_skew, "byte skew {} vs pps skew {pps_skew}", row.skew);
+}
+
+#[test]
+fn table2_mean_size_distribution() {
+    let s = PerSecondSeries::from_trace(hour());
+    let row = SummaryRow::from_data(&s.mean_sizes());
+    within(row.mean, 226.2, 0.02);
+    within(row.std_dev, 50.5, 0.10);
+    within(row.median, 222.0, 0.05);
+    assert!(row.min > 60.0 && row.min < 110.0, "min {}", row.min);
+    assert!(row.max > 330.0 && row.max < 450.0, "max {}", row.max);
+}
+
+#[test]
+fn consistency_between_tables() {
+    // The identities the paper's own numbers satisfy.
+    let stats = hour().stats();
+    within(stats.mean_pps() * stats.mean_size() / 1000.0, 98.6, 0.04);
+    within(1e6 / stats.mean_pps(), 2358.0, 0.03);
+}
+
+#[test]
+fn different_seeds_hold_calibration() {
+    // The calibration is a property of the generator, not of one lucky
+    // seed: check the two structural quantile anchors on another seed.
+    let other = netsynth::sdsc_hour(7);
+    let sizes: Vec<f64> = other.sizes().iter().map(|&s| f64::from(s)).collect();
+    let row = SummaryRow::from_data(&sizes);
+    assert_eq!(row.median, 76.0);
+    assert_eq!(row.q3, 552.0);
+    let ia: Vec<f64> = other.interarrivals().iter().map(|&x| x as f64).collect();
+    let row = SummaryRow::from_data(&ia);
+    assert_eq!(row.median, 1600.0);
+}

@@ -1,0 +1,185 @@
+//! Integration tests: the paper's headline findings hold end-to-end on
+//! the synthetic population.
+//!
+//! 1. φ degrades monotonically (and its replication spread grows) as the
+//!    sampling fraction falls (Figures 6–8).
+//! 2. Timer-driven methods are worse than packet-driven ones, severely
+//!    so for interarrival times (Figures 8–9, §7.2).
+//! 3. Within a trigger class the methods are nearly indistinguishable.
+//! 4. The operational 1-in-50 systematic method passes the χ² test at
+//!    0.05 for all but a few start offsets (§6).
+//! 5. Longer measurement intervals improve φ at every fraction (§7.3,
+//!    Figures 10–11).
+
+use netsample::netsynth;
+use netsample::sampling::experiment::{interval_sweep, Experiment, MethodFamily};
+use netsample::sampling::{MethodSpec, Target};
+use nettrace::{Micros, Trace};
+use std::sync::OnceLock;
+
+/// A 900-second study window (enough packets for stable scores, fast
+/// enough for CI).
+fn study() -> &'static Trace {
+    static TRACE: OnceLock<Trace> = OnceLock::new();
+    TRACE.get_or_init(|| netsynth::generate(&netsynth::TraceProfile::short(900), 1993))
+}
+
+fn mean_phi(target: Target, family: MethodFamily, k: usize) -> f64 {
+    let exp = Experiment::new(study().packets(), target);
+    exp.run_family(family, k, 5, 42)
+        .mean_phi()
+        .expect("nonempty samples")
+}
+
+#[test]
+fn phi_degrades_with_granularity_all_methods() {
+    for family in MethodFamily::paper_five() {
+        let fine = mean_phi(Target::PacketSize, family, 8);
+        let mid = mean_phi(Target::PacketSize, family, 256);
+        let coarse = mean_phi(Target::PacketSize, family, 8192);
+        assert!(
+            fine < coarse && mid < coarse * 1.5,
+            "{}: fine {fine} mid {mid} coarse {coarse}",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn replication_spread_grows_with_granularity() {
+    let exp = Experiment::new(study().packets(), Target::PacketSize);
+    let fine = exp
+        .run_family(MethodFamily::StratifiedRandom, 16, 20, 1)
+        .phi_boxplot()
+        .unwrap();
+    let coarse = exp
+        .run_family(MethodFamily::StratifiedRandom, 4096, 20, 1)
+        .phi_boxplot()
+        .unwrap();
+    assert!(
+        coarse.iqr() > 2.0 * fine.iqr(),
+        "IQR fine {} coarse {}",
+        fine.iqr(),
+        coarse.iqr()
+    );
+}
+
+#[test]
+fn timer_methods_lose_badly_on_interarrival() {
+    // The paper's strongest result (Figure 9): at every fraction the
+    // timer methods' phi is several times the packet methods'.
+    for k in [16usize, 256, 4096] {
+        let packet = mean_phi(Target::Interarrival, MethodFamily::Systematic, k)
+            .max(mean_phi(Target::Interarrival, MethodFamily::SimpleRandom, k));
+        let timer = mean_phi(Target::Interarrival, MethodFamily::SystematicTimer, k)
+            .min(mean_phi(Target::Interarrival, MethodFamily::StratifiedTimer, k));
+        assert!(
+            timer > 3.0 * packet,
+            "k={k}: timer {timer} vs packet {packet}"
+        );
+    }
+}
+
+#[test]
+fn timer_bias_skews_interarrivals_upward() {
+    // §7.2: timer sampling "tends to skew the true interarrival
+    // distribution toward the larger values" — the sampled top bin
+    // (>=3600us) is over-represented.
+    let packets = study().packets();
+    let target = Target::Interarrival;
+    let pop = target.population_histogram(packets);
+    let exp = Experiment::new(packets, target);
+    let spec = MethodFamily::SystematicTimer.at_granularity(64, exp.mean_pps());
+    let mut sampler = spec.build(packets.len(), packets[0].timestamp, 0, 5);
+    let selected = netsample::sampling::select_indices(sampler.as_mut(), packets);
+    let sam = target.sample_histogram(packets, &selected);
+    let pop_top = *pop.proportions().last().unwrap();
+    let sam_top = *sam.proportions().last().unwrap();
+    assert!(
+        sam_top > 1.5 * pop_top,
+        "top-bin proportion: sample {sam_top} vs population {pop_top}"
+    );
+}
+
+#[test]
+fn within_class_differences_are_small() {
+    // Packet-driven methods tie with each other (within noise bands).
+    for k in [64usize, 1024] {
+        let phis: Vec<f64> = [
+            MethodFamily::Systematic,
+            MethodFamily::StratifiedRandom,
+            MethodFamily::SimpleRandom,
+        ]
+        .iter()
+        .map(|f| mean_phi(Target::PacketSize, *f, k))
+        .collect();
+        let max = phis.iter().cloned().fold(f64::MIN, f64::max);
+        let min = phis.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max < 3.0 * min + 0.005,
+            "k={k}: packet-driven phis spread too far: {phis:?}"
+        );
+    }
+}
+
+#[test]
+fn one_in_fifty_passes_chi2_like_the_backbone() {
+    // §6: only ~2-3 of 50 replications reject at 0.05. Expected count
+    // is 2.5; accept anything within the binomial(50, .05) 99.9% range.
+    for target in [Target::PacketSize, Target::Interarrival] {
+        let exp = Experiment::new(study().packets(), target);
+        let result = exp.run(MethodSpec::Systematic { interval: 50 }, 50, 1993);
+        assert_eq!(result.replications.len(), 50);
+        let rejections = result.rejections_at(0.05);
+        assert!(rejections <= 9, "{target}: {rejections} of 50 rejected");
+    }
+}
+
+#[test]
+fn longer_intervals_improve_phi() {
+    let lengths = [
+        Micros::from_secs(60),
+        Micros::from_secs(240),
+        Micros::from_secs(900),
+    ];
+    for target in [Target::PacketSize, Target::Interarrival] {
+        let sweep = interval_sweep(
+            study(),
+            target,
+            MethodFamily::Systematic,
+            256,
+            Micros::ZERO,
+            &lengths,
+            10,
+            3,
+        );
+        let phis: Vec<f64> = sweep
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().mean_phi().unwrap())
+            .collect();
+        assert!(
+            phis[2] < phis[0],
+            "{target}: phi did not improve with interval: {phis:?}"
+        );
+    }
+}
+
+#[test]
+fn geometric_extension_matches_random_class() {
+    // The sFlow-style geometric sampler behaves like simple random
+    // sampling (both are unordered-uniform in expectation).
+    let geo = mean_phi(Target::PacketSize, MethodFamily::GeometricSkip, 256);
+    let rnd = mean_phi(Target::PacketSize, MethodFamily::SimpleRandom, 256);
+    assert!(
+        (geo - rnd).abs() < 0.02,
+        "geometric {geo} vs random {rnd}"
+    );
+}
+
+#[test]
+fn experiments_are_reproducible() {
+    let exp = Experiment::new(study().packets(), Target::PacketSize);
+    let a = exp.run(MethodSpec::StratifiedRandom { bucket: 128 }, 5, 99);
+    let b = exp.run(MethodSpec::StratifiedRandom { bucket: 128 }, 5, 99);
+    assert_eq!(a, b);
+}

@@ -1,0 +1,344 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants, spanning all workspace crates.
+
+use netsample::sampling::{
+    disparity, select_indices, MethodSpec, SimpleRandomSampler, StratifiedSampler,
+    SystematicSampler, Target,
+};
+use nettrace::pcap::{read_pcap, write_pcap};
+use nettrace::{BinSpec, ClockModel, Histogram, Micros, PacketRecord, Protocol, Trace};
+use proptest::prelude::*;
+use statkit::{quantile, Moments};
+
+/// Strategy: an ordered packet stream with realistic field ranges.
+fn packet_stream(max_len: usize) -> impl Strategy<Value = Vec<PacketRecord>> {
+    prop::collection::vec(
+        (
+            0u64..5_000u64,   // gap to previous packet (us)
+            28u16..=1500u16,  // size
+            0u8..=20u8,       // protocol number (covers TCP/UDP/ICMP/other)
+            0u16..=1024u16,   // src port
+            0u16..=1024u16,   // dst port
+            0u16..=300u16,    // src net
+            0u16..=300u16,    // dst net
+        ),
+        1..max_len,
+    )
+    .prop_map(|rows| {
+        let mut t = 0u64;
+        rows.into_iter()
+            .map(|(gap, size, proto, sp, dp, sn, dn)| {
+                t += gap;
+                PacketRecord {
+                    timestamp: Micros(t),
+                    size,
+                    protocol: Protocol::from_number(proto),
+                    src_port: sp,
+                    dst_port: dp,
+                    src_net: sn,
+                    dst_net: dn,
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn trace_construction_accepts_ordered_streams(pkts in packet_stream(200)) {
+        let trace = Trace::new(pkts.clone()).expect("ordered by construction");
+        prop_assert_eq!(trace.len(), pkts.len());
+        // Interarrivals are nonnegative and consistent with timestamps.
+        let ia = trace.interarrivals();
+        prop_assert_eq!(ia.len(), pkts.len().saturating_sub(1));
+        for (i, g) in ia.iter().enumerate() {
+            prop_assert_eq!(
+                *g,
+                pkts[i + 1].timestamp.as_u64() - pkts[i].timestamp.as_u64()
+            );
+        }
+    }
+
+    #[test]
+    fn windows_partition_the_trace(pkts in packet_stream(200), cut in 0u64..1_000_000u64) {
+        let trace = Trace::new(pkts).unwrap();
+        let end = trace.end().unwrap() + Micros(1);
+        let left = trace.window(Micros::ZERO, Micros(cut));
+        let right = trace.window(Micros(cut), end);
+        prop_assert_eq!(left.len() + right.len(), trace.len());
+    }
+
+    #[test]
+    fn pcap_roundtrip_is_lossless(pkts in packet_stream(100)) {
+        let trace = Trace::new(pkts).unwrap();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &trace).unwrap();
+        let back = read_pcap(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), trace.len());
+        for (a, b) in trace.iter().zip(back.iter()) {
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(a.size, b.size);
+            prop_assert_eq!(a.protocol, b.protocol);
+            prop_assert_eq!(a.src_net, b.src_net);
+            prop_assert_eq!(a.dst_net, b.dst_net);
+        }
+    }
+
+    #[test]
+    fn clock_quantization_is_monotone_floor(tick in 1u64..10_000, ts in 0u64..10_000_000) {
+        let clock = ClockModel::new(tick);
+        let q = clock.quantize(Micros(ts)).as_u64();
+        prop_assert!(q <= ts);
+        prop_assert!(ts - q < tick);
+        prop_assert_eq!(q % tick, 0);
+        // Monotone.
+        let q2 = clock.quantize(Micros(ts + 1)).as_u64();
+        prop_assert!(q2 >= q);
+    }
+
+    #[test]
+    fn systematic_sample_size_formula(
+        n in 1usize..500, k in 1usize..60, offset_raw in 0usize..60
+    ) {
+        let offset = offset_raw % k;
+        let pkts: Vec<PacketRecord> =
+            (0..n).map(|i| PacketRecord::new(Micros(i as u64), 40)).collect();
+        let mut s = SystematicSampler::with_offset(k, offset);
+        let sel = select_indices(&mut s, &pkts);
+        prop_assert_eq!(sel.len(), n.saturating_sub(offset).div_ceil(k));
+        // Selected indices are exactly offset + j*k.
+        for (j, &i) in sel.iter().enumerate() {
+            prop_assert_eq!(i, offset + j * k);
+        }
+    }
+
+    #[test]
+    fn stratified_selects_one_per_full_bucket(
+        n in 1usize..500, k in 1usize..60, seed in 0u64..1000
+    ) {
+        let pkts: Vec<PacketRecord> =
+            (0..n).map(|i| PacketRecord::new(Micros(i as u64), 40)).collect();
+        let mut s = StratifiedSampler::new(k, seed);
+        let sel = select_indices(&mut s, &pkts);
+        let full_buckets = n / k;
+        prop_assert!(sel.len() >= full_buckets);
+        prop_assert!(sel.len() <= full_buckets + 1);
+        for (b, &i) in sel.iter().enumerate().take(full_buckets) {
+            prop_assert!(i >= b * k && i < (b + 1) * k);
+        }
+    }
+
+    #[test]
+    fn algorithm_s_selects_exactly_n(
+        pop in 1usize..500, frac in 0.01f64..1.0, seed in 0u64..1000
+    ) {
+        let n = ((pop as f64 * frac) as usize).clamp(1, pop);
+        let pkts: Vec<PacketRecord> =
+            (0..pop).map(|i| PacketRecord::new(Micros(i as u64), 40)).collect();
+        let mut s = SimpleRandomSampler::new(pop, n, seed);
+        let sel = select_indices(&mut s, &pkts);
+        prop_assert_eq!(sel.len(), n);
+        // Strictly increasing (each index at most once).
+        prop_assert!(sel.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn full_sample_has_zero_phi(pkts in packet_stream(300)) {
+        for target in [Target::PacketSize, Target::Protocol, Target::Port] {
+            let pop = target.population_histogram(&pkts);
+            let all: Vec<usize> = (0..pkts.len()).collect();
+            let sam = target.sample_histogram(&pkts, &all);
+            let r = disparity(&pop, &sam).unwrap();
+            prop_assert!(r.phi.abs() < 1e-12);
+            prop_assert!(r.chi2.abs() < 1e-9);
+            prop_assert!(r.cost.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn disparity_metrics_are_nonnegative(
+        pkts in packet_stream(300), k in 2usize..50, seed in 0u64..100
+    ) {
+        let spec = MethodSpec::StratifiedRandom { bucket: k };
+        let mut sampler = spec.build(pkts.len(), pkts[0].timestamp, 0, seed);
+        let sel = select_indices(sampler.as_mut(), &pkts);
+        let pop = Target::PacketSize.population_histogram(&pkts);
+        let sam = Target::PacketSize.sample_histogram(&pkts, &sel);
+        if let Some(r) = disparity(&pop, &sam) {
+            prop_assert!(r.chi2 >= 0.0);
+            prop_assert!(r.phi >= 0.0);
+            prop_assert!(r.cost >= 0.0);
+            prop_assert!(r.x2 >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&r.significance));
+            prop_assert!(r.fraction > 0.0 && r.fraction <= 1.0);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_observations(values in prop::collection::vec(0u64..4000, 1..500)) {
+        let spec = BinSpec::paper_interarrival();
+        let h = Histogram::from_values(spec, values.iter().copied());
+        prop_assert_eq!(h.total(), values.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), values.len() as u64);
+        let props = h.proportions();
+        prop_assert!((props.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moments_merge_matches_single_pass(
+        xs in prop::collection::vec(-1e3f64..1e3, 2..300), split in 1usize..299
+    ) {
+        let split = split.min(xs.len() - 1);
+        let whole = Moments::from_values(xs.iter().copied());
+        let mut left = Moments::from_values(xs[..split].iter().copied());
+        let right = Moments::from_values(xs[split..].iter().copied());
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - whole.variance()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_are_bounded_and_monotone(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200)
+    ) {
+        let min = xs.iter().cloned().fold(f64::MAX, f64::min);
+        let max = xs.iter().cloned().fold(f64::MIN, f64::max);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = quantile(&xs, i as f64 / 10.0);
+            prop_assert!(q >= min - 1e-9 && q <= max + 1e-9);
+            prop_assert!(q >= last);
+            last = q;
+        }
+    }
+
+    #[test]
+    fn timer_sampler_selection_bounded_by_schedule(
+        pkts in packet_stream(300), period in 1_000u64..100_000
+    ) {
+        let spec = MethodSpec::SystematicTimer { period: Micros(period) };
+        let mut s = spec.build(pkts.len(), pkts[0].timestamp, 0, 0);
+        let sel = select_indices(s.as_mut(), &pkts);
+        let duration = pkts.last().unwrap().timestamp.as_u64()
+            - pkts[0].timestamp.as_u64();
+        // At most one selection per period, plus the initial firing.
+        prop_assert!(sel.len() as u64 <= duration / period + 1);
+        prop_assert!(!sel.is_empty(), "first firing is at the window start");
+    }
+
+    #[test]
+    fn byte_volume_totals_equal_byte_sums(pkts in packet_stream(300)) {
+        let h = Target::ByteVolume.population_histogram(&pkts);
+        let bytes: u64 = pkts.iter().map(|p| u64::from(p.size)).sum();
+        prop_assert_eq!(h.total(), bytes);
+        // Packet-count and byte views agree on emptiness per bin.
+        let counts = Target::PacketSize.population_histogram(&pkts);
+        for (c, b) in counts.counts().iter().zip(h.counts()) {
+            prop_assert_eq!(*c == 0, *b == 0);
+        }
+    }
+
+    #[test]
+    fn adaptive_sampler_respects_interval_bounds(
+        pkts in packet_stream(500),
+        budget in 1u32..50,
+        initial in 1usize..64,
+    ) {
+        use netsample::sampling::adaptive::{AdaptiveConfig, AdaptiveSampler};
+        let config = AdaptiveConfig {
+            budget_per_period: budget,
+            min_interval: 1,
+            max_interval: 64,
+            ..AdaptiveConfig::default()
+        };
+        let mut s = AdaptiveSampler::new(initial.clamp(1, 64), config);
+        for p in &pkts {
+            let _ = netsample::sampling::Sampler::offer(&mut s, p);
+            prop_assert!((1..=64).contains(&s.current_interval()));
+        }
+    }
+
+    #[test]
+    fn merge_conserves_and_orders(
+        a in packet_stream(150),
+        b in packet_stream(150),
+    ) {
+        use nettrace::merge::merge;
+        let ta = Trace::new(a).unwrap();
+        let tb = Trace::new(b).unwrap();
+        let m = merge(&[&ta, &tb]);
+        prop_assert_eq!(m.len(), ta.len() + tb.len());
+        prop_assert!(m
+            .packets()
+            .windows(2)
+            .all(|w| w[0].timestamp <= w[1].timestamp));
+        prop_assert_eq!(m.total_bytes(), ta.total_bytes() + tb.total_bytes());
+    }
+
+    #[test]
+    fn flow_generator_structural_invariants(seed in 0u64..50) {
+        use netsample::netsynth::flows::{generate_flows, FlowProfile};
+        let t = generate_flows(
+            &FlowProfile {
+                duration_secs: 5,
+                ..FlowProfile::default()
+            },
+            seed,
+        );
+        prop_assert!(t.packets().windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+        prop_assert!(t.iter().all(|p| (28..=1500).contains(&p.size)));
+        prop_assert!(t.iter().all(|p| p.timestamp.as_u64() < 5_000_000));
+        prop_assert!(t.iter().all(|p| p.timestamp.as_u64() % 400 == 0));
+    }
+
+    #[test]
+    fn pcap_reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        // Robustness: arbitrary input must produce Ok or Err, never a
+        // panic (the reader faces untrusted files).
+        let _ = read_pcap(bytes.as_slice());
+    }
+
+    #[test]
+    fn pcapng_reader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = nettrace::pcapng::read_pcapng(bytes.as_slice());
+        let _ = nettrace::read_capture(bytes.as_slice());
+    }
+
+    #[test]
+    fn readers_never_panic_on_corrupted_valid_stream(
+        pkts in packet_stream(20),
+        flips in prop::collection::vec((0usize..2000, any::<u8>()), 1..8),
+    ) {
+        // Take a valid stream and corrupt random bytes: still no panic.
+        let trace = Trace::new(pkts).unwrap();
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &trace).unwrap();
+        for (pos, val) in flips {
+            if !buf.is_empty() {
+                let i = pos % buf.len();
+                buf[i] = val;
+            }
+        }
+        let _ = read_pcap(buf.as_slice());
+        let _ = nettrace::read_capture(buf.as_slice());
+    }
+
+    #[test]
+    fn samplers_never_select_more_than_offered(
+        pkts in packet_stream(200), k in 1usize..30
+    ) {
+        for spec in MethodSpec::paper_five(k, 500.0) {
+            let mut s = spec.build(pkts.len(), pkts[0].timestamp, 0, 7);
+            let sel = select_indices(s.as_mut(), &pkts);
+            prop_assert!(sel.len() <= pkts.len(), "{spec}");
+            // Indices are valid and strictly increasing.
+            prop_assert!(sel.windows(2).all(|w| w[0] < w[1]), "{spec}");
+            if let Some(&last) = sel.last() {
+                prop_assert!(last < pkts.len(), "{spec}");
+            }
+        }
+    }
+}
