@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI gate: format, lint, build, test, then smoke-test the CLI's
+# observability path end to end. Everything runs with --offline — the
+# workspace has no registry dependencies by design.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --offline --release --workspace
+
+echo "== cargo test"
+cargo test --offline --workspace -q
+
+echo "== smoke: synthesize + score with --metrics"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+bin=target/release/netsample
+"$bin" synth "$tmpdir/pop.pcap" --seconds 10 --seed 7 --metrics 2> "$tmpdir/synth.metrics" | grep -q "wrote"
+grep -q "netsynth_packets_generated_total" "$tmpdir/synth.metrics"
+"$bin" score "$tmpdir/pop.pcap" --interval 20 --replications 3 --metrics \
+    --trace "$tmpdir/events.jsonl" 2> "$tmpdir/score.metrics" | grep -q "mean phi"
+grep -q "nettrace_packets_read_total" "$tmpdir/score.metrics"
+grep -q "sampling_packets_selected_total" "$tmpdir/score.metrics"
+grep -q '"kind":"span"' "$tmpdir/events.jsonl"
+
+echo "CI OK"

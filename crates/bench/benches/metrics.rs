@@ -20,11 +20,9 @@ fn bench_binning(c: &mut Criterion) {
         let pkts = packets(n);
         group.throughput(Throughput::Elements(n as u64));
         for target in [Target::PacketSize, Target::Interarrival] {
-            group.bench_with_input(
-                BenchmarkId::new(target.to_string(), n),
-                &pkts,
-                |b, pkts| b.iter(|| black_box(target.population_histogram(black_box(pkts)))),
-            );
+            group.bench_with_input(BenchmarkId::new(target.to_string(), n), &pkts, |b, pkts| {
+                b.iter(|| black_box(target.population_histogram(black_box(pkts))))
+            });
         }
     }
     group.finish();

@@ -29,17 +29,13 @@ fn bench_samplers(c: &mut Criterion) {
         MethodFamily::GeometricSkip,
     ];
     for family in families {
-        group.bench_with_input(
-            BenchmarkId::new(family.name(), 50),
-            &family,
-            |b, family| {
-                let spec = family.at_granularity(50, 424.2);
-                b.iter(|| {
-                    let mut s = spec.build(pkts.len(), Micros(0), 0, 42);
-                    black_box(select_indices(s.as_mut(), black_box(&pkts)).len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(family.name(), 50), &family, |b, family| {
+            let spec = family.at_granularity(50, 424.2);
+            b.iter(|| {
+                let mut s = spec.build(pkts.len(), Micros(0), 0, 42);
+                black_box(select_indices(s.as_mut(), black_box(&pkts)).len())
+            });
+        });
     }
     group.finish();
 }

@@ -1,4 +1,7 @@
 //! Run the ACF ablation: why packet-driven methods tie on this traffic.
 fn main() {
-    print!("{}", bench::experiments::acf_ablation::run(&bench::study_trace(), bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::acf_ablation::run(&bench::study_trace(), bench::STUDY_SEED)
+    );
 }

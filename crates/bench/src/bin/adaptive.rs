@@ -1,4 +1,7 @@
 //! Run the adaptive-vs-fixed sampling ablation.
 fn main() {
-    print!("{}", bench::experiments::adaptive_ablation::run(bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::adaptive_ablation::run(bench::STUDY_SEED)
+    );
 }

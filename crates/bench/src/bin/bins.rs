@@ -1,4 +1,7 @@
 //! Run the bin-choice sensitivity ablation (§7.1).
 fn main() {
-    print!("{}", bench::experiments::bins::run(&bench::study_trace(), bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::bins::run(&bench::study_trace(), bench::STUDY_SEED)
+    );
 }

@@ -1,4 +1,7 @@
 //! Reproduce the §6 chi-square compatibility test of 1-in-50 systematic sampling.
 fn main() {
-    print!("{}", bench::experiments::chi2test::run(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::chi2test::run(&bench::study_trace())
+    );
 }

@@ -1,4 +1,7 @@
 //! Run the within-flow correlation ablation on flow-level traffic.
 fn main() {
-    print!("{}", bench::experiments::correlation::run(bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::correlation::run(bench::STUDY_SEED)
+    );
 }

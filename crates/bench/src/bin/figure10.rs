@@ -1,5 +1,8 @@
 //! Reproduce Figure 10: systematic phi vs elapsed time (packet size).
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure10_11::run(&t, sampling::Target::PacketSize));
+    print!(
+        "{}",
+        bench::experiments::figure10_11::run(&t, sampling::Target::PacketSize)
+    );
 }

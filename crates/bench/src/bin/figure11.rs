@@ -1,5 +1,8 @@
 //! Reproduce Figure 11: systematic phi vs elapsed time (interarrival).
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure10_11::run(&t, sampling::Target::Interarrival));
+    print!(
+        "{}",
+        bench::experiments::figure10_11::run(&t, sampling::Target::Interarrival)
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduce Figure 3: all disparity metrics vs sampling granularity (2048 s).
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure3::run(&t, sampling::Target::PacketSize));
+    print!(
+        "{}",
+        bench::experiments::figure3::run(&t, sampling::Target::PacketSize)
+    );
 }

@@ -1,5 +1,8 @@
 //! Reproduce Figure 4: packet-size histograms at five systematic granularities.
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure4_5::run(&t, sampling::Target::PacketSize));
+    print!(
+        "{}",
+        bench::experiments::figure4_5::run(&t, sampling::Target::PacketSize)
+    );
 }

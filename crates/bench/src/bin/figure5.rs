@@ -1,5 +1,8 @@
 //! Reproduce Figure 5: interarrival histograms at five systematic granularities.
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure4_5::run(&t, sampling::Target::Interarrival));
+    print!(
+        "{}",
+        bench::experiments::figure4_5::run(&t, sampling::Target::Interarrival)
+    );
 }

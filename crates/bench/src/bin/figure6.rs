@@ -1,4 +1,7 @@
 //! Reproduce Figure 6 (phi boxplots vs fraction); Figure 7's means are appended.
 fn main() {
-    print!("{}", bench::experiments::figure6_7::run(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::figure6_7::run(&bench::study_trace())
+    );
 }

@@ -1,4 +1,7 @@
 //! Reproduce Figure 7 (means of the Figure 6 boxplots; printed with Figure 6).
 fn main() {
-    print!("{}", bench::experiments::figure6_7::run(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::figure6_7::run(&bench::study_trace())
+    );
 }

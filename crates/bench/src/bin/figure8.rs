@@ -1,5 +1,8 @@
 //! Reproduce Figure 8: mean phi vs fraction for all five methods (packet size).
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure8_9::run(&t, sampling::Target::PacketSize));
+    print!(
+        "{}",
+        bench::experiments::figure8_9::run(&t, sampling::Target::PacketSize)
+    );
 }

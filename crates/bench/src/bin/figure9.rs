@@ -1,5 +1,8 @@
 //! Reproduce Figure 9: mean phi vs fraction for all five methods (interarrival).
 fn main() {
     let t = bench::study_trace();
-    print!("{}", bench::experiments::figure8_9::run(&t, sampling::Target::Interarrival));
+    print!(
+        "{}",
+        bench::experiments::figure8_9::run(&t, sampling::Target::Interarrival)
+    );
 }

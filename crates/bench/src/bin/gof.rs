@@ -1,4 +1,7 @@
 //! Demonstrate why K-S and Anderson-Darling are hard to apply to WAN data (§5.2).
 fn main() {
-    print!("{}", bench::experiments::gof_difficulty::run(bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::gof_difficulty::run(bench::STUDY_SEED)
+    );
 }

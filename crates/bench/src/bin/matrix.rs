@@ -1,4 +1,7 @@
 //! Run the §8 hard case: sampled traffic-matrix estimation error by volume decile.
 fn main() {
-    print!("{}", bench::experiments::matrix::run(&bench::study_trace(), 100));
+    print!(
+        "{}",
+        bench::experiments::matrix::run(&bench::study_trace(), 100)
+    );
 }

@@ -1,4 +1,7 @@
 //! Run the phi null-band extension: the paper's missing acceptance threshold.
 fn main() {
-    print!("{}", bench::experiments::nullband::run(&bench::study_trace(), bench::STUDY_SEED));
+    print!(
+        "{}",
+        bench::experiments::nullband::run(&bench::study_trace(), bench::STUDY_SEED)
+    );
 }

@@ -1,4 +1,7 @@
 //! Run the §8 extension: proportion targets (protocol/port distributions).
 fn main() {
-    print!("{}", bench::experiments::proportions::run(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::proportions::run(&bench::study_trace())
+    );
 }

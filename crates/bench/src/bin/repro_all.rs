@@ -1,33 +1,83 @@
 //! Run every reproduction in order; the output is the source of EXPERIMENTS.md.
+//!
+//! Each experiment is wall-clock timed and a per-figure timing table is
+//! appended, so regressions in reproduction cost are visible run-to-run.
 use bench::experiments as ex;
 use sampling::Target;
+use std::time::{Duration, Instant};
+
+fn timed(
+    timings: &mut Vec<(&'static str, Duration)>,
+    name: &'static str,
+    run: impl FnOnce() -> String,
+) {
+    let start = Instant::now();
+    let out = run();
+    timings.push((name, start.elapsed()));
+    println!("{out}");
+}
 
 fn main() {
     let t = bench::study_trace();
-    println!("# Reproduction run (seed {}, {} packets)\n", bench::STUDY_SEED, t.len());
-    println!("{}", ex::table1::run(&t));
-    println!("{}", ex::figure1::run());
-    println!("{}", ex::table2_3::run_table2(&t));
-    println!("{}", ex::table2_3::run_table3(&t));
-    println!("{}", ex::samplesize::run(&t));
-    println!("{}", ex::figure3::run(&t, Target::PacketSize));
-    println!("{}", ex::figure4_5::run(&t, Target::PacketSize));
-    println!("{}", ex::figure4_5::run(&t, Target::Interarrival));
-    println!("{}", ex::figure6_7::run(&t));
-    println!("{}", ex::figure8_9::run(&t, Target::PacketSize));
-    println!("{}", ex::figure8_9::run(&t, Target::Interarrival));
-    println!("{}", ex::figure10_11::run(&t, Target::PacketSize));
-    println!("{}", ex::figure10_11::run(&t, Target::Interarrival));
-    println!("{}", ex::chi2test::run(&t));
-    println!("{}", ex::proportions::run(&t));
-    println!("{}", ex::theory::run(bench::STUDY_SEED));
-    println!("{}", ex::matrix::run(&t, 100));
-    println!("{}", ex::acf_ablation::run(&t, bench::STUDY_SEED));
-    println!("{}", ex::robustness::run(bench::STUDY_SEED));
-    println!("{}", ex::adaptive_ablation::run(bench::STUDY_SEED));
-    println!("{}", ex::correlation::run(bench::STUDY_SEED));
-    println!("{}", ex::gof_difficulty::run(bench::STUDY_SEED));
-    println!("{}", ex::volume::run(&t));
-    println!("{}", ex::bins::run(&t, bench::STUDY_SEED));
-    println!("{}", ex::nullband::run(&t, bench::STUDY_SEED));
+    println!(
+        "# Reproduction run (seed {}, {} packets)\n",
+        bench::STUDY_SEED,
+        t.len()
+    );
+    let mut timings = Vec::new();
+    let tm = &mut timings;
+    timed(tm, "table1", || ex::table1::run(&t));
+    timed(tm, "figure1", ex::figure1::run);
+    timed(tm, "table2", || ex::table2_3::run_table2(&t));
+    timed(tm, "table3", || ex::table2_3::run_table3(&t));
+    timed(tm, "samplesize", || ex::samplesize::run(&t));
+    timed(tm, "figure3", || ex::figure3::run(&t, Target::PacketSize));
+    timed(tm, "figure4_5/size", || {
+        ex::figure4_5::run(&t, Target::PacketSize)
+    });
+    timed(tm, "figure4_5/ia", || {
+        ex::figure4_5::run(&t, Target::Interarrival)
+    });
+    timed(tm, "figure6_7", || ex::figure6_7::run(&t));
+    timed(tm, "figure8_9/size", || {
+        ex::figure8_9::run(&t, Target::PacketSize)
+    });
+    timed(tm, "figure8_9/ia", || {
+        ex::figure8_9::run(&t, Target::Interarrival)
+    });
+    timed(tm, "figure10_11/size", || {
+        ex::figure10_11::run(&t, Target::PacketSize)
+    });
+    timed(tm, "figure10_11/ia", || {
+        ex::figure10_11::run(&t, Target::Interarrival)
+    });
+    timed(tm, "chi2test", || ex::chi2test::run(&t));
+    timed(tm, "proportions", || ex::proportions::run(&t));
+    timed(tm, "theory", || ex::theory::run(bench::STUDY_SEED));
+    timed(tm, "matrix", || ex::matrix::run(&t, 100));
+    timed(tm, "acf_ablation", || {
+        ex::acf_ablation::run(&t, bench::STUDY_SEED)
+    });
+    timed(tm, "robustness", || ex::robustness::run(bench::STUDY_SEED));
+    timed(tm, "adaptive_ablation", || {
+        ex::adaptive_ablation::run(bench::STUDY_SEED)
+    });
+    timed(tm, "correlation", || {
+        ex::correlation::run(bench::STUDY_SEED)
+    });
+    timed(tm, "gof_difficulty", || {
+        ex::gof_difficulty::run(bench::STUDY_SEED)
+    });
+    timed(tm, "volume", || ex::volume::run(&t));
+    timed(tm, "bins", || ex::bins::run(&t, bench::STUDY_SEED));
+    timed(tm, "nullband", || ex::nullband::run(&t, bench::STUDY_SEED));
+
+    println!("## Timing\n");
+    println!("{:<20} {:>10}", "experiment", "seconds");
+    let mut total = Duration::ZERO;
+    for (name, d) in &timings {
+        println!("{name:<20} {:>10.3}", d.as_secs_f64());
+        total += *d;
+    }
+    println!("{:<20} {:>10.3}", "total", total.as_secs_f64());
 }

@@ -1,4 +1,7 @@
 //! Reproduce the §5.1 Cochran sample-size worked examples.
 fn main() {
-    print!("{}", bench::experiments::samplesize::run(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::samplesize::run(&bench::study_trace())
+    );
 }

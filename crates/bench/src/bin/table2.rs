@@ -1,4 +1,7 @@
 //! Reproduce Table 2: per-second packet/byte/mean-size summary statistics.
 fn main() {
-    print!("{}", bench::experiments::table2_3::run_table2(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::table2_3::run_table2(&bench::study_trace())
+    );
 }

@@ -1,4 +1,7 @@
 //! Reproduce Table 3: population packet-size and interarrival summaries.
 fn main() {
-    print!("{}", bench::experiments::table2_3::run_table3(&bench::study_trace()));
+    print!(
+        "{}",
+        bench::experiments::table2_3::run_table3(&bench::study_trace())
+    );
 }

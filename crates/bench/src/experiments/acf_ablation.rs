@@ -19,7 +19,11 @@ use std::fmt::Write;
 #[must_use]
 pub fn run(trace: &Trace, seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## Ablation — serial correlation explains the method ties (§5)").unwrap();
+    writeln!(
+        out,
+        "## Ablation — serial correlation explains the method ties (§5)"
+    )
+    .unwrap();
 
     let sizes: Vec<f64> = trace.sizes().iter().map(|&s| f64::from(s)).collect();
     let lags = [1usize, 2, 10, 50, 200, 1000];
@@ -42,7 +46,11 @@ pub fn run(trace: &Trace, seed: u64) -> String {
     }
 
     // Matched consequence: method variances at k = 50.
-    writeln!(out, "\nmean-size estimator variance at k = 50 (consequence of the ACF):").unwrap();
+    writeln!(
+        out,
+        "\nmean-size estimator variance at k = 50 (consequence of the ACF):"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:>18} {:>13} {:>13} {:>13}",
@@ -56,8 +64,7 @@ pub fn run(trace: &Trace, seed: u64) -> String {
         let sys = estimator_variance(packets, MethodFamily::Systematic, 50, 50, seed).variance;
         let strat =
             estimator_variance(packets, MethodFamily::StratifiedRandom, 50, 50, seed).variance;
-        let rand =
-            estimator_variance(packets, MethodFamily::SimpleRandom, 50, 50, seed).variance;
+        let rand = estimator_variance(packets, MethodFamily::SimpleRandom, 50, 50, seed).variance;
         writeln!(out, "{name:>18} {sys:>13.2} {strat:>13.2} {rand:>13.2}").unwrap();
     }
     writeln!(

@@ -48,7 +48,11 @@ fn drive(sampler: &mut dyn Sampler, trace: &Trace) -> (usize, u32) {
 #[must_use]
 pub fn run(seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## Ablation — fixed 1-in-50 vs adaptive sampling (processor budget 20/s)").unwrap();
+    writeln!(
+        out,
+        "## Ablation — fixed 1-in-50 vs adaptive sampling (processor budget 20/s)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<12} {:>10} {:>22} {:>22}",

@@ -65,7 +65,11 @@ fn phi_for(
 #[must_use]
 pub fn run(trace: &Trace, seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## §7.1 ablation — sensitivity to the bin choice (packet-size target)").unwrap();
+    writeln!(
+        out,
+        "## §7.1 ablation — sensitivity to the bin choice (packet-size target)"
+    )
+    .unwrap();
     let window = trace.window(Micros::ZERO, Micros::from_secs(1024));
 
     let binnings: [(&str, BinSpec); 3] = [

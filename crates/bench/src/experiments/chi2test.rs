@@ -30,7 +30,11 @@ pub fn run(trace: &Trace) -> String {
     .unwrap();
     for target in [Target::PacketSize, Target::Interarrival] {
         let exp = Experiment::new(trace.packets(), target);
-        let result = exp.run(MethodSpec::Systematic { interval: 50 }, 50, crate::STUDY_SEED);
+        let result = exp.run(
+            MethodSpec::Systematic { interval: 50 },
+            50,
+            crate::STUDY_SEED,
+        );
         let rejections = result.rejections_at(0.05);
         writeln!(
             out,
@@ -38,7 +42,11 @@ pub fn run(trace: &Trace) -> String {
             target.to_string(),
             rejections,
             result.replications.len(),
-            if rejections <= 7 { "compatible" } else { "INCOMPATIBLE" }
+            if rejections <= 7 {
+                "compatible"
+            } else {
+                "INCOMPATIBLE"
+            }
         )
         .unwrap();
     }

@@ -8,8 +8,16 @@ use std::fmt::Write;
 pub fn run() -> String {
     let mut out = String::new();
     let series = figure1_series(&Figure1Config::default());
-    writeln!(out, "## Figure 1 — T1 backbone packet totals: SNMP vs NNStat (billions/month)").unwrap();
-    writeln!(out, "1-in-50 sampling deployed September 1991 (paper §2).\n").unwrap();
+    writeln!(
+        out,
+        "## Figure 1 — T1 backbone packet totals: SNMP vs NNStat (billions/month)"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "1-in-50 sampling deployed September 1991 (paper §2).\n"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<7} {:>8} {:>8} {:>7}  discrepancy",

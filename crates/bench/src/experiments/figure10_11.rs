@@ -29,9 +29,7 @@ pub fn run(trace: &Trace, target: Target) -> String {
     let mut out = String::new();
     let fig = match target {
         Target::PacketSize => "Figure 10 — systematic phi vs elapsed time, packet-size target",
-        Target::Interarrival => {
-            "Figure 11 — systematic phi vs elapsed time, interarrival target"
-        }
+        Target::Interarrival => "Figure 11 — systematic phi vs elapsed time, interarrival target",
         _ => "phi vs elapsed time",
     };
     writeln!(out, "## {fig}").unwrap();

@@ -39,7 +39,12 @@ pub fn run(trace: &Trace, target: Target) -> String {
         // Average each metric across replications.
         let n = result.replications.len() as f64;
         let avg = |f: &dyn Fn(&sampling::DisparityReport) -> f64| {
-            result.replications.iter().map(|r| f(&r.report)).sum::<f64>() / n
+            result
+                .replications
+                .iter()
+                .map(|r| f(&r.report))
+                .sum::<f64>()
+                / n
         };
         writeln!(
             out,

@@ -83,7 +83,13 @@ mod tests {
     fn renders_five_method_columns() {
         let t = netsynth::generate(&TraceProfile::short(30), 6);
         let s = run(&t, Target::PacketSize);
-        for name in ["systematic", "stratified", "random", "sys-timer", "strat-timer"] {
+        for name in [
+            "systematic",
+            "stratified",
+            "random",
+            "sys-timer",
+            "strat-timer",
+        ] {
             assert!(s.contains(name), "missing {name}");
         }
     }

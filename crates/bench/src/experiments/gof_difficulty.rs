@@ -19,18 +19,22 @@
 //!    conclusion.
 
 use netsynth::TraceProfile;
+use nettrace::Micros;
 use sampling::{select_indices, MethodSpec};
 use statkit::ad::AndersonDarling;
 use statkit::ks::{ks_one_sample, ks_two_sample};
 use statkit::Moments;
-use nettrace::Micros;
 use std::fmt::Write;
 
 /// Render both demonstrations.
 #[must_use]
 pub fn run(seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## §5.2 — why K-S and A-D are hard to apply to WAN traffic").unwrap();
+    writeln!(
+        out,
+        "## §5.2 — why K-S and A-D are hard to apply to WAN traffic"
+    )
+    .unwrap();
 
     let trace = netsynth::generate(&TraceProfile::short(600), seed);
     let ia: Vec<f64> = trace.interarrivals().iter().map(|&x| x as f64).collect();
@@ -96,12 +100,8 @@ pub fn run(seed: u64) -> String {
     let pop_a = target.population_histogram(packets_a);
     let pop_b = target.population_histogram(packets_b);
     // Score B's distribution against A's by treating B as a "sample".
-    let mut sampler = MethodSpec::Systematic { interval: 1 }.build(
-        packets_b.len(),
-        Micros::ZERO,
-        0,
-        0,
-    );
+    let mut sampler =
+        MethodSpec::Systematic { interval: 1 }.build(packets_b.len(), Micros::ZERO, 0, 0);
     let all_b = select_indices(sampler.as_mut(), packets_b);
     let hist_b = target.sample_histogram(packets_b, &all_b);
     debug_assert_eq!(hist_b.counts(), pop_b.counts());

@@ -18,7 +18,11 @@ use std::fmt::Write;
 #[must_use]
 pub fn run(trace: &Trace) -> String {
     let mut out = String::new();
-    writeln!(out, "## §8 extension — proportion targets (protocol and port distributions)").unwrap();
+    writeln!(
+        out,
+        "## §8 extension — proportion targets (protocol and port distributions)"
+    )
+    .unwrap();
 
     for target in [
         Target::Protocol,
@@ -26,7 +30,11 @@ pub fn run(trace: &Trace) -> String {
         Target::ByteVolume,
         Target::ProtocolBytes,
     ] {
-        writeln!(out, "\nmean phi vs fraction, target: {target} (1024 s interval)").unwrap();
+        writeln!(
+            out,
+            "\nmean phi vs fraction, target: {target} (1024 s interval)"
+        )
+        .unwrap();
         writeln!(
             out,
             "{:>9} {:>12} {:>12} {:>12}",
@@ -59,9 +67,12 @@ pub fn run(trace: &Trace) -> String {
     .unwrap();
     let packets = trace.packets();
     let pop_hist = Target::Protocol.population_histogram(packets);
-    let mut sampler = MethodFamily::Systematic
-        .at_granularity(50, 424.0)
-        .build(packets.len(), Micros::ZERO, 0, crate::STUDY_SEED);
+    let mut sampler = MethodFamily::Systematic.at_granularity(50, 424.0).build(
+        packets.len(),
+        Micros::ZERO,
+        0,
+        crate::STUDY_SEED,
+    );
     let selected = select_indices(sampler.as_mut(), packets);
     let sam_hist = Target::Protocol.sample_histogram(packets, &selected);
     let labels = Target::Protocol.labels();

@@ -28,7 +28,11 @@ fn class_phis(trace: &nettrace::Trace, target: Target, k: usize) -> (f64, f64) {
 #[must_use]
 pub fn run(seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## Footnote 3 — robustness across data sets (SDSC vs FIX-West profile)").unwrap();
+    writeln!(
+        out,
+        "## Footnote 3 — robustness across data sets (SDSC vs FIX-West profile)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<22} {:>14} {:>13} {:>13} {:>8}",
@@ -91,8 +95,6 @@ mod tests {
     fn renders() {
         // Smoke test against tiny traces is done by integration tests;
         // here just check the module compiles its format strings.
-        assert!(super::run
-            as fn(u64) -> String as usize
-            != 0);
+        assert!(super::run as fn(u64) -> String as usize != 0);
     }
 }

@@ -12,7 +12,11 @@ use std::fmt::Write;
 #[must_use]
 pub fn run(trace: &Trace) -> String {
     let mut out = String::new();
-    writeln!(out, "## §5.1 — theoretical sample sizes for estimating the mean (95% confidence)").unwrap();
+    writeln!(
+        out,
+        "## §5.1 — theoretical sample sizes for estimating the mean (95% confidence)"
+    )
+    .unwrap();
 
     let size_m = Moments::from_values(trace.iter().map(|p| f64::from(p.size)));
     let ia_m = Moments::from_values(trace.interarrivals().iter().map(|&x| x as f64));
@@ -26,10 +30,42 @@ pub fn run(trace: &Trace) -> String {
     .unwrap();
 
     let rows: [(&str, f64, f64, f64, f64, f64, u64); 4] = [
-        ("packet size   ±5%", 232.0, 236.0, size_m.mean(), size_m.std_dev(), 5.0, 1590),
-        ("packet size   ±1%", 232.0, 236.0, size_m.mean(), size_m.std_dev(), 1.0, 39_752),
-        ("interarrival  ±5%", 2358.0, 2734.0, ia_m.mean(), ia_m.std_dev(), 5.0, 2066),
-        ("interarrival  ±1%", 2358.0, 2734.0, ia_m.mean(), ia_m.std_dev(), 1.0, 51_644),
+        (
+            "packet size   ±5%",
+            232.0,
+            236.0,
+            size_m.mean(),
+            size_m.std_dev(),
+            5.0,
+            1590,
+        ),
+        (
+            "packet size   ±1%",
+            232.0,
+            236.0,
+            size_m.mean(),
+            size_m.std_dev(),
+            1.0,
+            39_752,
+        ),
+        (
+            "interarrival  ±5%",
+            2358.0,
+            2734.0,
+            ia_m.mean(),
+            ia_m.std_dev(),
+            5.0,
+            2066,
+        ),
+        (
+            "interarrival  ±1%",
+            2358.0,
+            2734.0,
+            ia_m.mean(),
+            ia_m.std_dev(),
+            1.0,
+            51_644,
+        ),
     ];
     for (label, _pm, _ps, mean, sd, acc, paper_n) in rows {
         let ours = required_sample_size(&SampleSizeSpec {
@@ -81,6 +117,11 @@ mod tests {
         assert!(s.contains("packet size"));
         assert!(s.contains("interarrival"));
         assert!(s.contains("1590"));
-        assert!(s.contains("51644") || s.contains("51_644") || s.contains("51,644") || s.contains("2066"));
+        assert!(
+            s.contains("51644")
+                || s.contains("51_644")
+                || s.contains("51,644")
+                || s.contains("2066")
+        );
     }
 }

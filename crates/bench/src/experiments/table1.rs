@@ -20,11 +20,20 @@ pub fn run(trace: &Trace) -> String {
         node.offer(p);
     }
 
-    writeln!(out, "## Table 1 — packet categorization objects (T1 node, unsampled)").unwrap();
+    writeln!(
+        out,
+        "## Table 1 — packet categorization objects (T1 node, unsampled)"
+    )
+    .unwrap();
     let o = node.objects();
 
     writeln!(out, "\nsource-destination traffic matrix (T1: Y, T3: Y)").unwrap();
-    writeln!(out, "  distinct (src,dst) network pairs: {}", o.matrix.pairs()).unwrap();
+    writeln!(
+        out,
+        "  distinct (src,dst) network pairs: {}",
+        o.matrix.pairs()
+    )
+    .unwrap();
     for ((s, d), c) in o.matrix.top_pairs(5) {
         writeln!(
             out,
@@ -34,7 +43,11 @@ pub fn run(trace: &Trace) -> String {
         .unwrap();
     }
 
-    writeln!(out, "\nTCP/UDP port distribution, well-known subset (T1: Y, T3: Y)").unwrap();
+    writeln!(
+        out,
+        "\nTCP/UDP port distribution, well-known subset (T1: Y, T3: Y)"
+    )
+    .unwrap();
     for (p, c) in o.ports.ranked() {
         writeln!(
             out,
@@ -67,7 +80,11 @@ pub fn run(trace: &Trace) -> String {
         .unwrap();
     }
 
-    writeln!(out, "\npacket-length histogram, 50-byte bins (T1: Y, T3: N/A)").unwrap();
+    writeln!(
+        out,
+        "\npacket-length histogram, 50-byte bins (T1: Y, T3: N/A)"
+    )
+    .unwrap();
     let lens = &o.lengths;
     let total = lens.total().max(1);
     for (i, &c) in lens.counts().iter().enumerate() {
@@ -83,7 +100,11 @@ pub fn run(trace: &Trace) -> String {
         }
     }
 
-    writeln!(out, "\nper-second arrival-rate histogram, 20 pps bins (T1: Y, T3: N/A)").unwrap();
+    writeln!(
+        out,
+        "\nper-second arrival-rate histogram, 20 pps bins (T1: Y, T3: N/A)"
+    )
+    .unwrap();
     let mut node2 = node;
     let rates = node2.finish_rates();
     let total = rates.total().max(1);

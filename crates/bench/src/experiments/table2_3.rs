@@ -5,8 +5,8 @@
 //! interarrival-time populations (under the 400 µs capture clock). Both
 //! are printed next to the paper's published values.
 
-use nettrace::{PerSecondSeries, Trace};
 use netsynth::PaperTargets;
+use nettrace::{PerSecondSeries, Trace};
 use statkit::SummaryRow;
 use std::fmt::Write;
 
@@ -16,7 +16,12 @@ pub fn run_table2(trace: &Trace) -> String {
     let mut out = String::new();
     let t = PaperTargets::sdsc_1993();
     let s = PerSecondSeries::from_trace(trace);
-    writeln!(out, "## Table 2 — per-second distributions (synthetic hour, {} packets)", trace.len()).unwrap();
+    writeln!(
+        out,
+        "## Table 2 — per-second distributions (synthetic hour, {} packets)",
+        trace.len()
+    )
+    .unwrap();
     writeln!(out, "{}", SummaryRow::header()).unwrap();
     writeln!(out, "packets/s (measured)").unwrap();
     writeln!(out, "{}", SummaryRow::from_data(&s.packet_rates())).unwrap();
@@ -58,7 +63,11 @@ pub fn run_table2(trace: &Trace) -> String {
 pub fn run_table3(trace: &Trace) -> String {
     let mut out = String::new();
     let t = PaperTargets::sdsc_1993();
-    writeln!(out, "## Table 3 — population packet size and interarrival time").unwrap();
+    writeln!(
+        out,
+        "## Table 3 — population packet size and interarrival time"
+    )
+    .unwrap();
     writeln!(out, "{}", SummaryRow::header()).unwrap();
     let sizes: Vec<f64> = trace.sizes().iter().map(|&x| f64::from(x)).collect();
     writeln!(out, "packet size (measured)").unwrap();

@@ -18,7 +18,11 @@ const K: usize = 200;
 #[must_use]
 pub fn run(seed: u64) -> String {
     let mut out = String::new();
-    writeln!(out, "## §5 theory — estimator variance by population structure (k = {K}, N = {N})").unwrap();
+    writeln!(
+        out,
+        "## §5 theory — estimator variance by population structure (k = {K}, N = {N})"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<18} {:>13} {:>13} {:>13}  verdict",

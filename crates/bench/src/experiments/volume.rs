@@ -18,7 +18,11 @@ const CYCLES_PER_DAY: u64 = 96; // 15-minute cycles
 #[must_use]
 pub fn run(trace: &Trace) -> String {
     let mut out = String::new();
-    writeln!(out, "## §2 — collection data volume vs the 25 MB/workday figure").unwrap();
+    writeln!(
+        out,
+        "## §2 — collection data volume vs the 25 MB/workday figure"
+    )
+    .unwrap();
 
     // Drive one 15-minute window through a T3-flavor node with the
     // operational 1-in-50 sampling.

@@ -30,10 +30,7 @@ impl Args {
     ///
     /// `known` lists the accepted option names (without `--`); anything
     /// else errors immediately so typos fail loudly.
-    pub fn parse<I: IntoIterator<Item = String>>(
-        raw: I,
-        known: &[&str],
-    ) -> Result<Args, ArgError> {
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I, known: &[&str]) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter();
         while let Some(a) = iter.next() {

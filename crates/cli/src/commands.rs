@@ -3,11 +3,11 @@
 //! directly testable.
 
 use crate::args::{ArgError, Args};
-use nettrace::pcap::write_pcap;
-use nettrace::pcapng::read_capture;
-use nettrace::{Micros, PerSecondSeries, Trace};
 use netsynth::flows::{generate_flows, FlowProfile};
 use netsynth::TraceProfile;
+use nettrace::pcap::write_pcap;
+use nettrace::pcapng::read_capture;
+use nettrace::{Micros, PerSecondSeries, Trace, TraceError};
 use sampling::experiment::{Experiment, MethodFamily};
 use sampling::{disparity, select_indices, MethodSpec, Target};
 use statkit::SummaryRow;
@@ -15,8 +15,79 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
-/// A command failure, rendered to stderr.
-pub type CmdError = Box<dyn std::error::Error>;
+/// A classified command failure. The class picks the process exit code,
+/// following the `sysexits.h` conventions, so scripts can distinguish
+/// "you called me wrong" from "your file is bad" from "the OS failed".
+#[derive(Debug)]
+pub enum CmdError {
+    /// Bad invocation: unknown command/option/value (`EX_USAGE`, 64).
+    Usage(String),
+    /// Input was readable but its content is unusable: malformed pcap,
+    /// empty trace, unscorable sample (`EX_DATAERR`, 65).
+    Data(String),
+    /// The operating system failed an open/read/write (`EX_IOERR`, 74).
+    Io(String),
+}
+
+impl CmdError {
+    /// Construct a usage-class error.
+    pub fn usage(msg: impl Into<String>) -> CmdError {
+        CmdError::Usage(msg.into())
+    }
+
+    /// Construct a data-class error.
+    pub fn data(msg: impl Into<String>) -> CmdError {
+        CmdError::Data(msg.into())
+    }
+
+    /// Construct an I/O-class error.
+    pub fn io(msg: impl Into<String>) -> CmdError {
+        CmdError::Io(msg.into())
+    }
+
+    /// The sysexits-style process exit code for this class.
+    #[must_use]
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CmdError::Usage(_) => 64,
+            CmdError::Data(_) => 65,
+            CmdError::Io(_) => 74,
+        }
+    }
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CmdError::Usage(m) | CmdError::Data(m) | CmdError::Io(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> CmdError {
+        CmdError::Usage(e.0)
+    }
+}
+
+impl From<TraceError> for CmdError {
+    fn from(e: TraceError) -> CmdError {
+        match e {
+            TraceError::Io(_) => CmdError::Io(e.to_string()),
+            _ => CmdError::Data(e.to_string()),
+        }
+    }
+}
+
+impl From<std::fmt::Error> for CmdError {
+    // Formatting into a String cannot fail in practice; classified as I/O
+    // to keep `writeln!(out, ...)` usable with `?`.
+    fn from(e: std::fmt::Error) -> CmdError {
+        CmdError::Io(e.to_string())
+    }
+}
 
 /// Reject stray positional arguments (typo'd flags usually land here).
 fn expect_positionals(args: &Args, n: usize) -> Result<(), ArgError> {
@@ -30,12 +101,12 @@ fn expect_positionals(args: &Args, n: usize) -> Result<(), ArgError> {
 }
 
 fn load(path: &str) -> Result<Trace, CmdError> {
-    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let f = File::open(path).map_err(|e| CmdError::io(format!("cannot open {path}: {e}")))?;
     Ok(read_capture(BufReader::new(f))?)
 }
 
 fn store(path: &str, trace: &Trace) -> Result<(), CmdError> {
-    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let f = File::create(path).map_err(|e| CmdError::io(format!("cannot create {path}: {e}")))?;
     write_pcap(BufWriter::new(f), trace)?;
     Ok(())
 }
@@ -62,9 +133,11 @@ fn parse_method(args: &Args) -> Result<MethodSpec, CmdError> {
         },
         "geometric" => MethodSpec::GeometricSkip { mean_interval: k },
         "sys-timer" | "strat-timer" => {
-            return Err("timer methods need a rate; use `sweep` which derives it".into())
+            return Err(CmdError::usage(
+                "timer methods need a rate; use `sweep` which derives it",
+            ))
         }
-        other => return Err(format!("unknown method '{other}'").into()),
+        other => return Err(CmdError::usage(format!("unknown method '{other}'"))),
     };
     Ok(spec)
 }
@@ -97,7 +170,11 @@ pub fn synth(args: &Args) -> Result<String, CmdError> {
             },
             seed,
         ),
-        other => return Err(format!("unknown profile '{other}' (sdsc|fixwest|flows)").into()),
+        other => {
+            return Err(CmdError::usage(format!(
+                "unknown profile '{other}' (sdsc|fixwest|flows)"
+            )))
+        }
     };
     store(out, &trace)?;
     Ok(format!(
@@ -114,7 +191,7 @@ pub fn analyze(args: &Args) -> Result<String, CmdError> {
     expect_positionals(args, 1)?;
     let trace = load(args.positional(0, "trace.pcap")?)?;
     if trace.is_empty() {
-        return Err("trace is empty".into());
+        return Err(CmdError::data("trace is empty"));
     }
     let mut out = String::new();
     let stats = trace.stats();
@@ -136,7 +213,11 @@ pub fn analyze(args: &Args) -> Result<String, CmdError> {
     }
     let series = PerSecondSeries::from_trace(&trace);
     if series.len() > 1 {
-        writeln!(out, "packets/s\n{}", SummaryRow::from_data(&series.packet_rates()))?;
+        writeln!(
+            out,
+            "packets/s\n{}",
+            SummaryRow::from_data(&series.packet_rates())
+        )?;
     }
     for target in [Target::Protocol, Target::Port] {
         let h = target.population_histogram(trace.packets());
@@ -160,7 +241,7 @@ pub fn sample(args: &Args) -> Result<String, CmdError> {
     let seed: u64 = args.opt_num("seed", 1993)?;
     let trace = load(input)?;
     if trace.is_empty() {
-        return Err("input trace is empty".into());
+        return Err(CmdError::data("input trace is empty"));
     }
     let spec = parse_method(args)?;
     let mut sampler = spec.build(trace.len(), trace.start().unwrap_or(Micros::ZERO), 0, seed);
@@ -185,7 +266,7 @@ pub fn score(args: &Args) -> Result<String, CmdError> {
     expect_positionals(args, 1)?;
     let trace = load(args.positional(0, "population.pcap")?)?;
     if trace.is_empty() {
-        return Err("population trace is empty".into());
+        return Err(CmdError::data("population trace is empty"));
     }
     let target = parse_target(args.opt_or("target", "packet-size"))?;
     let seed: u64 = args.opt_num("seed", 1993)?;
@@ -233,7 +314,9 @@ pub fn compare(args: &Args) -> Result<String, CmdError> {
             "{target}: phi={:.5} chi2={:.2} significance={:.4} X2={:.5}\n",
             r.phi, r.chi2, r.significance, r.x2
         )),
-        None => Err("second trace produced no observations for this target".into()),
+        None => Err(CmdError::data(
+            "second trace produced no observations for this target",
+        )),
     }
 }
 
@@ -243,7 +326,7 @@ pub fn sweep(args: &Args) -> Result<String, CmdError> {
     expect_positionals(args, 1)?;
     let trace = load(args.positional(0, "trace.pcap")?)?;
     if trace.is_empty() {
-        return Err("trace is empty".into());
+        return Err(CmdError::data("trace is empty"));
     }
     let target = parse_target(args.opt_or("target", "packet-size"))?;
     let reps: u32 = args.opt_num("replications", 5)?;
@@ -354,6 +437,29 @@ mod tests {
         assert!(e.to_string().contains("cannot open"));
         let e = parse_target("sizes").unwrap_err();
         assert!(e.to_string().contains("unknown target"));
+    }
+
+    #[test]
+    fn error_classes_carry_sysexits_codes() {
+        assert_eq!(CmdError::usage("x").exit_code(), 64);
+        assert_eq!(CmdError::data("x").exit_code(), 65);
+        assert_eq!(CmdError::io("x").exit_code(), 74);
+    }
+
+    #[test]
+    fn failures_classify_by_cause() {
+        // Missing file: the OS failed us.
+        let e = analyze(&args(&["/nonexistent/x.pcap"], &[])).unwrap_err();
+        assert_eq!(e.exit_code(), 74, "{e}");
+        // Bad flag value: caller error.
+        let e = parse_method(&args(&["--method", "magic"], &["method"])).unwrap_err();
+        assert_eq!(e.exit_code(), 64, "{e}");
+        // Readable file, not a pcap: data error.
+        let garbage = tmp("garbage");
+        std::fs::write(&garbage, b"this is not a capture file").unwrap();
+        let e = analyze(&args(&[&garbage], &[])).unwrap_err();
+        assert_eq!(e.exit_code(), 65, "{e}");
+        std::fs::remove_file(&garbage).ok();
     }
 
     #[test]

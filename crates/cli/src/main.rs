@@ -33,28 +33,91 @@ USAGE:
   netsample compare <a.pcap> <b.pcap> [--target T]
   netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
 
+global options (any position):
+  --metrics         dump the metrics registry to stderr at exit
+  --trace <path>    write structured JSONL trace events to <path>
+                    (NETSAMPLE_TRACE=<path> does the same)
+
 methods: systematic | stratified | random | geometric
 targets: packet-size | interarrival | protocol | port
+
+exit codes: 0 ok, 64 usage error, 65 bad data, 74 I/O error
 ";
 
-fn main() -> ExitCode {
-    let mut argv = std::env::args().skip(1);
-    let Some(cmd) = argv.next() else {
-        eprint!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let rest: Vec<String> = argv.collect();
-    let result = run(&cmd, rest);
-    match result {
-        Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("netsample {cmd}: {e}");
-            ExitCode::FAILURE
+/// Pull `--metrics` and `--trace <path>` / `--trace=<path>` out of the
+/// argument list so every subcommand accepts them without listing them.
+fn extract_global_flags(argv: &mut Vec<String>) -> Result<(bool, Option<String>), String> {
+    let mut metrics = false;
+    let mut trace_path = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--metrics" => {
+                metrics = true;
+                argv.remove(i);
+            }
+            "--trace" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--trace needs a value".to_string());
+                }
+                trace_path = Some(argv.remove(i));
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--trace=") {
+                    trace_path = Some(v.to_string());
+                    argv.remove(i);
+                } else {
+                    i += 1;
+                }
+            }
         }
     }
+    Ok((metrics, trace_path))
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let (metrics, trace_path) = match extract_global_flags(&mut argv) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("netsample: {e}");
+            return ExitCode::from(64);
+        }
+    };
+    if let Some(path) = &trace_path {
+        if let Err(e) = obskit::trace::enable_path(path) {
+            eprintln!("netsample: cannot open trace sink {path}: {e}");
+            return ExitCode::from(74);
+        }
+    } else {
+        obskit::trace::init_from_env();
+    }
+
+    let code = match argv.split_first() {
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(64)
+        }
+        Some((cmd, rest)) => match run(cmd, rest.to_vec()) {
+            Ok(output) => {
+                print!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("netsample {cmd}: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        },
+    };
+
+    // The dump runs on failures too: a crashed run's partial counters are
+    // exactly what one wants when debugging it.
+    if metrics {
+        eprint!("{}", obskit::global().render_summary());
+    }
+    obskit::trace::flush();
+    code
 }
 
 fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
@@ -87,7 +150,9 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
             commands::sweep(&a)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
-        other => Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+        other => Err(commands::CmdError::usage(format!(
+            "unknown command '{other}'\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -115,11 +180,7 @@ mod tests {
             .join(format!("netsample_main_{}.pcap", std::process::id()))
             .to_string_lossy()
             .into_owned();
-        let out = run(
-            "synth",
-            vec![pop.clone(), "--seconds".into(), "10".into()],
-        )
-        .unwrap();
+        let out = run("synth", vec![pop.clone(), "--seconds".into(), "10".into()]).unwrap();
         assert!(out.contains("wrote"));
         let out = run("analyze", vec![pop.clone()]).unwrap();
         assert!(out.contains("packets/s") || out.contains("packet size"));

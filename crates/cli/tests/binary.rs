@@ -22,7 +22,11 @@ fn full_pipeline_through_the_binary() {
     let sam = tmp("sam");
 
     let out = netsample(&["synth", &pop, "--seconds", "15", "--seed", "11"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("wrote"));
 
     let out = netsample(&["analyze", &pop]);
@@ -32,7 +36,13 @@ fn full_pipeline_through_the_binary() {
     assert!(text.contains("protocol distribution"));
 
     let out = netsample(&[
-        "sample", &pop, &sam, "--method", "stratified", "--interval", "25",
+        "sample",
+        &pop,
+        &sam,
+        "--method",
+        "stratified",
+        "--interval",
+        "25",
     ]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("selected"));
@@ -76,4 +86,82 @@ fn help_succeeds() {
     let out = netsample(&["help"]);
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("sweep"));
+}
+
+#[test]
+fn exit_codes_distinguish_error_classes() {
+    // I/O failure (missing file): EX_IOERR.
+    let out = netsample(&["analyze", "/nonexistent/trace.pcap"]);
+    assert_eq!(out.status.code(), Some(74));
+    // Usage failures: EX_USAGE.
+    let out = netsample(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(64));
+    let out = netsample(&["synth", "/tmp/x.pcap", "--sed", "1"]);
+    assert_eq!(out.status.code(), Some(64));
+    // Readable but malformed input: EX_DATAERR.
+    let garbage = tmp("garbage");
+    std::fs::write(&garbage, b"not a capture").unwrap();
+    let out = netsample(&["analyze", &garbage]);
+    assert_eq!(out.status.code(), Some(65));
+    std::fs::remove_file(&garbage).ok();
+}
+
+#[test]
+fn metrics_flag_dumps_registry_to_stderr() {
+    let pop = tmp("metrics");
+    let out = netsample(&["synth", &pop, "--seconds", "5", "--metrics"]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("netsynth_packets_generated_total"), "{err}");
+    assert!(err.contains("netsynth_generate_duration_us"), "{err}");
+
+    let out = netsample(&[
+        "score",
+        &pop,
+        "--interval",
+        "10",
+        "--replications",
+        "3",
+        "--metrics",
+    ]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("nettrace_packets_read_total"), "{err}");
+    assert!(err.contains("sampling_packets_selected_total"), "{err}");
+    assert!(err.contains("sampling_disparity_tests_total"), "{err}");
+    assert!(err.contains("statkit_chi2_sf_duration_us"), "{err}");
+
+    // The dump also appears when the command fails.
+    let out = netsample(&["score", &pop, "--method", "magic", "--metrics"]);
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("nettrace_packets_read_total"));
+
+    std::fs::remove_file(&pop).ok();
+}
+
+#[test]
+fn trace_flag_writes_jsonl_events() {
+    let pop = tmp("tracein");
+    let sink = std::env::temp_dir()
+        .join(format!("netsample_bin_trace_{}.jsonl", std::process::id()))
+        .to_string_lossy()
+        .into_owned();
+    let out = netsample(&["synth", &pop, "--seconds", "5"]);
+    assert!(out.status.success());
+    let out = netsample(&["analyze", &pop, "--trace", &sink]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let body = std::fs::read_to_string(&sink).unwrap();
+    assert!(!body.trim().is_empty(), "trace sink stayed empty");
+    for line in body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"kind\""),
+            "not a JSONL event: {line}"
+        );
+    }
+    std::fs::remove_file(&pop).ok();
+    std::fs::remove_file(&sink).ok();
 }

@@ -172,6 +172,10 @@ impl Sampler for AdaptiveSampler {
         self.selected_this_period = 0;
         self.adjustments = 0;
     }
+
+    fn method_name(&self) -> &'static str {
+        "adaptive"
+    }
 }
 
 #[cfg(test)]

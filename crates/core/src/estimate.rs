@@ -32,7 +32,10 @@ impl MeanEstimate {
     #[must_use]
     pub fn confidence_interval(&self, confidence: f64) -> (f64, f64) {
         let z = normal_quantile(1.0 - (1.0 - confidence) / 2.0);
-        (self.mean - z * self.std_error, self.mean + z * self.std_error)
+        (
+            self.mean - z * self.std_error,
+            self.mean + z * self.std_error,
+        )
     }
 
     /// Whether the interval at `confidence` covers `truth`.
@@ -249,8 +252,7 @@ mod tests {
         let pop = population(1000);
         let all: Vec<usize> = (0..pop.len()).collect();
         let est = mean_size(&pop, &all, pop.len());
-        let truth =
-            pop.iter().map(|p| f64::from(p.size)).sum::<f64>() / pop.len() as f64;
+        let truth = pop.iter().map(|p| f64::from(p.size)).sum::<f64>() / pop.len() as f64;
         assert!((est.mean - truth).abs() < 1e-9);
         // fpc drives the error to zero for a census.
         assert!(est.std_error < 1e-9);
@@ -259,8 +261,7 @@ mod tests {
     #[test]
     fn confidence_intervals_cover_at_nominal_rate() {
         let pop = population(5000);
-        let truth =
-            pop.iter().map(|p| f64::from(p.size)).sum::<f64>() / pop.len() as f64;
+        let truth = pop.iter().map(|p| f64::from(p.size)).sum::<f64>() / pop.len() as f64;
         let mut covered = 0;
         let trials = 400;
         for seed in 0..trials {
@@ -320,9 +321,7 @@ mod tests {
         use rand::{rngs::StdRng, RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(77);
         let pop: Vec<PacketRecord> = (0..50_000)
-            .map(|i| {
-                PacketRecord::new(Micros(i as u64 * 1000), rng.random_range(40..=552))
-            })
+            .map(|i| PacketRecord::new(Micros(i as u64 * 1000), rng.random_range(40..=552)))
             .collect();
         let k = 100;
         let mut estimates = Vec::new();
@@ -349,9 +348,7 @@ mod tests {
         use rand::{rngs::StdRng, RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(78);
         let pop: Vec<PacketRecord> = (0..50_000)
-            .map(|i| {
-                PacketRecord::new(Micros(i as u64 * 1000), rng.random_range(40..=552))
-            })
+            .map(|i| PacketRecord::new(Micros(i as u64 * 1000), rng.random_range(40..=552)))
             .collect();
         let mut estimates = Vec::new();
         let mut predicted = Vec::new();

@@ -238,6 +238,12 @@ impl<'a> Experiment<'a> {
 
     /// Score one concrete method over `replications` runs.
     pub fn run(&self, method: MethodSpec, replications: u32, seed: u64) -> ExperimentResult {
+        let method_label = method.to_string();
+        let target_label = self.target.to_string();
+        let _cell = obskit::span_labeled(
+            "experiment_cell",
+            &[("method", &method_label), ("target", &target_label)],
+        );
         let mut result = ExperimentResult {
             method,
             target: self.target,
@@ -255,6 +261,11 @@ impl<'a> Experiment<'a> {
                 }),
                 None => result.empty_samples += 1,
             }
+        }
+        if obskit::recording_enabled() {
+            obskit::counter("experiment_cells_total").inc();
+            obskit::counter("experiment_replications_total").add(u64::from(replications));
+            obskit::counter("experiment_empty_samples_total").add(u64::from(result.empty_samples));
         }
         result
     }

@@ -49,7 +49,7 @@ impl GeometricSkipSampler {
         }
         let p = 1.0 / k as f64;
         let u: f64 = 1.0 - rng.random::<f64>(); // (0,1]
-        // floor(ln(u) / ln(1-p)) is Geometric(p) on {0,1,2,…}.
+                                                // floor(ln(u) / ln(1-p)) is Geometric(p) on {0,1,2,…}.
         (u.ln() / (1.0 - p).ln()).floor() as u64
     }
 
@@ -73,6 +73,10 @@ impl Sampler for GeometricSkipSampler {
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.skip = Self::draw_skip(&mut self.rng, self.mean_interval);
+    }
+
+    fn method_name(&self) -> &'static str {
+        "geometric"
     }
 }
 

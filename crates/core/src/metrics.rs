@@ -117,6 +117,10 @@ pub fn disparity(population: &Histogram, sample: &Histogram) -> Option<Disparity
     // chi2 (which will be 0 if the sample matches the single bin).
     let df = used_bins.saturating_sub(1).max(1);
     let significance = chi2_sf(df, chi2);
+    if obskit::recording_enabled() {
+        obskit::counter("sampling_disparity_tests_total").inc();
+        obskit::counter("sampling_disparity_cells_evaluated_total").add(u64::from(used_bins));
+    }
     let phi_n = 2.0 * n as f64; // Σ(Eᵢ + Oᵢ): both sides total n.
     Some(DisparityReport {
         chi2,

@@ -136,7 +136,12 @@ mod tests {
         let pop = population();
         let small = phi_null_band(&pop, 100, 2000, 1);
         let large = phi_null_band(&pop, 10_000, 2000, 1);
-        assert!(large.p95 < small.p95 / 5.0, "{} vs {}", large.p95, small.p95);
+        assert!(
+            large.p95 < small.p95 / 5.0,
+            "{} vs {}",
+            large.p95,
+            small.p95
+        );
         // sqrt scaling: factor 100 in n -> factor 10 in phi.
         assert!((small.p95 / large.p95 - 10.0).abs() < 2.0);
     }
@@ -204,7 +209,11 @@ mod tests {
             chi2 += (c - e).powi(2) / e;
         }
         let phi = (chi2 / 4000.0).sqrt();
-        assert!(!band.consistent_at_95(phi), "phi {phi} vs band {}", band.p95);
+        assert!(
+            !band.consistent_at_95(phi),
+            "phi {phi} vs band {}",
+            band.p95
+        );
     }
 
     #[test]

@@ -85,6 +85,10 @@ impl Sampler for SimpleRandomSampler {
         self.remaining_pop = self.population;
         self.remaining_sample = self.sample;
     }
+
+    fn method_name(&self) -> &'static str {
+        "random"
+    }
 }
 
 #[cfg(test)]

@@ -24,6 +24,11 @@ pub trait Sampler {
     /// Restore the initial state (counters, schedules, and the random
     /// stream position are all reset to their post-construction values).
     fn reset(&mut self);
+
+    /// Stable short name used as the `method` label on metrics.
+    fn method_name(&self) -> &'static str {
+        "unknown"
+    }
 }
 
 /// Run a sampler over a packet slice, returning the *indices* of selected
@@ -34,12 +39,27 @@ pub trait Sampler {
 /// particular each packet's interarrival time to its *population*
 /// predecessor, which is how the interarrival distribution is sampled
 /// (see [`crate::targets::Target::Interarrival`]).
-pub fn select_indices<S: Sampler + ?Sized>(sampler: &mut S, packets: &[PacketRecord]) -> Vec<usize> {
-    packets
+pub fn select_indices<S: Sampler + ?Sized>(
+    sampler: &mut S,
+    packets: &[PacketRecord],
+) -> Vec<usize> {
+    let span = obskit::span_labeled("sampling_select", &[("method", sampler.method_name())]);
+    let selected: Vec<usize> = packets
         .iter()
         .enumerate()
         .filter_map(|(i, p)| sampler.offer(p).then_some(i))
-        .collect()
+        .collect();
+    // Metrics are flushed once per batch, not per packet, so the offer()
+    // hot loop stays free of atomic traffic.
+    if obskit::recording_enabled() {
+        let labels = [("method", sampler.method_name())];
+        obskit::counter_labeled("sampling_packets_examined_total", &labels)
+            .add(packets.len() as u64);
+        obskit::counter_labeled("sampling_packets_selected_total", &labels)
+            .add(selected.len() as u64);
+    }
+    drop(span);
+    selected
 }
 
 /// The broad class of a sampling method (paper §4, Figure 2).
@@ -202,11 +222,9 @@ impl MethodSpec {
                     window_start + Micros(phase),
                 ))
             }
-            MethodSpec::StratifiedTimer { period } => Box::new(StratifiedTimerSampler::new(
-                period,
-                window_start,
-                seed,
-            )),
+            MethodSpec::StratifiedTimer { period } => {
+                Box::new(StratifiedTimerSampler::new(period, window_start, seed))
+            }
             MethodSpec::GeometricSkip { mean_interval } => {
                 Box::new(GeometricSkipSampler::new(mean_interval, seed))
             }

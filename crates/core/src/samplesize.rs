@@ -167,7 +167,7 @@ mod tests {
         let corrected = finite_population_correction(n, 1_600_000);
         assert!(corrected < n);
         assert!(corrected > n * 9 / 10); // small correction for 1.6M pop
-        // Tiny population: correction dominates.
+                                         // Tiny population: correction dominates.
         let tiny = finite_population_correction(n, 1000);
         assert!(tiny <= 1000);
     }

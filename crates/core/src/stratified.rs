@@ -65,6 +65,10 @@ impl Sampler for StratifiedSampler {
         self.pos = 0;
         self.target = self.rng.random_range(0..self.bucket);
     }
+
+    fn method_name(&self) -> &'static str {
+        "stratified"
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,10 @@ impl Sampler for SystematicSampler {
     fn reset(&mut self) {
         self.count = 0;
     }
+
+    fn method_name(&self) -> &'static str {
+        "systematic"
+    }
 }
 
 #[cfg(test)]

@@ -315,10 +315,7 @@ mod tests {
 
     #[test]
     fn protocol_bytes_weighting() {
-        let pkts = [
-            pkt(0, 1000),
-            pkt(1, 40).with_protocol(Protocol::Udp),
-        ];
+        let pkts = [pkt(0, 1000), pkt(1, 40).with_protocol(Protocol::Udp)];
         let h = Target::ProtocolBytes.population_histogram(&pkts);
         assert_eq!(h.counts(), &[1000, 40, 0, 0]);
     }

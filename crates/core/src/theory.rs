@@ -58,8 +58,7 @@ pub fn estimator_variance(
 ) -> EstimatorStats {
     assert!(!packets.is_empty(), "population must be nonempty");
     assert!(k > 0, "granularity must be positive");
-    let true_mean =
-        packets.iter().map(|p| f64::from(p.size)).sum::<f64>() / packets.len() as f64;
+    let true_mean = packets.iter().map(|p| f64::from(p.size)).sum::<f64>() / packets.len() as f64;
 
     // Rate for timer-equivalent periods.
     let duration = packets
@@ -155,12 +154,7 @@ mod tests {
             MethodFamily::SimpleRandom,
         ] {
             let s = estimator_variance(&pop, family, 100, 100, 1);
-            assert!(
-                s.bias().abs() < 3.0,
-                "{}: bias {}",
-                family.name(),
-                s.bias()
-            );
+            assert!(s.bias().abs() < 3.0, "{}: bias {}", family.name(), s.bias());
         }
     }
 
@@ -171,8 +165,7 @@ mod tests {
         // factor of each other.
         let pop = flat_population(100_000);
         let sys = estimator_variance(&pop, MethodFamily::Systematic, 100, 100, 2).variance;
-        let strat =
-            estimator_variance(&pop, MethodFamily::StratifiedRandom, 100, 100, 2).variance;
+        let strat = estimator_variance(&pop, MethodFamily::StratifiedRandom, 100, 100, 2).variance;
         let rand = estimator_variance(&pop, MethodFamily::SimpleRandom, 100, 100, 2).variance;
         let max = sys.max(strat).max(rand);
         let min = sys.min(strat).min(rand);
@@ -184,8 +177,7 @@ mod tests {
         // §5: stratified < systematic < random on a linear trend.
         let pop = trend_population(100_000);
         let sys = estimator_variance(&pop, MethodFamily::Systematic, 1000, 1000, 3).variance;
-        let strat =
-            estimator_variance(&pop, MethodFamily::StratifiedRandom, 1000, 300, 3).variance;
+        let strat = estimator_variance(&pop, MethodFamily::StratifiedRandom, 1000, 300, 3).variance;
         let rand = estimator_variance(&pop, MethodFamily::SimpleRandom, 1000, 300, 3).variance;
         assert!(strat < rand, "stratified {strat} should beat random {rand}");
         assert!(sys < rand, "systematic {sys} should beat random {rand}");
@@ -201,8 +193,7 @@ mod tests {
         // phase only.
         let pop = periodic_population(100_000, 100);
         let sys = estimator_variance(&pop, MethodFamily::Systematic, 100, 100, 4).variance;
-        let strat =
-            estimator_variance(&pop, MethodFamily::StratifiedRandom, 100, 100, 4).variance;
+        let strat = estimator_variance(&pop, MethodFamily::StratifiedRandom, 100, 100, 4).variance;
         let rand = estimator_variance(&pop, MethodFamily::SimpleRandom, 100, 100, 4).variance;
         assert!(
             sys > 10.0 * strat,

@@ -69,6 +69,10 @@ impl Sampler for SystematicTimerSampler {
     fn reset(&mut self) {
         self.next_fire = self.start;
     }
+
+    fn method_name(&self) -> &'static str {
+        "sys_timer"
+    }
 }
 
 /// Stratified timer sampling: one uniformly-placed firing time per
@@ -171,6 +175,10 @@ impl Sampler for StratifiedTimerSampler {
         self.stratum = 0;
         self.draw_firing();
     }
+
+    fn method_name(&self) -> &'static str {
+        "strat_timer"
+    }
 }
 
 #[cfg(test)]
@@ -261,11 +269,7 @@ mod tests {
             // into the next stratum and consumes that stratum's firing
             // (select-next-packet semantics), so 10 strata yield 9 or 10
             // selections.
-            assert!(
-                (9..=10).contains(&sel.len()),
-                "seed {seed}: {}",
-                sel.len()
-            );
+            assert!((9..=10).contains(&sel.len()), "seed {seed}: {}", sel.len());
             // Selected packets land in distinct strata.
             let strata: std::collections::HashSet<u64> = sel
                 .iter()

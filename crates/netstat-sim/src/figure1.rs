@@ -123,14 +123,12 @@ pub fn figure1_series(config: &Figure1Config) -> Vec<MonthPoint> {
         // Representative seconds spread across the diurnal cycle.
         for s in 0..config.seconds_sampled {
             let tod = s as f64 / config.seconds_sampled as f64; // time of day, [0,1)
-            let diurnal =
-                1.0 + 0.6 * (2.0 * std::f64::consts::PI * (tod - 0.25)).sin();
+            let diurnal = 1.0 + 0.6 * (2.0 * std::f64::consts::PI * (tod - 0.25)).sin();
             // Lognormal noise, cv ~ 0.3.
             let sigma = 0.294; // sqrt(ln(1 + 0.3^2))
             let u1 = uniform(&mut rng_state).max(1e-12);
             let u2 = uniform(&mut rng_state);
-            let normal =
-                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let normal = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
             let noise = (sigma * normal - sigma * sigma / 2.0).exp();
             let rate = (mean_rate * diurnal * noise).max(0.0);
             let pkts = rate.round() as u64;

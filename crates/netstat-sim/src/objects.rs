@@ -359,8 +359,20 @@ mod tests {
         let mut c = Counts::default();
         c.add(100);
         c.add(200);
-        assert_eq!(c, Counts { packets: 2, bytes: 300 });
-        assert_eq!(c.scaled(50), Counts { packets: 100, bytes: 15_000 });
+        assert_eq!(
+            c,
+            Counts {
+                packets: 2,
+                bytes: 300
+            }
+        );
+        assert_eq!(
+            c.scaled(50),
+            Counts {
+                packets: 100,
+                bytes: 15_000
+            }
+        );
     }
 
     #[test]
@@ -370,7 +382,13 @@ mod tests {
         m.observe(&pkt(1, 200).with_nets(1, 2));
         m.observe(&pkt(2, 300).with_nets(3, 4));
         assert_eq!(m.pairs(), 2);
-        assert_eq!(m.cell(1, 2), Counts { packets: 2, bytes: 300 });
+        assert_eq!(
+            m.cell(1, 2),
+            Counts {
+                packets: 2,
+                bytes: 300
+            }
+        );
         assert_eq!(m.cell(3, 4).packets, 1);
         assert_eq!(m.cell(9, 9).packets, 0);
         assert_eq!(m.total_packets(), 3);
@@ -420,8 +438,8 @@ mod tests {
         h.observe(&pkt(2_500_000, 40));
         let hist = h.finish().clone();
         assert_eq!(hist.total(), 3); // seconds 0, 1, 2
-        // Second 0: 30 pps -> bin [20,40); second 1: 0 -> [0,20);
-        // second 2: 1 -> [0,20).
+                                     // Second 0: 30 pps -> bin [20,40); second 1: 0 -> [0,20);
+                                     // second 2: 1 -> [0,20).
         assert_eq!(hist.counts()[0], 2);
         assert_eq!(hist.counts()[1], 1);
     }
@@ -443,7 +461,11 @@ mod tests {
     fn report_size_accounts_for_objects_and_caps() {
         let mut o = ArtsObjects::new(ObjectSet::T1);
         for i in 0..50u16 {
-            o.observe(&pkt(u64::from(i) * 1000, 100).with_nets(1, i).with_ports(1024, 25));
+            o.observe(
+                &pkt(u64::from(i) * 1000, 100)
+                    .with_nets(1, i)
+                    .with_ports(1024, 25),
+            );
         }
         let uncapped = o.report_size_bytes(usize::MAX);
         let capped = o.report_size_bytes(10);
@@ -452,7 +474,11 @@ mod tests {
         // T3 subset is strictly smaller (no histograms/transit).
         let mut t3 = ArtsObjects::new(ObjectSet::T3);
         for i in 0..50u16 {
-            t3.observe(&pkt(u64::from(i) * 1000, 100).with_nets(1, i).with_ports(1024, 25));
+            t3.observe(
+                &pkt(u64::from(i) * 1000, 100)
+                    .with_nets(1, i)
+                    .with_ports(1024, 25),
+            );
         }
         assert!(t3.report_size_bytes(usize::MAX) < uncapped);
     }

@@ -161,9 +161,7 @@ impl ZipfNets {
     pub fn new(n_src: u16, n_dst: u16, s: f64) -> Self {
         assert!(n_src > 0 && n_dst > 0, "network counts must be positive");
         let weights = |n: u16| -> Vec<(u16, f64)> {
-            (1..=n)
-                .map(|k| (k, 1.0 / f64::from(k).powf(s)))
-                .collect()
+            (1..=n).map(|k| (k, 1.0 / f64::from(k).powf(s))).collect()
         };
         ZipfNets {
             src: Discrete::new(&weights(n_src)),

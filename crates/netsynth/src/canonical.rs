@@ -100,7 +100,12 @@ mod tests {
         let t = linear_trend(10_000, 2);
         let h1 = Moments::from_values(t.packets()[..5000].iter().map(|p| f64::from(p.size)));
         let h2 = Moments::from_values(t.packets()[5000..].iter().map(|p| f64::from(p.size)));
-        assert!(h2.mean() - h1.mean() > 200.0, "halves {} {}", h1.mean(), h2.mean());
+        assert!(
+            h2.mean() - h1.mean() > 200.0,
+            "halves {} {}",
+            h1.mean(),
+            h2.mean()
+        );
         // Endpoints near 40 and 552.
         assert!(f64::from(t.packets()[0].size) < 60.0);
         assert!(f64::from(t.packets()[9999].size) > 530.0);

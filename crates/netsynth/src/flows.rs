@@ -96,7 +96,10 @@ impl FlowProfile {
         assert!(self.flow_rate > 0.0, "flow rate must be positive");
         let sum: f64 = self.kind_mix.iter().sum();
         assert!((sum - 1.0).abs() < 1e-6, "kind mix must sum to 1");
-        assert!(self.rtt_us.0 > 0 && self.rtt_us.0 <= self.rtt_us.1, "bad RTT range");
+        assert!(
+            self.rtt_us.0 > 0 && self.rtt_us.0 <= self.rtt_us.1,
+            "bad RTT range"
+        );
         assert!(self.window_segments >= 1, "window must be >= 1 segment");
         assert!(self.bulk_alpha > 1.0, "bulk alpha must exceed 1");
         assert!(self.max_segments >= 1, "segment cap must be >= 1");
@@ -197,8 +200,7 @@ fn schedule_flow(
     match kind {
         FlowKind::Bulk => {
             let dport = [20u16, 119, 25][rng.random_range(0..3usize)];
-            let segments =
-                (bulk_segments(profile, rng)).min(profile.max_segments);
+            let segments = (bulk_segments(profile, rng)).min(profile.max_segments);
             let rtt = rng.random_range(profile.rtt_us.0..=profile.rtt_us.1);
             let mut at = start;
             let mut sent = 0u32;

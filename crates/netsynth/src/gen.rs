@@ -31,6 +31,7 @@ use statkit::rand_ext::poisson;
 /// ```
 #[must_use]
 pub fn generate(profile: &TraceProfile, seed: u64) -> Trace {
+    let _span = obskit::span("netsynth_generate");
     profile.validate();
     let mut rng = StdRng::seed_from_u64(seed);
     let plans = plan_seconds(profile, &mut rng);
@@ -83,6 +84,9 @@ pub fn generate(profile: &TraceProfile, seed: u64) -> Trace {
     }
 
     let trace = Trace::new(packets).expect("generator emits ordered timestamps");
+    if obskit::recording_enabled() {
+        obskit::counter("netsynth_packets_generated_total").add(trace.len() as u64);
+    }
     trace.quantized(profile.clock)
 }
 
@@ -116,7 +120,12 @@ mod tests {
         let t = minute_trace(1);
         let expected = 424.2 * 60.0;
         let ratio = t.len() as f64 / expected;
-        assert!((0.8..1.2).contains(&ratio), "count {} vs {}", t.len(), expected);
+        assert!(
+            (0.8..1.2).contains(&ratio),
+            "count {} vs {}",
+            t.len(),
+            expected
+        );
     }
 
     #[test]
@@ -145,7 +154,11 @@ mod tests {
         let t = generate(&TraceProfile::short(300), 4);
         let s = PerSecondSeries::from_trace(&t);
         let m = Moments::from_values(s.packet_rates());
-        assert!(m.std_dev() > 30.0, "per-second rates too smooth: {}", m.std_dev());
+        assert!(
+            m.std_dev() > 30.0,
+            "per-second rates too smooth: {}",
+            m.std_dev()
+        );
         assert!(m.mean() > 300.0 && m.mean() < 550.0, "mean {}", m.mean());
     }
 
@@ -158,7 +171,11 @@ mod tests {
         // a 5-minute run.
         assert!((m.mean() - 2358.0).abs() < 250.0, "mean ia {}", m.mean());
         // Overdispersed relative to exponential.
-        assert!(m.std_dev() / m.mean() > 1.0, "cv {}", m.std_dev() / m.mean());
+        assert!(
+            m.std_dev() / m.mean() > 1.0,
+            "cv {}",
+            m.std_dev() / m.mean()
+        );
     }
 
     #[test]
@@ -167,15 +184,27 @@ mod tests {
         p.clock = ClockModel::IDEAL;
         let t = generate(&p, 6);
         let off_grid = t.iter().filter(|p| p.timestamp.as_u64() % 400 != 0).count();
-        assert!(off_grid > t.len() / 2, "ideal clock should not snap to grid");
+        assert!(
+            off_grid > t.len() / 2,
+            "ideal clock should not snap to grid"
+        );
     }
 
     #[test]
     fn protocols_are_mixed() {
         let t = minute_trace(7);
-        let tcp = t.iter().filter(|p| p.protocol == nettrace::Protocol::Tcp).count();
-        let udp = t.iter().filter(|p| p.protocol == nettrace::Protocol::Udp).count();
-        let icmp = t.iter().filter(|p| p.protocol == nettrace::Protocol::Icmp).count();
+        let tcp = t
+            .iter()
+            .filter(|p| p.protocol == nettrace::Protocol::Tcp)
+            .count();
+        let udp = t
+            .iter()
+            .filter(|p| p.protocol == nettrace::Protocol::Udp)
+            .count();
+        let icmp = t
+            .iter()
+            .filter(|p| p.protocol == nettrace::Protocol::Icmp)
+            .count();
         assert!(tcp > udp && udp > icmp && icmp > 0);
         // TCP strongly dominates (ACKs + telnet + bulk).
         assert!(tcp as f64 / t.len() as f64 > 0.7);
@@ -185,8 +214,7 @@ mod tests {
     fn network_numbers_populated() {
         let t = minute_trace(8);
         assert!(t.iter().all(|p| p.src_net >= 1 && p.dst_net >= 1));
-        let distinct_dst: std::collections::HashSet<u16> =
-            t.iter().map(|p| p.dst_net).collect();
+        let distinct_dst: std::collections::HashSet<u16> = t.iter().map(|p| p.dst_net).collect();
         assert!(distinct_dst.len() > 100, "zipf tail should appear");
     }
 

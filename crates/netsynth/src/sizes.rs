@@ -64,10 +64,7 @@ impl SizeModel {
     /// Analytic mean of the small component.
     #[must_use]
     pub fn small_mean(&self) -> f64 {
-        SMALL_WEIGHTS
-            .iter()
-            .map(|(c, w)| w * c.mean_size())
-            .sum()
+        SMALL_WEIGHTS.iter().map(|(c, w)| w * c.mean_size()).sum()
     }
 
     /// Analytic mean of the bulk component.
@@ -107,9 +104,17 @@ mod tests {
     fn analytic_means_are_sane() {
         let m = SizeModel::standard();
         // Small component is dominated by 40-byte ACKs.
-        assert!(m.small_mean() > 55.0 && m.small_mean() < 85.0, "{}", m.small_mean());
+        assert!(
+            m.small_mean() > 55.0 && m.small_mean() < 85.0,
+            "{}",
+            m.small_mean()
+        );
         // Bulk component is dominated by the 552 atom.
-        assert!(m.bulk_mean() > 500.0 && m.bulk_mean() < 600.0, "{}", m.bulk_mean());
+        assert!(
+            m.bulk_mean() > 500.0 && m.bulk_mean() < 600.0,
+            "{}",
+            m.bulk_mean()
+        );
         // At the calibrated baseline weight, the marginal mean is near
         // Table 2's per-second average of 226.
         let at_baseline = m.mean_size_at(0.340);
@@ -151,8 +156,16 @@ mod tests {
             }
         }
         let f = |c: u32| f64::from(c) / f64::from(n);
-        assert!(f(lt40) < 0.05, "5% quantile must be 40: F(<40) = {}", f(lt40));
-        assert!(f(le40) >= 0.25, "25% quantile must be 40: F(40) = {}", f(le40));
+        assert!(
+            f(lt40) < 0.05,
+            "5% quantile must be 40: F(<40) = {}",
+            f(lt40)
+        );
+        assert!(
+            f(le40) >= 0.25,
+            "25% quantile must be 40: F(40) = {}",
+            f(le40)
+        );
         assert!(f(le75) < 0.5, "median must exceed 75: F(75) = {}", f(le75));
         assert!(f(le76) >= 0.5, "median must be 76: F(76) = {}", f(le76));
         assert!(f(le551) < 0.75, "75% must be 552: F(551) = {}", f(le551));

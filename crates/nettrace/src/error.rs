@@ -52,7 +52,10 @@ impl fmt::Display for TraceError {
                 write!(f, "pcap stream truncated after {packets_read} packets")
             }
             TraceError::OversizedRecord { caplen } => {
-                write!(f, "pcap record declares caplen {caplen} > 256 KiB; refusing")
+                write!(
+                    f,
+                    "pcap record declares caplen {caplen} > 256 KiB; refusing"
+                )
             }
         }
     }

@@ -36,8 +36,28 @@ pub mod trace;
 pub use error::TraceError;
 pub use histogram::{BinSpec, Histogram};
 pub use merge::{merge, rebase, shift};
-pub use pcapng::read_capture;
 pub use packet::{PacketRecord, Protocol};
+pub use pcapng::read_capture;
 pub use series::{PerSecondSeries, SecondStats};
 pub use time::{ClockModel, Micros};
 pub use trace::{Trace, TraceStats};
+
+/// Record read-path metrics shared by the pcap and pcapng readers:
+/// packets and traffic bytes on success, the malformed-record counter on
+/// failure (plus however many packets parsed before a truncation).
+pub(crate) fn observe_read(format: &str, result: &Result<Trace, TraceError>) {
+    let labels = [("format", format)];
+    match result {
+        Ok(trace) => {
+            obskit::counter_labeled("nettrace_packets_read_total", &labels).add(trace.len() as u64);
+            obskit::counter_labeled("nettrace_bytes_read_total", &labels).add(trace.total_bytes());
+        }
+        Err(e) => {
+            obskit::counter_labeled("nettrace_malformed_records_total", &labels).inc();
+            if let TraceError::TruncatedRecord { packets_read } = e {
+                obskit::counter_labeled("nettrace_packets_read_total", &labels)
+                    .add(*packets_read as u64);
+            }
+        }
+    }
+}

@@ -61,7 +61,16 @@ fn u32_from(e: Endian, b: [u8; 4]) -> u32 {
 ///
 /// # Errors
 /// Propagates I/O errors from the underlying writer.
-pub fn write_pcap<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
+pub fn write_pcap<W: Write>(w: W, trace: &Trace) -> Result<(), TraceError> {
+    let _span = obskit::span("nettrace_pcap_write");
+    let result = write_pcap_records(w, trace);
+    if result.is_ok() {
+        obskit::counter("nettrace_packets_written_total").add(trace.len() as u64);
+    }
+    result
+}
+
+fn write_pcap_records<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
     // Global header.
     w.write_all(&MAGIC_US.to_le_bytes())?;
     w.write_all(&2u16.to_le_bytes())?; // version major
@@ -147,10 +156,14 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Trace, TraceError> {
 /// Continue reading a classic pcap stream whose 4 magic bytes were
 /// already consumed (the format-sniffing entry point
 /// [`crate::pcapng::read_capture`] uses this).
-pub(crate) fn read_pcap_with_magic<R: Read>(
-    magic: [u8; 4],
-    mut r: R,
-) -> Result<Trace, TraceError> {
+pub(crate) fn read_pcap_with_magic<R: Read>(magic: [u8; 4], r: R) -> Result<Trace, TraceError> {
+    let _span = obskit::span("nettrace_pcap_read");
+    let result = read_pcap_records(magic, r);
+    crate::observe_read("pcap", &result);
+    result
+}
+
+fn read_pcap_records<R: Read>(magic: [u8; 4], mut r: R) -> Result<Trace, TraceError> {
     let magic_le = u32::from_le_bytes(magic);
     let magic_be = u32::from_be_bytes(magic);
     let (endian, nanos) = match (magic_le, magic_be) {
@@ -192,7 +205,11 @@ pub(crate) fn read_pcap_with_magic<R: Read>(
                 packets_read: packets.len(),
             });
         }
-        let usec = if nanos { u64::from(frac) / 1000 } else { u64::from(frac) };
+        let usec = if nanos {
+            u64::from(frac) / 1000
+        } else {
+            u64::from(frac)
+        };
         let ts = Micros(u64::from(sec) * 1_000_000 + usec);
         packets.push(parse_ipv4(&data, orig_len, ts));
     }

@@ -87,7 +87,14 @@ fn ticks_per_sec_from_tsresol(v: u8) -> u64 {
 /// * [`TraceError::BadMagic`] if the stream does not start with an SHB;
 /// * [`TraceError::TruncatedRecord`] if it ends inside a block;
 /// * [`TraceError::OversizedRecord`] on an implausible block length.
-pub fn read_pcapng<R: Read>(mut r: R) -> Result<Trace, TraceError> {
+pub fn read_pcapng<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let _span = obskit::span("nettrace_pcapng_read");
+    let result = read_pcapng_blocks(r);
+    crate::observe_read("pcapng", &result);
+    result
+}
+
+fn read_pcapng_blocks<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     let mut packets: Vec<PacketRecord> = Vec::new();
     let mut endian = Endian::Little;
     let mut interfaces: Vec<Interface> = Vec::new();
@@ -205,8 +212,7 @@ pub fn read_pcapng<R: Read>(mut r: R) -> Result<Trace, TraceError> {
                 // Convert ticks to microseconds exactly (128-bit to
                 // avoid both overflow and the truncation of non-decimal
                 // resolutions like 2^-10).
-                let micros =
-                    (u128::from(ticks) * 1_000_000 / u128::from(tps.max(1))) as u64;
+                let micros = (u128::from(ticks) * 1_000_000 / u128::from(tps.max(1))) as u64;
                 let data_end = (20 + caplen).min(body.len());
                 let data = &body[20..data_end];
                 packets.push(parse_payload(data, orig_len, Micros(micros)));

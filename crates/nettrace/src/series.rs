@@ -142,7 +142,13 @@ mod tests {
         .unwrap();
         let s = PerSecondSeries::from_trace(&t);
         assert_eq!(s.len(), 3);
-        assert_eq!(s.seconds()[0], SecondStats { packets: 2, bytes: 100 });
+        assert_eq!(
+            s.seconds()[0],
+            SecondStats {
+                packets: 2,
+                bytes: 100
+            }
+        );
         assert_eq!(
             s.seconds()[1],
             SecondStats {

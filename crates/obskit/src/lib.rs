@@ -1,0 +1,175 @@
+//! # obskit — observability for the sampling pipeline
+//!
+//! A self-contained (std-only, zero external dependencies) tracing,
+//! metrics, and profiling layer. The paper's experiment grid — sampler ×
+//! target × fraction over hundreds of thousands of packets — previously
+//! ran completely dark; this crate gives every stage counters, latency
+//! histograms, span timing, and an optional structured JSONL event log,
+//! cheap enough to leave on in release builds.
+//!
+//! ## Model
+//!
+//! * A global [`Registry`] maps metric names (optionally with
+//!   Prometheus-style `{key="value"}` labels) to one of three metric
+//!   kinds: monotonically increasing [`Counter`]s, up/down [`Gauge`]s,
+//!   and log₂-bucketed [`Histogram`]s. All three are atomics inside an
+//!   `Arc`: recording is lock-free; only the *first* registration of a
+//!   name takes a write lock.
+//! * [`span`] returns a guard that, on drop, records the elapsed wall
+//!   time into a histogram named `<name>_duration_us` and (when tracing
+//!   is enabled) appends a JSONL event to the trace sink.
+//! * [`trace`] holds the JSONL sink, enabled explicitly
+//!   ([`trace::enable_path`]) or via the `NETSAMPLE_TRACE` environment
+//!   variable ([`trace::init_from_env`]).
+//! * [`Registry::render_prometheus`] produces text exposition;
+//!   [`Registry::render_summary`] a human-readable table.
+//!
+//! ## Hot-path discipline
+//!
+//! Handle acquisition (`obskit::counter(...)`) hashes the name and may
+//! take a read lock — do it **once per batch/loop**, not per packet.
+//! Recording (`c.add(n)`, `h.record(v)`) is a relaxed atomic RMW.
+//! Instrumented call sites in this workspace count locally inside their
+//! loops and flush a single `add` at the boundary, which keeps measured
+//! overhead on the sampler hot path under 1% (see
+//! `crates/bench/benches/obskit_overhead.rs`).
+//!
+//! Building with the `noop` feature turns every record path into a
+//! compile-time no-op while keeping the API intact.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod metrics;
+mod registry;
+mod span;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{MetricKind, Registry};
+pub use span::{span, span_labeled, time, SpanGuard};
+
+/// True when recording is compiled in (the `noop` feature is off).
+///
+/// All record paths check this; with `noop` the optimizer erases them.
+#[inline(always)]
+#[must_use]
+pub const fn recording_enabled() -> bool {
+    cfg!(not(feature = "noop"))
+}
+
+/// The process-wide registry.
+#[must_use]
+pub fn global() -> &'static Registry {
+    registry::global()
+}
+
+/// Get or register a counter in the global registry.
+#[must_use]
+pub fn counter(name: &str) -> Counter {
+    global().counter(name)
+}
+
+/// Get or register a labeled counter (`name{k="v",...}`) in the global
+/// registry.
+#[must_use]
+pub fn counter_labeled(name: &str, labels: &[(&str, &str)]) -> Counter {
+    global().counter(&keyed(name, labels))
+}
+
+/// Get or register a gauge in the global registry.
+#[must_use]
+pub fn gauge(name: &str) -> Gauge {
+    global().gauge(name)
+}
+
+/// Get or register a labeled gauge in the global registry.
+#[must_use]
+pub fn gauge_labeled(name: &str, labels: &[(&str, &str)]) -> Gauge {
+    global().gauge(&keyed(name, labels))
+}
+
+/// Get or register a histogram in the global registry.
+#[must_use]
+pub fn histogram(name: &str) -> Histogram {
+    global().histogram(name)
+}
+
+/// Get or register a labeled histogram in the global registry.
+#[must_use]
+pub fn histogram_labeled(name: &str, labels: &[(&str, &str)]) -> Histogram {
+    global().histogram(&keyed(name, labels))
+}
+
+/// Render `name{k="v",...}` (or just `name` without labels), escaping
+/// label values.
+#[must_use]
+pub fn keyed(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_formats_labels_in_order() {
+        assert_eq!(keyed("x_total", &[]), "x_total");
+        assert_eq!(
+            keyed("x_total", &[("method", "systematic"), ("k", "50")]),
+            "x_total{method=\"systematic\",k=\"50\"}"
+        );
+    }
+
+    #[test]
+    fn keyed_escapes_quotes_and_backslashes() {
+        assert_eq!(keyed("m", &[("a", "q\"b\\c")]), "m{a=\"q\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn global_handles_are_shared() {
+        let a = counter("obskit_test_shared_total");
+        let b = counter("obskit_test_shared_total");
+        a.add(3);
+        b.add(4);
+        assert_eq!(a.get(), 7);
+        assert_eq!(b.get(), 7);
+    }
+
+    #[test]
+    #[cfg(feature = "noop")]
+    fn noop_feature_drops_every_record() {
+        assert!(!recording_enabled());
+        let c = counter("obskit_noop_probe_total");
+        c.inc();
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let h = histogram("obskit_noop_probe_us");
+        h.record(123);
+        assert_eq!(h.snapshot().count, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Wall-clock span timing.
+//!
+//! A [`SpanGuard`] measures from construction to drop, records the
+//! duration into a global histogram named `<name>_duration_us`, and —
+//! when the JSONL trace sink is enabled — emits a `span` event carrying
+//! the labels.
+
+use crate::trace::{self, TraceEvent};
+use crate::Histogram;
+use std::time::Instant;
+
+/// An RAII span: times from creation until drop.
+///
+/// Construct with [`span`] or [`span_labeled`]; see also [`time`] for a
+/// closure form.
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    histogram: Histogram,
+    labels: Vec<(String, String)>,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed time so far, in microseconds.
+    #[must_use]
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let dur_us = self.elapsed_us();
+        self.histogram.record(dur_us);
+        if trace::enabled() {
+            let mut event = TraceEvent::now("span", self.name).with_duration(dur_us);
+            event.labels = std::mem::take(&mut self.labels);
+            trace::emit(&event);
+        }
+    }
+}
+
+/// Open a span named `name`; durations aggregate into the global
+/// histogram `<name>_duration_us`.
+#[must_use]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_labeled(name, &[])
+}
+
+/// Open a span with labels. Labels go into the histogram key (so each
+/// label combination aggregates separately) and into the trace event.
+#[must_use]
+pub fn span_labeled(name: &'static str, labels: &[(&str, &str)]) -> SpanGuard {
+    let histogram = crate::histogram_labeled(&format!("{name}_duration_us"), labels);
+    SpanGuard {
+        name,
+        histogram,
+        labels: labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect(),
+        start: Instant::now(),
+    }
+}
+
+/// Time a closure under a span and return its result.
+pub fn time<T, F: FnOnce() -> T>(name: &'static str, f: F) -> T {
+    let _guard = span(name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn span_records_into_named_histogram() {
+        {
+            let _g = span("obskit_test_span");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let snap = crate::histogram("obskit_test_span_duration_us").snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.max >= 1_000, "slept 2ms, recorded {}us", snap.max);
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn labeled_spans_aggregate_separately() {
+        {
+            let _a = span_labeled("obskit_test_cell", &[("method", "systematic")]);
+            let _b = span_labeled("obskit_test_cell", &[("method", "random")]);
+        }
+        let a =
+            crate::histogram_labeled("obskit_test_cell_duration_us", &[("method", "systematic")]);
+        let b = crate::histogram_labeled("obskit_test_cell_duration_us", &[("method", "random")]);
+        assert_eq!(a.snapshot().count, 1);
+        assert_eq!(b.snapshot().count, 1);
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn time_returns_the_closure_result() {
+        let v = time("obskit_test_time", || 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(
+            crate::histogram("obskit_test_time_duration_us")
+                .snapshot()
+                .count,
+            1
+        );
+    }
+}

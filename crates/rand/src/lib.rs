@@ -1,0 +1,415 @@
+//! In-tree pseudo-random number generation.
+//!
+//! This crate is a *workspace-local stand-in* for the crates.io `rand`
+//! crate: the CI environment has no network access to the registry, so
+//! everything the workspace needs is hand-rolled here on `std` alone.
+//! It exposes exactly the API surface the other crates use — the
+//! [`Rng`] / [`RngExt`] / [`SeedableRng`] traits and [`rngs::StdRng`] —
+//! with the same calling conventions, so `use rand::...` lines work
+//! unchanged.
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ (Blackman &
+//! Vigna), seeded through SplitMix64. It is *not* cryptographically
+//! secure, which is fine: the workspace uses randomness only for
+//! reproducible Monte-Carlo experiments, where statistical quality and
+//! determinism under a fixed seed are what matter.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words. The base trait every generator
+/// implements; everything else is derived from [`Rng::next_u64`].
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (upper half of a 64-bit draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Values that can be drawn uniformly from a generator's raw bits via
+/// [`RngExt::random`].
+pub trait Random: Sized {
+    /// Draw one uniformly distributed value.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Random for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_random_int {
+    ($($t:ty),*) => {$(
+        impl Random for $t {
+            #[allow(clippy::cast_lossless)]
+            fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Random for u128 {
+    fn random_from<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample values of type `T`
+/// from. Parameterized by the output type and implemented as blanket
+/// impls over [`SampleUniform`] (like real `rand`), so unsuffixed range
+/// literals unify with the expected result type during inference.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types drawable uniformly from a `[lo, hi)` / `[lo, hi]` span.
+pub trait SampleUniform: Sized {
+    /// Draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`
+    /// (`inclusive = true`).
+    ///
+    /// # Panics
+    /// Panics if the span is empty.
+    fn sample_span<R: Rng + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_span(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_span(lo, hi, true, rng)
+    }
+}
+
+/// Unbiased integer draw in `[0, bound)` by Lemire's multiply-shift
+/// rejection method.
+fn uniform_u64_below<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(bound);
+        let low = m as u64;
+        if low >= bound {
+            return (m >> 64) as u64;
+        }
+        // Rejection zone: accept unless low falls in the biased region.
+        let threshold = bound.wrapping_neg() % bound;
+        if low >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: Rng + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                    let width = (hi as i128 - lo as i128) as u128 + 1;
+                    if width > u128::from(u64::MAX) {
+                        // Full 64-bit span: every word is a valid draw.
+                        return rng.next_u64() as $t;
+                    }
+                    let draw = uniform_u64_below(rng, width as u64);
+                    (lo as i128 + draw as i128) as $t
+                } else {
+                    assert!(lo < hi, "cannot sample from empty range");
+                    let width = (hi as i128 - lo as i128) as u64;
+                    let draw = uniform_u64_below(rng, width);
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_span<R: Rng + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample from empty range");
+                } else {
+                    assert!(lo < hi, "cannot sample from empty range");
+                }
+                let u = <$t as Random>::random_from(rng);
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Convenience sampling methods, available on every [`Rng`].
+pub trait RngExt: Rng {
+    /// One uniformly distributed value of type `T` (for floats, in
+    /// `[0, 1)`).
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    /// One value drawn uniformly from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0 <= p <= 1`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Deterministic construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanded through SplitMix64 — the common
+    /// path for reproducible experiments.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64 — used to expand small seeds into full generator state.
+/// Public so callers can use it as a tiny standalone stream if needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next word of the SplitMix64 sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// 256 bits of state, period 2²⁵⁶ − 1, passes BigCrush; a few ns per
+    /// draw. Not cryptographically secure (not needed here).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl Rng for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+                *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is the one fixed point of the xoshiro
+            // transition; nudge it to a nonzero constant.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias: the workspace has no separate small generator.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_half_open_interval() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..100_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_half() {
+        let mut r = StdRng::seed_from_u64(8);
+        let n = 200_000;
+        let sum: f64 = (0..n).map(|_| r.random::<f64>()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_uniformly() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[r.random_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn inclusive_ranges_hit_both_endpoints() {
+        let mut r = StdRng::seed_from_u64(10);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            match r.random_range(1..=2) {
+                1 => lo_seen = true,
+                2 => hi_seen = true,
+                _ => unreachable!("out of range"),
+            }
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.random_range(-4.0..=4.0);
+            assert!((-4.0..=4.0).contains(&x));
+            let y = r.random_range(10.0..20.0);
+            assert!((10.0..20.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(12);
+        let hits = (0..100_000).filter(|_| r.random_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = StdRng::seed_from_u64(13);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(14);
+        let _ = r.random_range(5usize..5);
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw(rng: &mut dyn Rng) -> f64 {
+            rng.random()
+        }
+        let mut r = StdRng::seed_from_u64(15);
+        let x = draw(&mut r);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -65,7 +65,9 @@ mod tests {
 
     #[test]
     fn alternating_series_has_negative_lag1() {
-        let d: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let d: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(lag1(&d) < -0.9);
     }
 

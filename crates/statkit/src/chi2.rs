@@ -26,6 +26,7 @@ pub fn chi2_cdf(df: u32, x: f64) -> f64 {
 pub fn chi2_sf(df: u32, x: f64) -> f64 {
     assert!(df > 0, "chi-square requires df >= 1");
     assert!(x >= 0.0, "chi-square statistic cannot be negative");
+    let _span = obskit::span("statkit_chi2_sf");
     gamma_q(f64::from(df) / 2.0, x / 2.0)
 }
 
@@ -111,6 +112,10 @@ impl Chi2Test {
         );
         let df = used - 1 - fitted_params;
         assert!(df >= 1, "no degrees of freedom left after fitting");
+        if obskit::recording_enabled() {
+            obskit::counter("statkit_chi2_tests_total").inc();
+            obskit::counter("statkit_chi2_cells_evaluated_total").add(u64::from(used));
+        }
         Chi2Test {
             statistic: stat,
             df,
@@ -122,7 +127,11 @@ impl Chi2Test {
     /// distribution) is rejected at significance level `alpha`.
     #[must_use]
     pub fn rejects_at(&self, alpha: f64) -> bool {
-        self.p_value < alpha
+        let rejected = self.p_value < alpha;
+        if rejected && obskit::recording_enabled() {
+            obskit::counter("statkit_chi2_rejections_total").inc();
+        }
+        rejected
     }
 
     /// The paper plots `1 − significance level` for ease of comparison

@@ -52,7 +52,10 @@ fn kolmogorov_q(lambda: f64) -> f64 {
 /// Panics if either sample is empty.
 #[must_use]
 pub fn ks_two_sample(a: &[f64], b: &[f64]) -> KsTest {
-    assert!(!a.is_empty() && !b.is_empty(), "K-S requires nonempty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "K-S requires nonempty samples"
+    );
     let mut xs = a.to_vec();
     let mut ys = b.to_vec();
     xs.sort_by(f64::total_cmp);

@@ -62,7 +62,10 @@ impl HyperExp2 {
     #[must_use]
     pub fn from_mean_cv2(mean: f64, cv2: f64) -> Self {
         assert!(mean > 0.0, "H2 mean must be positive");
-        assert!(cv2 > 1.0, "H2 requires cv^2 > 1 (got {cv2}); use Exponential at 1");
+        assert!(
+            cv2 > 1.0,
+            "H2 requires cv^2 > 1 (got {cv2}); use Exponential at 1"
+        );
         let p1 = 0.5 * (1.0 + ((cv2 - 1.0) / (cv2 + 1.0)).sqrt());
         HyperExp2 {
             p1,
@@ -115,7 +118,10 @@ impl LogNormal {
     /// Panics unless both are positive.
     #[must_use]
     pub fn from_mean_std(mean: f64, std: f64) -> Self {
-        assert!(mean > 0.0 && std > 0.0, "lognormal mean/std must be positive");
+        assert!(
+            mean > 0.0 && std > 0.0,
+            "lognormal mean/std must be positive"
+        );
         let cv2 = (std / mean).powi(2);
         let sigma2 = (1.0 + cv2).ln();
         LogNormal {
@@ -265,7 +271,10 @@ impl Pareto {
     /// Panics on nonpositive parameters.
     #[must_use]
     pub fn new(x_min: f64, alpha: f64) -> Self {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto parameters must be positive"
+        );
         Pareto { x_min, alpha }
     }
 
@@ -351,7 +360,11 @@ mod tests {
         let d = Exponential::new(2358.0);
         let mut r = rng(1);
         let m = Moments::from_values((0..200_000).map(|_| d.sample(&mut r)));
-        assert!((m.mean() - 2358.0).abs() / 2358.0 < 0.02, "mean {}", m.mean());
+        assert!(
+            (m.mean() - 2358.0).abs() / 2358.0 < 0.02,
+            "mean {}",
+            m.mean()
+        );
         // Exponential: std == mean.
         assert!((m.std_dev() - 2358.0).abs() / 2358.0 < 0.02);
         assert!(m.min() >= 0.0);
@@ -373,7 +386,11 @@ mod tests {
         assert!((d.mean() - 2358.0).abs() < 1e-9);
         let mut r = rng(11);
         let m = Moments::from_values((0..400_000).map(|_| d.sample(&mut r)));
-        assert!((m.mean() - 2358.0).abs() / 2358.0 < 0.02, "mean {}", m.mean());
+        assert!(
+            (m.mean() - 2358.0).abs() / 2358.0 < 0.02,
+            "mean {}",
+            m.mean()
+        );
         let cv2 = (m.std_dev() / m.mean()).powi(2);
         assert!((cv2 - 1.3).abs() < 0.06, "cv2 {cv2}");
     }
@@ -391,7 +408,11 @@ mod tests {
         let mut r = rng(3);
         let m = Moments::from_values((0..200_000).map(|_| d.sample(&mut r)));
         assert!((m.mean() - 424.0).abs() / 424.0 < 0.02, "mean {}", m.mean());
-        assert!((m.std_dev() - 85.0).abs() / 85.0 < 0.05, "std {}", m.std_dev());
+        assert!(
+            (m.std_dev() - 85.0).abs() / 85.0 < 0.05,
+            "std {}",
+            m.std_dev()
+        );
         // Lognormal is right-skewed.
         assert!(m.skewness() > 0.0);
     }
@@ -412,7 +433,11 @@ mod tests {
         let m = Moments::from_values((0..20_000).map(|_| poisson(&mut r, 424.2) as f64));
         assert!((m.mean() - 424.2).abs() / 424.2 < 0.01, "mean {}", m.mean());
         // Poisson: var == mean.
-        assert!((m.variance() - 424.2).abs() / 424.2 < 0.05, "var {}", m.variance());
+        assert!(
+            (m.variance() - 424.2).abs() / 424.2 < 0.05,
+            "var {}",
+            m.variance()
+        );
     }
 
     #[test]

@@ -18,7 +18,11 @@ use nettrace::Micros;
 
 fn main() {
     // Three 2-minute epochs of different intensity, stitched together.
-    let epochs = [("night", 80.0), ("afternoon peak", 2500.0), ("evening", 400.0)];
+    let epochs = [
+        ("night", 80.0),
+        ("afternoon peak", 2500.0),
+        ("evening", 400.0),
+    ];
     let mut parts = Vec::new();
     for (i, (_, pps)) in epochs.iter().enumerate() {
         let mut p = TraceProfile::short(120);
@@ -56,9 +60,8 @@ fn main() {
         "{:<16} {:>10} {:>10} {:>12} {:>14}",
         "epoch", "offered", "selected", "sel/s", "interval@end"
     );
-    for ((name, _), ((offered, selected), interval)) in epochs
-        .iter()
-        .zip(per_epoch.iter().zip(&interval_at_end))
+    for ((name, _), ((offered, selected), interval)) in
+        epochs.iter().zip(per_epoch.iter().zip(&interval_at_end))
     {
         println!(
             "{:<16} {:>10} {:>10} {:>12.1} {:>14}",

@@ -53,9 +53,17 @@ fn main() {
         "driving {} packets through a 2-node backbone (150 pps categorization capacity per node)\n",
         trace.len()
     );
-    run("unsampled categorization (processor overloaded):", None, &trace);
+    run(
+        "unsampled categorization (processor overloaded):",
+        None,
+        &trace,
+    );
     println!();
-    run("with 1-in-50 systematic sampling (the Sept-1991 fix):", Some(50), &trace);
+    run(
+        "with 1-in-50 systematic sampling (the Sept-1991 fix):",
+        Some(50),
+        &trace,
+    );
     println!(
         "\nSNMP never loses packets; the categorization estimate only matches it once\n\
          sampling reduces the header-examination load below processor capacity."

@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reread = read_pcap(BufReader::new(File::open(&path)?))?;
     assert_eq!(reread.len(), trace.len());
     assert_eq!(reread.total_bytes(), trace.total_bytes());
-    println!("re-read {} packets, {} bytes — intact", reread.len(), reread.total_bytes());
+    println!(
+        "re-read {} packets, {} bytes — intact",
+        reread.len(),
+        reread.total_bytes()
+    );
 
     // 3. Run the standard analysis on the file-sourced trace.
     let exp = Experiment::over_window(

@@ -50,7 +50,10 @@ fn main() {
             .mean_phi()
             .expect("nonempty");
         let ok = phi <= 0.02;
-        println!("  1-in-{k:<5} phi = {phi:.5} {}", if ok { "ok" } else { "too coarse" });
+        println!(
+            "  1-in-{k:<5} phi = {phi:.5} {}",
+            if ok { "ok" } else { "too coarse" }
+        );
         if ok {
             chosen = k;
         }

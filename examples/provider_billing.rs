@@ -41,10 +41,7 @@ fn main() {
         let mut lost = 0.0; // packets sent but not billed
         let mut l1 = 0.0;
         for (&net, &true_pkts) in &truth {
-            let est = estimated_total(
-                sampled.get(&net).copied().unwrap_or(0) as f64,
-                fraction,
-            );
+            let est = estimated_total(sampled.get(&net).copied().unwrap_or(0) as f64, fraction);
             let diff = est - true_pkts as f64;
             l1 += diff.abs();
             if diff > 0.0 {

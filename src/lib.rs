@@ -18,7 +18,10 @@
 //!   collectors);
 //! * [`sampling`] — the paper's core contribution: the five sampling
 //!   methods, the disparity-metric suite (χ², significance, cost, X², φ),
-//!   and the replication/sweep experiment framework.
+//!   and the replication/sweep experiment framework;
+//! * [`obskit`] — the observability layer every crate above reports into:
+//!   a global registry of counters/gauges/histograms, wall-clock spans,
+//!   Prometheus-style exposition, and optional JSONL event tracing.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -26,9 +29,10 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub use nettrace;
 pub use netstat_sim as netstat;
 pub use netsynth;
+pub use nettrace;
+pub use obskit;
 pub use sampling;
 pub use statkit;
 

@@ -64,10 +64,7 @@ fn table3_interarrival_quantiles_exact() {
     assert_eq!(row.q3, 3200.0);
     assert_eq!(row.p95, 7600.0);
     // All values sit on the 400us capture grid.
-    assert!(hour()
-        .interarrivals()
-        .iter()
-        .all(|&g| g % 400 == 0));
+    assert!(hour().interarrivals().iter().all(|&g| g % 400 == 0));
 }
 
 #[test]
@@ -102,7 +99,11 @@ fn table2_byte_rates() {
     within(row.std_dev, 38.6, 0.10);
     // Bytes skew harder than packets (bursts are bulk transfers).
     let pps_skew = SummaryRow::from_data(&s.packet_rates()).skew;
-    assert!(row.skew > pps_skew, "byte skew {} vs pps skew {pps_skew}", row.skew);
+    assert!(
+        row.skew > pps_skew,
+        "byte skew {} vs pps skew {pps_skew}",
+        row.skew
+    );
 }
 
 #[test]

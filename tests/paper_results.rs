@@ -69,10 +69,16 @@ fn timer_methods_lose_badly_on_interarrival() {
     // The paper's strongest result (Figure 9): at every fraction the
     // timer methods' phi is several times the packet methods'.
     for k in [16usize, 256, 4096] {
-        let packet = mean_phi(Target::Interarrival, MethodFamily::Systematic, k)
-            .max(mean_phi(Target::Interarrival, MethodFamily::SimpleRandom, k));
-        let timer = mean_phi(Target::Interarrival, MethodFamily::SystematicTimer, k)
-            .min(mean_phi(Target::Interarrival, MethodFamily::StratifiedTimer, k));
+        let packet = mean_phi(Target::Interarrival, MethodFamily::Systematic, k).max(mean_phi(
+            Target::Interarrival,
+            MethodFamily::SimpleRandom,
+            k,
+        ));
+        let timer = mean_phi(Target::Interarrival, MethodFamily::SystematicTimer, k).min(mean_phi(
+            Target::Interarrival,
+            MethodFamily::StratifiedTimer,
+            k,
+        ));
         assert!(
             timer > 3.0 * packet,
             "k={k}: timer {timer} vs packet {packet}"
@@ -170,10 +176,7 @@ fn geometric_extension_matches_random_class() {
     // sampling (both are unordered-uniform in expectation).
     let geo = mean_phi(Target::PacketSize, MethodFamily::GeometricSkip, 256);
     let rnd = mean_phi(Target::PacketSize, MethodFamily::SimpleRandom, 256);
-    assert!(
-        (geo - rnd).abs() < 0.02,
-        "geometric {geo} vs random {rnd}"
-    );
+    assert!((geo - rnd).abs() < 0.02, "geometric {geo} vs random {rnd}");
 }
 
 #[test]

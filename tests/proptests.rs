@@ -14,13 +14,13 @@ use statkit::{quantile, Moments};
 fn packet_stream(max_len: usize) -> impl Strategy<Value = Vec<PacketRecord>> {
     prop::collection::vec(
         (
-            0u64..5_000u64,   // gap to previous packet (us)
-            28u16..=1500u16,  // size
-            0u8..=20u8,       // protocol number (covers TCP/UDP/ICMP/other)
-            0u16..=1024u16,   // src port
-            0u16..=1024u16,   // dst port
-            0u16..=300u16,    // src net
-            0u16..=300u16,    // dst net
+            0u64..5_000u64,  // gap to previous packet (us)
+            28u16..=1500u16, // size
+            0u8..=20u8,      // protocol number (covers TCP/UDP/ICMP/other)
+            0u16..=1024u16,  // src port
+            0u16..=1024u16,  // dst port
+            0u16..=300u16,   // src net
+            0u16..=300u16,   // dst net
         ),
         1..max_len,
     )
