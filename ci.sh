@@ -17,6 +17,9 @@ cargo build --offline --release --workspace
 echo "== cargo test"
 cargo test --offline --workspace -q
 
+echo "== cargo test (obskit noop feature)"
+cargo test --offline -p obskit --features noop -q
+
 echo "== smoke: synthesize + score with --metrics"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
@@ -28,5 +31,20 @@ grep -q "netsynth_packets_generated_total" "$tmpdir/synth.metrics"
 grep -q "nettrace_packets_read_total" "$tmpdir/score.metrics"
 grep -q "sampling_packets_selected_total" "$tmpdir/score.metrics"
 grep -q '"kind":"span"' "$tmpdir/events.jsonl"
+
+echo "== perf: record trajectory point + regression gate"
+# Seed the trajectory with the committed baselines, then record a fresh
+# fixed-seed run against them. The diff gates at 25% unless
+# PERF_ALLOW_REGRESSION=1 is exported by the caller (for intentional
+# trade-offs).
+perfdir="$tmpdir/perf"
+mkdir -p "$perfdir"
+cp BENCH_*.json "$perfdir"/ 2>/dev/null || true
+"$bin" perf record --dir "$perfdir" --packets 100000 --seed 1993 \
+    --profile-out "$perfdir/profile.folded" > "$tmpdir/perf.out"
+grep -q "BENCH_" "$tmpdir/perf.out"
+grep -q "cell/systematic" "$tmpdir/perf.out"
+grep -q "^perf_record;" "$perfdir/profile.folded"
+"$bin" perf report --dir "$perfdir" | grep -q "experiments"
 
 echo "CI OK"

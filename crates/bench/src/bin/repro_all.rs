@@ -2,8 +2,17 @@
 //!
 //! Each experiment is wall-clock timed and a per-figure timing table is
 //! appended, so regressions in reproduction cost are visible run-to-run.
+//!
+//! Flags:
+//! * `--bench-json <dir>` — also write the run as the next
+//!   `BENCH_<n>.json` in `<dir>` and diff it against the newest prior
+//!   report there (see the perfkit crate).
+//! * `--profile-out <file>` — write the aggregated span tree in
+//!   collapsed-stack format (one `path;path;leaf self_us` line each),
+//!   consumable by `inferno-flamegraph` or speedscope.
 use bench::experiments as ex;
 use sampling::Target;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn timed(
@@ -17,7 +26,40 @@ fn timed(
     println!("{out}");
 }
 
+fn parse_flags() -> (Option<PathBuf>, Option<PathBuf>) {
+    let mut bench_json = None;
+    let mut profile_out = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bench-json" => match args.next() {
+                Some(dir) => bench_json = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--bench-json needs a directory argument");
+                    std::process::exit(64);
+                }
+            },
+            "--profile-out" => match args.next() {
+                Some(file) => profile_out = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--profile-out needs a file argument");
+                    std::process::exit(64);
+                }
+            },
+            other => {
+                eprintln!("unknown flag {other}; known: --bench-json <dir>, --profile-out <file>");
+                std::process::exit(64);
+            }
+        }
+    }
+    (bench_json, profile_out)
+}
+
 fn main() {
+    let (bench_json, profile_out) = parse_flags();
+    // Any JSONL trace sink installed via env gets flushed even if an
+    // experiment panics partway through the run.
+    let _flush = obskit::trace::flush_on_drop();
     let t = bench::study_trace();
     println!(
         "# Reproduction run (seed {}, {} packets)\n",
@@ -80,4 +122,57 @@ fn main() {
         total += *d;
     }
     println!("{:<20} {:>10.3}", "total", total.as_secs_f64());
+
+    if let Some(path) = &profile_out {
+        let folded = obskit::tree::render_folded();
+        if let Err(e) = std::fs::write(path, folded) {
+            eprintln!("cannot write profile {}: {e}", path.display());
+            std::process::exit(74);
+        }
+        eprintln!("folded-stack profile written: {}", path.display());
+    }
+    if let Some(dir) = &bench_json {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(74);
+        }
+        let ts_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        let experiments = timings
+            .iter()
+            .map(|(name, d)| perfkit::ExperimentTime {
+                name: (*name).to_string(),
+                wall_us: d.as_micros() as u64,
+            })
+            .collect();
+        let mut report = perfkit::BenchReport::collect(
+            perfkit::RunMeta {
+                ts_us,
+                source: "repro_all".to_string(),
+                seed: bench::STUDY_SEED,
+                packets: t.len() as u64,
+            },
+            experiments,
+        );
+        match report.write_next(dir) {
+            Ok(path) => {
+                eprintln!("bench report written: {}", path.display());
+                if let Some((base, _)) = perfkit::baseline_before(dir, report.bench_version) {
+                    match perfkit::BenchReport::load(&base) {
+                        Ok(old) => eprint!(
+                            "{}",
+                            perfkit::diff(&old, &report, perfkit::DEFAULT_THRESHOLD).render()
+                        ),
+                        Err(e) => eprintln!("cannot load baseline: {e}"),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("bench report failed: {e}");
+                std::process::exit(74);
+            }
+        }
+    }
 }

@@ -27,6 +27,10 @@ pub enum CmdError {
     Data(String),
     /// The operating system failed an open/read/write (`EX_IOERR`, 74).
     Io(String),
+    /// A perf diff crossed the regression gate (exit 1, the
+    /// conventional "check failed" code CI systems key on). Set
+    /// `PERF_ALLOW_REGRESSION=1` to downgrade the gate to a report.
+    Regression(String),
 }
 
 impl CmdError {
@@ -45,10 +49,16 @@ impl CmdError {
         CmdError::Io(msg.into())
     }
 
+    /// Construct a regression-gate error.
+    pub fn regression(msg: impl Into<String>) -> CmdError {
+        CmdError::Regression(msg.into())
+    }
+
     /// The sysexits-style process exit code for this class.
     #[must_use]
     pub fn exit_code(&self) -> u8 {
         match self {
+            CmdError::Regression(_) => 1,
             CmdError::Usage(_) => 64,
             CmdError::Data(_) => 65,
             CmdError::Io(_) => 74,
@@ -59,7 +69,9 @@ impl CmdError {
 impl std::fmt::Display for CmdError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CmdError::Usage(m) | CmdError::Data(m) | CmdError::Io(m) => write!(f, "{m}"),
+            CmdError::Usage(m) | CmdError::Data(m) | CmdError::Io(m) | CmdError::Regression(m) => {
+                write!(f, "{m}")
+            }
         }
     }
 }

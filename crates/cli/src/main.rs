@@ -19,6 +19,7 @@
 
 mod args;
 mod commands;
+mod perf;
 
 use args::Args;
 use std::process::ExitCode;
@@ -32,28 +33,40 @@ USAGE:
   netsample score   <population.pcap> [--method M] [--interval k] [--target T] [--replications R]
   netsample compare <a.pcap> <b.pcap> [--target T]
   netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+  netsample perf    record|report|diff ...   (see `netsample perf`)
 
 global options (any position):
-  --metrics         dump the metrics registry to stderr at exit
-  --trace <path>    write structured JSONL trace events to <path>
-                    (NETSAMPLE_TRACE=<path> does the same)
+  --metrics            dump the metrics registry to stderr at exit
+  --trace <path>       write structured JSONL trace events to <path>
+                       (NETSAMPLE_TRACE=<path> does the same)
+  --profile-out <path> write the run's span tree as collapsed stacks
+                       (flamegraph/'inferno' input) to <path> at exit
 
 methods: systematic | stratified | random | geometric
 targets: packet-size | interarrival | protocol | port
 
-exit codes: 0 ok, 64 usage error, 65 bad data, 74 I/O error
+exit codes: 0 ok, 1 perf regression gate, 64 usage error, 65 bad data,
+            74 I/O error
 ";
 
-/// Pull `--metrics` and `--trace <path>` / `--trace=<path>` out of the
-/// argument list so every subcommand accepts them without listing them.
-fn extract_global_flags(argv: &mut Vec<String>) -> Result<(bool, Option<String>), String> {
-    let mut metrics = false;
-    let mut trace_path = None;
+/// The global flags every subcommand accepts without listing them.
+#[derive(Debug, Default, PartialEq)]
+struct GlobalFlags {
+    metrics: bool,
+    trace_path: Option<String>,
+    profile_out: Option<String>,
+}
+
+/// Pull `--metrics`, `--trace <path>`/`--trace=<path>`, and
+/// `--profile-out <path>`/`--profile-out=<path>` out of the argument
+/// list.
+fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
+    let mut flags = GlobalFlags::default();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
             "--metrics" => {
-                metrics = true;
+                flags.metrics = true;
                 argv.remove(i);
             }
             "--trace" => {
@@ -61,11 +74,21 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<(bool, Option<String>)
                 if i >= argv.len() {
                     return Err("--trace needs a value".to_string());
                 }
-                trace_path = Some(argv.remove(i));
+                flags.trace_path = Some(argv.remove(i));
+            }
+            "--profile-out" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--profile-out needs a value".to_string());
+                }
+                flags.profile_out = Some(argv.remove(i));
             }
             other => {
                 if let Some(v) = other.strip_prefix("--trace=") {
-                    trace_path = Some(v.to_string());
+                    flags.trace_path = Some(v.to_string());
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--profile-out=") {
+                    flags.profile_out = Some(v.to_string());
                     argv.remove(i);
                 } else {
                     i += 1;
@@ -73,19 +96,19 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<(bool, Option<String>)
             }
         }
     }
-    Ok((metrics, trace_path))
+    Ok(flags)
 }
 
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
-    let (metrics, trace_path) = match extract_global_flags(&mut argv) {
+    let flags = match extract_global_flags(&mut argv) {
         Ok(g) => g,
         Err(e) => {
             eprintln!("netsample: {e}");
             return ExitCode::from(64);
         }
     };
-    if let Some(path) = &trace_path {
+    if let Some(path) = &flags.trace_path {
         if let Err(e) = obskit::trace::enable_path(path) {
             eprintln!("netsample: cannot open trace sink {path}: {e}");
             return ExitCode::from(74);
@@ -93,6 +116,9 @@ fn main() -> ExitCode {
     } else {
         obskit::trace::init_from_env();
     }
+    // Flush buffered trace events even if a command panics mid-run: the
+    // partial trace up to the failure is the debugging artifact.
+    let _flush = obskit::trace::flush_on_drop();
 
     let code = match argv.split_first() {
         None => {
@@ -113,8 +139,14 @@ fn main() -> ExitCode {
 
     // The dump runs on failures too: a crashed run's partial counters are
     // exactly what one wants when debugging it.
-    if metrics {
+    if flags.metrics {
         eprint!("{}", obskit::global().render_summary());
+    }
+    if let Some(path) = &flags.profile_out {
+        if let Err(e) = std::fs::write(path, obskit::tree::render_folded()) {
+            eprintln!("netsample: cannot write profile {path}: {e}");
+            return ExitCode::from(74);
+        }
     }
     obskit::trace::flush();
     code
@@ -149,6 +181,7 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
             let a = Args::parse(rest, &["target", "replications", "seed", "max-interval"])?;
             commands::sweep(&a)
         }
+        "perf" => perf::perf(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(commands::CmdError::usage(format!(
             "unknown command '{other}'\n\n{USAGE}"

@@ -165,3 +165,154 @@ fn trace_flag_writes_jsonl_events() {
     std::fs::remove_file(&pop).ok();
     std::fs::remove_file(&sink).ok();
 }
+
+#[test]
+fn trace_is_flushed_even_when_the_command_fails() {
+    let sink = std::env::temp_dir()
+        .join(format!(
+            "netsample_bin_failtrace_{}.jsonl",
+            std::process::id()
+        ))
+        .to_string_lossy()
+        .into_owned();
+    // A data-class failure deep in the run: the pcap is unreadable.
+    let garbage = tmp("failtrace");
+    std::fs::write(&garbage, b"definitely not a capture").unwrap();
+    let out = netsample(&["analyze", &garbage, "--trace", &sink]);
+    assert_eq!(out.status.code(), Some(65));
+    let body = std::fs::read_to_string(&sink).unwrap();
+    assert!(
+        !body.trim().is_empty(),
+        "failed run wrote no trace events at all"
+    );
+    // Every line the failing run wrote is complete JSON.
+    for line in body.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}') && line.contains("\"kind\""),
+            "torn trace line from failing run: {line}"
+        );
+    }
+    std::fs::remove_file(&garbage).ok();
+    std::fs::remove_file(&sink).ok();
+}
+
+fn perf_tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("netsample_bin_perf_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn perf_record_report_and_profile_out_work_end_to_end() {
+    let dir = perf_tmpdir("record");
+    let dir_s = dir.to_str().unwrap().to_string();
+    let folded = dir.join("profile.folded");
+    let out = netsample(&[
+        "perf",
+        "record",
+        "--dir",
+        &dir_s,
+        "--packets",
+        "2000",
+        "--seed",
+        "7",
+        "--profile-out",
+        folded.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("BENCH_1.json"), "{text}");
+    assert!(text.contains("cell/systematic"), "{text}");
+
+    // The BENCH file is valid versioned JSON with the documented keys.
+    let body = std::fs::read_to_string(dir.join("BENCH_1.json")).unwrap();
+    for key in [
+        "schema_version",
+        "bench_version",
+        "experiments",
+        "samplers",
+        "spans",
+    ] {
+        assert!(body.contains(key), "BENCH_1.json missing {key}: {body}");
+    }
+
+    // The folded profile nests the workload under the record root span.
+    let profile = std::fs::read_to_string(&folded).unwrap();
+    assert!(
+        profile.lines().any(|l| l.starts_with("perf_record;")),
+        "no nested spans in profile: {profile}"
+    );
+
+    // `perf report` renders the file it just wrote.
+    let out = netsample(&["perf", "report", "--dir", &dir_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("experiments"), "{text}");
+
+    // A second record diffs against the first and stays within the gate
+    // (same workload, same machine).
+    let out = netsample(&[
+        "perf",
+        "record",
+        "--dir",
+        &dir_s,
+        "--packets",
+        "2000",
+        "--seed",
+        "7",
+        "--threshold",
+        "400",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("BENCH_2.json"), "{text}");
+    assert!(text.contains("perf diff: BENCH_1 -> BENCH_2"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_diff_gate_fails_on_regression_and_env_bypasses_it() {
+    let dir = perf_tmpdir("gatebin");
+    let fast = r#"{
+  "schema_version": 1, "bench_version": 1,
+  "run": {"ts_us": 1, "source": "test", "seed": 7, "packets": 2000},
+  "experiments": [{"name": "cell/systematic", "wall_us": 200000}],
+  "samplers": [], "timings": [], "benches": [], "spans": []
+}"#;
+    let slow = fast
+        .replace("200000", "900000")
+        .replace("\"bench_version\": 1", "\"bench_version\": 2");
+    let old = dir.join("BENCH_1.json");
+    let new = dir.join("BENCH_2.json");
+    std::fs::write(&old, fast).unwrap();
+    std::fs::write(&new, slow).unwrap();
+
+    let out = netsample(&["perf", "diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("REGRESSED"), "{err}");
+    assert!(err.contains("regression gate failed"), "{err}");
+
+    // PERF_ALLOW_REGRESSION=1 downgrades the gate to a report.
+    let out = Command::new(env!("CARGO_BIN_EXE_netsample"))
+        .args(["perf", "diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .env("PERF_ALLOW_REGRESSION", "1")
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
+    std::fs::remove_dir_all(&dir).ok();
+}

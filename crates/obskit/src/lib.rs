@@ -18,6 +18,11 @@
 //! * [`span`] returns a guard that, on drop, records the elapsed wall
 //!   time into a histogram named `<name>_duration_us` and (when tracing
 //!   is enabled) appends a JSONL event to the trace sink.
+//! * Spans are **hierarchical**: a thread-local stack gives every span a
+//!   process-unique id, its parent's id, and a semicolon-joined call
+//!   path; [`tree`] aggregates count / total-time / self-time per path
+//!   and renders the collapsed-stack ("folded") profile flamegraph
+//!   tooling consumes.
 //! * [`trace`] holds the JSONL sink, enabled explicitly
 //!   ([`trace::enable_path`]) or via the `NETSAMPLE_TRACE` environment
 //!   variable ([`trace::init_from_env`]).
@@ -44,10 +49,12 @@ mod metrics;
 mod registry;
 mod span;
 pub mod trace;
+pub mod tree;
 
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
-pub use registry::{MetricKind, Registry};
+pub use registry::{MetricKind, Registry, SnapshotValue};
 pub use span::{span, span_labeled, time, SpanGuard};
+pub use tree::SpanNode;
 
 /// True when recording is compiled in (the `noop` feature is off).
 ///

@@ -143,6 +143,26 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `p`-th percentile (`0 ≤ p ≤ 100`) of recorded
+    /// values; `None` on an empty histogram. Convenience over
+    /// [`HistogramSnapshot::percentile`] for one-off reads.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.snapshot().percentile(p)
+    }
+
+    /// The median (50th percentile); `None` on an empty histogram.
+    #[must_use]
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50.0)
+    }
+
+    /// The 99th percentile; `None` on an empty histogram.
+    #[must_use]
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99.0)
+    }
+
     /// A point-in-time copy of the histogram state.
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -180,9 +200,12 @@ impl HistogramSnapshot {
         let q = q.clamp(0.0, 1.0);
         // Rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        // Saturating: per-bucket counts near u64::MAX must not wrap the
+        // running total (they can only push it to the ceiling, which
+        // still resolves the correct bucket for any reachable rank).
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
+            seen = seen.saturating_add(c);
             if seen >= rank {
                 let (lo, hi) = Histogram::bucket_bounds(i);
                 // Geometric midpoint, clamped to the observed max.
@@ -191,6 +214,13 @@ impl HistogramSnapshot {
             }
         }
         Some(self.max)
+    }
+
+    /// Estimate the `p`-th percentile (`0 ≤ p ≤ 100`, clamped);
+    /// `None` on an empty histogram. `percentile(50.0)` is the median.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        self.quantile(p.clamp(0.0, 100.0) / 100.0)
     }
 
     /// Mean of recorded values (0 for an empty histogram).
@@ -266,6 +296,70 @@ mod tests {
         let s = Histogram::new().snapshot();
         assert_eq!(s.quantile(0.5), None);
         assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_percentile() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.p99(), None);
+        assert_eq!(h.snapshot().percentile(99.0), None);
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn single_bucket_percentiles_all_land_in_that_bucket() {
+        let h = Histogram::new();
+        for _ in 0..100 {
+            h.record(700); // bucket [512, 1024)
+        }
+        let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(700));
+        for p in [0.0, 1.0, 50.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            assert!(
+                (lo..hi).contains(&v),
+                "p{p} = {v} escaped bucket [{lo},{hi})"
+            );
+            // Estimates never exceed the observed max.
+            assert!(v <= 700);
+        }
+        assert_eq!(h.p50(), h.percentile(50.0));
+        assert_eq!(h.p99(), h.percentile(99.0));
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow_percentile() {
+        // Hand-built snapshot whose bucket counts would wrap u64 if the
+        // cumulative walk used unchecked addition.
+        let mut buckets = [0u64; BUCKETS];
+        buckets[3] = u64::MAX / 2 + 10; // values in [8,16)
+        buckets[10] = u64::MAX / 2 + 10; // values in [1024,2048)
+        let s = HistogramSnapshot {
+            buckets,
+            count: u64::MAX,
+            sum: u64::MAX,
+            max: 2_000,
+        };
+        // Low percentiles resolve to the first populated bucket, high
+        // ones to the second; nothing panics or wraps.
+        let p1 = s.percentile(1.0).unwrap();
+        assert!((8..16).contains(&p1), "p1 = {p1}");
+        let p99 = s.percentile(99.0).unwrap();
+        assert!((1024..2048).contains(&p99), "p99 = {p99}");
+        assert!(s.percentile(100.0).unwrap() <= 2_000);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_inputs() {
+        let h = Histogram::new();
+        h.record(5);
+        if crate::recording_enabled() {
+            assert_eq!(h.percentile(-3.0), h.percentile(0.0));
+            assert_eq!(h.percentile(250.0), h.percentile(100.0));
+        } else {
+            assert_eq!(h.percentile(-3.0), None);
+        }
     }
 
     #[test]

@@ -4,6 +4,12 @@
 //! duration into a global histogram named `<name>_duration_us`, and —
 //! when the JSONL trace sink is enabled — emits a `span` event carrying
 //! the labels.
+//!
+//! Spans are also **hierarchical**: each guard pushes a frame onto a
+//! thread-local stack (see [`crate::tree`]), so nested spans know their
+//! parent, carry process-unique ids, and aggregate total vs. self time
+//! per call path. Trace events include `span_id` and `parent` fields so
+//! offline tools can rebuild the exact tree.
 
 use crate::trace::{self, TraceEvent};
 use crate::Histogram;
@@ -19,6 +25,8 @@ pub struct SpanGuard {
     histogram: Histogram,
     labels: Vec<(String, String)>,
     start: Instant,
+    id: u64,
+    parent_id: u64,
 }
 
 impl SpanGuard {
@@ -27,22 +35,43 @@ impl SpanGuard {
     pub fn elapsed_us(&self) -> u64 {
         self.start.elapsed().as_micros() as u64
     }
+
+    /// This span's process-unique id (0 with the `noop` feature).
+    #[must_use]
+    pub fn span_id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the enclosing span on this thread at construction time
+    /// (0 for a root span).
+    #[must_use]
+    pub fn parent_id(&self) -> u64 {
+        self.parent_id
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let dur_us = self.elapsed_us();
         self.histogram.record(dur_us);
+        crate::tree::exit(self.id, dur_us);
         if trace::enabled() {
             let mut event = TraceEvent::now("span", self.name).with_duration(dur_us);
-            event.labels = std::mem::take(&mut self.labels);
+            event
+                .labels
+                .push(("span_id".to_string(), self.id.to_string()));
+            event
+                .labels
+                .push(("parent".to_string(), self.parent_id.to_string()));
+            event.labels.append(&mut self.labels);
             trace::emit(&event);
         }
     }
 }
 
 /// Open a span named `name`; durations aggregate into the global
-/// histogram `<name>_duration_us`.
+/// histogram `<name>_duration_us` and into the span tree under the
+/// current thread's open path.
 #[must_use]
 pub fn span(name: &'static str) -> SpanGuard {
     span_labeled(name, &[])
@@ -50,9 +79,12 @@ pub fn span(name: &'static str) -> SpanGuard {
 
 /// Open a span with labels. Labels go into the histogram key (so each
 /// label combination aggregates separately) and into the trace event.
+/// The span-tree path uses the bare `name` only, keeping tree
+/// cardinality bounded by code structure rather than label values.
 #[must_use]
 pub fn span_labeled(name: &'static str, labels: &[(&str, &str)]) -> SpanGuard {
     let histogram = crate::histogram_labeled(&format!("{name}_duration_us"), labels);
+    let (id, parent_id) = crate::tree::enter(name);
     SpanGuard {
         name,
         histogram,
@@ -61,6 +93,8 @@ pub fn span_labeled(name: &'static str, labels: &[(&str, &str)]) -> SpanGuard {
             .map(|(k, v)| (k.to_string(), v.to_string()))
             .collect(),
         start: Instant::now(),
+        id,
+        parent_id,
     }
 }
 
@@ -111,5 +145,24 @@ mod tests {
                 .count,
             1
         );
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn span_ids_are_unique_and_ordered() {
+        let a = span("obskit_test_ids");
+        let b = span("obskit_test_ids");
+        assert!(b.span_id() > a.span_id());
+        assert_eq!(b.parent_id(), a.span_id());
+        drop(b);
+        drop(a);
+    }
+
+    #[test]
+    #[cfg(feature = "noop")]
+    fn noop_spans_have_zero_ids() {
+        let g = span("obskit_test_noop_ids");
+        assert_eq!(g.span_id(), 0);
+        assert_eq!(g.parent_id(), 0);
     }
 }

@@ -254,7 +254,10 @@ pub fn emit(event: &TraceEvent) {
     if let Some(sink) = SINK.get() {
         let mut line = event.to_json();
         line.push('\n');
-        let mut w = sink.lock().expect("trace sink poisoned");
+        let mut w = match sink.lock() {
+            Ok(w) => w,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         let _ = w.write_all(line.as_bytes());
     }
 }
@@ -262,8 +265,34 @@ pub fn emit(event: &TraceEvent) {
 /// Flush the sink (call before process exit so buffered events land).
 pub fn flush() {
     if let Some(sink) = SINK.get() {
-        let _ = sink.lock().expect("trace sink poisoned").flush();
+        let mut w = match sink.lock() {
+            Ok(w) => w,
+            // A thread that panicked mid-write poisons the lock; the
+            // buffered bytes are still better flushed than dropped.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let _ = w.flush();
     }
+}
+
+/// An RAII guard that flushes the trace sink when dropped.
+///
+/// Binaries hold one at the top of `main` so buffered events reach disk
+/// on *every* exit path — early error returns and panics (unwinding
+/// drops locals) included, not just the clean fall-through at the end.
+#[derive(Debug, Default)]
+#[must_use = "the guard flushes on drop; binding it to _ drops it immediately"]
+pub struct FlushGuard(());
+
+impl Drop for FlushGuard {
+    fn drop(&mut self) {
+        flush();
+    }
+}
+
+/// Create a [`FlushGuard`]; see its docs for the intended use.
+pub fn flush_on_drop() -> FlushGuard {
+    FlushGuard(())
 }
 
 #[cfg(test)]

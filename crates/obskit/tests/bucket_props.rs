@@ -1,0 +1,73 @@
+//! Property tests for the log₂ histogram bucket mapping (in-tree
+//! proptest shim): the bucket function must be monotone, invertible to
+//! within one bucket, and total over all of `u64` with no overflow.
+
+use obskit::Histogram;
+use proptest::prelude::*;
+
+/// Strategy: u64 values spread across every magnitude, not just the
+/// uniform-random high end — mix a uniform draw with a draw of
+/// `2^k ± {1, 0}` edge values.
+fn magnitude_spread() -> impl Strategy<Value = u64> {
+    (any::<u64>(), 0u32..64u32, 0u8..=4u8).prop_map(|(raw, shift, tweak)| match tweak {
+        0 => raw,
+        1 => 1u64 << shift,
+        2 => (1u64 << shift).saturating_sub(1),
+        3 => (1u64 << shift).saturating_add(1),
+        _ => raw >> shift,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    // bucket(v) is monotone non-decreasing in v.
+    #[test]
+    fn bucket_is_monotone(pair in (magnitude_spread(), magnitude_spread())) {
+        let (a, b) = pair;
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Histogram::bucket_index(lo) <= Histogram::bucket_index(hi),
+            "bucket({lo}) > bucket({hi})"
+        );
+    }
+
+    // bucket_bounds inverts bucket_index to within one bucket:
+    // every value lies inside the half-open range of its own bucket.
+    #[test]
+    fn bounds_invert_index(v in magnitude_spread()) {
+        let i = Histogram::bucket_index(v);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v, "v {v} below bucket {i} lower bound {lo}");
+        if hi != u64::MAX {
+            prop_assert!(v < hi, "v {v} at/above bucket {i} upper bound {hi}");
+        } else {
+            prop_assert!(v <= hi, "v {v} above saturated top bound");
+        }
+    }
+
+    // The mapping is total: every u64 (including u64::MAX) lands in a
+    // valid bucket index without panicking or overflowing.
+    #[test]
+    fn mapping_is_total(v in magnitude_spread()) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < 64, "bucket index {i} out of range for {v}");
+        // bounds are computable for every index the mapping can emit.
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo < hi || (lo == hi && hi == u64::MAX));
+    }
+}
+
+#[test]
+fn extremes_are_exact() {
+    // Pin the edges the strategies might only sample probabilistically.
+    assert_eq!(Histogram::bucket_index(0), 0);
+    assert_eq!(Histogram::bucket_index(1), 0);
+    assert_eq!(Histogram::bucket_index(u64::MAX), 63);
+    assert_eq!(Histogram::bucket_index(u64::MAX - 1), 63);
+    assert_eq!(Histogram::bucket_index(1u64 << 63), 63);
+    assert_eq!(Histogram::bucket_index((1u64 << 63) - 1), 62);
+    let (lo, hi) = Histogram::bucket_bounds(63);
+    assert_eq!(lo, 1u64 << 63);
+    assert_eq!(hi, u64::MAX);
+}

@@ -1,0 +1,437 @@
+//! Comparing two [`BenchReport`]s: the regression gate.
+//!
+//! The diff walks every metric both reports share and classifies it by
+//! direction:
+//!
+//! * **lower-is-better** — experiment wall times, timing means, bench
+//!   medians (regression = `new > old * (1 + threshold)`);
+//! * **higher-is-better** — sampler `pps` throughput (regression =
+//!   `new < old * (1 - threshold)`).
+//!
+//! Only *robust* estimators arm the gate: experiment wall times (the
+//! recorder reports the minimum over several passes) and criterion
+//! medians. Histogram means and derived throughputs average every
+//! call — including ones a busy machine preempted — so they flap far
+//! past any sane threshold on shared hardware; the diff shows them
+//! (verdict `worse`/`better`) but they never fail the gate.
+//!
+//! The default threshold is 25% ([`DEFAULT_THRESHOLD`]). A **noise
+//! floor** keeps micro-measurements from flapping the gate: time
+//! metrics whose baseline is under [`NOISE_FLOOR_US`] µs (or
+//! [`NOISE_FLOOR_NS`] ns for bench medians) are reported but never
+//! gated — at that scale scheduler jitter swamps any real change.
+//! Metrics present in only one report are listed as added/removed and
+//! never gated.
+
+use crate::report::BenchReport;
+use std::fmt::Write as _;
+
+/// Default gate threshold: a metric may move 25% in the bad direction
+/// before the diff counts it as a regression.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// Time metrics with a baseline under this many µs are never gated.
+pub const NOISE_FLOOR_US: f64 = 100.0;
+
+/// Bench medians with a baseline under this many ns are never gated.
+pub const NOISE_FLOOR_NS: f64 = 10_000.0;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller values are better (durations).
+    LowerIsBetter,
+    /// Larger values are better (throughput).
+    HigherIsBetter,
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Display name, e.g. `experiment/cell/systematic wall_us`.
+    pub name: String,
+    /// Baseline value.
+    pub old: f64,
+    /// New value.
+    pub new: f64,
+    /// Which way better points.
+    pub direction: Direction,
+    /// Signed relative change, `(new - old) / old`.
+    pub ratio: f64,
+    /// True when this metric class arms the regression gate (false for
+    /// noisy informational metrics: histogram means, derived pps).
+    pub gated: bool,
+    /// True when the change crossed the threshold in the bad direction
+    /// on a gated metric above the noise floor.
+    pub regressed: bool,
+    /// True when this metric sat under the noise floor (informational
+    /// only; never gated).
+    pub below_noise_floor: bool,
+}
+
+/// The full comparison of two reports.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Baseline version number.
+    pub old_version: u64,
+    /// New version number.
+    pub new_version: u64,
+    /// Threshold the gate used.
+    pub threshold: f64,
+    /// Every metric present in both reports.
+    pub deltas: Vec<MetricDelta>,
+    /// Metric names only in the new report.
+    pub added: Vec<String>,
+    /// Metric names only in the baseline.
+    pub removed: Vec<String>,
+}
+
+impl DiffReport {
+    /// All deltas that crossed the gate.
+    #[must_use]
+    pub fn regressions(&self) -> Vec<&MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed).collect()
+    }
+
+    /// True when at least one metric regressed past the threshold.
+    #[must_use]
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+
+    /// Render a human-readable diff table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "perf diff: BENCH_{} -> BENCH_{} (gate at {:.0}%)",
+            self.old_version,
+            self.new_version,
+            self.threshold * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "  {:<56} {:>14} {:>14} {:>9}  verdict",
+            "metric", "old", "new", "change"
+        );
+        for d in &self.deltas {
+            let bad = match d.direction {
+                Direction::LowerIsBetter => d.ratio > self.threshold,
+                Direction::HigherIsBetter => d.ratio < -self.threshold,
+            };
+            let improved = match d.direction {
+                Direction::LowerIsBetter => d.ratio < -0.05,
+                Direction::HigherIsBetter => d.ratio > 0.05,
+            };
+            let verdict = if d.regressed {
+                "REGRESSED"
+            } else if d.below_noise_floor {
+                "noise"
+            } else if bad {
+                // Informational metric past the threshold: visible, not
+                // gate-failing.
+                "worse (not gated)"
+            } else if improved {
+                "improved"
+            } else {
+                "ok"
+            };
+            let _ = writeln!(
+                out,
+                "  {:<56} {:>14.1} {:>14.1} {:>+8.1}%  {}",
+                d.name,
+                d.old,
+                d.new,
+                d.ratio * 100.0,
+                verdict
+            );
+        }
+        for name in &self.added {
+            let _ = writeln!(out, "  {name:<56} (new metric)");
+        }
+        for name in &self.removed {
+            let _ = writeln!(out, "  {name:<56} (removed)");
+        }
+        let regs = self.regressions();
+        if regs.is_empty() {
+            let _ = writeln!(
+                out,
+                "no regressions past the {:.0}% gate",
+                self.threshold * 100.0
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "{} regression(s) past the {:.0}% gate:",
+                regs.len(),
+                self.threshold * 100.0
+            );
+            for d in regs {
+                let _ = writeln!(out, "  - {} ({:+.1}%)", d.name, d.ratio * 100.0);
+            }
+        }
+        out
+    }
+}
+
+struct Metric {
+    name: String,
+    value: f64,
+    direction: Direction,
+    noise_floor: f64,
+    gated: bool,
+}
+
+/// Flatten a report into the comparable metric list.
+fn metrics_of(r: &BenchReport) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for e in &r.experiments {
+        out.push(Metric {
+            name: format!("experiment/{} wall_us", e.name),
+            value: e.wall_us as f64,
+            direction: Direction::LowerIsBetter,
+            noise_floor: NOISE_FLOOR_US,
+            gated: true,
+        });
+    }
+    for s in &r.samplers {
+        out.push(Metric {
+            name: format!("sampler/{} pps", s.method),
+            value: s.pps,
+            direction: Direction::HigherIsBetter,
+            noise_floor: 0.0,
+            // Derived from the total select time, which averages every
+            // call including preempted ones: informational only.
+            gated: false,
+        });
+    }
+    for t in &r.timings {
+        out.push(Metric {
+            name: format!("timing/{} mean_us", t.name),
+            value: t.mean_us,
+            direction: Direction::LowerIsBetter,
+            noise_floor: NOISE_FLOOR_US,
+            // Histogram means carry all measurement noise: informational.
+            gated: false,
+        });
+    }
+    for b in &r.benches {
+        out.push(Metric {
+            name: format!("bench/{} median_ns", b.name),
+            value: b.median_ns as f64,
+            direction: Direction::LowerIsBetter,
+            noise_floor: NOISE_FLOOR_NS,
+            gated: true,
+        });
+    }
+    out
+}
+
+/// Compare `new` against the `old` baseline with the given gate
+/// threshold (fraction, e.g. `0.25`).
+#[must_use]
+pub fn diff(old: &BenchReport, new: &BenchReport, threshold: f64) -> DiffReport {
+    let old_metrics = metrics_of(old);
+    let new_metrics = metrics_of(new);
+    let mut deltas = Vec::new();
+    let mut added = Vec::new();
+    let mut matched_old = vec![false; old_metrics.len()];
+    for n in &new_metrics {
+        let Some((i, o)) = old_metrics
+            .iter()
+            .enumerate()
+            .find(|(_, o)| o.name == n.name)
+        else {
+            added.push(n.name.clone());
+            continue;
+        };
+        matched_old[i] = true;
+        let ratio = if o.value.abs() > f64::EPSILON {
+            (n.value - o.value) / o.value
+        } else {
+            0.0
+        };
+        let below_noise_floor = o.value < n.noise_floor;
+        let bad = match n.direction {
+            Direction::LowerIsBetter => ratio > threshold,
+            Direction::HigherIsBetter => ratio < -threshold,
+        };
+        deltas.push(MetricDelta {
+            name: n.name.clone(),
+            old: o.value,
+            new: n.value,
+            direction: n.direction,
+            ratio,
+            gated: n.gated,
+            regressed: bad && n.gated && !below_noise_floor,
+            below_noise_floor,
+        });
+    }
+    let removed = old_metrics
+        .iter()
+        .zip(&matched_old)
+        .filter(|(_, m)| !**m)
+        .map(|(o, _)| o.name.clone())
+        .collect();
+    DiffReport {
+        old_version: old.bench_version,
+        new_version: new.bench_version,
+        threshold,
+        deltas,
+        added,
+        removed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{BenchStat, ExperimentTime, RunMeta, SamplerStat, TimingStat};
+
+    fn report(wall_us: u64, pps: f64, median_ns: u64) -> BenchReport {
+        BenchReport {
+            bench_version: 1,
+            run: RunMeta::default(),
+            experiments: vec![ExperimentTime {
+                name: "cell/systematic".into(),
+                wall_us,
+            }],
+            samplers: vec![SamplerStat {
+                method: "systematic".into(),
+                examined: 1_000_000,
+                selected: 20_000,
+                select_us: 1000,
+                pps,
+            }],
+            timings: vec![TimingStat {
+                name: "sampling_select_duration_us".into(),
+                count: 10,
+                mean_us: wall_us as f64 / 10.0,
+                p50_us: 1,
+                p90_us: 2,
+                p99_us: 3,
+                max_us: 4,
+            }],
+            benches: vec![BenchStat {
+                name: "samplers/systematic/50".into(),
+                median_ns,
+            }],
+            spans: vec![],
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let r = report(10_000, 1e9, 500_000);
+        let d = diff(&r, &r, DEFAULT_THRESHOLD);
+        assert!(!d.has_regressions(), "{}", d.render());
+        assert!(d.added.is_empty() && d.removed.is_empty());
+    }
+
+    #[test]
+    fn slower_wall_time_past_threshold_regresses() {
+        let old = report(10_000, 1e9, 500_000);
+        let new = report(14_000, 1e9, 500_000); // +40% wall
+        let d = diff(&old, &new, DEFAULT_THRESHOLD);
+        assert!(d.has_regressions());
+        let names: Vec<_> = d.regressions().iter().map(|r| r.name.clone()).collect();
+        assert!(
+            names.iter().any(|n| n.contains("wall_us")),
+            "regressions: {names:?}"
+        );
+        // Within threshold does not gate.
+        let ok = report(12_000, 1e9, 500_000); // +20%
+        assert!(!diff(&old, &ok, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn throughput_drop_is_visible_but_informational() {
+        let old = report(10_000, 1e9, 500_000);
+        let slow = report(10_000, 0.6e9, 500_000); // -40% pps
+        let d = diff(&old, &slow, DEFAULT_THRESHOLD);
+        // pps is derived from noisy totals: shown as worse, never gated.
+        let pps = d.deltas.iter().find(|x| x.name.contains("pps")).unwrap();
+        assert_eq!(pps.direction, Direction::HigherIsBetter);
+        assert!(pps.ratio < -DEFAULT_THRESHOLD && !pps.gated && !pps.regressed);
+        assert!(d.render().contains("worse (not gated)"), "{}", d.render());
+        assert!(!d.has_regressions());
+        let fast = report(10_000, 2e9, 500_000);
+        assert!(!diff(&old, &fast, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn histogram_means_are_informational_too() {
+        let old = report(10_000, 1e9, 500_000);
+        let mut new = report(10_000, 1e9, 500_000);
+        new.timings[0].mean_us *= 10.0;
+        let d = diff(&old, &new, DEFAULT_THRESHOLD);
+        let t = d
+            .deltas
+            .iter()
+            .find(|x| x.name.starts_with("timing/"))
+            .unwrap();
+        assert!(!t.gated && !t.regressed);
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn noise_floor_suppresses_tiny_time_gates() {
+        // 50µs -> 500µs is a 10x slowdown, but the 50µs baseline is
+        // under the 100µs floor: report it, never gate it.
+        let old = report(50, 1e9, 500_000);
+        let new = report(500, 1e9, 500_000);
+        let d = diff(&old, &new, DEFAULT_THRESHOLD);
+        let wall = d
+            .deltas
+            .iter()
+            .find(|x| x.name.contains("wall_us"))
+            .unwrap();
+        assert!(wall.below_noise_floor && !wall.regressed, "{wall:?}");
+        // Bench medians use the ns floor: 5µs baseline is noise...
+        let old_b = report(10_000, 1e9, 5_000);
+        let new_b = report(10_000, 1e9, 50_000);
+        assert!(!diff(&old_b, &new_b, DEFAULT_THRESHOLD).has_regressions());
+        // ...but a 500µs baseline is not.
+        let old_b = report(10_000, 1e9, 500_000);
+        let new_b = report(10_000, 1e9, 5_000_000);
+        assert!(diff(&old_b, &new_b, DEFAULT_THRESHOLD).has_regressions());
+    }
+
+    #[test]
+    fn added_and_removed_metrics_are_listed_not_gated() {
+        let old = report(10_000, 1e9, 500_000);
+        let mut new = report(10_000, 1e9, 500_000);
+        new.benches.push(BenchStat {
+            name: "samplers/geometric/50".into(),
+            median_ns: 1,
+        });
+        new.experiments.clear();
+        let d = diff(&old, &new, DEFAULT_THRESHOLD);
+        assert!(!d.has_regressions());
+        assert_eq!(d.added, vec!["bench/samplers/geometric/50 median_ns"]);
+        assert_eq!(d.removed, vec!["experiment/cell/systematic wall_us"]);
+    }
+
+    #[test]
+    fn render_shows_verdicts_and_summary_line() {
+        let old = report(10_000, 1e9, 500_000);
+        let new = report(14_000, 1e9, 500_000);
+        let text = diff(&old, &new, DEFAULT_THRESHOLD).render();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("regression(s) past the 25% gate"), "{text}");
+        let clean = diff(&old, &old, DEFAULT_THRESHOLD).render();
+        assert!(clean.contains("no regressions"), "{clean}");
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let mut old = report(10_000, 0.0, 500_000);
+        old.samplers[0].pps = 0.0;
+        let new = report(10_000, 1e9, 500_000);
+        let d = diff(&old, &new, DEFAULT_THRESHOLD);
+        let pps = d.deltas.iter().find(|x| x.name.contains("pps")).unwrap();
+        assert_eq!(pps.ratio, 0.0);
+        assert!(!pps.regressed);
+    }
+}

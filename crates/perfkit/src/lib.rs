@@ -1,0 +1,29 @@
+//! # perfkit — performance reporting on top of obskit
+//!
+//! obskit *records* (counters, log₂ histograms, hierarchical span
+//! trees); perfkit *reports*. After an instrumented run — `repro_all`,
+//! a criterion-shim bench, or `netsample perf record` — this crate:
+//!
+//! 1. aggregates the obskit registry and span tree into a
+//!    [`BenchReport`] (per-experiment wall time, per-sampler
+//!    `select_indices` throughput in packets/sec, χ²/φ evaluation-time
+//!    percentiles from the log₂ buckets);
+//! 2. writes it as the next `BENCH_<n>.json` in a trajectory directory
+//!    ([`BenchReport::write_next`]);
+//! 3. diffs it against the newest prior baseline ([`diff::diff`]),
+//!    rendering a human table and gating on >25% regressions;
+//! 4. renders flamegraph-style collapsed-stack text
+//!    ([`BenchReport::render_folded`]) consumable by `inferno` or
+//!    speedscope.
+//!
+//! Like the rest of the workspace it is std-only: the JSON layer
+//! ([`json::Json`]) is a small hand-rolled value model and
+//! recursive-descent parser, not an external dependency.
+
+pub mod diff;
+pub mod json;
+pub mod report;
+
+pub use diff::{diff, DiffReport, MetricDelta, DEFAULT_THRESHOLD};
+pub use json::Json;
+pub use report::{baseline_before, latest_in, BenchReport, ExperimentTime, RunMeta};

@@ -33,6 +33,7 @@ pub use netstat_sim as netstat;
 pub use netsynth;
 pub use nettrace;
 pub use obskit;
+pub use perfkit;
 pub use sampling;
 pub use statkit;
 
