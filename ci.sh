@@ -32,6 +32,24 @@ grep -q "nettrace_packets_read_total" "$tmpdir/score.metrics"
 grep -q "sampling_packets_selected_total" "$tmpdir/score.metrics"
 grep -q '"kind":"span"' "$tmpdir/events.jsonl"
 
+echo "== par: serial/parallel equivalence + pool determinism smoke"
+# The paper's five methods must score bit-identically at any pool
+# width; the equivalence suite pins jobs 1 vs 4 (and 8) against each
+# other with exact f64 bit comparisons.
+cargo test --offline -q -p sampling --test par_equivalence
+# Determinism smoke: the parkit suite run twice under heavy test-thread
+# interleaving must print the same stdout (panic-hook chatter on stderr
+# is timing-dependent by nature; wall-clock lines are normalized away).
+for pass in 1 2; do
+    cargo test --offline -q -p parkit -- --test-threads=8 \
+        2>/dev/null | sed -E 's/finished in [0-9.]+s/finished in Xs/' \
+        > "$tmpdir/par.$pass.out"
+done
+diff "$tmpdir/par.1.out" "$tmpdir/par.2.out" || {
+    echo "parkit test output is nondeterministic across runs" >&2
+    exit 1
+}
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

@@ -1,9 +1,15 @@
 //! Run every reproduction in order; the output is the source of EXPERIMENTS.md.
 //!
-//! Each experiment is wall-clock timed and a per-figure timing table is
-//! appended, so regressions in reproduction cost are visible run-to-run.
+//! Each experiment is wall-clock timed under a `repro_experiment` span
+//! and a per-figure timing table is appended, so regressions in
+//! reproduction cost are visible run-to-run. Report serialization runs
+//! under a sibling `bench_report` span — experiment wall times never
+//! include it.
 //!
 //! Flags:
+//! * `--jobs <n>` — worker-pool width for every experiment grid
+//!   (default: available parallelism / `NETSAMPLE_JOBS`; `1` forces the
+//!   serial path). Results are bit-identical at any width.
 //! * `--bench-json <dir>` — also write the run as the next
 //!   `BENCH_<n>.json` in `<dir>` and diff it against the newest prior
 //!   report there (see the perfkit crate).
@@ -11,119 +17,130 @@
 //!   collapsed-stack format (one `path;path;leaf self_us` line each),
 //!   consumable by `inferno-flamegraph` or speedscope.
 use bench::experiments as ex;
+use bench::timing::Timings;
 use sampling::Target;
 use std::path::PathBuf;
-use std::time::{Duration, Instant};
 
-fn timed(
-    timings: &mut Vec<(&'static str, Duration)>,
-    name: &'static str,
-    run: impl FnOnce() -> String,
-) {
-    let start = Instant::now();
-    let out = run();
-    timings.push((name, start.elapsed()));
-    println!("{out}");
+struct Flags {
+    bench_json: Option<PathBuf>,
+    profile_out: Option<PathBuf>,
+    jobs: usize,
 }
 
-fn parse_flags() -> (Option<PathBuf>, Option<PathBuf>) {
-    let mut bench_json = None;
-    let mut profile_out = None;
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        bench_json: None,
+        profile_out: None,
+        jobs: parkit::default_jobs(),
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--bench-json" => match args.next() {
-                Some(dir) => bench_json = Some(PathBuf::from(dir)),
+                Some(dir) => flags.bench_json = Some(PathBuf::from(dir)),
                 None => {
                     eprintln!("--bench-json needs a directory argument");
                     std::process::exit(64);
                 }
             },
             "--profile-out" => match args.next() {
-                Some(file) => profile_out = Some(PathBuf::from(file)),
+                Some(file) => flags.profile_out = Some(PathBuf::from(file)),
                 None => {
                     eprintln!("--profile-out needs a file argument");
                     std::process::exit(64);
                 }
             },
+            "--jobs" => match args.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => flags.jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(64);
+                }
+            },
             other => {
-                eprintln!("unknown flag {other}; known: --bench-json <dir>, --profile-out <file>");
+                eprintln!(
+                    "unknown flag {other}; known: --jobs <n>, --bench-json <dir>, --profile-out <file>"
+                );
                 std::process::exit(64);
             }
         }
     }
-    (bench_json, profile_out)
+    flags
 }
 
 fn main() {
-    let (bench_json, profile_out) = parse_flags();
+    let flags = parse_flags();
+    parkit::set_default_jobs(flags.jobs);
     // Any JSONL trace sink installed via env gets flushed even if an
     // experiment panics partway through the run.
     let _flush = obskit::trace::flush_on_drop();
+    let root = bench::timing::root_span();
     let t = bench::study_trace();
     println!(
-        "# Reproduction run (seed {}, {} packets)\n",
+        "# Reproduction run (seed {}, {} packets, {} jobs)\n",
         bench::STUDY_SEED,
-        t.len()
+        t.len(),
+        flags.jobs
     );
-    let mut timings = Vec::new();
+    let mut timings = Timings::new();
     let tm = &mut timings;
-    timed(tm, "table1", || ex::table1::run(&t));
-    timed(tm, "figure1", ex::figure1::run);
-    timed(tm, "table2", || ex::table2_3::run_table2(&t));
-    timed(tm, "table3", || ex::table2_3::run_table3(&t));
-    timed(tm, "samplesize", || ex::samplesize::run(&t));
-    timed(tm, "figure3", || ex::figure3::run(&t, Target::PacketSize));
-    timed(tm, "figure4_5/size", || {
+    let show = |out: String| println!("{out}");
+    show(tm.timed("table1", || ex::table1::run(&t)));
+    show(tm.timed("figure1", ex::figure1::run));
+    show(tm.timed("table2", || ex::table2_3::run_table2(&t)));
+    show(tm.timed("table3", || ex::table2_3::run_table3(&t)));
+    show(tm.timed("samplesize", || ex::samplesize::run(&t)));
+    show(tm.timed("figure3", || ex::figure3::run(&t, Target::PacketSize)));
+    show(tm.timed("figure4_5/size", || {
         ex::figure4_5::run(&t, Target::PacketSize)
-    });
-    timed(tm, "figure4_5/ia", || {
+    }));
+    show(tm.timed("figure4_5/ia", || {
         ex::figure4_5::run(&t, Target::Interarrival)
-    });
-    timed(tm, "figure6_7", || ex::figure6_7::run(&t));
-    timed(tm, "figure8_9/size", || {
+    }));
+    show(tm.timed("figure6_7", || ex::figure6_7::run(&t)));
+    show(tm.timed("figure8_9/size", || {
         ex::figure8_9::run(&t, Target::PacketSize)
-    });
-    timed(tm, "figure8_9/ia", || {
+    }));
+    show(tm.timed("figure8_9/ia", || {
         ex::figure8_9::run(&t, Target::Interarrival)
-    });
-    timed(tm, "figure10_11/size", || {
+    }));
+    show(tm.timed("figure10_11/size", || {
         ex::figure10_11::run(&t, Target::PacketSize)
-    });
-    timed(tm, "figure10_11/ia", || {
+    }));
+    show(tm.timed("figure10_11/ia", || {
         ex::figure10_11::run(&t, Target::Interarrival)
-    });
-    timed(tm, "chi2test", || ex::chi2test::run(&t));
-    timed(tm, "proportions", || ex::proportions::run(&t));
-    timed(tm, "theory", || ex::theory::run(bench::STUDY_SEED));
-    timed(tm, "matrix", || ex::matrix::run(&t, 100));
-    timed(tm, "acf_ablation", || {
+    }));
+    show(tm.timed("chi2test", || ex::chi2test::run(&t)));
+    show(tm.timed("proportions", || ex::proportions::run(&t)));
+    show(tm.timed("theory", || ex::theory::run(bench::STUDY_SEED)));
+    show(tm.timed("matrix", || ex::matrix::run(&t, 100)));
+    show(tm.timed("acf_ablation", || {
         ex::acf_ablation::run(&t, bench::STUDY_SEED)
-    });
-    timed(tm, "robustness", || ex::robustness::run(bench::STUDY_SEED));
-    timed(tm, "adaptive_ablation", || {
+    }));
+    show(tm.timed("robustness", || ex::robustness::run(bench::STUDY_SEED)));
+    show(tm.timed("adaptive_ablation", || {
         ex::adaptive_ablation::run(bench::STUDY_SEED)
-    });
-    timed(tm, "correlation", || {
-        ex::correlation::run(bench::STUDY_SEED)
-    });
-    timed(tm, "gof_difficulty", || {
+    }));
+    show(tm.timed("correlation", || ex::correlation::run(bench::STUDY_SEED)));
+    show(tm.timed("gof_difficulty", || {
         ex::gof_difficulty::run(bench::STUDY_SEED)
-    });
-    timed(tm, "volume", || ex::volume::run(&t));
-    timed(tm, "bins", || ex::bins::run(&t, bench::STUDY_SEED));
-    timed(tm, "nullband", || ex::nullband::run(&t, bench::STUDY_SEED));
+    }));
+    show(tm.timed("volume", || ex::volume::run(&t)));
+    show(tm.timed("bins", || ex::bins::run(&t, bench::STUDY_SEED)));
+    show(tm.timed("nullband", || ex::nullband::run(&t, bench::STUDY_SEED)));
+
+    // Measure this machine's parallel speedup on the 100k-packet probe
+    // workload; the ratio is recorded as gauges and lands in the BENCH
+    // report. Only meaningful with a multi-worker pool.
+    if flags.jobs > 1 {
+        let s = bench::timing::record_speedup(t.packets(), flags.jobs, bench::STUDY_SEED);
+        eprintln!("parallel speedup probe: {s:.2}x at {} jobs", flags.jobs);
+    }
 
     println!("## Timing\n");
-    println!("{:<20} {:>10}", "experiment", "seconds");
-    let mut total = Duration::ZERO;
-    for (name, d) in &timings {
-        println!("{name:<20} {:>10.3}", d.as_secs_f64());
-        total += *d;
-    }
-    println!("{:<20} {:>10.3}", "total", total.as_secs_f64());
+    print!("{}", timings.render_table());
 
-    if let Some(path) = &profile_out {
+    if let Some(path) = &flags.profile_out {
         let folded = obskit::tree::render_folded();
         if let Err(e) = std::fs::write(path, folded) {
             eprintln!("cannot write profile {}: {e}", path.display());
@@ -131,7 +148,10 @@ fn main() {
         }
         eprintln!("folded-stack profile written: {}", path.display());
     }
-    if let Some(dir) = &bench_json {
+    if let Some(dir) = &flags.bench_json {
+        // Sibling of the repro_experiment spans: serialization cost
+        // stays out of every experiment's subtree and wall time.
+        let _report_span = bench::timing::report_span();
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             std::process::exit(74);
@@ -140,21 +160,15 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_micros() as u64)
             .unwrap_or(0);
-        let experiments = timings
-            .iter()
-            .map(|(name, d)| perfkit::ExperimentTime {
-                name: (*name).to_string(),
-                wall_us: d.as_micros() as u64,
-            })
-            .collect();
         let mut report = perfkit::BenchReport::collect(
             perfkit::RunMeta {
                 ts_us,
                 source: "repro_all".to_string(),
                 seed: bench::STUDY_SEED,
                 packets: t.len() as u64,
+                jobs: flags.jobs as u64,
             },
-            experiments,
+            timings.to_experiment_times(),
         );
         match report.write_next(dir) {
             Ok(path) => {
@@ -175,4 +189,5 @@ fn main() {
             }
         }
     }
+    drop(root);
 }

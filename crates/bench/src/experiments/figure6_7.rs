@@ -41,9 +41,19 @@ pub fn run(trace: &Trace) -> String {
         Target::PacketSize,
     );
     let mut means = Vec::new();
-    for k in figure6_granularities() {
-        // Spread replications across distinct start offsets, up to 20.
-        let result = exp.run_family(MethodFamily::Systematic, k, 20, crate::STUDY_SEED);
+    // One flattened grid over all granularities: replications (spread
+    // across distinct start offsets, up to 20) fan out on the session
+    // pool instead of running k-by-k serially.
+    let ks = figure6_granularities();
+    let cells: Vec<(MethodFamily, usize)> =
+        ks.iter().map(|&k| (MethodFamily::Systematic, k)).collect();
+    let results = exp.run_grid_with(
+        &parkit::Pool::with_default_jobs(),
+        &cells,
+        20,
+        crate::STUDY_SEED,
+    );
+    for (k, result) in ks.into_iter().zip(results) {
         match result.phi_boxplot() {
             Some(b) => {
                 writeln!(out, "{k:>8}  {}", b.render()).unwrap();

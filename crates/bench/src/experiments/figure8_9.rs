@@ -36,11 +36,27 @@ pub fn run(trace: &Trace, target: Target) -> String {
     let mut packet_sum = 0.0;
     let mut timer_sum = 0.0;
     let mut rows = 0.0;
-    for k in paper_granularities() {
+    // The full fraction × method matrix runs as one flattened grid on
+    // the session pool (row-major, so results rebuild the table in
+    // print order).
+    let ks = paper_granularities();
+    let cells: Vec<(MethodFamily, usize)> = ks
+        .iter()
+        .flat_map(|&k| families.iter().map(move |&f| (f, k)))
+        .collect();
+    let mut results = exp
+        .run_grid_with(
+            &parkit::Pool::with_default_jobs(),
+            &cells,
+            5,
+            crate::STUDY_SEED,
+        )
+        .into_iter();
+    for k in ks {
         write!(out, "{k:>9}").unwrap();
         let mut row = Vec::new();
         for f in families {
-            let result = exp.run_family(f, k, 5, crate::STUDY_SEED);
+            let result = results.next().expect("grid covers the full matrix");
             match result.mean_phi() {
                 Some(phi) => {
                     write!(out, " {phi:>12.5}").unwrap();

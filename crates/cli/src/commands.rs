@@ -351,17 +351,31 @@ pub fn sweep(args: &Args) -> Result<String, CmdError> {
         write!(out, " {:>12}", f.name())?;
     }
     writeln!(out)?;
+    // The whole methods × granularities table runs as one flattened
+    // grid on the session pool (`--jobs`), row-major in print order.
+    let mut ks = Vec::new();
     let mut k = 2usize;
     while k <= max_k {
+        ks.push(k);
+        k *= 4;
+    }
+    let cells: Vec<(MethodFamily, usize)> = ks
+        .iter()
+        .flat_map(|&k| MethodFamily::paper_five().into_iter().map(move |f| (f, k)))
+        .collect();
+    let mut results = exp
+        .run_grid_with(&parkit::Pool::with_default_jobs(), &cells, reps, seed)
+        .into_iter();
+    for k in ks {
         write!(out, "{k:>8}")?;
-        for f in MethodFamily::paper_five() {
-            match exp.run_family(f, k, reps, seed).mean_phi() {
+        for _ in MethodFamily::paper_five() {
+            let result = results.next().expect("grid covers the full table");
+            match result.mean_phi() {
                 Some(phi) => write!(out, " {phi:>12.5}")?,
                 None => write!(out, " {:>12}", "empty")?,
             }
         }
         writeln!(out)?;
-        k *= 4;
     }
     Ok(out)
 }

@@ -36,6 +36,10 @@ USAGE:
   netsample perf    record|report|diff ...   (see `netsample perf`)
 
 global options (any position):
+  --jobs <n>           worker-pool width for experiment grids (default:
+                       available parallelism; NETSAMPLE_JOBS=<n> does
+                       the same; 1 forces the serial path — results are
+                       bit-identical at any width)
   --metrics            dump the metrics registry to stderr at exit
   --trace <path>       write structured JSONL trace events to <path>
                        (NETSAMPLE_TRACE=<path> does the same)
@@ -55,9 +59,11 @@ struct GlobalFlags {
     metrics: bool,
     trace_path: Option<String>,
     profile_out: Option<String>,
+    jobs: Option<usize>,
 }
 
-/// Pull `--metrics`, `--trace <path>`/`--trace=<path>`, and
+/// Pull `--metrics`, `--jobs <n>`/`--jobs=<n>`,
+/// `--trace <path>`/`--trace=<path>`, and
 /// `--profile-out <path>`/`--profile-out=<path>` out of the argument
 /// list.
 fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
@@ -83,12 +89,22 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
                 }
                 flags.profile_out = Some(argv.remove(i));
             }
+            "--jobs" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--jobs needs a value".to_string());
+                }
+                flags.jobs = Some(parse_jobs(&argv.remove(i))?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--trace=") {
                     flags.trace_path = Some(v.to_string());
                     argv.remove(i);
                 } else if let Some(v) = other.strip_prefix("--profile-out=") {
                     flags.profile_out = Some(v.to_string());
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--jobs=") {
+                    flags.jobs = Some(parse_jobs(v)?);
                     argv.remove(i);
                 } else {
                     i += 1;
@@ -97,6 +113,13 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
         }
     }
     Ok(flags)
+}
+
+fn parse_jobs(v: &str) -> Result<usize, String> {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs needs a positive integer, got '{v}'")),
+    }
 }
 
 fn main() -> ExitCode {
@@ -108,6 +131,9 @@ fn main() -> ExitCode {
             return ExitCode::from(64);
         }
     };
+    if let Some(jobs) = flags.jobs {
+        parkit::set_default_jobs(jobs);
+    }
     if let Some(path) = &flags.trace_path {
         if let Err(e) = obskit::trace::enable_path(path) {
             eprintln!("netsample: cannot open trace sink {path}: {e}");
@@ -198,6 +224,23 @@ mod tests {
         let out = run("help", vec![]).unwrap();
         assert!(out.contains("USAGE"));
         assert!(out.contains("sweep"));
+    }
+
+    #[test]
+    fn jobs_flag_is_extracted_in_both_forms() {
+        let mut argv = vec!["score".into(), "--jobs".into(), "4".into(), "x.pcap".into()];
+        let f = extract_global_flags(&mut argv).unwrap();
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(argv, vec!["score".to_string(), "x.pcap".to_string()]);
+        let mut argv = vec!["--jobs=8".into()];
+        assert_eq!(extract_global_flags(&mut argv).unwrap().jobs, Some(8));
+        assert!(argv.is_empty());
+        for bad in ["0", "-2", "many"] {
+            let mut argv = vec!["--jobs".into(), bad.into()];
+            assert!(extract_global_flags(&mut argv).is_err(), "{bad}");
+        }
+        let mut argv = vec!["--jobs".into()];
+        assert!(extract_global_flags(&mut argv).is_err());
     }
 
     #[test]

@@ -25,12 +25,14 @@ use std::time::Instant;
 
 const PERF_USAGE: &str = "usage:
   netsample perf record [--dir D] [--packets N] [--seed S] [--replications R]
-                        [--threshold PCT]
+                        [--threshold PCT] [--jobs N]
   netsample perf report [BENCH_n.json] [--dir D]
   netsample perf diff <old.json> <new.json> [--threshold PCT]
 
 record/diff exit 1 when a metric regresses past the threshold
 (default 25%); PERF_ALLOW_REGRESSION=1 reports instead of failing.
+record defaults to --jobs 1 so new reports stay comparable with the
+serial baselines already on disk.
 ";
 
 /// Dispatch `netsample perf <sub> ...`.
@@ -42,7 +44,14 @@ pub fn perf(rest: &[String]) -> Result<String, CmdError> {
         Some((sub, rest)) => match sub.as_str() {
             "record" => record(&Args::parse(
                 rest.to_vec(),
-                &["dir", "packets", "seed", "replications", "threshold"],
+                &[
+                    "dir",
+                    "packets",
+                    "seed",
+                    "replications",
+                    "threshold",
+                    "jobs",
+                ],
             )?),
             "report" => report(&Args::parse(rest.to_vec(), &["dir"])?),
             "diff" => diff_cmd(&Args::parse(rest.to_vec(), &["threshold"])?),
@@ -107,12 +116,20 @@ fn record(args: &Args) -> Result<String, CmdError> {
     let packets: usize = args.opt_num("packets", 100_000)?;
     let seed: u64 = args.opt_num("seed", 1993)?;
     let replications: u32 = args.opt_num("replications", 20)?;
+    // Default 1, NOT the session pool width: the gate diffs against the
+    // newest prior report, and the baselines on disk are serial. A
+    // wider pool is an explicit, recorded choice (`run.jobs` lands in
+    // the report so like is still diffed with like).
+    let jobs: usize = args.opt_num("jobs", 1)?;
     let threshold = threshold_of(args)?;
     if packets == 0 {
         return Err(CmdError::usage("--packets must be positive"));
     }
     if replications == 0 {
         return Err(CmdError::usage("--replications must be positive"));
+    }
+    if jobs == 0 {
+        return Err(CmdError::usage("--jobs must be positive"));
     }
     std::fs::create_dir_all(&dir)
         .map_err(|e| CmdError::io(format!("cannot create {}: {e}", dir.display())))?;
@@ -140,13 +157,14 @@ fn record(args: &Args) -> Result<String, CmdError> {
         };
         let mean_pps = trace.stats().mean_pps();
         let experiment = Experiment::new(trace.packets(), Target::PacketSize);
+        let pool = parkit::Pool::new(jobs);
         let families = MethodFamily::paper_five();
         let mut best_us = [u64::MAX; 5];
         for _pass in 0..RECORD_PASSES {
             for (i, family) in families.iter().enumerate() {
                 let spec = family.at_granularity(50, mean_pps);
                 let started = Instant::now();
-                let _result = experiment.run(spec, replications, seed);
+                let _result = experiment.run_with(&pool, spec, replications, seed);
                 best_us[i] = best_us[i].min(started.elapsed().as_micros() as u64);
             }
         }
@@ -171,6 +189,7 @@ fn record(args: &Args) -> Result<String, CmdError> {
             source: "perf-record".to_string(),
             seed,
             packets: trace.len() as u64,
+            jobs: jobs as u64,
         },
         experiments,
     );
@@ -243,8 +262,20 @@ mod tests {
         let dir = tmpdir("roundtrip");
         let dir_s = dir.to_str().unwrap();
         // Tiny workload: the unit test only checks plumbing.
-        let out = run(&["record", "--dir", dir_s, "--packets", "2000", "--seed", "7"]).unwrap();
+        let out = run(&[
+            "record",
+            "--dir",
+            dir_s,
+            "--packets",
+            "2000",
+            "--seed",
+            "7",
+            "--jobs",
+            "2",
+        ])
+        .unwrap();
         assert!(out.contains("BENCH_1.json"), "{out}");
+        assert!(out.contains("2 jobs"), "{out}");
         assert!(out.contains("cell/systematic"), "{out}");
         assert!(out.contains("no prior BENCH_*.json baseline"), "{out}");
         let report = run(&["report", "--dir", dir_s]).unwrap();

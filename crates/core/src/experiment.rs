@@ -10,11 +10,25 @@
 //! The free functions [`granularity_sweep`] and [`interval_sweep`]
 //! produce the two figure families of the paper: φ versus sampling
 //! fraction (Figures 6–9) and φ versus interval length (Figures 10–11).
+//!
+//! ## Parallel execution
+//!
+//! Every replication is a pure function of `(method, replication index,
+//! base seed)` against the precomputed population histogram, so cells
+//! are embarrassingly parallel. The `_with` variants ([`Experiment::run_with`],
+//! [`Experiment::run_grid_with`], [`granularity_sweep_with`],
+//! [`interval_sweep_with`]) take a [`parkit::Pool`] and fan the
+//! flattened (cell × replication) task list across its workers; results
+//! land in slot vectors by task index, so **parallel output is
+//! bit-identical to serial** regardless of worker count or scheduling.
+//! The plain entry points delegate to [`parkit::Pool::with_default_jobs`]
+//! (the `--jobs` flag / `NETSAMPLE_JOBS`).
 
 use crate::metrics::{disparity, DisparityReport};
 use crate::sampler::{select_indices, MethodSpec};
 use crate::targets::Target;
 use nettrace::{Histogram, Micros, PacketRecord, Trace};
+use parkit::Pool;
 use statkit::Boxplot;
 
 /// A family of sampling methods parameterized by granularity, used for
@@ -91,6 +105,18 @@ impl MethodFamily {
             self,
             MethodFamily::SystematicTimer | MethodFamily::StratifiedTimer
         )
+    }
+
+    /// The effective replication count at granularity `k`: a systematic
+    /// sample has only `k` distinct starting offsets, so requesting more
+    /// replications than that would just repeat samples.
+    #[must_use]
+    pub fn replication_cap(&self, k: usize, replications: u32) -> u32 {
+        if *self == MethodFamily::Systematic {
+            replications.min(k as u32)
+        } else {
+            replications
+        }
     }
 }
 
@@ -236,29 +262,60 @@ impl<'a> Experiment<'a> {
         &self.population
     }
 
-    /// Score one concrete method over `replications` runs.
+    /// One replication: build the sampler for `(rep, seed)`, select,
+    /// bin, score. Pure in its arguments plus the experiment's
+    /// precomputed state — the unit of work the pool schedules.
+    fn replicate(&self, method: MethodSpec, rep: u64, seed: u64) -> Option<Replication> {
+        let mut sampler = method.build(self.packets.len(), self.window_start, rep, seed);
+        let selected = select_indices(sampler.as_mut(), self.packets);
+        let sample = self.target.sample_histogram(self.packets, &selected);
+        disparity(&self.population, &sample).map(|report| Replication {
+            replication: rep,
+            report,
+        })
+    }
+
+    /// Score one concrete method over `replications` runs on the
+    /// session-default pool (`--jobs` / `NETSAMPLE_JOBS`).
     pub fn run(&self, method: MethodSpec, replications: u32, seed: u64) -> ExperimentResult {
+        self.run_with(&Pool::with_default_jobs(), method, replications, seed)
+    }
+
+    /// Score one concrete method over `replications` runs on `pool`.
+    ///
+    /// Replications are independent tasks; their outputs are reassembled
+    /// in replication order, so the result is bit-identical to a serial
+    /// run for any pool width.
+    ///
+    /// # Panics
+    /// Propagates a panic if any replication panicked on a worker.
+    pub fn run_with(
+        &self,
+        pool: &Pool,
+        method: MethodSpec,
+        replications: u32,
+        seed: u64,
+    ) -> ExperimentResult {
         let method_label = method.to_string();
         let target_label = self.target.to_string();
         let _cell = obskit::span_labeled(
             "experiment_cell",
             &[("method", &method_label), ("target", &target_label)],
         );
+        let scored = pool
+            .run(replications as usize, |rep| {
+                self.replicate(method, rep as u64, seed)
+            })
+            .unwrap_or_else(|e| panic!("experiment pool failed: {e}"));
         let mut result = ExperimentResult {
             method,
             target: self.target,
             replications: Vec::with_capacity(replications as usize),
             empty_samples: 0,
         };
-        for rep in 0..u64::from(replications) {
-            let mut sampler = method.build(self.packets.len(), self.window_start, rep, seed);
-            let selected = select_indices(sampler.as_mut(), self.packets);
-            let sample = self.target.sample_histogram(self.packets, &selected);
-            match disparity(&self.population, &sample) {
-                Some(report) => result.replications.push(Replication {
-                    replication: rep,
-                    report,
-                }),
+        for r in scored {
+            match r {
+                Some(rep) => result.replications.push(rep),
                 None => result.empty_samples += 1,
             }
         }
@@ -271,7 +328,7 @@ impl<'a> Experiment<'a> {
     }
 
     /// Score a method family at packet granularity `k` (timer periods
-    /// rate-equivalent for this window).
+    /// rate-equivalent for this window) on the session-default pool.
     pub fn run_family(
         &self,
         family: MethodFamily,
@@ -279,18 +336,89 @@ impl<'a> Experiment<'a> {
         replications: u32,
         seed: u64,
     ) -> ExperimentResult {
-        // A systematic sample has only k distinct replications.
-        let reps = if family == MethodFamily::Systematic {
-            replications.min(k as u32)
-        } else {
-            replications
-        };
-        self.run(family.at_granularity(k, self.mean_pps()), reps, seed)
+        self.run_family_with(&Pool::with_default_jobs(), family, k, replications, seed)
+    }
+
+    /// Score a method family at packet granularity `k` on `pool`.
+    pub fn run_family_with(
+        &self,
+        pool: &Pool,
+        family: MethodFamily,
+        k: usize,
+        replications: u32,
+        seed: u64,
+    ) -> ExperimentResult {
+        let reps = family.replication_cap(k, replications);
+        self.run_with(pool, family.at_granularity(k, self.mean_pps()), reps, seed)
+    }
+
+    /// Score a whole grid of `(family, granularity)` cells on `pool`,
+    /// flattening every `(cell, replication)` pair into one task list so
+    /// parallelism spans the grid, not just a single cell's replications.
+    ///
+    /// Results come back in `cells` order, each cell's replications in
+    /// replication order — bit-identical to running the cells serially.
+    ///
+    /// # Panics
+    /// Propagates a panic if any replication panicked on a worker.
+    pub fn run_grid_with(
+        &self,
+        pool: &Pool,
+        cells: &[(MethodFamily, usize)],
+        replications: u32,
+        seed: u64,
+    ) -> Vec<ExperimentResult> {
+        let _grid = obskit::span("experiment_grid");
+        let mean_pps = self.mean_pps();
+        let specs: Vec<(MethodSpec, u32)> = cells
+            .iter()
+            .map(|&(family, k)| {
+                (
+                    family.at_granularity(k, mean_pps),
+                    family.replication_cap(k, replications),
+                )
+            })
+            .collect();
+        let tasks: Vec<(usize, u64)> = specs
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, &(_, reps))| (0..u64::from(reps)).map(move |rep| (ci, rep)))
+            .collect();
+        let scored = pool
+            .run(tasks.len(), |i| {
+                let (ci, rep) = tasks[i];
+                self.replicate(specs[ci].0, rep, seed)
+            })
+            .unwrap_or_else(|e| panic!("experiment pool failed: {e}"));
+        let mut out: Vec<ExperimentResult> = specs
+            .iter()
+            .map(|&(method, reps)| ExperimentResult {
+                method,
+                target: self.target,
+                replications: Vec::with_capacity(reps as usize),
+                empty_samples: 0,
+            })
+            .collect();
+        for (&(ci, _), r) in tasks.iter().zip(scored) {
+            match r {
+                Some(rep) => out[ci].replications.push(rep),
+                None => out[ci].empty_samples += 1,
+            }
+        }
+        if obskit::recording_enabled() {
+            obskit::counter("experiment_cells_total").add(specs.len() as u64);
+            obskit::counter("experiment_replications_total")
+                .add(specs.iter().map(|&(_, r)| u64::from(r)).sum());
+            obskit::counter("experiment_empty_samples_total")
+                .add(out.iter().map(|r| u64::from(r.empty_samples)).sum());
+        }
+        out
     }
 }
 
 /// φ versus sampling granularity: run `family` at each granularity in
-/// `ks` over the window, `replications` runs each (Figures 6–9).
+/// `ks` over the window, `replications` runs each (Figures 6–9), on the
+/// session-default pool.
 pub fn granularity_sweep(
     packets: &[PacketRecord],
     target: Target,
@@ -299,15 +427,40 @@ pub fn granularity_sweep(
     replications: u32,
     seed: u64,
 ) -> Vec<(usize, ExperimentResult)> {
+    granularity_sweep_with(
+        &Pool::with_default_jobs(),
+        packets,
+        target,
+        family,
+        ks,
+        replications,
+        seed,
+    )
+}
+
+/// [`granularity_sweep`] on an explicit pool: the whole `ks × replications`
+/// grid is one flattened task list, reassembled in `ks` order.
+#[allow(clippy::too_many_arguments)] // a sweep is inherently a full parameter tuple
+pub fn granularity_sweep_with(
+    pool: &Pool,
+    packets: &[PacketRecord],
+    target: Target,
+    family: MethodFamily,
+    ks: &[usize],
+    replications: u32,
+    seed: u64,
+) -> Vec<(usize, ExperimentResult)> {
     let exp = Experiment::new(packets, target);
+    let cells: Vec<(MethodFamily, usize)> = ks.iter().map(|&k| (family, k)).collect();
     ks.iter()
-        .map(|&k| (k, exp.run_family(family, k, replications, seed)))
+        .copied()
+        .zip(exp.run_grid_with(pool, &cells, replications, seed))
         .collect()
 }
 
 /// φ versus interval length: run `family` at fixed granularity `k` over
 /// each window `[start, start + len)` for the lengths given
-/// (Figures 10–11).
+/// (Figures 10–11), on the session-default pool.
 #[allow(clippy::too_many_arguments)] // a sweep is inherently a full parameter tuple
 pub fn interval_sweep(
     trace: &Trace,
@@ -319,18 +472,114 @@ pub fn interval_sweep(
     replications: u32,
     seed: u64,
 ) -> Vec<(Micros, Option<ExperimentResult>)> {
-    lengths
+    interval_sweep_with(
+        &Pool::with_default_jobs(),
+        trace,
+        target,
+        family,
+        k,
+        start,
+        lengths,
+        replications,
+        seed,
+    )
+}
+
+/// [`interval_sweep`] on an explicit pool.
+///
+/// Windows and their population histograms are precomputed serially, in
+/// `lengths` order; only the replications fan out, flattened across all
+/// nonempty windows, so results are bit-identical to a serial sweep.
+///
+/// # Panics
+/// Propagates a panic if any replication panicked on a worker.
+#[allow(clippy::too_many_arguments)] // a sweep is inherently a full parameter tuple
+pub fn interval_sweep_with(
+    pool: &Pool,
+    trace: &Trace,
+    target: Target,
+    family: MethodFamily,
+    k: usize,
+    start: Micros,
+    lengths: &[Micros],
+    replications: u32,
+    seed: u64,
+) -> Vec<(Micros, Option<ExperimentResult>)> {
+    let _grid = obskit::span("experiment_grid");
+    let exps: Vec<(Micros, Option<Experiment>)> = lengths
         .iter()
         .map(|&len| {
             let window = trace.window(start, start + len);
             if window.is_empty() {
                 (len, None)
             } else {
-                let exp = Experiment::new(window, target);
-                (len, Some(exp.run_family(family, k, replications, seed)))
+                (len, Some(Experiment::new(window, target)))
             }
         })
-        .collect()
+        .collect();
+    let reps = family.replication_cap(k, replications);
+    // Timer periods are rate-equivalent *per window*, so specs differ
+    // across windows of the same sweep.
+    let specs: Vec<Option<MethodSpec>> = exps
+        .iter()
+        .map(|(_, e)| e.as_ref().map(|e| family.at_granularity(k, e.mean_pps())))
+        .collect();
+    let tasks: Vec<(usize, u64)> = exps
+        .iter()
+        .enumerate()
+        .filter(|(_, (_, e))| e.is_some())
+        .flat_map(|(wi, _)| (0..u64::from(reps)).map(move |rep| (wi, rep)))
+        .collect();
+    let scored = pool
+        .run(tasks.len(), |i| {
+            let (wi, rep) = tasks[i];
+            let exp = exps[wi]
+                .1
+                .as_ref()
+                .expect("tasks only cover nonempty windows");
+            exp.replicate(
+                specs[wi].expect("spec exists for nonempty window"),
+                rep,
+                seed,
+            )
+        })
+        .unwrap_or_else(|e| panic!("experiment pool failed: {e}"));
+    let mut out: Vec<(Micros, Option<ExperimentResult>)> = exps
+        .iter()
+        .zip(&specs)
+        .map(|((len, e), spec)| {
+            (
+                *len,
+                e.as_ref().map(|_| ExperimentResult {
+                    method: spec.expect("spec exists for nonempty window"),
+                    target,
+                    replications: Vec::with_capacity(reps as usize),
+                    empty_samples: 0,
+                }),
+            )
+        })
+        .collect();
+    for (&(wi, _), r) in tasks.iter().zip(scored) {
+        let cell = out[wi]
+            .1
+            .as_mut()
+            .expect("tasks only cover nonempty windows");
+        match r {
+            Some(rep) => cell.replications.push(rep),
+            None => cell.empty_samples += 1,
+        }
+    }
+    if obskit::recording_enabled() {
+        let cells = out.iter().filter(|(_, r)| r.is_some()).count() as u64;
+        obskit::counter("experiment_cells_total").add(cells);
+        obskit::counter("experiment_replications_total").add(cells * u64::from(reps));
+        obskit::counter("experiment_empty_samples_total").add(
+            out.iter()
+                .filter_map(|(_, r)| r.as_ref().map(|r| u64::from(r.empty_samples)))
+                .sum(),
+        );
+    }
+    out
 }
 
 #[cfg(test)]

@@ -285,6 +285,8 @@ pub fn finalize() {
             source: "criterion".to_string(),
             seed: 0,
             packets: 0,
+            // Bench iterations are single-threaded by construction.
+            jobs: 1,
         },
         Vec::new(),
     );

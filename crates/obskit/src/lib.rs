@@ -51,7 +51,7 @@ mod span;
 pub mod trace;
 pub mod tree;
 
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use metrics::{Counter, CounterShard, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, Registry, SnapshotValue};
 pub use span::{span, span_labeled, time, SpanGuard};
 pub use tree::SpanNode;

@@ -79,6 +79,69 @@ impl Gauge {
     }
 }
 
+/// A thread-local shard of a [`Counter`]: increments accumulate in a
+/// plain (unsynchronized) cell and merge into the backing counter with
+/// **one** atomic add — either explicitly via [`CounterShard::flush`] or
+/// automatically on drop.
+///
+/// Worker pools hand each worker its own shard so hot loops pay a
+/// non-atomic integer bump per event instead of a contended RMW; the
+/// backing counter sees the per-worker sums exactly once, when the
+/// workers drain. The shard is `Send` (a worker can be handed one) but
+/// deliberately **not** `Sync` — shared use would lose increments, so
+/// the `Cell` forbids it at compile time.
+#[derive(Debug)]
+pub struct CounterShard {
+    backing: Counter,
+    local: std::cell::Cell<u64>,
+}
+
+impl CounterShard {
+    /// A shard feeding `backing`.
+    #[must_use]
+    pub fn new(backing: Counter) -> Self {
+        CounterShard {
+            backing,
+            local: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Increment the local shard by one (no atomics).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment the local shard by `n` (no atomics).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::recording_enabled() {
+            self.local.set(self.local.get().wrapping_add(n));
+        }
+    }
+
+    /// Increments accumulated locally and not yet flushed.
+    #[must_use]
+    pub fn pending(&self) -> u64 {
+        self.local.get()
+    }
+
+    /// Merge the local count into the backing counter (one atomic add)
+    /// and reset the shard to zero.
+    pub fn flush(&self) {
+        let n = self.local.replace(0);
+        if n > 0 {
+            self.backing.add(n);
+        }
+    }
+}
+
+impl Drop for CounterShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct HistogramInner {
     pub(crate) buckets: [AtomicU64; BUCKETS],
@@ -360,6 +423,49 @@ mod tests {
         } else {
             assert_eq!(h.percentile(-3.0), None);
         }
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn counter_shard_flushes_once_on_drop() {
+        let c = Counter::new();
+        {
+            let shard = CounterShard::new(c.clone());
+            shard.inc();
+            shard.add(9);
+            assert_eq!(shard.pending(), 10);
+            // Nothing reaches the backing counter before flush/drop.
+            assert_eq!(c.get(), 0);
+        }
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn counter_shard_explicit_flush_resets_local() {
+        let c = Counter::new();
+        let shard = CounterShard::new(c.clone());
+        shard.add(4);
+        shard.flush();
+        assert_eq!(c.get(), 4);
+        assert_eq!(shard.pending(), 0);
+        // A second flush with nothing pending is a no-op.
+        shard.flush();
+        assert_eq!(c.get(), 4);
+        shard.add(2);
+        drop(shard);
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    #[cfg(feature = "noop")]
+    fn counter_shard_is_noop_under_noop() {
+        let c = Counter::new();
+        let shard = CounterShard::new(c.clone());
+        shard.add(5);
+        assert_eq!(shard.pending(), 0);
+        drop(shard);
+        assert_eq!(c.get(), 0);
     }
 
     #[test]

@@ -317,6 +317,7 @@ mod tests {
                 name: "samplers/systematic/50".into(),
                 median_ns,
             }],
+            gauges: vec![],
             spans: vec![],
         }
     }

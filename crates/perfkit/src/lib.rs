@@ -26,4 +26,4 @@ pub mod report;
 
 pub use diff::{diff, DiffReport, MetricDelta, DEFAULT_THRESHOLD};
 pub use json::Json;
-pub use report::{baseline_before, latest_in, BenchReport, ExperimentTime, RunMeta};
+pub use report::{baseline_before, latest_in, BenchReport, ExperimentTime, GaugeStat, RunMeta};

@@ -13,13 +13,15 @@
 //! {
 //!   "schema_version": 1,
 //!   "bench_version": 3,
-//!   "run": { "ts_us": 0, "source": "perf-record", "seed": 1993, "packets": 100000 },
+//!   "run": { "ts_us": 0, "source": "perf-record", "seed": 1993, "packets": 100000,
+//!            "jobs": 1 },
 //!   "experiments": [ { "name": "cell/systematic", "wall_us": 5200 } ],
 //!   "samplers":    [ { "method": "systematic", "examined": 300000,
 //!                      "selected": 6000, "select_us": 900, "pps": 333333333.3 } ],
 //!   "timings":     [ { "name": "statkit_chi2_sf_duration_us", "count": 15,
 //!                      "mean_us": 12.0, "p50_us": 11, "p90_us": 14, "p99_us": 14, "max_us": 31 } ],
 //!   "benches":     [ { "name": "samplers/systematic/50", "median_ns": 287000 } ],
+//!   "gauges":      [ { "name": "parkit_speedup_x1000", "value": 3210 } ],
 //!   "spans":       [ { "path": "perf_record;sampling_select", "count": 15,
 //!                      "total_us": 4000, "self_us": 4000 } ]
 //! }
@@ -33,6 +35,10 @@
 //! * `timings` — percentile summaries of every `*_duration_us`
 //!   histogram (χ²/φ evaluation time lives here);
 //! * `benches` — criterion-shim medians, when the run was a bench run;
+//! * `gauges` — informational gauges (the parallel speedup probe and
+//!   pool width land here); never gated by the diff, and both `run.jobs`
+//!   and `gauges` are absent from pre-parallelism reports (parsed as
+//!   `jobs = 1`, no gauges);
 //! * `spans` — the aggregated hierarchical span tree (folded-stack
 //!   source).
 
@@ -55,6 +61,9 @@ pub struct RunMeta {
     pub seed: u64,
     /// Number of packets in the driving population (0 if not packet-based).
     pub packets: u64,
+    /// Worker-pool width the run executed with (`--jobs`). Reports
+    /// predating the field parse as 1 — they were all serial.
+    pub jobs: u64,
 }
 
 /// Wall time of one named experiment.
@@ -109,6 +118,16 @@ pub struct BenchStat {
     pub median_ns: u64,
 }
 
+/// One recorded gauge (informational, never gated — e.g. the parallel
+/// speedup probe's `parkit_speedup_x1000`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeStat {
+    /// Full registry key.
+    pub name: String,
+    /// Gauge value at collection time.
+    pub value: i64,
+}
+
 /// A complete performance report.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchReport {
@@ -125,6 +144,8 @@ pub struct BenchReport {
     pub timings: Vec<TimingStat>,
     /// Criterion-shim medians.
     pub benches: Vec<BenchStat>,
+    /// Informational gauges (`parkit_*`: pool width, speedup probe).
+    pub gauges: Vec<GaugeStat>,
     /// Aggregated span tree.
     pub spans: Vec<SpanNode>,
 }
@@ -164,6 +185,7 @@ impl BenchReport {
         let mut samplers: Vec<SamplerStat> = Vec::new();
         let mut timings = Vec::new();
         let mut benches = Vec::new();
+        let mut gauges = Vec::new();
         for (key, value) in &snapshot {
             match value {
                 SnapshotValue::Histogram(h) if key.starts_with("sampling_select_duration_us{") => {
@@ -188,6 +210,12 @@ impl BenchReport {
                             median_ns: (*v).max(0) as u64,
                         });
                     }
+                }
+                SnapshotValue::Gauge(v) if key.starts_with("parkit_") => {
+                    gauges.push(GaugeStat {
+                        name: key.clone(),
+                        value: *v,
+                    });
                 }
                 _ => {}
             }
@@ -218,6 +246,7 @@ impl BenchReport {
             samplers,
             timings,
             benches,
+            gauges,
             spans: obskit::tree::snapshot(),
         }
     }
@@ -235,6 +264,7 @@ impl BenchReport {
                     ("source".into(), Json::Str(self.run.source.clone())),
                     ("seed".into(), Json::Num(self.run.seed as f64)),
                     ("packets".into(), Json::Num(self.run.packets as f64)),
+                    ("jobs".into(), Json::Num(self.run.jobs as f64)),
                 ]),
             ),
             (
@@ -302,6 +332,20 @@ impl BenchReport {
                 ),
             ),
             (
+                "gauges".into(),
+                Json::Arr(
+                    self.gauges
+                        .iter()
+                        .map(|g| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::Str(g.name.clone())),
+                                ("value".into(), Json::Num(g.value as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
                 "spans".into(),
                 Json::Arr(
                     self.spans
@@ -357,6 +401,8 @@ impl BenchReport {
                 source: get_str(run, "source"),
                 seed: get_u64(run, "seed"),
                 packets: get_u64(run, "packets"),
+                // Pre-parallelism reports have no jobs field: serial.
+                jobs: run.get("jobs").and_then(Json::as_u64).unwrap_or(1),
             },
             experiments: arr("experiments")
                 .into_iter()
@@ -392,6 +438,13 @@ impl BenchReport {
                 .map(|b| BenchStat {
                     name: get_str(b, "name"),
                     median_ns: get_u64(b, "median_ns"),
+                })
+                .collect(),
+            gauges: arr("gauges")
+                .into_iter()
+                .map(|g| GaugeStat {
+                    name: get_str(g, "name"),
+                    value: g.get("value").and_then(Json::as_f64).unwrap_or(0.0) as i64,
                 })
                 .collect(),
             spans: arr("spans")
@@ -438,8 +491,12 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "BENCH_{} — source {} (seed {}, {} packets)",
-            self.bench_version, self.run.source, self.run.seed, self.run.packets
+            "BENCH_{} — source {} (seed {}, {} packets, {} jobs)",
+            self.bench_version,
+            self.run.source,
+            self.run.seed,
+            self.run.packets,
+            self.run.jobs.max(1)
         );
         if !self.experiments.is_empty() {
             let _ = writeln!(out, "\nexperiments:");
@@ -483,6 +540,13 @@ impl BenchReport {
                     "  {:<52} {:>8} {:>9.1} {:>7} {:>7} {:>7} {:>8}",
                     t.name, t.count, t.mean_us, t.p50_us, t.p90_us, t.p99_us, t.max_us
                 );
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "\ngauges:");
+            let _ = writeln!(out, "  {:<44} {:>12}", "name", "value");
+            for g in &self.gauges {
+                let _ = writeln!(out, "  {:<44} {:>12}", g.name, g.value);
             }
         }
         if !self.spans.is_empty() {
@@ -554,6 +618,7 @@ mod tests {
                 source: "test".into(),
                 seed: 1993,
                 packets: 100_000,
+                jobs: 4,
             },
             experiments: vec![ExperimentTime {
                 name: "cell/systematic".into(),
@@ -579,6 +644,10 @@ mod tests {
                 name: "samplers/systematic/50".into(),
                 median_ns: 287_000,
             }],
+            gauges: vec![GaugeStat {
+                name: "parkit_speedup_x1000".into(),
+                value: 3_210,
+            }],
             spans: vec![SpanNode {
                 path: "perf_record;sampling_select".into(),
                 count: 15,
@@ -599,7 +668,23 @@ mod tests {
         assert!((parsed.samplers[0].pps - r.samplers[0].pps).abs() < 1.0);
         assert_eq!(parsed.timings, r.timings);
         assert_eq!(parsed.benches, r.benches);
+        assert_eq!(parsed.gauges, r.gauges);
         assert_eq!(parsed.spans, r.spans);
+        assert_eq!(parsed.run.jobs, 4);
+    }
+
+    #[test]
+    fn pre_parallelism_reports_parse_as_serial() {
+        // A report written before the jobs/gauges fields existed must
+        // read back as a 1-job run with no gauges.
+        let v = Json::parse(
+            r#"{"schema_version": 1, "bench_version": 1,
+                "run": {"ts_us": 0, "source": "old", "seed": 1, "packets": 10}}"#,
+        )
+        .unwrap();
+        let r = BenchReport::from_json(&v).unwrap();
+        assert_eq!(r.run.jobs, 1);
+        assert!(r.gauges.is_empty());
     }
 
     #[test]
@@ -661,6 +746,8 @@ mod tests {
             "samplers",
             "benches",
             "timings",
+            "gauges",
+            "parkit_speedup_x1000",
             "span tree",
             "cell/systematic",
             "pkts/sec",

@@ -21,7 +21,10 @@
 //!   and the replication/sweep experiment framework;
 //! * [`obskit`] — the observability layer every crate above reports into:
 //!   a global registry of counters/gauges/histograms, wall-clock spans,
-//!   Prometheus-style exposition, and optional JSONL event tracing.
+//!   Prometheus-style exposition, and optional JSONL event tracing;
+//! * [`parkit`] — the scoped-thread worker pool the experiment grids run
+//!   on: deterministic slot-indexed merge (parallel ≡ serial, bitwise),
+//!   chunk-stealing, panic aggregation.
 //!
 //! See `DESIGN.md` for the system inventory and the per-experiment index,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -33,6 +36,7 @@ pub use netstat_sim as netstat;
 pub use netsynth;
 pub use nettrace;
 pub use obskit;
+pub use parkit;
 pub use perfkit;
 pub use sampling;
 pub use statkit;
