@@ -50,6 +50,30 @@ diff "$tmpdir/par.1.out" "$tmpdir/par.2.out" || {
     exit 1
 }
 
+echo "== fuzz: seeded fault-injection campaign (deterministic, offline)"
+# Fixed-seed mutation campaign over pcap/pcapng parsing plus
+# state-machine fuzzing of the samplers and the disparity metric. Any
+# finding (panic, incorrect accept, salvage inconsistency) exits 1.
+# Running it twice and diffing byte-for-byte pins determinism: the
+# whole campaign is a pure function of the seed.
+for pass in 1 2; do
+    "$bin" fuzz --seed 1993 --mutations 10000 --cases 1000 \
+        > "$tmpdir/fuzz.$pass.out"
+done
+diff "$tmpdir/fuzz.1.out" "$tmpdir/fuzz.2.out" || {
+    echo "fuzz campaign is nondeterministic across runs" >&2
+    exit 1
+}
+grep -q "findings: 0" "$tmpdir/fuzz.1.out"
+# The lossy ingest path salvages a mid-record truncation the strict
+# reader refuses.
+head -c "$(( $(stat -c %s "$tmpdir/pop.pcap") - 7 ))" "$tmpdir/pop.pcap" > "$tmpdir/cut.pcap"
+if "$bin" analyze "$tmpdir/cut.pcap" > /dev/null 2>&1; then
+    echo "strict analyze accepted a truncated capture" >&2
+    exit 1
+fi
+"$bin" analyze "$tmpdir/cut.pcap" --lossy | grep -q "lossy ingest (pcap)"
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

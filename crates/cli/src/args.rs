@@ -6,11 +6,13 @@
 
 use std::collections::HashMap;
 
-/// Parsed arguments: positionals in order plus `--key value` options.
+/// Parsed arguments: positionals in order, `--key value` options, and
+/// bare `--flag` booleans.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Args {
     positionals: Vec<String>,
     options: HashMap<String, String>,
+    flags: Vec<String>,
 }
 
 /// A parse or validation error, rendered to the user.
@@ -31,6 +33,16 @@ impl Args {
     /// `known` lists the accepted option names (without `--`); anything
     /// else errors immediately so typos fail loudly.
     pub fn parse<I: IntoIterator<Item = String>>(raw: I, known: &[&str]) -> Result<Args, ArgError> {
+        Args::parse_with_flags(raw, known, &[])
+    }
+
+    /// Like [`Args::parse`], but also accepts the bare boolean flags in
+    /// `known_flags` (given as `--flag`, no value).
+    pub fn parse_with_flags<I: IntoIterator<Item = String>>(
+        raw: I,
+        known: &[&str],
+        known_flags: &[&str],
+    ) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut iter = raw.into_iter();
         while let Some(a) = iter.next() {
@@ -39,6 +51,16 @@ impl Args {
                     Some((k, v)) => (k.to_string(), Some(v.to_string())),
                     None => (flag.to_string(), None),
                 };
+                if known_flags.contains(&key.as_str()) {
+                    if inline.is_some() {
+                        return Err(ArgError(format!("--{key} does not take a value")));
+                    }
+                    if args.flags.contains(&key) {
+                        return Err(ArgError(format!("--{key} given twice")));
+                    }
+                    args.flags.push(key);
+                    continue;
+                }
                 if !known.contains(&key.as_str()) {
                     return Err(ArgError(format!("unknown option --{key}")));
                 }
@@ -56,6 +78,12 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// Whether the bare boolean flag `key` was given.
+    #[must_use]
+    pub fn has_flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
     }
 
     /// Positional argument at `idx`, or an error naming it.
@@ -149,6 +177,44 @@ mod tests {
         let a = parse(&[], &[]).unwrap();
         let e = a.positional(0, "input").unwrap_err();
         assert!(e.0.contains("<input>"));
+    }
+
+    #[test]
+    fn boolean_flags_parse_without_values() {
+        let a = Args::parse_with_flags(
+            ["x.pcap".to_string(), "--lossy".to_string()],
+            &[],
+            &["lossy"],
+        )
+        .unwrap();
+        assert!(a.has_flag("lossy"));
+        assert_eq!(a.positional(0, "input").unwrap(), "x.pcap");
+        let a = Args::parse_with_flags(["x.pcap".to_string()], &[], &["lossy"]).unwrap();
+        assert!(!a.has_flag("lossy"));
+        // A flag must not swallow the next argument as a value.
+        let a = Args::parse_with_flags(
+            ["--lossy".to_string(), "x.pcap".to_string()],
+            &[],
+            &["lossy"],
+        )
+        .unwrap();
+        assert!(a.has_flag("lossy"));
+        assert_eq!(a.positional_count(), 1);
+    }
+
+    #[test]
+    fn boolean_flag_rejects_value_and_duplicates() {
+        let e = Args::parse_with_flags(["--lossy=yes".to_string()], &[], &["lossy"]).unwrap_err();
+        assert!(e.0.contains("does not take a value"));
+        let e = Args::parse_with_flags(
+            ["--lossy".to_string(), "--lossy".to_string()],
+            &[],
+            &["lossy"],
+        )
+        .unwrap_err();
+        assert!(e.0.contains("given twice"));
+        let e = Args::parse_with_flags(["--lossy".to_string()], &[], &[]).unwrap_err();
+        assert!(e.0.contains("unknown option"));
     }
 
     #[test]

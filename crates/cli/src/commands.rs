@@ -27,9 +27,10 @@ pub enum CmdError {
     Data(String),
     /// The operating system failed an open/read/write (`EX_IOERR`, 74).
     Io(String),
-    /// A perf diff crossed the regression gate (exit 1, the
-    /// conventional "check failed" code CI systems key on). Set
-    /// `PERF_ALLOW_REGRESSION=1` to downgrade the gate to a report.
+    /// A quality gate failed: a perf diff crossed the regression gate,
+    /// or the fuzzer surfaced a contract violation (exit 1, the
+    /// conventional "check failed" code CI systems key on). For perf,
+    /// `PERF_ALLOW_REGRESSION=1` downgrades the gate to a report.
     Regression(String),
 }
 
@@ -137,6 +138,11 @@ fn parse_target(name: &str) -> Result<Target, ArgError> {
 
 fn parse_method(args: &Args) -> Result<MethodSpec, CmdError> {
     let k: usize = args.opt_num("interval", 50)?;
+    if k == 0 {
+        return Err(CmdError::usage(
+            "--interval must be at least 1 (a 1-in-0 selection is undefined)",
+        ));
+    }
     let spec = match args.opt_or("method", "systematic") {
         "systematic" => MethodSpec::Systematic { interval: k },
         "stratified" => MethodSpec::StratifiedRandom { bucket: k },
@@ -198,14 +204,45 @@ pub fn synth(args: &Args) -> Result<String, CmdError> {
     ))
 }
 
-/// `netsample analyze <trace.pcap>` — Table 2/3-style summaries.
+/// `netsample analyze <trace.pcap> [--lossy]` — Table 2/3-style
+/// summaries. With `--lossy`, a truncated or damaged capture is not
+/// fatal: the longest valid prefix is salvaged and analyzed, and the
+/// report leads with what was (and was not) recovered.
 pub fn analyze(args: &Args) -> Result<String, CmdError> {
     expect_positionals(args, 1)?;
-    let trace = load(args.positional(0, "trace.pcap")?)?;
-    if trace.is_empty() {
-        return Err(CmdError::data("trace is empty"));
-    }
+    let path = args.positional(0, "trace.pcap")?;
     let mut out = String::new();
+    let trace = if args.has_flag("lossy") {
+        let f = File::open(path).map_err(|e| CmdError::io(format!("cannot open {path}: {e}")))?;
+        let report = nettrace::read_capture_lossy(BufReader::new(f))?;
+        writeln!(
+            out,
+            "lossy ingest ({}): {} of {} bytes parsed, {} packet{} salvaged",
+            report.format,
+            report.bytes_consumed,
+            report.bytes_total,
+            report.packets_salvaged,
+            if report.packets_salvaged == 1 {
+                ""
+            } else {
+                "s"
+            },
+        )?;
+        if let Some(fault) = &report.error {
+            writeln!(out, "first fault at byte {}: {}", fault.offset, fault.error)?;
+        }
+        writeln!(out)?;
+        report.trace
+    } else {
+        load(path)?
+    };
+    if trace.is_empty() {
+        return Err(CmdError::data(if args.has_flag("lossy") {
+            "no packets could be salvaged"
+        } else {
+            "trace is empty"
+        }));
+    }
     let stats = trace.stats();
     writeln!(
         out,
@@ -256,7 +293,11 @@ pub fn sample(args: &Args) -> Result<String, CmdError> {
         return Err(CmdError::data("input trace is empty"));
     }
     let spec = parse_method(args)?;
-    let mut sampler = spec.build(trace.len(), trace.start().unwrap_or(Micros::ZERO), 0, seed);
+    // parse_method already rejects the reachable degenerate flags, but
+    // any residual BuildError is still the caller's configuration.
+    let mut sampler = spec
+        .try_build(trace.len(), trace.start().unwrap_or(Micros::ZERO), 0, seed)
+        .map_err(|e| CmdError::usage(e.to_string()))?;
     let selected = select_indices(sampler.as_mut(), trace.packets());
     let sampled: Vec<nettrace::PacketRecord> =
         selected.iter().map(|&i| trace.packets()[i]).collect();
@@ -380,6 +421,65 @@ pub fn sweep(args: &Args) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// `netsample fuzz [--seed S] [--mutations N] [--cases M] [--corpus-packets P]`
+/// — run the faultkit mutation campaign and state-machine fuzzer with a
+/// fixed seed and print a deterministic summary. Any contract violation
+/// (a panic, an incorrect accept, a salvage inconsistency) is listed and
+/// fails the command with exit code 1, so CI can gate on it; the digests
+/// let two runs be compared byte-for-byte.
+pub fn fuzz(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 0)?;
+    let seed: u64 = args.opt_num("seed", 1993)?;
+    let mutations: u32 = args.opt_num("mutations", 10_000)?;
+    let cases: u32 = args.opt_num("cases", 1_000)?;
+    let corpus_packets: usize = args.opt_num("corpus-packets", 60)?;
+    if mutations == 0 && cases == 0 {
+        return Err(CmdError::usage(
+            "--mutations and --cases are both 0; nothing to do",
+        ));
+    }
+
+    let campaign = faultkit::run_campaign(&faultkit::CampaignConfig {
+        seed,
+        iterations: mutations,
+        corpus_packets,
+    });
+    let state = faultkit::run_state_fuzz(&faultkit::StateFuzzConfig { seed, cases });
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "mutation campaign: seed {seed}, {} cases, digest {:016x}",
+        campaign.cases, campaign.digest
+    )?;
+    for (outcome, count) in &campaign.outcomes {
+        writeln!(out, "  {outcome:<28} {count:>8}")?;
+    }
+    writeln!(
+        out,
+        "state fuzz: seed {seed}, {} cases, {} offers, digest {:016x}",
+        state.cases, state.offers, state.digest
+    )?;
+    for (outcome, count) in &state.outcomes {
+        writeln!(out, "  {outcome:<28} {count:>8}")?;
+    }
+    let findings: Vec<String> = campaign
+        .findings
+        .iter()
+        .chain(&state.findings)
+        .map(ToString::to_string)
+        .collect();
+    writeln!(out, "findings: {}", findings.len())?;
+    if findings.is_empty() {
+        Ok(out)
+    } else {
+        Err(CmdError::regression(format!(
+            "{out}{}\n",
+            findings.join("\n")
+        )))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -486,6 +586,82 @@ mod tests {
         let e = analyze(&args(&[&garbage], &[])).unwrap_err();
         assert_eq!(e.exit_code(), 65, "{e}");
         std::fs::remove_file(&garbage).ok();
+    }
+
+    #[test]
+    fn degenerate_method_flags_are_usage_errors() {
+        // `--interval 0` must exit 64 for every method, not panic or
+        // divide by zero (`random` derives fraction = 1/k).
+        for method in ["systematic", "stratified", "random", "geometric"] {
+            let e = parse_method(&args(
+                &["--method", method, "--interval", "0"],
+                &["method", "interval"],
+            ))
+            .unwrap_err();
+            assert_eq!(e.exit_code(), 64, "{method}: {e}");
+            assert!(e.to_string().contains("--interval"), "{method}: {e}");
+        }
+    }
+
+    #[test]
+    fn lossy_analyze_salvages_a_truncated_capture() {
+        let pop = tmp("lossy_pop");
+        synth(&args(
+            &[&pop, "--seconds", "20", "--seed", "5"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+
+        // Chop the file mid-record: strict analyze refuses, lossy reports
+        // the damage and analyzes what survived.
+        let bytes = std::fs::read(&pop).unwrap();
+        let cut = tmp("lossy_cut");
+        std::fs::write(&cut, &bytes[..bytes.len() - 7]).unwrap();
+
+        let e = analyze(&args(&[&cut], &[])).unwrap_err();
+        assert_eq!(e.exit_code(), 65, "{e}");
+
+        let lossy = |raw: &[&str]| {
+            crate::args::Args::parse_with_flags(raw.iter().map(|s| s.to_string()), &[], &["lossy"])
+                .unwrap()
+        };
+        let report = analyze(&lossy(&[&cut, "--lossy"])).unwrap();
+        assert!(report.contains("lossy ingest (pcap)"), "{report}");
+        assert!(report.contains("first fault at byte"), "{report}");
+        assert!(report.contains("packet size"), "{report}");
+
+        // A clean capture under --lossy reports no fault and the same
+        // analysis body.
+        let clean = analyze(&lossy(&[&pop, "--lossy"])).unwrap();
+        assert!(clean.contains("lossy ingest (pcap)"), "{clean}");
+        assert!(!clean.contains("first fault"), "{clean}");
+
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn fuzz_summary_is_deterministic_and_clean() {
+        let fuzz_args = args(
+            &[
+                "--seed",
+                "42",
+                "--mutations",
+                "120",
+                "--cases",
+                "90",
+                "--corpus-packets",
+                "12",
+            ],
+            &["seed", "mutations", "cases", "corpus-packets"],
+        );
+        let a = fuzz(&fuzz_args).unwrap();
+        let b = fuzz(&fuzz_args).unwrap();
+        assert_eq!(a, b, "fuzz summary must be byte-identical across runs");
+        assert!(a.contains("mutation campaign: seed 42"), "{a}");
+        assert!(a.contains("state fuzz: seed 42"), "{a}");
+        assert!(a.contains("digest"), "{a}");
+        assert!(a.trim_end().ends_with("findings: 0"), "{a}");
     }
 
     #[test]

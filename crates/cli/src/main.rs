@@ -5,13 +5,14 @@
 //!
 //! ```text
 //! netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
-//! netsample analyze <trace.pcap>
+//! netsample analyze <trace.pcap> [--lossy]
 //! netsample sample  <in.pcap> <out.pcap> [--method systematic|stratified|random|geometric]
 //!                   [--interval k] [--seed S]
 //! netsample score   <population.pcap> [--method M] [--interval k]
 //!                   [--target packet-size|interarrival|protocol|port] [--replications R]
 //! netsample compare <a.pcap> <b.pcap> [--target T]
 //! netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+//! netsample fuzz    [--seed S] [--mutations N] [--cases M]
 //! ```
 
 #![deny(missing_docs)]
@@ -28,11 +29,12 @@ const USAGE: &str = "netsample — packet-sampling toolkit (SIGCOMM 1993 reprodu
 
 USAGE:
   netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
-  netsample analyze <trace.pcap>
+  netsample analyze <trace.pcap> [--lossy]   (--lossy salvages damaged captures)
   netsample sample  <in.pcap> <out.pcap> [--method M] [--interval k] [--seed S]
   netsample score   <population.pcap> [--method M] [--interval k] [--target T] [--replications R]
   netsample compare <a.pcap> <b.pcap> [--target T]
   netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+  netsample fuzz    [--seed S] [--mutations N] [--cases M] [--corpus-packets P]
   netsample perf    record|report|diff ...   (see `netsample perf`)
 
 global options (any position):
@@ -49,8 +51,8 @@ global options (any position):
 methods: systematic | stratified | random | geometric
 targets: packet-size | interarrival | protocol | port
 
-exit codes: 0 ok, 1 perf regression gate, 64 usage error, 65 bad data,
-            74 I/O error
+exit codes: 0 ok, 1 failed gate (perf regression, fuzz finding),
+            64 usage error, 65 bad data, 74 I/O error
 ";
 
 /// The global flags every subcommand accepts without listing them.
@@ -185,8 +187,12 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
             commands::synth(&a)
         }
         "analyze" => {
-            let a = Args::parse(rest, &[])?;
+            let a = Args::parse_with_flags(rest, &[], &["lossy"])?;
             commands::analyze(&a)
+        }
+        "fuzz" => {
+            let a = Args::parse(rest, &["seed", "mutations", "cases", "corpus-packets"])?;
+            commands::fuzz(&a)
         }
         "sample" => {
             let a = Args::parse(rest, &["method", "interval", "seed"])?;

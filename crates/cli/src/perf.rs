@@ -1,10 +1,12 @@
 //! `netsample perf` — record, inspect, and diff performance reports.
 //!
 //! * `perf record` runs a fixed-seed synthetic workload (the paper's
-//!   five sampling methods at interval 50, three replications each,
-//!   over an SDSC-profile trace truncated to `--packets` packets),
-//!   writes the instrumented run as the next `BENCH_<n>.json` in
-//!   `--dir`, and diffs it against the newest prior report there.
+//!   five sampling methods × {packet-size, interarrival} targets ×
+//!   intervals {10, 50, 100}, over an SDSC-profile trace truncated to
+//!   `--packets` packets), writes the instrumented run as the next
+//!   `BENCH_<n>.json` in `--dir`, and diffs it against the newest prior
+//!   report there. Each of the 30 cells is timed and gated separately
+//!   (`cell/<family>/<target>/k<k>`).
 //! * `perf report` pretty-prints one report (a named file, or the
 //!   newest in `--dir`).
 //! * `perf diff` compares two report files.
@@ -110,6 +112,14 @@ fn gate(regressed: bool, out: String) -> Result<String, CmdError> {
 /// gate at 25% without flapping on a shared machine.
 const RECORD_PASSES: usize = 3;
 
+/// Distribution targets the recorded workload scores: packet size and
+/// interarrival time, the two the paper leans on hardest (Figures 5–9).
+const RECORD_TARGETS: [Target; 2] = [Target::PacketSize, Target::Interarrival];
+
+/// Sampling granularities per cell, bracketing the paper's T3 operating
+/// point of 1-in-50.
+const RECORD_INTERVALS: [usize; 3] = [10, 50, 100];
+
 /// `netsample perf record [--dir D] [--packets N] [--seed S]`
 fn record(args: &Args) -> Result<String, CmdError> {
     let dir = PathBuf::from(args.opt_or("dir", "."));
@@ -156,23 +166,42 @@ fn record(args: &Args) -> Result<String, CmdError> {
                 .map_err(|e| CmdError::data(format!("synthetic trace: {e}")))?
         };
         let mean_pps = trace.stats().mean_pps();
-        let experiment = Experiment::new(trace.packets(), Target::PacketSize);
         let pool = parkit::Pool::new(jobs);
         let families = MethodFamily::paper_five();
-        let mut best_us = [u64::MAX; 5];
+        // The workload covers both distribution targets the paper
+        // scores most heavily and three granularities spanning the T3
+        // operating point (k = 50) — size and interarrival histograms
+        // stress different parts of the pipeline, and cost scales with
+        // 1/k, so a regression in any of them is visible on its own row.
+        let cells: Vec<(MethodFamily, Target, usize)> = families
+            .iter()
+            .flat_map(|&family| {
+                RECORD_TARGETS.iter().flat_map(move |&target| {
+                    RECORD_INTERVALS.iter().map(move |&k| (family, target, k))
+                })
+            })
+            .collect();
+        let exp_size = Experiment::new(trace.packets(), RECORD_TARGETS[0]);
+        let exp_ia = Experiment::new(trace.packets(), RECORD_TARGETS[1]);
+        let mut best_us = vec![u64::MAX; cells.len()];
         for _pass in 0..RECORD_PASSES {
-            for (i, family) in families.iter().enumerate() {
-                let spec = family.at_granularity(50, mean_pps);
+            for (i, &(family, target, k)) in cells.iter().enumerate() {
+                let exp = if target == RECORD_TARGETS[0] {
+                    &exp_size
+                } else {
+                    &exp_ia
+                };
+                let spec = family.at_granularity(k, mean_pps);
                 let started = Instant::now();
-                let _result = experiment.run_with(&pool, spec, replications, seed);
+                let _result = exp.run_with(&pool, spec, replications, seed);
                 best_us[i] = best_us[i].min(started.elapsed().as_micros() as u64);
             }
         }
-        let experiments = families
+        let experiments = cells
             .iter()
             .zip(best_us)
-            .map(|(family, wall_us)| perfkit::ExperimentTime {
-                name: format!("cell/{}", family.name()),
+            .map(|(&(family, target, k), wall_us)| perfkit::ExperimentTime {
+                name: format!("cell/{}/{target}/k{k}", family.name()),
                 wall_us,
             })
             .collect();
@@ -276,7 +305,8 @@ mod tests {
         .unwrap();
         assert!(out.contains("BENCH_1.json"), "{out}");
         assert!(out.contains("2 jobs"), "{out}");
-        assert!(out.contains("cell/systematic"), "{out}");
+        assert!(out.contains("cell/systematic/packet-size/k50"), "{out}");
+        assert!(out.contains("cell/strat-timer/interarrival/k100"), "{out}");
         assert!(out.contains("no prior BENCH_*.json baseline"), "{out}");
         let report = run(&["report", "--dir", dir_s]).unwrap();
         assert!(report.contains("BENCH_1"), "{report}");

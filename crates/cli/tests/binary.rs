@@ -316,3 +316,63 @@ fn perf_diff_gate_fails_on_regression_and_env_bypasses_it() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("REGRESSED"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn degenerate_interval_exits_64_through_the_binary() {
+    let pop = tmp("zero_k");
+    let out = netsample(&["synth", &pop, "--seconds", "5"]);
+    assert!(out.status.success());
+    // Before the try_* constructors this panicked (exit 101); now it is
+    // a classified usage error.
+    let out = netsample(&["sample", &pop, &tmp("zero_k_out"), "--interval", "0"]);
+    assert_eq!(out.status.code(), Some(64));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--interval"));
+    std::fs::remove_file(&pop).ok();
+}
+
+#[test]
+fn lossy_analyze_and_fuzz_through_the_binary() {
+    let pop = tmp("lossy");
+    let out = netsample(&["synth", &pop, "--seconds", "10"]);
+    assert!(out.status.success());
+    let bytes = std::fs::read(&pop).unwrap();
+    let cut = tmp("lossy_cut");
+    std::fs::write(&cut, &bytes[..bytes.len() - 5]).unwrap();
+
+    // Strict analyze refuses the damaged file; --lossy salvages it.
+    let out = netsample(&["analyze", &cut]);
+    assert_eq!(out.status.code(), Some(65));
+    let out = netsample(&["analyze", &cut, "--lossy"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("lossy ingest (pcap)"), "{text}");
+    assert!(text.contains("first fault at byte"), "{text}");
+
+    // A small seeded fuzz run succeeds and prints its digests.
+    let out = netsample(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--mutations",
+        "60",
+        "--cases",
+        "45",
+        "--corpus-packets",
+        "8",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("findings: 0"), "{text}");
+    assert!(text.contains("digest"), "{text}");
+
+    std::fs::remove_file(&pop).ok();
+    std::fs::remove_file(&cut).ok();
+}

@@ -138,6 +138,36 @@ impl AdaptiveSampler {
         }
         self.selected_this_period = 0;
     }
+
+    /// Close `idle` consecutive packet-free control periods in O(1).
+    ///
+    /// Each idle period sees zero selections, so the only state change
+    /// per period is the additive decrease (when the dead band allows
+    /// one) until the interval bottoms out at `min_interval` — which
+    /// makes the net effect of any number of idle periods closed-form.
+    /// A trace that jumps from one timestamp to `u64::MAX` would
+    /// otherwise spin ~10¹³ `end_period` calls here.
+    fn idle_periods(&mut self, idle: u64) {
+        if idle == 0 || self.config.budget_per_period / 2 == 0 {
+            // budget 1: zero selections is not "under half budget", so
+            // idle periods leave the interval untouched.
+            return;
+        }
+        let gap = self.interval - self.config.min_interval;
+        let steps_needed = gap.div_ceil(self.config.decrease_step) as u64;
+        let applied = steps_needed.min(idle);
+        if applied > 0 {
+            self.interval = self
+                .interval
+                .saturating_sub(self.config.decrease_step.saturating_mul(applied as usize))
+                .max(self.config.min_interval);
+            self.adjustments = self
+                .adjustments
+                .saturating_add(u32::try_from(applied).unwrap_or(u32::MAX));
+            self.counter = 0;
+        }
+        self.selected_this_period = 0;
+    }
 }
 
 impl Sampler for AdaptiveSampler {
@@ -146,14 +176,19 @@ impl Sampler for AdaptiveSampler {
         match self.period_start {
             None => self.period_start = Some(ts),
             Some(start) => {
-                if ts >= start + self.config.period_us {
-                    // Close every elapsed period (idle periods adapt too —
-                    // each sees zero selections and decreases the interval).
-                    let elapsed = (ts - start) / self.config.period_us;
-                    for _ in 0..elapsed {
-                        self.end_period();
-                    }
-                    self.period_start = Some(start + elapsed * self.config.period_us);
+                // Saturating: a non-monotone timestamp before the period
+                // start closes nothing, and a start near u64::MAX must
+                // not wrap the comparison.
+                let elapsed = ts.saturating_sub(start) / self.config.period_us;
+                if elapsed > 0 {
+                    // Close the period that actually saw traffic with its
+                    // real counts, then the remaining packet-free periods
+                    // in closed form (each sees zero selections and
+                    // decreases the interval until it floors).
+                    self.end_period();
+                    self.idle_periods(elapsed - 1);
+                    self.period_start =
+                        Some(start.saturating_add(elapsed.saturating_mul(self.config.period_us)));
                 }
             }
         }
@@ -326,6 +361,40 @@ mod tests {
             ..AdaptiveConfig::default()
         };
         let _ = AdaptiveSampler::new(5, config);
+    }
+
+    #[test]
+    fn survives_u64_max_timestamp_jump() {
+        // Minimized from the fault-injection harness: a jump to
+        // t = u64::MAX used to close ~1.8 × 10¹³ one-second control
+        // periods in a loop (an effective hang) and overflow the
+        // period-start arithmetic. The closed-form catch-up must floor
+        // the interval at min_interval and return immediately.
+        let mut s = AdaptiveSampler::new(64, cfg(20));
+        assert!(s.offer(&PacketRecord::new(Micros(0), 40)));
+        let _ = s.offer(&PacketRecord::new(Micros(u64::MAX), 40));
+        assert_eq!(s.current_interval(), 1, "idle periods floor the interval");
+        // Non-monotone follow-up (before the rolled-over period start)
+        // must not underflow either.
+        let _ = s.offer(&PacketRecord::new(Micros(5), 40));
+    }
+
+    #[test]
+    fn idle_catchup_matches_looped_end_periods() {
+        // The closed form must agree with literally closing each idle
+        // period: 7 idle seconds at decrease_step 1 from interval 5.
+        let pkts = [
+            PacketRecord::new(Micros(0), 40),
+            PacketRecord::new(Micros(8_000_000), 40),
+        ];
+        let mut s = AdaptiveSampler::new(5, cfg(20));
+        for p in &pkts {
+            s.offer(p);
+        }
+        // 8 elapsed periods: first closes the active period (interval
+        // 5 → 4), then 7 idle periods decrease 4 → 1 (floored after 3).
+        assert_eq!(s.current_interval(), 1);
+        assert_eq!(s.adjustments(), 4);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! count* to the next selection from the geometric distribution — one
 //! random draw per selection instead of one per packet.
 
-use crate::sampler::Sampler;
+use crate::sampler::{BuildError, Sampler};
 use nettrace::PacketRecord;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -30,15 +30,28 @@ impl GeometricSkipSampler {
     /// Panics if `mean_interval` is zero.
     #[must_use]
     pub fn new(mean_interval: usize, seed: u64) -> Self {
-        assert!(mean_interval > 0, "mean interval must be positive");
+        match Self::try_new(mean_interval, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`GeometricSkipSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroMeanInterval`] if `mean_interval` is zero.
+    pub fn try_new(mean_interval: usize, seed: u64) -> Result<Self, BuildError> {
+        if mean_interval == 0 {
+            return Err(BuildError::ZeroMeanInterval);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let skip = Self::draw_skip(&mut rng, mean_interval);
-        GeometricSkipSampler {
+        Ok(GeometricSkipSampler {
             mean_interval,
             seed,
             rng,
             skip,
-        }
+        })
     }
 
     /// Geometric skip: number of failures before the first success at

@@ -16,10 +16,16 @@
 //!   samples for their resource savings.
 //! * **Paxson X²** — `Σ (Oᵢ−Eᵢ)²/Eᵢ²`, size-invariant, and the derived
 //!   average normalized deviation `k̄ = sqrt(X²/B)`.
-//! * **φ (phi) coefficient** (Fleiss) — `sqrt(χ²/n)` with
-//!   `n = Σ(Eᵢ+Oᵢ)`; size-invariant, the paper's metric of choice.
-//!   `φ = 0` means the sample reflects the population perfectly; larger
-//!   values mean poorer samples.
+//! * **φ (phi) coefficient** (Fleiss) — `sqrt(χ²ₚ/n)` where `χ²ₚ` is the
+//!   *paired* chi-square `Σ (Eᵢ−Oᵢ)²/(Eᵢ+Oᵢ)` over bins where either
+//!   side has mass; size-invariant, the paper's metric of choice.
+//!   `φ = 0` means the sample reflects the population perfectly; the
+//!   paired denominator bounds it above by `√2` (since
+//!   `χ²ₚ ≤ Σ(Eᵢ+Oᵢ) = 2n`), so a completely disjoint sample scores
+//!   `√2` rather than an unbounded (or, for mass in zero-expectation
+//!   bins, silently ignored) value — the goodness-of-fit form previously
+//!   used here exploded on near-empty expected bins and *missed* sample
+//!   mass in impossible bins entirely.
 
 use nettrace::Histogram;
 use statkit::chi2::chi2_sf;
@@ -41,7 +47,8 @@ pub struct DisparityReport {
     pub x2: f64,
     /// Average normalized deviation `k̄ = sqrt(X² / B)`.
     pub k_avg: f64,
-    /// Fleiss' φ coefficient — the paper's primary score.
+    /// Fleiss' φ coefficient — the paper's primary score. Always finite
+    /// and in `[0, √2]` for any nonempty sample.
     pub phi: f64,
     /// Sample size (packets).
     pub sample_size: u64,
@@ -94,6 +101,7 @@ pub fn disparity(population: &Histogram, sample: &Histogram) -> Option<Disparity
     let scale = n as f64 / big_n as f64;
 
     let mut chi2 = 0.0;
+    let mut chi2_paired = 0.0;
     let mut x2 = 0.0;
     let mut cost = 0.0;
     let mut used_bins = 0u32;
@@ -103,11 +111,20 @@ pub fn disparity(population: &Histogram, sample: &Histogram) -> Option<Disparity
         let pop = population.counts()[i] as f64;
         let obs = sample.counts()[i] as f64;
         let expected = pop * scale;
+        let d = obs - expected;
         if expected > 0.0 {
-            let d = obs - expected;
             chi2 += d * d / expected;
             x2 += d * d / (expected * expected);
             used_bins += 1;
+        }
+        // The paired chi-square keeps every bin where either side has
+        // mass: a sample observation in a bin the population says is
+        // impossible contributes O (not 0/0 or ∞), and a near-empty
+        // expected bin contributes at most E + O — which is what keeps
+        // φ finite and ≤ √2.
+        let both = expected + obs;
+        if both > 0.0 {
+            chi2_paired += d * d / both;
         }
         // Cost compares the provider's scaled-up estimate against truth.
         cost += (obs / fraction - pop).abs();
@@ -121,7 +138,6 @@ pub fn disparity(population: &Histogram, sample: &Histogram) -> Option<Disparity
         obskit::counter("sampling_disparity_tests_total").inc();
         obskit::counter("sampling_disparity_cells_evaluated_total").add(u64::from(used_bins));
     }
-    let phi_n = 2.0 * n as f64; // Σ(Eᵢ + Oᵢ): both sides total n.
     Some(DisparityReport {
         chi2,
         df,
@@ -130,7 +146,8 @@ pub fn disparity(population: &Histogram, sample: &Histogram) -> Option<Disparity
         relative_cost: cost * fraction,
         x2,
         k_avg: (x2 / bins as f64).sqrt(),
-        phi: (chi2 / phi_n).sqrt(),
+        // Fleiss: φ² = χ²ₚ/n with χ²ₚ ≤ Σ(Eᵢ+Oᵢ) = 2n, so φ ≤ √2.
+        phi: (chi2_paired / n as f64).sqrt(),
         sample_size: n,
         fraction,
     })
@@ -188,8 +205,11 @@ mod tests {
         assert!((r.significance - 0.0455).abs() < 0.001);
         assert!(r.rejects_at(0.05));
         assert!(!r.rejects_at(0.01));
-        // phi = sqrt(4 / 200) ~ 0.1414.
-        assert!((r.phi - (4.0f64 / 200.0).sqrt()).abs() < 1e-12);
+        // Paired chi2 = 10²/(50+60) + 10²/(50+40) = 100/110 + 100/90;
+        // phi = sqrt(chi2_paired / 100) ~ 0.1421 (the goodness-of-fit
+        // form gave ~0.1414 here — near-identical on good samples).
+        let paired = 100.0 / 110.0 + 100.0 / 90.0;
+        assert!((r.phi - (paired / 100.0f64).sqrt()).abs() < 1e-12);
         // X2 = 100/2500 + 100/2500 = 0.08; k = sqrt(0.08/2) = 0.2.
         assert!((r.x2 - 0.08).abs() < 1e-12);
         assert!((r.k_avg - 0.2).abs() < 1e-12);
@@ -236,11 +256,54 @@ mod tests {
     #[test]
     fn sample_mass_in_impossible_bin() {
         // A sample observation in a bin the population says is empty:
-        // chi2 skips it (E=0) but cost still charges for it.
+        // the goodness-of-fit chi2 skips it (E=0) but both phi and cost
+        // must still charge for it — the old phi formula scored this
+        // sample as if the impossible packet did not exist.
         let pop = hist(&[100, 0]);
         let sam = hist(&[9, 1]);
         let r = disparity(&pop, &sam).unwrap();
         assert!(r.cost > 0.0);
+        // paired chi2 = (10-9)²/19 + (0-1)²/1; phi = sqrt(chi2_p/10).
+        let expected_phi = ((1.0 / 19.0 + 1.0) / 10.0f64).sqrt();
+        assert!((r.phi - expected_phi).abs() < 1e-12, "{}", r.phi);
+    }
+
+    #[test]
+    fn phi_is_bounded_for_disjoint_distributions() {
+        // Fully disjoint population and sample: the worst case. The old
+        // goodness-of-fit phi was unbounded here (it blew up whenever
+        // sample mass landed on near-empty expected bins); the paired
+        // form caps at √2 exactly.
+        let pop = hist(&[1_000_000, 1, 0]);
+        let sam = hist(&[0, 0, 10]);
+        let r = disparity(&pop, &sam).unwrap();
+        assert!(r.phi.is_finite());
+        assert!(r.phi <= 2.0f64.sqrt() + 1e-12, "{}", r.phi);
+        assert!(
+            r.phi > 1.0,
+            "disjoint sample should score near √2: {}",
+            r.phi
+        );
+    }
+
+    #[test]
+    fn phi_finite_and_bounded_property() {
+        // Deterministic sweep over adversarial count shapes (the
+        // faultkit state fuzzer covers random ones): φ must always be
+        // finite and in [0, √2] for any nonempty population and sample.
+        let shapes: &[(&[u64], &[u64])] = &[
+            (&[1, 0, 0], &[0, 0, 1]),
+            (&[u32::MAX as u64, 1], &[0, 1]),
+            (&[1, 1, 1], &[1_000_000, 0, 0]),
+            (&[5, 0, 5], &[0, 7, 0]),
+            (&[1], &[1]),
+        ];
+        let bound = 2.0f64.sqrt() + 1e-12;
+        for (p, s) in shapes {
+            let r = disparity(&hist(p), &hist(s)).unwrap();
+            assert!(r.phi.is_finite(), "{p:?}/{s:?}");
+            assert!((0.0..=bound).contains(&r.phi), "{p:?}/{s:?}: {}", r.phi);
+        }
     }
 
     #[test]

@@ -48,8 +48,10 @@ impl PhiNullBand {
 }
 
 /// Simulate φ's null distribution: `draws` multinomial samples of size
-/// `n` from the population's bin proportions, each scored with the φ
-/// formula (`φ = sqrt(χ²/2n)`, matching [`crate::metrics::disparity`]).
+/// `n` from the population's bin proportions, each scored with the
+/// paired-χ² φ formula (`φ = sqrt(χ²ₚ/n)` with
+/// `χ²ₚ = Σ (Eᵢ−Oᵢ)²/(Eᵢ+Oᵢ)`, matching
+/// [`crate::metrics::disparity`]).
 ///
 /// ```
 /// use nettrace::{BinSpec, Histogram};
@@ -76,15 +78,7 @@ pub fn phi_null_band(population: &Histogram, n: u64, draws: u32, seed: u64) -> P
     let mut phis: Vec<f64> = Vec::with_capacity(draws as usize);
     for _ in 0..draws {
         let counts = multinomial(&mut rng, n, &props);
-        let mut chi2 = 0.0;
-        for (&c, &p) in counts.iter().zip(&props) {
-            let expected = p * n as f64;
-            if expected > 0.0 {
-                let d = c as f64 - expected;
-                chi2 += d * d / expected;
-            }
-        }
-        phis.push((chi2 / (2.0 * n as f64)).sqrt());
+        phis.push(paired_phi(&counts, &props, n));
     }
     phis.sort_by(f64::total_cmp);
     let q = |p: f64| statkit::quantile_sorted(&phis, p);
@@ -97,10 +91,27 @@ pub fn phi_null_band(population: &Histogram, n: u64, draws: u32, seed: u64) -> P
     }
 }
 
-/// The closed-form large-`n` approximation of the null band: since
-/// `χ² ~ χ²(B−1)` under the null, `φ_q ≈ sqrt(χ²_q(B−1) / 2n)`.
-/// Cheap, and a cross-check on the Monte-Carlo band (they agree when
-/// every expected bin count is comfortably large).
+/// φ for one set of sample counts against population proportions, using
+/// the same paired-χ² formula as [`crate::metrics::disparity`].
+fn paired_phi(counts: &[u64], props: &[f64], n: u64) -> f64 {
+    let mut chi2 = 0.0;
+    for (&c, &p) in counts.iter().zip(props) {
+        let expected = p * n as f64;
+        let both = expected + c as f64;
+        if both > 0.0 {
+            let d = c as f64 - expected;
+            chi2 += d * d / both;
+        }
+    }
+    (chi2 / n as f64).sqrt()
+}
+
+/// The closed-form large-`n` approximation of the null band: under the
+/// null every observed count tracks its expectation, so the paired χ²
+/// is ≈ half the goodness-of-fit χ², which is `~ χ²(B−1)`; hence
+/// `φ_q ≈ sqrt(χ²_q(B−1) / 2n)`. Cheap, and a cross-check on the
+/// Monte-Carlo band (they agree when every expected bin count is
+/// comfortably large).
 ///
 /// # Panics
 /// Panics if `bins < 2`, `n` is zero, or `q` is outside (0, 1).
@@ -180,12 +191,7 @@ mod tests {
         let trials = 1000;
         for _ in 0..trials {
             let counts = multinomial(&mut rng, 1000, &props);
-            let mut chi2 = 0.0;
-            for (&c, &p) in counts.iter().zip(&props) {
-                let e = p * 1000.0;
-                chi2 += (c as f64 - e).powi(2) / e;
-            }
-            let phi = (chi2 / 2000.0).sqrt();
+            let phi = super::paired_phi(&counts, &props, 1000);
             if band.consistent_at_95(phi) {
                 inside += 1;
             }
@@ -201,14 +207,9 @@ mod tests {
         let pop = population();
         let band = phi_null_band(&pop, 2_000, 2000, 5);
         // Sample proportions (0.55, 0.10, 0.35) vs (0.403, 0.199, 0.398).
-        let counts = [1100.0f64, 200.0, 700.0];
+        let counts = [1100u64, 200, 700];
         let props = pop.proportions();
-        let mut chi2 = 0.0;
-        for (c, &p) in counts.iter().zip(&props) {
-            let e = p * 2000.0;
-            chi2 += (c - e).powi(2) / e;
-        }
-        let phi = (chi2 / 4000.0).sqrt();
+        let phi = super::paired_phi(&counts, &props, 2000);
         assert!(
             !band.consistent_at_95(phi),
             "phi {phi} vs band {}",

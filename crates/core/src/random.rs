@@ -12,7 +12,7 @@
 //! Algorithm S needs the population size `N` up front — fine for trace
 //! replay; for unbounded streams use [`crate::reservoir::ReservoirSampler`].
 
-use crate::sampler::Sampler;
+use crate::sampler::{BuildError, Sampler};
 use nettrace::PacketRecord;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -35,19 +35,32 @@ impl SimpleRandomSampler {
     /// Panics if `sample > population` or `population` is zero.
     #[must_use]
     pub fn new(population: usize, sample: usize, seed: u64) -> Self {
-        assert!(population > 0, "population must be positive");
-        assert!(
-            sample <= population,
-            "cannot select {sample} from {population}"
-        );
-        SimpleRandomSampler {
+        match Self::try_new(population, sample, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SimpleRandomSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::EmptyPopulation`] if `population` is zero,
+    /// [`BuildError::SampleExceedsPopulation`] if `sample > population`.
+    pub fn try_new(population: usize, sample: usize, seed: u64) -> Result<Self, BuildError> {
+        if population == 0 {
+            return Err(BuildError::EmptyPopulation);
+        }
+        if sample > population {
+            return Err(BuildError::SampleExceedsPopulation { sample, population });
+        }
+        Ok(SimpleRandomSampler {
             population,
             sample,
             seed,
             rng: StdRng::seed_from_u64(seed),
             remaining_pop: population,
             remaining_sample: sample,
-        }
+        })
     }
 
     /// The configured population size `N`.

@@ -15,6 +15,65 @@ use crate::timer::{StratifiedTimerSampler, SystematicTimerSampler};
 use nettrace::{Micros, PacketRecord};
 use std::fmt;
 
+/// A degenerate sampler configuration, reported instead of panicking by
+/// the `try_*` constructors and [`MethodSpec::try_build`].
+///
+/// The `Display` messages match the panic messages of the original
+/// asserting constructors, so `build` (which delegates here and panics
+/// on error) is behavior-compatible with the pre-fallible API.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BuildError {
+    /// A packet-count interval of zero (systematic sampling).
+    ZeroInterval,
+    /// A systematic start offset at or past the interval.
+    OffsetNotBelowInterval {
+        /// The rejected offset.
+        offset: usize,
+        /// The interval it must stay below.
+        interval: usize,
+    },
+    /// A stratification bucket of zero packets.
+    ZeroBucket,
+    /// A timer period of zero microseconds.
+    ZeroPeriod,
+    /// A sampling fraction outside `(0, 1]` (NaN included).
+    FractionOutOfRange(f64),
+    /// A geometric mean interval of zero.
+    ZeroMeanInterval,
+    /// An empty population where the method needs `N` up front.
+    EmptyPopulation,
+    /// Asking simple random sampling for more packets than exist.
+    SampleExceedsPopulation {
+        /// Requested sample size.
+        sample: usize,
+        /// Available population.
+        population: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BuildError::ZeroInterval => write!(f, "interval must be positive"),
+            BuildError::OffsetNotBelowInterval { offset, interval } => {
+                write!(f, "offset {offset} must be below interval {interval}")
+            }
+            BuildError::ZeroBucket => write!(f, "bucket size must be positive"),
+            BuildError::ZeroPeriod => write!(f, "timer period must be positive"),
+            BuildError::FractionOutOfRange(fr) => {
+                write!(f, "fraction must be in (0,1], got {fr}")
+            }
+            BuildError::ZeroMeanInterval => write!(f, "mean interval must be positive"),
+            BuildError::EmptyPopulation => write!(f, "population must be positive"),
+            BuildError::SampleExceedsPopulation { sample, population } => {
+                write!(f, "cannot select {sample} from {population}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// An event-driven packet sampler.
 pub trait Sampler {
     /// Offer one arriving packet; returns `true` if it is selected into
@@ -186,48 +245,76 @@ impl MethodSpec {
         replication: u64,
         seed: u64,
     ) -> Box<dyn Sampler> {
+        match self.try_build(population_len, window_start, replication, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`MethodSpec::build`]: the same construction, but a
+    /// degenerate configuration (zero interval/bucket/period, fraction
+    /// outside `(0, 1]`, empty population for simple random sampling)
+    /// comes back as a typed [`BuildError`] instead of a panic — the
+    /// variant CLI front ends need to turn bad `--interval 0`-style
+    /// flags into usage errors.
+    ///
+    /// # Errors
+    /// Returns the first [`BuildError`] the configuration trips.
+    pub fn try_build(
+        &self,
+        population_len: usize,
+        window_start: Micros,
+        replication: u64,
+        seed: u64,
+    ) -> Result<Box<dyn Sampler>, BuildError> {
         let seed = seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(replication);
         match *self {
             MethodSpec::Systematic { interval } => {
-                let offset = if interval == 0 {
-                    0
-                } else {
-                    (replication as usize) % interval
-                };
-                Box::new(SystematicSampler::with_offset(interval, offset))
+                if interval == 0 {
+                    return Err(BuildError::ZeroInterval);
+                }
+                let offset = (replication as usize) % interval;
+                Ok(Box::new(SystematicSampler::try_with_offset(
+                    interval, offset,
+                )?))
             }
             MethodSpec::StratifiedRandom { bucket } => {
-                Box::new(StratifiedSampler::new(bucket, seed))
+                Ok(Box::new(StratifiedSampler::try_new(bucket, seed)?))
             }
             MethodSpec::SimpleRandom { fraction } => {
-                assert!(
-                    fraction > 0.0 && fraction <= 1.0,
-                    "fraction must be in (0,1], got {fraction}"
-                );
-                let n = ((population_len as f64 * fraction).round() as usize)
-                    .clamp(1, population_len.max(1));
-                Box::new(SimpleRandomSampler::new(population_len, n, seed))
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(BuildError::FractionOutOfRange(fraction));
+                }
+                if population_len == 0 {
+                    return Err(BuildError::EmptyPopulation);
+                }
+                let n =
+                    ((population_len as f64 * fraction).round() as usize).clamp(1, population_len);
+                Ok(Box::new(SimpleRandomSampler::try_new(
+                    population_len,
+                    n,
+                    seed,
+                )?))
             }
             MethodSpec::SystematicTimer { period } => {
+                if period.as_u64() == 0 {
+                    return Err(BuildError::ZeroPeriod);
+                }
                 // Spread replication start phases across the period.
-                let phase = if period.as_u64() == 0 {
-                    0
-                } else {
-                    (replication.wrapping_mul(2_654_435_761)) % period.as_u64()
-                };
-                Box::new(SystematicTimerSampler::new(
+                let phase = (replication.wrapping_mul(2_654_435_761)) % period.as_u64();
+                Ok(Box::new(SystematicTimerSampler::try_new(
                     period,
-                    window_start + Micros(phase),
-                ))
+                    Micros(window_start.as_u64().saturating_add(phase)),
+                )?))
             }
-            MethodSpec::StratifiedTimer { period } => {
-                Box::new(StratifiedTimerSampler::new(period, window_start, seed))
-            }
-            MethodSpec::GeometricSkip { mean_interval } => {
-                Box::new(GeometricSkipSampler::new(mean_interval, seed))
-            }
+            MethodSpec::StratifiedTimer { period } => Ok(Box::new(
+                StratifiedTimerSampler::try_new(period, window_start, seed)?,
+            )),
+            MethodSpec::GeometricSkip { mean_interval } => Ok(Box::new(
+                GeometricSkipSampler::try_new(mean_interval, seed)?,
+            )),
         }
     }
 }
@@ -350,5 +437,92 @@ mod tests {
     #[should_panic(expected = "fraction must be in (0,1]")]
     fn bad_fraction_panics() {
         let _ = MethodSpec::SimpleRandom { fraction: 1.5 }.build(10, Micros(0), 0, 0);
+    }
+
+    fn build_err(spec: MethodSpec, population_len: usize) -> BuildError {
+        match spec.try_build(population_len, Micros(0), 0, 1) {
+            Err(e) => e,
+            Ok(_) => panic!("{spec} unexpectedly built"),
+        }
+    }
+
+    #[test]
+    fn try_build_rejects_degenerate_specs() {
+        let cases = [
+            (
+                MethodSpec::Systematic { interval: 0 },
+                BuildError::ZeroInterval,
+            ),
+            (
+                MethodSpec::StratifiedRandom { bucket: 0 },
+                BuildError::ZeroBucket,
+            ),
+            (
+                MethodSpec::SimpleRandom { fraction: 0.0 },
+                BuildError::FractionOutOfRange(0.0),
+            ),
+            (
+                MethodSpec::SystematicTimer { period: Micros(0) },
+                BuildError::ZeroPeriod,
+            ),
+            (
+                MethodSpec::StratifiedTimer { period: Micros(0) },
+                BuildError::ZeroPeriod,
+            ),
+            (
+                MethodSpec::GeometricSkip { mean_interval: 0 },
+                BuildError::ZeroMeanInterval,
+            ),
+        ];
+        for (spec, want) in cases {
+            assert_eq!(build_err(spec, 100), want, "{spec}");
+        }
+        // NaN and >1 fractions are rejected, not accepted or panicked on.
+        assert!(matches!(
+            build_err(MethodSpec::SimpleRandom { fraction: f64::NAN }, 100),
+            BuildError::FractionOutOfRange(_)
+        ));
+        // Simple random sampling needs a nonempty population.
+        assert_eq!(
+            build_err(MethodSpec::SimpleRandom { fraction: 0.5 }, 0),
+            BuildError::EmptyPopulation
+        );
+    }
+
+    #[test]
+    fn try_build_matches_build_on_valid_specs() {
+        let pkts = packets(500);
+        for spec in MethodSpec::paper_five(10, 1000.0) {
+            let a = select_indices(spec.build(500, Micros(0), 2, 7).as_mut(), &pkts);
+            let b = select_indices(
+                spec.try_build(500, Micros(0), 2, 7).unwrap().as_mut(),
+                &pkts,
+            );
+            assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    #[test]
+    fn build_error_messages_match_historic_panics() {
+        assert_eq!(
+            BuildError::ZeroInterval.to_string(),
+            "interval must be positive"
+        );
+        assert_eq!(
+            BuildError::OffsetNotBelowInterval {
+                offset: 5,
+                interval: 5
+            }
+            .to_string(),
+            "offset 5 must be below interval 5"
+        );
+        assert_eq!(
+            BuildError::ZeroBucket.to_string(),
+            "bucket size must be positive"
+        );
+        assert_eq!(
+            BuildError::ZeroPeriod.to_string(),
+            "timer period must be positive"
+        );
     }
 }

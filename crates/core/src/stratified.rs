@@ -6,7 +6,7 @@
 //! streaming and O(1) per packet: at each bucket boundary the sampler
 //! pre-draws the index to select within the coming bucket.
 
-use crate::sampler::Sampler;
+use crate::sampler::{BuildError, Sampler};
 use nettrace::PacketRecord;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -30,16 +30,29 @@ impl StratifiedSampler {
     /// Panics if `bucket` is zero.
     #[must_use]
     pub fn new(bucket: usize, seed: u64) -> Self {
-        assert!(bucket > 0, "bucket size must be positive");
+        match Self::try_new(bucket, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`StratifiedSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroBucket`] if `bucket` is zero.
+    pub fn try_new(bucket: usize, seed: u64) -> Result<Self, BuildError> {
+        if bucket == 0 {
+            return Err(BuildError::ZeroBucket);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let target = rng.random_range(0..bucket);
-        StratifiedSampler {
+        Ok(StratifiedSampler {
             bucket,
             seed,
             rng,
             pos: 0,
             target,
-        }
+        })
     }
 
     /// Bucket size `k`.

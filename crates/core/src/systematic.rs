@@ -8,7 +8,7 @@
 //! relative to simple random sampling (§4: it doesn't, measurably, on
 //! this traffic).
 
-use crate::sampler::Sampler;
+use crate::sampler::{BuildError, Sampler};
 use nettrace::PacketRecord;
 
 /// Selects every `interval`-th packet, starting at `offset`
@@ -42,16 +42,39 @@ impl SystematicSampler {
     /// Panics if `interval` is zero or `offset >= interval`.
     #[must_use]
     pub fn with_offset(interval: usize, offset: usize) -> Self {
-        assert!(interval > 0, "interval must be positive");
-        assert!(
-            offset < interval,
-            "offset {offset} must be below interval {interval}"
-        );
-        SystematicSampler {
+        match Self::try_with_offset(interval, offset) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SystematicSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroInterval`] if `interval` is zero.
+    pub fn try_new(interval: usize) -> Result<Self, BuildError> {
+        Self::try_with_offset(interval, 0)
+    }
+
+    /// Fallible [`SystematicSampler::with_offset`]: untrusted
+    /// configuration (CLI flags, fuzzed specs) gets a typed error
+    /// instead of an abort.
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroInterval`] if `interval` is zero,
+    /// [`BuildError::OffsetNotBelowInterval`] if `offset >= interval`.
+    pub fn try_with_offset(interval: usize, offset: usize) -> Result<Self, BuildError> {
+        if interval == 0 {
+            return Err(BuildError::ZeroInterval);
+        }
+        if offset >= interval {
+            return Err(BuildError::OffsetNotBelowInterval { offset, interval });
+        }
+        Ok(SystematicSampler {
             interval,
             offset,
             count: 0,
-        }
+        })
     }
 
     /// The selection interval `k`.

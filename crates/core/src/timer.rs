@@ -18,7 +18,7 @@
 //! bursts are systematically under-represented (§7.2). This module exists
 //! so the workspace can reproduce that negative result.
 
-use crate::sampler::Sampler;
+use crate::sampler::{BuildError, Sampler};
 use nettrace::{Micros, PacketRecord};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -38,12 +38,25 @@ impl SystematicTimerSampler {
     /// Panics if `period` is zero.
     #[must_use]
     pub fn new(period: Micros, start: Micros) -> Self {
-        assert!(period.as_u64() > 0, "timer period must be positive");
-        SystematicTimerSampler {
+        match Self::try_new(period, start) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`SystematicTimerSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroPeriod`] if `period` is zero.
+    pub fn try_new(period: Micros, start: Micros) -> Result<Self, BuildError> {
+        if period.as_u64() == 0 {
+            return Err(BuildError::ZeroPeriod);
+        }
+        Ok(SystematicTimerSampler {
             period: period.as_u64(),
             start: start.as_u64(),
             next_fire: start.as_u64(),
-        }
+        })
     }
 
     /// The timer period.
@@ -60,9 +73,15 @@ impl Sampler for SystematicTimerSampler {
             return false;
         }
         // Armed: select this packet, re-arm at the first scheduled firing
-        // strictly after it.
+        // strictly after it. Near `u64::MAX` the next firing is beyond
+        // representable time; saturating keeps the schedule parked there
+        // instead of wrapping around and selecting every later packet.
         let elapsed = ts - self.start;
-        self.next_fire = self.start + (elapsed / self.period + 1) * self.period;
+        self.next_fire = (elapsed / self.period)
+            .checked_add(1)
+            .and_then(|ticks| ticks.checked_mul(self.period))
+            .and_then(|offset| self.start.checked_add(offset))
+            .unwrap_or(u64::MAX);
         true
     }
 
@@ -94,11 +113,31 @@ pub struct StratifiedTimerSampler {
 impl StratifiedTimerSampler {
     /// One firing per `period`, strata anchored at `start`.
     ///
+    /// Catch-up draws are replayed one stratum at a time only up to this
+    /// many skipped strata; a larger jump (a pathological timestamp like
+    /// `u64::MAX` against a microsecond period would mean ~10¹³ draws)
+    /// switches to an O(1) deterministic reseed. Far larger than any gap
+    /// a real trace produces, so ordinary runs replay identically.
+    const MAX_CATCHUP_DRAWS: u64 = 1 << 16;
+
     /// # Panics
     /// Panics if `period` is zero.
     #[must_use]
     pub fn new(period: Micros, start: Micros, seed: u64) -> Self {
-        assert!(period.as_u64() > 0, "timer period must be positive");
+        match Self::try_new(period, start, seed) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`StratifiedTimerSampler::new`].
+    ///
+    /// # Errors
+    /// [`BuildError::ZeroPeriod`] if `period` is zero.
+    pub fn try_new(period: Micros, start: Micros, seed: u64) -> Result<Self, BuildError> {
+        if period.as_u64() == 0 {
+            return Err(BuildError::ZeroPeriod);
+        }
         let mut s = StratifiedTimerSampler {
             period: period.as_u64(),
             start: start.as_u64(),
@@ -109,20 +148,35 @@ impl StratifiedTimerSampler {
             fired: false,
         };
         s.draw_firing();
-        s
+        Ok(s)
     }
 
-    /// Draw the firing time for the current stratum.
+    /// Draw the firing time for the current stratum. Saturating: a
+    /// stratum whose window starts beyond representable time parks the
+    /// firing at `u64::MAX` instead of wrapping into the past.
     fn draw_firing(&mut self) {
         let offset = self.rng.random_range(0..self.period);
-        self.fire_at = self.start + self.stratum * self.period + offset;
+        self.fire_at = self
+            .start
+            .saturating_add(self.stratum.saturating_mul(self.period))
+            .saturating_add(offset);
         self.fired = false;
     }
 
     /// Advance strata until the current one is `target` or later,
     /// re-drawing firing times for each skipped stratum (the timer kept
-    /// running while no packets arrived).
+    /// running while no packets arrived). A jump past
+    /// [`Self::MAX_CATCHUP_DRAWS`] strata reseeds the stream
+    /// deterministically from `(seed, target)` instead of replaying one
+    /// draw per skipped stratum, bounding `offer` at O(1).
     fn advance_to_stratum(&mut self, target: u64) {
+        if target.saturating_sub(self.stratum) > Self::MAX_CATCHUP_DRAWS {
+            self.rng =
+                StdRng::seed_from_u64(self.seed ^ target.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            self.stratum = target;
+            self.draw_firing();
+            return;
+        }
         while self.stratum < target {
             self.stratum += 1;
             self.draw_firing();
@@ -154,7 +208,7 @@ impl Sampler for StratifiedTimerSampler {
             // the next packet to arrive. Select it, then move the schedule
             // to the stratum after this packet.
             self.fired = true;
-            self.advance_to_stratum(pkt_stratum + 1);
+            self.advance_to_stratum(pkt_stratum.saturating_add(1));
             return true;
         }
         if pkt_stratum > self.stratum {
@@ -163,7 +217,7 @@ impl Sampler for StratifiedTimerSampler {
             self.advance_to_stratum(pkt_stratum);
             if ts >= self.fire_at {
                 self.fired = true;
-                self.advance_to_stratum(pkt_stratum + 1);
+                self.advance_to_stratum(pkt_stratum.saturating_add(1));
                 return true;
             }
         }
@@ -337,5 +391,84 @@ mod tests {
     #[should_panic(expected = "period must be positive")]
     fn zero_period_panics() {
         let _ = SystematicTimerSampler::new(Micros(0), Micros(0));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_period() {
+        assert!(SystematicTimerSampler::try_new(Micros(0), Micros(0)).is_err());
+        assert!(StratifiedTimerSampler::try_new(Micros(0), Micros(0), 1).is_err());
+        assert!(SystematicTimerSampler::try_new(Micros(1), Micros(0)).is_ok());
+    }
+
+    #[test]
+    fn systematic_timer_survives_u64_max_timestamp() {
+        // Minimized from the fault-injection harness: re-arming after a
+        // selection at t = u64::MAX used to overflow computing the next
+        // firing time (debug abort; wrap → select-everything in release).
+        let pkts = vec![
+            PacketRecord::new(Micros(0), 40),
+            PacketRecord::new(Micros(u64::MAX), 40),
+        ];
+        for period in [1, 1000, u64::MAX] {
+            let mut s = SystematicTimerSampler::new(Micros(period), Micros(0));
+            let sel = select_indices(&mut s, &pkts);
+            assert!(!sel.is_empty(), "period {period}");
+        }
+    }
+
+    #[test]
+    fn stratified_timer_survives_huge_timestamp_jump() {
+        // Minimized from the fault-injection harness: a jump to
+        // t = u64::MAX with a 1 µs period used to replay one RNG draw per
+        // skipped stratum (~1.8 × 10¹⁹ of them) and overflow the firing
+        // arithmetic. Must finish instantly and select at most once per
+        // packet.
+        let pkts = vec![
+            PacketRecord::new(Micros(0), 40),
+            PacketRecord::new(Micros(u64::MAX), 40),
+            PacketRecord::new(Micros(u64::MAX), 40),
+        ];
+        for seed in 0..5 {
+            let mut s = StratifiedTimerSampler::new(Micros(1), Micros(0), seed);
+            let sel = select_indices(&mut s, &pkts);
+            assert!(sel.len() <= pkts.len(), "seed {seed}: {sel:?}");
+        }
+    }
+
+    #[test]
+    fn stratified_timer_catchup_reseed_is_deterministic() {
+        // The O(1) catch-up path must give the same selections on every
+        // run (and after reset) even though it skips the per-stratum
+        // replay.
+        let pkts = vec![
+            PacketRecord::new(Micros(0), 40),
+            PacketRecord::new(Micros(10_u64.pow(15)), 40),
+            PacketRecord::new(Micros(10_u64.pow(15) + 3), 40),
+        ];
+        let mut s = StratifiedTimerSampler::new(Micros(2), Micros(0), 9);
+        let a = select_indices(&mut s, &pkts);
+        s.reset();
+        let b = select_indices(&mut s, &pkts);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_catchups_replay_per_stratum_draws() {
+        // Gaps below the catch-up threshold must keep the historical
+        // draw-per-stratum stream: compare against a manual replay of the
+        // same gap one stratum at a time.
+        let pkts: Vec<PacketRecord> = (0..200)
+            .map(|i| PacketRecord::new(Micros(i * 997), 40))
+            .collect();
+        let mut gap = vec![PacketRecord::new(Micros(0), 40)];
+        gap.extend(
+            pkts.iter()
+                .map(|p| PacketRecord::new(Micros(p.timestamp.as_u64() + 40_000), 40)),
+        );
+        let mut s = StratifiedTimerSampler::new(Micros(100), Micros(0), 3);
+        let sel = select_indices(&mut s, &gap);
+        s.reset();
+        let again = select_indices(&mut s, &gap);
+        assert_eq!(sel, again, "per-stratum replay must be stable");
     }
 }

@@ -1,0 +1,68 @@
+//! Property tests for the φ disparity coefficient (in-tree proptest
+//! shim): for *every* nonempty population/sample pair over shared bins —
+//! including degenerate shapes where all the sample mass sits in bins
+//! the population says are impossible — φ must be finite and inside
+//! `[0, √2]`, and the rest of the report must stay well-formed.
+
+use nettrace::{BinSpec, Histogram};
+use proptest::prelude::*;
+use sampling::disparity;
+
+/// Build a histogram whose bin `i` holds `counts[i]`.
+fn hist_from(counts: &[u64]) -> Histogram {
+    let edges: Vec<u64> = (1..counts.len() as u64).map(|i| i * 10).collect();
+    Histogram::from_values(
+        BinSpec::Edges(edges),
+        counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| std::iter::repeat_n(i as u64 * 10, c as usize)),
+    )
+}
+
+/// Strategy: paired population/sample counts over 2–7 shared bins, both
+/// guaranteed nonempty. Counts span zero, tiny, and large values so the
+/// expected-count scaling hits the degenerate corners.
+fn count_pair() -> impl Strategy<Value = (Vec<u64>, Vec<u64>)> {
+    proptest::collection::vec((0u64..2_000, 0u64..2_000), 2..8).prop_map(|pairs| {
+        let mut pop: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let mut sam: Vec<u64> = pairs.iter().map(|p| p.1).collect();
+        // disparity's contract: nonempty population, nonempty sample.
+        pop[0] += 1;
+        sam[0] += 1;
+        (pop, sam)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn phi_is_finite_and_bounded(pair in count_pair()) {
+        let (pop, sam) = pair;
+        let r = disparity(&hist_from(&pop), &hist_from(&sam))
+            .expect("sample is nonempty by construction");
+        prop_assert!(r.phi.is_finite(), "{pop:?}/{sam:?}: phi {}", r.phi);
+        prop_assert!(
+            (0.0..=2.0f64.sqrt() + 1e-9).contains(&r.phi),
+            "{pop:?}/{sam:?}: phi {} outside [0, sqrt(2)]",
+            r.phi
+        );
+        // The rest of the suite must stay well-formed too.
+        prop_assert!(r.chi2.is_finite() && r.chi2 >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.significance));
+        prop_assert!(r.df >= 1);
+        prop_assert!(r.cost.is_finite() && r.cost >= 0.0);
+    }
+
+    // Identical distributions score exactly zero, whatever the shape.
+    #[test]
+    fn identical_distributions_score_zero(counts in proptest::collection::vec(0u64..500, 2..8)) {
+        let mut counts = counts;
+        counts[0] += 1;
+        let h = hist_from(&counts);
+        let r = disparity(&h, &h).expect("nonempty");
+        prop_assert_eq!(r.phi, 0.0);
+        prop_assert_eq!(r.chi2, 0.0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Mutation campaigns over the capture readers.
+//!
+//! Every case builds a corrupted image from a valid corpus, then holds
+//! the readers to their contract:
+//!
+//! * the strict reader ([`nettrace::read_capture`]) returns a typed
+//!   [`TraceError`] or a valid [`Trace`](nettrace::Trace) — never a
+//!   panic;
+//! * the lossy reader ([`nettrace::lossy::salvage`]) never fails at
+//!   all: it reports a consistent salvage (`bytes_consumed ≤ total`,
+//!   `packets_salvaged = trace.len()`, fault offset within the image);
+//! * the two agree: a clean lossy parse and a strict accept imply each
+//!   other, with identical packet counts.
+//!
+//! The campaign is a pure function of the seed; its [`Digest`] folds
+//! every case's classification so cross-run identity is one comparison.
+
+use crate::corpus::{pcap_corpus, pcapng_corpus, Corpus};
+use crate::mutate::Mutation;
+use crate::{Digest, Finding};
+use nettrace::error::TraceError;
+use nettrace::trace::Trace;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Mutation-campaign knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master seed; everything below derives from it.
+    pub seed: u64,
+    /// Random mutation cases to run (the structured truncation sweep
+    /// over every corpus boundary runs in addition to these).
+    pub iterations: u32,
+    /// Packets per generated corpus.
+    pub corpus_packets: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 1993,
+            iterations: 10_000,
+            corpus_packets: 60,
+        }
+    }
+}
+
+/// Outcome of a mutation campaign.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Total cases executed (boundary sweep + random mutations).
+    pub cases: u64,
+    /// Classification → count, e.g. `"pcap/ok"`, `"pcapng/truncated"`.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Contract violations; empty on a healthy tree.
+    pub findings: Vec<Finding>,
+    /// Order-sensitive digest over every case's classification — equal
+    /// digests mean byte-identical campaigns.
+    pub digest: u64,
+}
+
+/// Stable short name for a strict-read outcome.
+fn classify(result: &Result<Trace, TraceError>) -> &'static str {
+    match result {
+        Ok(_) => "ok",
+        Err(TraceError::BadMagic(_)) => "bad_magic",
+        Err(TraceError::TruncatedRecord { .. }) => "truncated",
+        Err(TraceError::OversizedRecord { .. }) => "oversized",
+        Err(TraceError::Io(_)) => "io",
+        Err(_) => "other",
+    }
+}
+
+struct Campaign {
+    outcomes: BTreeMap<String, u64>,
+    findings: Vec<Finding>,
+    digest: Digest,
+    cases: u64,
+}
+
+impl Campaign {
+    fn run_case(&mut self, source: &str, image: &[u8], what: &str) {
+        let case_id = self.cases;
+        self.cases += 1;
+
+        let strict = catch_unwind(AssertUnwindSafe(|| nettrace::read_capture(image)));
+        let class = match &strict {
+            Ok(result) => classify(result),
+            Err(panic) => {
+                self.findings.push(Finding {
+                    case_id,
+                    source: source.to_string(),
+                    detail: format!(
+                        "strict reader panicked on {what}: {}",
+                        crate::panic_message(&**panic)
+                    ),
+                });
+                "panic"
+            }
+        };
+        *self
+            .outcomes
+            .entry(format!("{source}/{class}"))
+            .or_insert(0) += 1;
+        self.digest.update(source.as_bytes());
+        self.digest.update(class.as_bytes());
+
+        let lossy = catch_unwind(AssertUnwindSafe(|| nettrace::lossy::salvage(image)));
+        match lossy {
+            Err(panic) => {
+                self.findings.push(Finding {
+                    case_id,
+                    source: source.to_string(),
+                    detail: format!(
+                        "lossy reader panicked on {what}: {}",
+                        crate::panic_message(&*panic)
+                    ),
+                });
+            }
+            Ok(report) => {
+                let mut violate = |detail: String| {
+                    self.findings.push(Finding {
+                        case_id,
+                        source: source.to_string(),
+                        detail: format!("{detail} ({what})"),
+                    });
+                };
+                if report.bytes_consumed > report.bytes_total {
+                    violate(format!(
+                        "lossy consumed {} of {} bytes",
+                        report.bytes_consumed, report.bytes_total
+                    ));
+                }
+                if report.packets_salvaged != report.trace.len() {
+                    violate(format!(
+                        "salvage count {} != trace length {}",
+                        report.packets_salvaged,
+                        report.trace.len()
+                    ));
+                }
+                if let Some(fault) = &report.error {
+                    if fault.offset > report.bytes_total {
+                        violate(format!(
+                            "fault offset {} beyond image of {} bytes",
+                            fault.offset, report.bytes_total
+                        ));
+                    }
+                }
+                match (&strict, report.error.is_none()) {
+                    (Ok(Ok(trace)), false) => violate(format!(
+                        "strict accepted {} packets but lossy reported a fault",
+                        trace.len()
+                    )),
+                    (Ok(Ok(trace)), true) if trace.len() != report.packets_salvaged => {
+                        violate(format!(
+                            "strict read {} packets, lossy salvaged {}",
+                            trace.len(),
+                            report.packets_salvaged
+                        ));
+                    }
+                    (Ok(Err(_)), true) => {
+                        violate("strict rejected a stream lossy called clean".to_string());
+                    }
+                    _ => {}
+                }
+                self.digest.update_u64(report.packets_salvaged as u64);
+                self.digest.update_u64(report.bytes_consumed);
+            }
+        }
+    }
+}
+
+/// Run the full campaign: a truncation sweep at (and adjacent to) every
+/// structure boundary of both corpora, then `iterations` random
+/// mutation cases split across them.
+#[must_use]
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let _span = obskit::span("faultkit_campaign");
+    let corpora: [Corpus; 2] = [
+        pcap_corpus(cfg.seed, cfg.corpus_packets),
+        pcapng_corpus(cfg.seed, cfg.corpus_packets),
+    ];
+    let mut campaign = Campaign {
+        outcomes: BTreeMap::new(),
+        findings: Vec::new(),
+        digest: Digest::new(),
+        cases: 0,
+    };
+
+    // Structured sweep: truncate at every boundary and one byte to
+    // either side — the exact cuts a crashed capture process produces.
+    for corpus in &corpora {
+        for &b in &corpus.boundaries {
+            for cut in [b.saturating_sub(1), b, b + 1] {
+                if cut <= corpus.bytes.len() {
+                    campaign.run_case(
+                        corpus.name,
+                        &corpus.bytes[..cut],
+                        &format!("truncate->{cut}"),
+                    );
+                }
+            }
+        }
+    }
+
+    // Random mutation phase: 1–3 stacked mutations per case.
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for i in 0..cfg.iterations {
+        let corpus = &corpora[(i % 2) as usize];
+        let mut image = corpus.bytes.clone();
+        let count = rng.random_range(1u32..=3);
+        let described: Vec<String> = (0..count)
+            .map(|_| {
+                let m = Mutation::draw(&mut rng, image.len());
+                m.apply(&mut image);
+                m.to_string()
+            })
+            .collect();
+        campaign.run_case(corpus.name, &image, &described.join("+"));
+    }
+
+    obskit::counter("faultkit_campaign_cases_total").add(campaign.cases);
+    obskit::counter("faultkit_campaign_findings_total").add(campaign.findings.len() as u64);
+    CampaignReport {
+        cases: campaign.cases,
+        outcomes: campaign.outcomes,
+        findings: campaign.findings,
+        digest: campaign.digest.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampaignConfig {
+        CampaignConfig {
+            seed: 42,
+            iterations: 400,
+            corpus_packets: 20,
+        }
+    }
+
+    #[test]
+    fn campaign_finds_nothing_on_a_healthy_tree() {
+        let report = run_campaign(&small());
+        assert!(
+            report.findings.is_empty(),
+            "campaign found real bugs:\n{}",
+            report
+                .findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert!(report.cases > 400, "sweep cases missing: {}", report.cases);
+    }
+
+    #[test]
+    fn campaign_is_bit_identical_across_runs() {
+        let a = run_campaign(&small());
+        let b = run_campaign(&small());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.cases, b.cases);
+        let c = run_campaign(&CampaignConfig {
+            seed: 43,
+            ..small()
+        });
+        assert_ne!(a.digest, c.digest, "digest must track the seed");
+    }
+
+    #[test]
+    fn campaign_exercises_every_outcome_class() {
+        let report = run_campaign(&small());
+        let classes: Vec<&str> = report
+            .outcomes
+            .keys()
+            .map(|k| k.split('/').nth(1).expect("source/class"))
+            .collect();
+        for want in ["ok", "bad_magic", "truncated"] {
+            assert!(classes.contains(&want), "missing class {want}: {classes:?}");
+        }
+        // Both corpora ran.
+        assert!(report.outcomes.keys().any(|k| k.starts_with("pcap/")));
+        assert!(report.outcomes.keys().any(|k| k.starts_with("pcapng/")));
+    }
+}

@@ -1,0 +1,157 @@
+//! Byte-level mutations over a valid capture image.
+//!
+//! Four operators cover the corruption classes the readers must survive:
+//! single-bit flips (checksumless formats propagate them silently),
+//! truncation (full disks and killed capture processes), 32-bit field
+//! corruption aligned to the little-endian words length fields live in
+//! (the classic unbounded-allocation vector), and byte-order swaps
+//! (foreign-endian captures and shuffled writes).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// One deterministic byte-level mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mutation {
+    /// Flip bit `bit` (0–7) of the byte at `offset`.
+    BitFlip {
+        /// Byte offset into the image.
+        offset: usize,
+        /// Bit index, 0 = least significant.
+        bit: u8,
+    },
+    /// Cut the image down to `len` bytes.
+    Truncate {
+        /// New length; no-op if the image is already shorter.
+        len: usize,
+    },
+    /// Overwrite the 4 bytes at `offset` with `value` (little-endian) —
+    /// aimed at length/count fields.
+    Corrupt32 {
+        /// Byte offset of the word.
+        offset: usize,
+        /// Replacement value.
+        value: u32,
+    },
+    /// Swap the bytes at offsets `a` and `b`.
+    ByteSwap {
+        /// First offset.
+        a: usize,
+        /// Second offset.
+        b: usize,
+    },
+}
+
+impl Mutation {
+    /// Draw one mutation applicable to an image of `len` bytes.
+    /// Degenerate lengths fall back to truncation-to-zero so the
+    /// campaign still exercises the empty-input path.
+    #[must_use]
+    pub fn draw(rng: &mut StdRng, len: usize) -> Mutation {
+        if len == 0 {
+            return Mutation::Truncate { len: 0 };
+        }
+        match rng.random_range(0u8..4) {
+            0 => Mutation::BitFlip {
+                offset: rng.random_range(0..len),
+                bit: rng.random_range(0u8..8),
+            },
+            1 => Mutation::Truncate {
+                len: rng.random_range(0..len),
+            },
+            2 => {
+                let offset = rng.random_range(0..len);
+                // Bias toward the magnitudes that stress length fields:
+                // huge values, off-by-small values, and sign-bit flips.
+                let value = match rng.random_range(0u8..4) {
+                    0 => u32::MAX,
+                    1 => rng.random_range(0u32..64),
+                    2 => 0x8000_0000 | rng.random_range(0u32..1024),
+                    _ => rng.random::<u32>(),
+                };
+                Mutation::Corrupt32 { offset, value }
+            }
+            _ => Mutation::ByteSwap {
+                a: rng.random_range(0..len),
+                b: rng.random_range(0..len),
+            },
+        }
+    }
+
+    /// Apply the mutation in place. Offsets past the current end are
+    /// clamped (an earlier truncation may have shortened the image).
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match *self {
+            Mutation::BitFlip { offset, bit } => {
+                if let Some(b) = bytes.get_mut(offset) {
+                    *b ^= 1 << bit;
+                }
+            }
+            Mutation::Truncate { len } => bytes.truncate(len),
+            Mutation::Corrupt32 { offset, value } => {
+                for (i, v) in value.to_le_bytes().into_iter().enumerate() {
+                    if let Some(b) = bytes.get_mut(offset + i) {
+                        *b = v;
+                    }
+                }
+            }
+            Mutation::ByteSwap { a, b } => {
+                if a < bytes.len() && b < bytes.len() {
+                    bytes.swap(a, b);
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Mutation::BitFlip { offset, bit } => write!(f, "bitflip@{offset}.{bit}"),
+            Mutation::Truncate { len } => write!(f, "truncate->{len}"),
+            Mutation::Corrupt32 { offset, value } => write!(f, "corrupt32@{offset}={value:#x}"),
+            Mutation::ByteSwap { a, b } => write!(f, "swap@{a},{b}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mutations_stay_in_bounds_and_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let mut img = vec![0u8; 200];
+        for _ in 0..500 {
+            let ma = Mutation::draw(&mut a, img.len());
+            let mb = Mutation::draw(&mut b, img.len());
+            assert_eq!(ma, mb);
+            ma.apply(&mut img);
+            assert!(img.len() <= 200);
+        }
+    }
+
+    #[test]
+    fn empty_image_only_truncates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let m = Mutation::draw(&mut rng, 0);
+        assert_eq!(m, Mutation::Truncate { len: 0 });
+        let mut img = Vec::new();
+        m.apply(&mut img);
+        assert!(img.is_empty());
+    }
+
+    #[test]
+    fn corrupt32_clamps_at_the_end() {
+        let mut img = vec![0u8; 5];
+        Mutation::Corrupt32 {
+            offset: 3,
+            value: u32::MAX,
+        }
+        .apply(&mut img);
+        assert_eq!(img, vec![0, 0, 0, 0xff, 0xff]);
+    }
+}

@@ -1,0 +1,453 @@
+//! State-machine fuzzing of the samplers and the disparity metric.
+//!
+//! Samplers are driven with `offer` sequences whose timestamps are
+//! deliberately hostile — zeros, long equal runs, `u64::MAX`, huge
+//! forward jumps, and non-monotone reversals — far outside the
+//! "packets arrive in order" contract, because a corrupted capture can
+//! hand them exactly that. The contract under fuzz: construction via
+//! `try_*` never panics (degenerate parameters are typed errors),
+//! offers never panic or hang, and `reset` restores bit-identical
+//! behavior. [`sampling::disparity`] gets degenerate-bin histograms and
+//! must keep φ finite in `[0, √2]`.
+
+use crate::{Digest, Finding};
+use nettrace::time::Micros;
+use nettrace::{BinSpec, Histogram, PacketRecord};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sampling::{
+    disparity, select_indices, AdaptiveConfig, AdaptiveSampler, GeometricSkipSampler,
+    ReservoirSampler, Sampler, SimpleRandomSampler, StratifiedSampler, StratifiedTimerSampler,
+    SystematicSampler, SystematicTimerSampler,
+};
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// State-machine fuzzing knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StateFuzzConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Cases to run, spread round-robin over the eight samplers and the
+    /// disparity metric.
+    pub cases: u32,
+}
+
+impl Default for StateFuzzConfig {
+    fn default() -> Self {
+        StateFuzzConfig {
+            seed: 1993,
+            cases: 1_000,
+        }
+    }
+}
+
+/// Outcome of a state-machine fuzz run.
+#[derive(Debug)]
+pub struct StateFuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Packets offered across all sampler cases.
+    pub offers: u64,
+    /// Classification → count, e.g. `"systematic/ok"`,
+    /// `"random/rejected"`.
+    pub outcomes: BTreeMap<String, u64>,
+    /// Contract violations; empty on a healthy tree.
+    pub findings: Vec<Finding>,
+    /// Order-sensitive digest over every case's classification.
+    pub digest: u64,
+}
+
+/// An adversarial timestamp sequence: mixes zero, equal runs, maximal,
+/// stepped, arbitrary, and backwards timestamps.
+fn hostile_packets(rng: &mut StdRng) -> Vec<PacketRecord> {
+    let len = rng.random_range(0usize..=200);
+    let mut prev = 0u64;
+    (0..len)
+        .map(|_| {
+            let ts = match rng.random_range(0u8..8) {
+                0 => 0,
+                1 => prev, // equal run
+                2 => u64::MAX,
+                3 => prev.saturating_add(rng.random_range(1u64..=5_000)),
+                4 => prev.saturating_add(rng.random_range(1u64..=u64::MAX / 2)), // huge jump
+                5 => rng.random::<u64>(), // arbitrary (non-monotone)
+                6 => prev.saturating_sub(rng.random_range(0u64..=1_000)), // backwards
+                _ => prev.saturating_add(400), // the paper's clock tick
+            };
+            prev = ts;
+            PacketRecord::new(Micros(ts), 40 + (ts % 1460) as u16)
+        })
+        .collect()
+}
+
+struct Fuzzer {
+    outcomes: BTreeMap<String, u64>,
+    findings: Vec<Finding>,
+    digest: Digest,
+    cases: u64,
+    offers: u64,
+}
+
+impl Fuzzer {
+    fn record(&mut self, source: &str, class: &str) {
+        *self
+            .outcomes
+            .entry(format!("{source}/{class}"))
+            .or_insert(0) += 1;
+        self.digest.update(source.as_bytes());
+        self.digest.update(class.as_bytes());
+    }
+
+    fn violation(&mut self, source: &str, detail: String) {
+        let case_id = self.cases;
+        self.findings.push(Finding {
+            case_id,
+            source: source.to_string(),
+            detail,
+        });
+    }
+
+    /// Drive one sampler (or a constructor rejection) through a hostile
+    /// sequence twice, checking panic-freedom and reset-determinism.
+    fn fuzz_sampler(
+        &mut self,
+        source: &str,
+        sampler: Result<Box<dyn Sampler>, String>,
+        rng: &mut StdRng,
+    ) {
+        let mut sampler = match sampler {
+            Ok(s) => s,
+            Err(_) => {
+                self.record(source, "rejected");
+                return;
+            }
+        };
+        let packets = hostile_packets(rng);
+        self.offers += 2 * packets.len() as u64;
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let first = select_indices(&mut *sampler, &packets);
+            sampler.reset();
+            let second = select_indices(&mut *sampler, &packets);
+            (first, second, packets.len())
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(source, format!("sampler panicked: {msg}"));
+                self.record(source, "panic");
+            }
+            Ok((first, second, offered)) => {
+                if first != second {
+                    self.violation(
+                        source,
+                        format!(
+                            "reset is not deterministic: {} vs {} selections",
+                            first.len(),
+                            second.len()
+                        ),
+                    );
+                }
+                if first.len() > offered {
+                    self.violation(
+                        source,
+                        format!("selected {} of {} offered", first.len(), offered),
+                    );
+                }
+                self.record(source, "ok");
+                self.digest.update_u64(first.len() as u64);
+            }
+        }
+    }
+
+    fn fuzz_reservoir(&mut self, rng: &mut StdRng) {
+        let capacity = rng.random_range(1usize..=100);
+        let seed = rng.random::<u64>();
+        let packets = hostile_packets(rng);
+        self.offers += packets.len() as u64;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut r = ReservoirSampler::new(capacity, seed);
+            for p in &packets {
+                r.offer(p);
+            }
+            (r.sample().len(), r.seen())
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation("reservoir", format!("panicked: {msg}"));
+                self.record("reservoir", "panic");
+            }
+            Ok((held, seen)) => {
+                if held > capacity || held > packets.len() {
+                    self.violation(
+                        "reservoir",
+                        format!("holds {held} with capacity {capacity}"),
+                    );
+                }
+                if seen != packets.len() as u64 {
+                    self.violation(
+                        "reservoir",
+                        format!("saw {seen} of {} offered", packets.len()),
+                    );
+                }
+                self.record("reservoir", "ok");
+                self.digest.update_u64(held as u64);
+            }
+        }
+    }
+
+    fn fuzz_disparity(&mut self, rng: &mut StdRng) {
+        // Degenerate-prone bins: 1–4 edges over a tiny value domain so
+        // empty and impossible bins occur constantly.
+        let edge_count = rng.random_range(1usize..=4);
+        let mut edges: Vec<u64> = (0..edge_count)
+            .map(|_| rng.random_range(1u64..=40))
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        let bins = edges.len() + 1;
+        let draw_counts = |rng: &mut StdRng, bins: usize| -> Vec<u64> {
+            (0..bins)
+                .map(|_| match rng.random_range(0u8..4) {
+                    0 => 0,
+                    1 => rng.random_range(0u64..3),
+                    _ => rng.random_range(0u64..2_000),
+                })
+                .collect()
+        };
+        let mut pop = draw_counts(rng, bins);
+        if pop.iter().all(|&c| c == 0) {
+            pop[0] = 1; // contract: population must be nonempty
+        }
+        let sam = draw_counts(rng, bins);
+        let fill = |counts: &[u64], edges: &[u64]| {
+            Histogram::from_values(
+                BinSpec::Edges(edges.to_vec()),
+                counts.iter().enumerate().flat_map(|(i, &c)| {
+                    // A value inside bin i: below the first edge, or at
+                    // the previous edge.
+                    let v = if i == 0 { 0 } else { edges[i - 1] };
+                    std::iter::repeat_n(v, c as usize)
+                }),
+            )
+        };
+        let sample_total: u64 = sam.iter().sum();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            disparity(&fill(&pop, &edges), &fill(&sam, &edges))
+                .map(|r| (r.phi, r.chi2, r.significance))
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation("disparity", format!("panicked on {pop:?}/{sam:?}: {msg}"));
+                self.record("disparity", "panic");
+            }
+            Ok(None) => {
+                if sample_total != 0 {
+                    self.violation(
+                        "disparity",
+                        format!("returned None for nonempty sample {sam:?}"),
+                    );
+                }
+                self.record("disparity", "empty_sample");
+            }
+            Ok(Some((phi, chi2, significance))) => {
+                if !phi.is_finite() || !(0.0..=std::f64::consts::SQRT_2 + 1e-9).contains(&phi) {
+                    self.violation(
+                        "disparity",
+                        format!("phi {phi} outside [0, sqrt(2)] for {pop:?}/{sam:?}"),
+                    );
+                }
+                if !chi2.is_finite() || chi2 < 0.0 {
+                    self.violation("disparity", format!("chi2 {chi2} for {pop:?}/{sam:?}"));
+                }
+                if !(0.0..=1.0).contains(&significance) {
+                    self.violation(
+                        "disparity",
+                        format!("significance {significance} for {pop:?}/{sam:?}"),
+                    );
+                }
+                self.record("disparity", "ok");
+                self.digest.update_u64(phi.to_bits());
+            }
+        }
+    }
+}
+
+/// Timer periods that stress the schedule arithmetic.
+fn hostile_period(rng: &mut StdRng) -> u64 {
+    match rng.random_range(0u8..5) {
+        0 => 0, // rejected by try_new
+        1 => 1,
+        2 => 400,
+        3 => rng.random_range(1u64..=2_000_000),
+        _ => u64::MAX,
+    }
+}
+
+/// Run the state-machine fuzz: `cases` hostile sequences spread over
+/// the eight samplers and the disparity metric.
+#[must_use]
+pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
+    let _span = obskit::span("faultkit_statefuzz");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut fuzzer = Fuzzer {
+        outcomes: BTreeMap::new(),
+        findings: Vec::new(),
+        digest: Digest::new(),
+        cases: 0,
+        offers: 0,
+    };
+    for case in 0..cfg.cases {
+        fuzzer.cases += 1;
+        match case % 9 {
+            0 => {
+                let interval = rng.random_range(0usize..=1_000);
+                let offset = rng.random_range(0usize..=1_050);
+                let s = SystematicSampler::try_with_offset(interval, offset)
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("systematic", s, &mut rng);
+            }
+            1 => {
+                let bucket = rng.random_range(0usize..=1_000);
+                let s = StratifiedSampler::try_new(bucket, rng.random::<u64>())
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("stratified", s, &mut rng);
+            }
+            2 => {
+                let population = rng.random_range(0usize..=5_000);
+                let sample = rng.random_range(0usize..=5_500);
+                let s = SimpleRandomSampler::try_new(population, sample, rng.random::<u64>())
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("random", s, &mut rng);
+            }
+            3 => {
+                let mean = rng.random_range(0usize..=1_000);
+                let s = GeometricSkipSampler::try_new(mean, rng.random::<u64>())
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("geometric", s, &mut rng);
+            }
+            4 => {
+                let period = hostile_period(&mut rng);
+                let start = rng.random::<u64>();
+                let s = SystematicTimerSampler::try_new(Micros(period), Micros(start))
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("systematic_timer", s, &mut rng);
+            }
+            5 => {
+                let period = hostile_period(&mut rng);
+                let start = rng.random::<u64>();
+                let s = StratifiedTimerSampler::try_new(
+                    Micros(period),
+                    Micros(start),
+                    rng.random::<u64>(),
+                )
+                .map(|s| Box::new(s) as Box<dyn Sampler>)
+                .map_err(|e| e.to_string());
+                fuzzer.fuzz_sampler("stratified_timer", s, &mut rng);
+            }
+            6 => {
+                let config = AdaptiveConfig {
+                    budget_per_period: rng.random_range(1u32..=100),
+                    period_us: *[1u64, 1_000, 1_000_000]
+                        .get(rng.random_range(0usize..3))
+                        .expect("index in range"),
+                    increase_factor: 2.0,
+                    decrease_step: rng.random_range(1usize..=5),
+                    min_interval: 1,
+                    max_interval: 1 << 20,
+                };
+                let interval = rng.random_range(1usize..=1_000);
+                let s: Result<Box<dyn Sampler>, String> =
+                    Ok(Box::new(AdaptiveSampler::new(interval, config)));
+                fuzzer.fuzz_sampler("adaptive", s, &mut rng);
+            }
+            7 => fuzzer.fuzz_reservoir(&mut rng),
+            _ => fuzzer.fuzz_disparity(&mut rng),
+        }
+    }
+    obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
+    obskit::counter("faultkit_statefuzz_findings_total").add(fuzzer.findings.len() as u64);
+    StateFuzzReport {
+        cases: fuzzer.cases,
+        offers: fuzzer.offers,
+        outcomes: fuzzer.outcomes,
+        findings: fuzzer.findings,
+        digest: fuzzer.digest.finish(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StateFuzzConfig {
+        StateFuzzConfig {
+            seed: 42,
+            cases: 450,
+        }
+    }
+
+    #[test]
+    fn state_fuzz_finds_nothing_on_a_healthy_tree() {
+        let report = run_state_fuzz(&small());
+        assert!(
+            report.findings.is_empty(),
+            "state fuzz found real bugs:\n{}",
+            report
+                .findings
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        assert_eq!(report.cases, 450);
+        assert!(report.offers > 0);
+    }
+
+    #[test]
+    fn state_fuzz_is_bit_identical_across_runs() {
+        let a = run_state_fuzz(&small());
+        let b = run_state_fuzz(&small());
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.outcomes, b.outcomes);
+        let c = run_state_fuzz(&StateFuzzConfig {
+            seed: 43,
+            cases: 450,
+        });
+        assert_ne!(a.digest, c.digest);
+    }
+
+    #[test]
+    fn state_fuzz_covers_every_machine() {
+        let report = run_state_fuzz(&small());
+        for source in [
+            "systematic",
+            "stratified",
+            "random",
+            "geometric",
+            "systematic_timer",
+            "stratified_timer",
+            "adaptive",
+            "reservoir",
+            "disparity",
+        ] {
+            assert!(
+                report
+                    .outcomes
+                    .keys()
+                    .any(|k| k.starts_with(&format!("{source}/"))),
+                "no cases for {source}: {:?}",
+                report.outcomes.keys().collect::<Vec<_>>()
+            );
+        }
+        // Degenerate constructions are exercised, not just valid ones.
+        assert!(report.outcomes.keys().any(|k| k.ends_with("/rejected")));
+    }
+}

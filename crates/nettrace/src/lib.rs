@@ -25,6 +25,7 @@
 
 pub mod error;
 pub mod histogram;
+pub mod lossy;
 pub mod merge;
 pub mod packet;
 pub mod pcap;
@@ -35,6 +36,7 @@ pub mod trace;
 
 pub use error::TraceError;
 pub use histogram::{BinSpec, Histogram};
+pub use lossy::{read_capture_lossy, IngestFault, IngestReport};
 pub use merge::{merge, rebase, shift};
 pub use packet::{PacketRecord, Protocol};
 pub use pcapng::read_capture;

@@ -1,0 +1,466 @@
+//! Lossy capture ingestion: salvage the longest valid prefix.
+//!
+//! The strict readers ([`crate::pcap::read_pcap`],
+//! [`crate::pcapng::read_pcapng`]) reject a capture at the first
+//! malformed byte — the right default for experiments, where a silent
+//! partial read would bias every downstream statistic. But real capture
+//! files are routinely truncated (full disk, killed tcpdump) and a
+//! 649 MB trace with one bad record tail is still 649 MB of usable
+//! population. [`read_capture_lossy`] parses as far as the bytes allow
+//! and reports exactly what it could and could not use: packets
+//! salvaged, bytes consumed, and the first error with its byte offset.
+//!
+//! The lossy path parses from an in-memory slice (offsets are exact and
+//! a corrupt length field can never drive an unbounded allocation — the
+//! declared length is bounds-checked against the bytes actually
+//! present), and reuses the strict readers' record/block decoders so
+//! the two paths cannot drift: on a fully valid stream the salvaged
+//! trace is identical to the strict read.
+
+use crate::error::TraceError;
+use crate::packet::PacketRecord;
+use crate::pcap;
+use crate::pcapng;
+use crate::time::Micros;
+use crate::trace::Trace;
+use std::io::Read;
+
+/// Outcome of a lossy capture read: the salvaged prefix plus a precise
+/// account of where (and why) parsing stopped.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Packets recovered from the valid prefix, sorted by timestamp.
+    pub trace: Trace,
+    /// Capture format the stream sniffed as: `"pcap"`, `"pcapng"`, or
+    /// `"unknown"` when even the magic could not be classified.
+    pub format: &'static str,
+    /// Bytes of the stream that parsed into complete structures. On a
+    /// fully valid stream this equals `bytes_total`.
+    pub bytes_consumed: u64,
+    /// Total bytes in the stream.
+    pub bytes_total: u64,
+    /// Number of packets salvaged (equals `trace.len()`).
+    pub packets_salvaged: usize,
+    /// First parse failure, if any: the byte offset of the structure
+    /// that could not be decoded, and the typed error.
+    pub error: Option<IngestFault>,
+}
+
+impl IngestReport {
+    /// Whether the whole stream parsed cleanly (the strict readers
+    /// would have accepted it).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// A parse failure localized to a byte offset.
+#[derive(Debug)]
+pub struct IngestFault {
+    /// Offset of the record or block that failed to decode.
+    pub offset: u64,
+    /// Why it failed. Never [`TraceError::Io`]: the lossy reader works
+    /// from an in-memory buffer.
+    pub error: TraceError,
+}
+
+/// Read a capture stream leniently, salvaging every packet in the
+/// longest valid prefix. Sniffs classic pcap vs pcapng exactly like
+/// [`crate::read_capture`].
+///
+/// # Errors
+/// Only [`TraceError::Io`], from buffering the stream. Malformed bytes
+/// are never an `Err`: they end up in [`IngestReport::error`].
+pub fn read_capture_lossy<R: Read>(mut r: R) -> Result<IngestReport, TraceError> {
+    let _span = obskit::span("nettrace_lossy_read");
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    let report = salvage(&bytes);
+    let labels = [("format", report.format)];
+    obskit::counter_labeled("nettrace_lossy_packets_salvaged_total", &labels)
+        .add(report.packets_salvaged as u64);
+    if report.error.is_some() {
+        obskit::counter_labeled("nettrace_lossy_faults_total", &labels).inc();
+    }
+    Ok(report)
+}
+
+/// Salvage from an in-memory capture image.
+#[must_use]
+pub fn salvage(bytes: &[u8]) -> IngestReport {
+    if bytes.len() < 4 {
+        return IngestReport {
+            trace: Trace::empty(),
+            format: "unknown",
+            bytes_consumed: 0,
+            bytes_total: bytes.len() as u64,
+            packets_salvaged: 0,
+            error: Some(IngestFault {
+                offset: 0,
+                error: TraceError::TruncatedRecord { packets_read: 0 },
+            }),
+        };
+    }
+    let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
+    if u32::from_le_bytes(magic) == pcapng::SHB_TYPE {
+        salvage_pcapng(bytes)
+    } else if pcap::sniff_magic(magic).is_some() {
+        salvage_pcap(bytes)
+    } else {
+        IngestReport {
+            trace: Trace::empty(),
+            format: "unknown",
+            bytes_consumed: 0,
+            bytes_total: bytes.len() as u64,
+            packets_salvaged: 0,
+            error: Some(IngestFault {
+                offset: 0,
+                error: TraceError::BadMagic(u32::from_le_bytes(magic)),
+            }),
+        }
+    }
+}
+
+fn report(
+    format: &'static str,
+    packets: Vec<PacketRecord>,
+    consumed: u64,
+    total: u64,
+    error: Option<IngestFault>,
+) -> IngestReport {
+    let trace = Trace::from_unordered(packets);
+    IngestReport {
+        packets_salvaged: trace.len(),
+        trace,
+        format,
+        bytes_consumed: consumed,
+        bytes_total: total,
+        error,
+    }
+}
+
+fn salvage_pcap(bytes: &[u8]) -> IngestReport {
+    let magic = [bytes[0], bytes[1], bytes[2], bytes[3]];
+    let (endian, nanos) = pcap::sniff_magic(magic).expect("caller sniffed the magic");
+    let total = bytes.len() as u64;
+    if bytes.len() < 24 {
+        return report(
+            "pcap",
+            Vec::new(),
+            0,
+            total,
+            Some(IngestFault {
+                offset: 0,
+                error: TraceError::TruncatedRecord { packets_read: 0 },
+            }),
+        );
+    }
+    let mut packets = Vec::new();
+    let mut o = 24usize;
+    let fault = loop {
+        if o == bytes.len() {
+            break None;
+        }
+        if o + 16 > bytes.len() {
+            break Some(IngestFault {
+                offset: o as u64,
+                error: TraceError::TruncatedRecord {
+                    packets_read: packets.len(),
+                },
+            });
+        }
+        let f =
+            |a: usize| pcap::u32_from(endian, [bytes[a], bytes[a + 1], bytes[a + 2], bytes[a + 3]]);
+        let (sec, frac, caplen, orig_len) = (f(o), f(o + 4), f(o + 8), f(o + 12));
+        if caplen > pcap::MAX_CAPLEN {
+            break Some(IngestFault {
+                offset: o as u64,
+                error: TraceError::OversizedRecord { caplen },
+            });
+        }
+        let end = o + 16 + caplen as usize;
+        if end > bytes.len() {
+            break Some(IngestFault {
+                offset: o as u64,
+                error: TraceError::TruncatedRecord {
+                    packets_read: packets.len(),
+                },
+            });
+        }
+        let usec = if nanos {
+            u64::from(frac) / 1000
+        } else {
+            u64::from(frac)
+        };
+        let ts = Micros(u64::from(sec) * 1_000_000 + usec);
+        packets.push(pcap::parse_ipv4(&bytes[o + 16..end], orig_len, ts));
+        o = end;
+    };
+    let consumed = o as u64;
+    report("pcap", packets, consumed, total, fault)
+}
+
+fn salvage_pcapng(bytes: &[u8]) -> IngestReport {
+    let total = bytes.len() as u64;
+    let mut packets: Vec<PacketRecord> = Vec::new();
+    let mut interfaces: Vec<pcapng::Interface> = Vec::new();
+    let mut endian = pcapng::Endian::Little;
+    let mut first = true;
+    let mut o = 0usize;
+    let fault = loop {
+        if o == bytes.len() {
+            if first {
+                break Some(IngestFault {
+                    offset: 0,
+                    error: TraceError::TruncatedRecord { packets_read: 0 },
+                });
+            }
+            break None;
+        }
+        let truncated = |at: usize, got: usize| IngestFault {
+            offset: at as u64,
+            error: TraceError::TruncatedRecord { packets_read: got },
+        };
+        if o + 8 > bytes.len() {
+            break Some(truncated(o, packets.len()));
+        }
+        let raw_type_le = u32::from_le_bytes([bytes[o], bytes[o + 1], bytes[o + 2], bytes[o + 3]]);
+        if first && raw_type_le != pcapng::SHB_TYPE {
+            break Some(IngestFault {
+                offset: o as u64,
+                error: TraceError::BadMagic(raw_type_le),
+            });
+        }
+        if raw_type_le == pcapng::SHB_TYPE {
+            if o + 12 > bytes.len() {
+                break Some(truncated(o, packets.len()));
+            }
+            let bom = [bytes[o + 8], bytes[o + 9], bytes[o + 10], bytes[o + 11]];
+            endian = if u32::from_le_bytes(bom) == pcapng::BOM {
+                pcapng::Endian::Little
+            } else if u32::from_be_bytes(bom) == pcapng::BOM {
+                pcapng::Endian::Big
+            } else {
+                break Some(IngestFault {
+                    offset: o as u64,
+                    error: TraceError::BadMagic(u32::from_le_bytes(bom)),
+                });
+            };
+            let total_len = pcapng::u32_at(endian, &bytes[o + 4..o + 8]);
+            if !(28..=pcapng::MAX_BLOCK).contains(&total_len) || !total_len.is_multiple_of(4) {
+                break Some(IngestFault {
+                    offset: o as u64,
+                    error: TraceError::OversizedRecord { caplen: total_len },
+                });
+            }
+            if o + total_len as usize > bytes.len() {
+                break Some(truncated(o, packets.len()));
+            }
+            interfaces.clear();
+            first = false;
+            o += total_len as usize;
+            continue;
+        }
+        let block_type = pcapng::u32_at(endian, &bytes[o..o + 4]);
+        let total_len = pcapng::u32_at(endian, &bytes[o + 4..o + 8]);
+        if !(12..=pcapng::MAX_BLOCK).contains(&total_len) || !total_len.is_multiple_of(4) {
+            break Some(IngestFault {
+                offset: o as u64,
+                error: TraceError::OversizedRecord { caplen: total_len },
+            });
+        }
+        let end = o + total_len as usize;
+        if end > bytes.len() {
+            break Some(truncated(o, packets.len()));
+        }
+        let body = &bytes[o + 8..end - 4];
+        match block_type {
+            pcapng::IDB_TYPE => {
+                if let Some(iface) = pcapng::parse_idb(endian, body) {
+                    interfaces.push(iface);
+                }
+            }
+            pcapng::EPB_TYPE => {
+                if let Some(p) = pcapng::parse_epb(endian, body, &interfaces) {
+                    packets.push(p);
+                }
+            }
+            pcapng::SPB_TYPE => {
+                let ts = packets.last().map_or(Micros::ZERO, |p| p.timestamp);
+                if let Some(p) = pcapng::parse_spb(endian, body, ts) {
+                    packets.push(p);
+                }
+            }
+            _ => {}
+        }
+        o = end;
+    };
+    let consumed = o as u64;
+    report("pcapng", packets, consumed, total, fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::Protocol;
+    use crate::pcap::write_pcap;
+    use crate::read_capture;
+
+    fn sample_trace() -> Trace {
+        Trace::new(vec![
+            PacketRecord::new(Micros(0), 40)
+                .with_protocol(Protocol::Tcp)
+                .with_ports(1023, 23),
+            PacketRecord::new(Micros(2358), 552).with_protocol(Protocol::Udp),
+            PacketRecord::new(Micros(1_000_000), 1500).with_protocol(Protocol::Icmp),
+        ])
+        .unwrap()
+    }
+
+    fn pcap_bytes() -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &sample_trace()).unwrap();
+        buf
+    }
+
+    #[test]
+    fn clean_stream_matches_strict_reader() {
+        let buf = pcap_bytes();
+        let strict = read_capture(buf.as_slice()).unwrap();
+        let r = read_capture_lossy(buf.as_slice()).unwrap();
+        assert!(r.is_clean());
+        assert_eq!(r.format, "pcap");
+        assert_eq!(r.bytes_consumed, buf.len() as u64);
+        assert_eq!(r.bytes_total, buf.len() as u64);
+        assert_eq!(r.packets_salvaged, strict.len());
+        assert_eq!(r.trace.packets(), strict.packets());
+    }
+
+    #[test]
+    fn salvages_valid_prefix_at_every_truncation_point() {
+        let buf = pcap_bytes();
+        // Record boundaries: 24-byte header, then 16 + 28 bytes each.
+        let rec = 16 + 28;
+        for cut in 0..buf.len() {
+            let r = salvage(&buf[..cut]);
+            let full_records = cut.saturating_sub(24) / rec;
+            assert_eq!(r.packets_salvaged, full_records, "cut {cut}");
+            assert_eq!(r.bytes_total, cut as u64, "cut {cut}");
+            if cut >= 24 {
+                assert_eq!(
+                    r.bytes_consumed,
+                    (24 + full_records * rec) as u64,
+                    "cut {cut}"
+                );
+            }
+            // A cut stream is clean only when it ends exactly on a
+            // record boundary (including the bare 24-byte header).
+            let on_boundary = cut >= 24 && (cut - 24) % rec == 0;
+            assert_eq!(r.is_clean(), on_boundary, "cut {cut}");
+            if let Some(fault) = &r.error {
+                assert!(fault.offset <= cut as u64, "cut {cut}");
+            }
+        }
+    }
+
+    /// Hand-build a little-endian pcapng stream: SHB, IDB, two EPBs
+    /// with 28-byte payloads. Returns the bytes and each block's start
+    /// offset.
+    fn pcapng_bytes() -> (Vec<u8>, Vec<usize>) {
+        let mut buf = Vec::new();
+        let mut starts = Vec::new();
+        let block = |buf: &mut Vec<u8>, btype: u32, body: &[u8]| {
+            let total = 12 + body.len() as u32;
+            buf.extend_from_slice(&btype.to_le_bytes());
+            buf.extend_from_slice(&total.to_le_bytes());
+            buf.extend_from_slice(body);
+            buf.extend_from_slice(&total.to_le_bytes());
+        };
+        starts.push(buf.len());
+        let mut shb = Vec::new();
+        shb.extend_from_slice(&pcapng::BOM.to_le_bytes());
+        shb.extend_from_slice(&1u16.to_le_bytes());
+        shb.extend_from_slice(&0u16.to_le_bytes());
+        shb.extend_from_slice(&(-1i64).to_le_bytes());
+        block(&mut buf, pcapng::SHB_TYPE, &shb);
+        starts.push(buf.len());
+        let mut idb = Vec::new();
+        idb.extend_from_slice(&101u16.to_le_bytes());
+        idb.extend_from_slice(&0u16.to_le_bytes());
+        idb.extend_from_slice(&0u32.to_le_bytes());
+        block(&mut buf, pcapng::IDB_TYPE, &idb);
+        for ticks in [1_000u64, 2_000] {
+            starts.push(buf.len());
+            let mut epb = Vec::new();
+            epb.extend_from_slice(&0u32.to_le_bytes());
+            epb.extend_from_slice(&((ticks >> 32) as u32).to_le_bytes());
+            epb.extend_from_slice(&((ticks & 0xffff_ffff) as u32).to_le_bytes());
+            epb.extend_from_slice(&28u32.to_le_bytes());
+            epb.extend_from_slice(&40u32.to_le_bytes());
+            epb.extend_from_slice(&[0u8; 28]);
+            block(&mut buf, pcapng::EPB_TYPE, &epb);
+        }
+        starts.push(buf.len());
+        (buf, starts)
+    }
+
+    #[test]
+    fn pcapng_truncation_sweep_salvages_complete_blocks() {
+        let (buf, starts) = pcapng_bytes();
+        let strict = read_capture(buf.as_slice()).unwrap();
+        assert_eq!(strict.len(), 2);
+        for cut in 0..=buf.len() {
+            let r = salvage(&buf[..cut]);
+            // Packets salvaged = EPBs wholly inside the prefix: EPB 1
+            // spans starts[2]..starts[3], EPB 2 spans starts[3]..starts[4].
+            let expect = [starts[3], starts[4]].iter().filter(|&&e| cut >= e).count();
+            assert_eq!(r.packets_salvaged, expect, "cut {cut}");
+            let consumed = starts.iter().rev().find(|&&s| s <= cut).copied().unwrap();
+            assert_eq!(r.bytes_consumed, consumed as u64, "cut {cut}");
+            assert_eq!(
+                r.is_clean(),
+                cut == consumed && cut >= starts[1],
+                "cut {cut}"
+            );
+        }
+        // The full stream matches the strict reader exactly.
+        let r = salvage(&buf);
+        assert_eq!(r.trace.packets(), strict.packets());
+    }
+
+    #[test]
+    fn corrupt_length_field_cannot_drive_allocation() {
+        let mut buf = pcap_bytes();
+        // Corrupt the second record's caplen to u32::MAX.
+        let off = 24 + (16 + 28) + 8;
+        buf[off..off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let r = salvage(&buf);
+        assert_eq!(r.packets_salvaged, 1);
+        let fault = r.error.expect("fault");
+        assert_eq!(fault.offset, 24 + (16 + 28) as u64);
+        assert!(matches!(
+            fault.error,
+            TraceError::OversizedRecord { caplen: u32::MAX }
+        ));
+    }
+
+    #[test]
+    fn garbage_reports_bad_magic_at_offset_zero() {
+        let r = salvage(&[0xffu8; 64]);
+        assert_eq!(r.packets_salvaged, 0);
+        assert_eq!(r.format, "unknown");
+        let fault = r.error.expect("fault");
+        assert_eq!(fault.offset, 0);
+        assert!(matches!(fault.error, TraceError::BadMagic(_)));
+    }
+
+    #[test]
+    fn short_inputs_salvage_nothing_without_panicking() {
+        for len in [0usize, 1, 3] {
+            let r = salvage(&vec![0xa1u8; len]);
+            assert_eq!(r.packets_salvaged, 0);
+            assert!(!r.is_clean());
+        }
+    }
+}

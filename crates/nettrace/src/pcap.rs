@@ -19,22 +19,22 @@ use crate::trace::Trace;
 use std::io::{Read, Write};
 
 /// Microsecond-timestamp pcap magic.
-const MAGIC_US: u32 = 0xa1b2_c3d4;
+pub(crate) const MAGIC_US: u32 = 0xa1b2_c3d4;
 /// Nanosecond-timestamp pcap magic.
-const MAGIC_NS: u32 = 0xa1b2_3c4d;
+pub(crate) const MAGIC_NS: u32 = 0xa1b2_3c4d;
 /// `LINKTYPE_RAW`: packets begin directly with an IPv4/IPv6 header.
 const LINKTYPE_RAW: u32 = 101;
 /// Sanity cap on record capture length: real WAN packets in this study are
 /// at most 1500 bytes; 256 KiB tolerates jumbo captures while rejecting
 /// corrupt headers.
-const MAX_CAPLEN: u32 = 256 * 1024;
+pub(crate) const MAX_CAPLEN: u32 = 256 * 1024;
 /// Bytes of synthetic header we write per packet: IPv4 (20) + 8 bytes of
 /// transport header (enough for ports).
 const WRITE_CAPLEN: usize = 28;
 
 /// Byte order of a parsed pcap stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Endian {
+pub(crate) enum Endian {
     Little,
     Big,
 }
@@ -46,7 +46,7 @@ fn u16_from(e: Endian, b: [u8; 2]) -> u16 {
     }
 }
 
-fn u32_from(e: Endian, b: [u8; 4]) -> u32 {
+pub(crate) fn u32_from(e: Endian, b: [u8; 4]) -> u32 {
     match e {
         Endian::Little => u32::from_le_bytes(b),
         Endian::Big => u32::from_be_bytes(b),
@@ -116,7 +116,7 @@ fn synth_header(p: &PacketRecord) -> [u8; WRITE_CAPLEN] {
 }
 
 /// Parse a record's synthetic (or real) IPv4 header back into packet fields.
-fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
+pub(crate) fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
     let mut rec = PacketRecord::new(ts, orig_len.min(u32::from(u16::MAX)) as u16);
     if data.len() >= 20 && data[0] >> 4 == 4 {
         rec.protocol = Protocol::from_number(data[9]);
@@ -149,7 +149,11 @@ fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
 /// * [`TraceError::Io`] on underlying read failures.
 pub fn read_pcap<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    // A stream shorter than the magic is a truncated capture, not an I/O
+    // failure: keep the error typed so callers can distinguish.
+    if !matches!(read_exact_or_eof(&mut r, &mut magic), ReadOutcome::Full) {
+        return Err(TraceError::TruncatedRecord { packets_read: 0 });
+    }
     read_pcap_with_magic(magic, r)
 }
 
@@ -163,20 +167,29 @@ pub(crate) fn read_pcap_with_magic<R: Read>(magic: [u8; 4], r: R) -> Result<Trac
     result
 }
 
+/// Classify the 4 magic bytes of a classic pcap stream: byte order and
+/// whether fractional timestamps are nanoseconds.
+pub(crate) fn sniff_magic(magic: [u8; 4]) -> Option<(Endian, bool)> {
+    match (u32::from_le_bytes(magic), u32::from_be_bytes(magic)) {
+        (MAGIC_US, _) => Some((Endian::Little, false)),
+        (MAGIC_NS, _) => Some((Endian::Little, true)),
+        (_, MAGIC_US) => Some((Endian::Big, false)),
+        (_, MAGIC_NS) => Some((Endian::Big, true)),
+        _ => None,
+    }
+}
+
 fn read_pcap_records<R: Read>(magic: [u8; 4], mut r: R) -> Result<Trace, TraceError> {
-    let magic_le = u32::from_le_bytes(magic);
-    let magic_be = u32::from_be_bytes(magic);
-    let (endian, nanos) = match (magic_le, magic_be) {
-        (MAGIC_US, _) => (Endian::Little, false),
-        (MAGIC_NS, _) => (Endian::Little, true),
-        (_, MAGIC_US) => (Endian::Big, false),
-        (_, MAGIC_NS) => (Endian::Big, true),
-        _ => return Err(TraceError::BadMagic(magic_le)),
+    let Some((endian, nanos)) = sniff_magic(magic) else {
+        return Err(TraceError::BadMagic(u32::from_le_bytes(magic)));
     };
 
-    // Remainder of the 24-byte global header.
+    // Remainder of the 24-byte global header. Ending inside it is a
+    // truncated capture, not an I/O failure.
     let mut rest = [0u8; 20];
-    r.read_exact(&mut rest)?;
+    if !matches!(read_exact_or_eof(&mut r, &mut rest), ReadOutcome::Full) {
+        return Err(TraceError::TruncatedRecord { packets_read: 0 });
+    }
     let _version_major = u16_from(endian, [rest[0], rest[1]]);
     // thiszone/sigfigs/snaplen/linktype are not needed for decoding records.
 
@@ -288,6 +301,30 @@ mod tests {
         assert_eq!(buf.len(), 24); // header only
         let back = read_pcap(buf.as_slice()).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn short_inputs_report_truncation_not_io() {
+        // 0-, 1- and 3-byte streams cannot even carry the magic: the
+        // reader must say "truncated", never surface a raw I/O error.
+        for len in [0usize, 1, 3] {
+            let bytes = vec![0xa1u8; len];
+            assert!(
+                matches!(
+                    read_pcap(bytes.as_slice()),
+                    Err(TraceError::TruncatedRecord { packets_read: 0 })
+                ),
+                "len {len}"
+            );
+        }
+        // A valid magic followed by a truncated global header is also a
+        // truncation, not Io.
+        let mut bytes = MAGIC_US.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            read_pcap(bytes.as_slice()),
+            Err(TraceError::TruncatedRecord { packets_read: 0 })
+        ));
     }
 
     #[test]

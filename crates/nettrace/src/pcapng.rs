@@ -15,20 +15,20 @@ use crate::trace::Trace;
 use std::io::Read;
 
 /// Section Header Block type.
-const SHB_TYPE: u32 = 0x0A0D_0D0A;
+pub(crate) const SHB_TYPE: u32 = 0x0A0D_0D0A;
 /// Byte-order magic inside the SHB body.
-const BOM: u32 = 0x1A2B_3C4D;
+pub(crate) const BOM: u32 = 0x1A2B_3C4D;
 /// Interface Description Block.
-const IDB_TYPE: u32 = 0x0000_0001;
+pub(crate) const IDB_TYPE: u32 = 0x0000_0001;
 /// Enhanced Packet Block.
-const EPB_TYPE: u32 = 0x0000_0006;
+pub(crate) const EPB_TYPE: u32 = 0x0000_0006;
 /// Simple Packet Block.
-const SPB_TYPE: u32 = 0x0000_0003;
+pub(crate) const SPB_TYPE: u32 = 0x0000_0003;
 /// Sanity cap on a single block's length.
-const MAX_BLOCK: u32 = 16 * 1024 * 1024;
+pub(crate) const MAX_BLOCK: u32 = 16 * 1024 * 1024;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Endian {
+pub(crate) enum Endian {
     Little,
     Big,
 }
@@ -41,7 +41,7 @@ fn u16_at(e: Endian, b: &[u8]) -> u16 {
     }
 }
 
-fn u32_at(e: Endian, b: &[u8]) -> u32 {
+pub(crate) fn u32_at(e: Endian, b: &[u8]) -> u32 {
     let arr = [b[0], b[1], b[2], b[3]];
     match e {
         Endian::Little => u32::from_le_bytes(arr),
@@ -51,7 +51,7 @@ fn u32_at(e: Endian, b: &[u8]) -> u32 {
 
 /// Per-interface decoding state.
 #[derive(Debug, Clone, Copy)]
-struct Interface {
+pub(crate) struct Interface {
     /// Ticks per second of this interface's timestamps.
     ticks_per_sec: u64,
 }
@@ -67,7 +67,7 @@ impl Default for Interface {
 
 /// Parse `if_tsresol` (option code 9): value `v` means 10^-v seconds,
 /// or 2^-(v & 0x7f) if the MSB is set.
-fn ticks_per_sec_from_tsresol(v: u8) -> u64 {
+pub(crate) fn ticks_per_sec_from_tsresol(v: u8) -> u64 {
     if v & 0x80 != 0 {
         1u64 << (v & 0x7f).min(63)
     } else {
@@ -105,7 +105,14 @@ fn read_pcapng_blocks<R: Read>(mut r: R) -> Result<Trace, TraceError> {
         // section; the SHB is self-describing via its BOM).
         let mut hdr = [0u8; 8];
         match read_exact_or_eof(&mut r, &mut hdr) {
-            ReadOutcome::Eof => break,
+            ReadOutcome::Eof => {
+                if first {
+                    // A pcapng stream must open with an SHB; an empty
+                    // stream is a truncated capture, not an empty trace.
+                    return Err(TraceError::TruncatedRecord { packets_read: 0 });
+                }
+                break;
+            }
             ReadOutcome::Partial => {
                 return Err(TraceError::TruncatedRecord {
                     packets_read: packets.len(),
@@ -170,67 +177,93 @@ fn read_pcapng_blocks<R: Read>(mut r: R) -> Result<Trace, TraceError> {
 
         match block_type {
             IDB_TYPE => {
-                if body.len() < 8 {
-                    continue;
+                if let Some(iface) = parse_idb(endian, &body) {
+                    interfaces.push(iface);
                 }
-                let mut iface = Interface::default();
-                // Options start at offset 8 (linktype u16, reserved u16,
-                // snaplen u32).
-                let mut o = 8usize;
-                while o + 4 <= body.len() {
-                    let code = u16_at(endian, &body[o..]);
-                    let len = u16_at(endian, &body[o + 2..]) as usize;
-                    o += 4;
-                    if code == 0 {
-                        break; // opt_endofopt
-                    }
-                    if o + len > body.len() {
-                        break;
-                    }
-                    if code == 9 && len >= 1 {
-                        iface.ticks_per_sec = ticks_per_sec_from_tsresol(body[o]);
-                    }
-                    o += len.div_ceil(4) * 4; // options pad to 32 bits
-                }
-                interfaces.push(iface);
             }
             EPB_TYPE => {
-                if body.len() < 20 {
-                    continue;
+                if let Some(p) = parse_epb(endian, &body, &interfaces) {
+                    packets.push(p);
                 }
-                let iface_id = u32_at(endian, &body[0..]) as usize;
-                let ts_high = u64::from(u32_at(endian, &body[4..]));
-                let ts_low = u64::from(u32_at(endian, &body[8..]));
-                let caplen = u32_at(endian, &body[12..]) as usize;
-                let orig_len = u32_at(endian, &body[16..]);
-                let ticks = (ts_high << 32) | ts_low;
-                let tps = interfaces
-                    .get(iface_id)
-                    .copied()
-                    .unwrap_or_default()
-                    .ticks_per_sec;
-                // Convert ticks to microseconds exactly (128-bit to
-                // avoid both overflow and the truncation of non-decimal
-                // resolutions like 2^-10).
-                let micros = (u128::from(ticks) * 1_000_000 / u128::from(tps.max(1))) as u64;
-                let data_end = (20 + caplen).min(body.len());
-                let data = &body[20..data_end];
-                packets.push(parse_payload(data, orig_len, Micros(micros)));
             }
             SPB_TYPE => {
-                if body.len() < 4 {
-                    continue;
-                }
-                let orig_len = u32_at(endian, &body[0..]);
                 // SPB has no timestamp: record at the previous packet's
                 // time (or zero) to keep ordering sane.
                 let ts = packets.last().map_or(Micros::ZERO, |p| p.timestamp);
-                packets.push(parse_payload(&body[4..], orig_len, ts));
+                if let Some(p) = parse_spb(endian, &body, ts) {
+                    packets.push(p);
+                }
             }
             _ => { /* unknown block: already skipped via body read */ }
         }
     }
     Ok(Trace::from_unordered(packets))
+}
+
+/// Decode an Interface Description Block body (`None` if too short to
+/// carry the fixed linktype/snaplen prefix).
+pub(crate) fn parse_idb(endian: Endian, body: &[u8]) -> Option<Interface> {
+    if body.len() < 8 {
+        return None;
+    }
+    let mut iface = Interface::default();
+    // Options start at offset 8 (linktype u16, reserved u16, snaplen u32).
+    let mut o = 8usize;
+    while o + 4 <= body.len() {
+        let code = u16_at(endian, &body[o..]);
+        let len = u16_at(endian, &body[o + 2..]) as usize;
+        o += 4;
+        if code == 0 {
+            break; // opt_endofopt
+        }
+        if o + len > body.len() {
+            break;
+        }
+        if code == 9 && len >= 1 {
+            iface.ticks_per_sec = ticks_per_sec_from_tsresol(body[o]);
+        }
+        o += len.div_ceil(4) * 4; // options pad to 32 bits
+    }
+    Some(iface)
+}
+
+/// Decode an Enhanced Packet Block body into a record (`None` if too
+/// short for the fixed header).
+pub(crate) fn parse_epb(
+    endian: Endian,
+    body: &[u8],
+    interfaces: &[Interface],
+) -> Option<PacketRecord> {
+    if body.len() < 20 {
+        return None;
+    }
+    let iface_id = u32_at(endian, &body[0..]) as usize;
+    let ts_high = u64::from(u32_at(endian, &body[4..]));
+    let ts_low = u64::from(u32_at(endian, &body[8..]));
+    let caplen = u32_at(endian, &body[12..]) as usize;
+    let orig_len = u32_at(endian, &body[16..]);
+    let ticks = (ts_high << 32) | ts_low;
+    let tps = interfaces
+        .get(iface_id)
+        .copied()
+        .unwrap_or_default()
+        .ticks_per_sec;
+    // Convert ticks to microseconds exactly (128-bit to avoid both
+    // overflow and the truncation of non-decimal resolutions like 2^-10).
+    let micros = (u128::from(ticks) * 1_000_000 / u128::from(tps.max(1))) as u64;
+    let data_end = (20 + caplen).min(body.len());
+    let data = &body[20..data_end];
+    Some(parse_payload(data, orig_len, Micros(micros)))
+}
+
+/// Decode a Simple Packet Block body into a record at timestamp `ts`
+/// (`None` if too short for the original-length field).
+pub(crate) fn parse_spb(endian: Endian, body: &[u8], ts: Micros) -> Option<PacketRecord> {
+    if body.len() < 4 {
+        return None;
+    }
+    let orig_len = u32_at(endian, &body[0..]);
+    Some(parse_payload(&body[4..], orig_len, ts))
 }
 
 /// Sniff the first bytes and dispatch to the classic pcap or pcapng
@@ -241,7 +274,11 @@ fn read_pcapng_blocks<R: Read>(mut r: R) -> Result<Trace, TraceError> {
 /// neither format.
 pub fn read_capture<R: Read>(mut r: R) -> Result<Trace, TraceError> {
     let mut magic = [0u8; 4];
-    r.read_exact(&mut magic)?;
+    // Streams shorter than the 4 sniff bytes are truncated captures, not
+    // I/O failures: keep the error typed.
+    if !matches!(read_exact_or_eof(&mut r, &mut magic), ReadOutcome::Full) {
+        return Err(TraceError::TruncatedRecord { packets_read: 0 });
+    }
     let le = u32::from_le_bytes(magic);
     if le == SHB_TYPE {
         return read_pcapng(Chain {
@@ -274,7 +311,7 @@ impl<R: Read> Read for Chain<R> {
 }
 
 /// Reuse the classic reader's IPv4 recovery.
-fn parse_payload(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
+pub(crate) fn parse_payload(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
     let mut rec = PacketRecord::new(ts, orig_len.min(u32::from(u16::MAX)) as u16);
     if data.len() >= 20 && data[0] >> 4 == 4 {
         rec.protocol = Protocol::from_number(data[9]);
@@ -460,6 +497,30 @@ mod tests {
         b.epb(0, 1, &ipv4_payload(40, 6, 1, 2), 40);
         let t = read_pcapng(b.buf.as_slice()).unwrap();
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn short_inputs_report_truncation_not_io() {
+        // 0-, 1- and 3-byte streams (prefixes of a valid capture) are
+        // truncated captures, never raw I/O errors — and never an empty
+        // trace: a pcapng stream must open with a full SHB.
+        let valid = Builder::new().buf;
+        for len in [0usize, 1, 3] {
+            assert!(
+                matches!(
+                    read_pcapng(&valid[..len]),
+                    Err(TraceError::TruncatedRecord { packets_read: 0 })
+                ),
+                "read_pcapng len {len}"
+            );
+            assert!(
+                matches!(
+                    read_capture(&valid[..len]),
+                    Err(TraceError::TruncatedRecord { packets_read: 0 })
+                ),
+                "read_capture len {len}"
+            );
+        }
     }
 
     #[test]

@@ -253,8 +253,11 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) as the geometric midpoint
-    /// of the bucket containing it; `None` on an empty histogram.
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// inside the bucket containing it — the bucket's observations are
+    /// assumed evenly spread over its `[lo, hi)` range, so the estimate
+    /// moves smoothly with `q` instead of jumping bucket-midpoint to
+    /// bucket-midpoint; `None` on an empty histogram.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
@@ -266,6 +269,35 @@ impl HistogramSnapshot {
         // Saturating: per-bucket counts near u64::MAX must not wrap the
         // running total (they can only push it to the ceiling, which
         // still resolves the correct bucket for any reachable rank).
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let before = seen;
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                let (lo, hi) = Histogram::bucket_bounds(i);
+                // Position of the ranked observation among the bucket's
+                // `c`, with a half-observation continuity correction so
+                // the first maps near `lo` and the last stays below
+                // `hi` (clamped in case `seen` saturated above).
+                let frac = (((rank - before) as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
+                let est = (lo as f64 + (hi - lo) as f64 * frac) as u64;
+                return Some(est.min(self.max).max(lo));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Estimate the `q`-quantile (`0 ≤ q ≤ 1`) as the geometric midpoint
+    /// of the bucket containing it; `None` on an empty histogram. The
+    /// pre-interpolation estimator, kept for comparison against
+    /// [`HistogramSnapshot::quantile`].
+    #[must_use]
+    pub fn quantile_midpoint(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen = seen.saturating_add(c);
@@ -389,6 +421,58 @@ mod tests {
         }
         assert_eq!(h.p50(), h.percentile(50.0));
         assert_eq!(h.p99(), h.percentile(99.0));
+    }
+
+    #[test]
+    fn interpolated_quantile_moves_smoothly_within_a_bucket() {
+        // 100 observations in one bucket [512, 1024): interpolation must
+        // be nondecreasing in q and sweep a wide span of the bucket,
+        // where the midpoint estimator returns one constant.
+        let mut buckets = [0u64; BUCKETS];
+        let idx = Histogram::bucket_index(700);
+        buckets[idx] = 100;
+        let s = HistogramSnapshot {
+            buckets,
+            count: 100,
+            sum: 70_000,
+            max: 1023,
+        };
+        let (lo, hi) = Histogram::bucket_bounds(idx);
+        let mut prev = 0u64;
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = s.quantile(q).unwrap();
+            assert!((lo..hi).contains(&v), "q {q} = {v}");
+            assert!(v >= prev, "quantile not monotone at q {q}");
+            prev = v;
+            distinct.insert(v);
+        }
+        // Midpoint estimator: one value for every q. Interpolation:
+        // many.
+        assert!(
+            distinct.len() > 10,
+            "only {} distinct values",
+            distinct.len()
+        );
+        assert_eq!(s.quantile_midpoint(0.1), s.quantile_midpoint(0.9));
+    }
+
+    #[test]
+    fn interpolation_tracks_uniform_data_closely() {
+        // Uniform values over one bucket: the interpolated median should
+        // land near the true median (768 for uniform [512, 1024)).
+        let mut buckets = [0u64; BUCKETS];
+        let idx = Histogram::bucket_index(700);
+        buckets[idx] = 512;
+        let s = HistogramSnapshot {
+            buckets,
+            count: 512,
+            sum: 0,
+            max: 1023,
+        };
+        let p50 = s.quantile(0.5).unwrap();
+        assert!((760..=776).contains(&p50), "p50 {p50}");
     }
 
     #[test]

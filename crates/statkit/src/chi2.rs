@@ -6,6 +6,59 @@
 //! decision applied to the 1-in-50 systematic samples in §6.
 
 use crate::special::{gamma_p, gamma_q};
+use std::fmt;
+
+/// Degenerate input to a χ² test, reported instead of aborting by
+/// [`Chi2Test::try_from_counts`]. `Display` messages match the historic
+/// panic messages of [`Chi2Test::from_counts`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Chi2Error {
+    /// Observed and expected slices differ in length.
+    LengthMismatch {
+        /// Number of observed bins.
+        observed: usize,
+        /// Number of expected bins.
+        expected: usize,
+    },
+    /// An expected count below zero.
+    NegativeExpected,
+    /// Fewer than two bins with positive expected counts.
+    TooFewBins {
+        /// Bins with positive expected counts.
+        usable: u32,
+    },
+    /// Fitting parameters consumed every degree of freedom.
+    NoDegreesOfFreedom,
+    /// Observed counts produced a NaN or infinite statistic.
+    NonFiniteStatistic,
+}
+
+impl fmt::Display for Chi2Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Chi2Error::LengthMismatch { observed, expected } => write!(
+                f,
+                "observed/expected bin counts differ in length ({observed} vs {expected})"
+            ),
+            Chi2Error::NegativeExpected => write!(f, "expected counts cannot be negative"),
+            Chi2Error::TooFewBins { usable } => write!(
+                f,
+                "chi-square test needs at least two bins with expected counts (got {usable})"
+            ),
+            Chi2Error::NoDegreesOfFreedom => {
+                write!(f, "no degrees of freedom left after fitting")
+            }
+            Chi2Error::NonFiniteStatistic => {
+                write!(
+                    f,
+                    "observed counts produced a non-finite chi-square statistic"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Chi2Error {}
 
 /// χ² cumulative distribution function with `df` degrees of freedom.
 ///
@@ -91,36 +144,69 @@ impl Chi2Test {
     /// bins remain, or if any expected count is negative.
     #[must_use]
     pub fn from_counts(observed: &[f64], expected: &[f64], fitted_params: u32) -> Chi2Test {
-        assert_eq!(
-            observed.len(),
-            expected.len(),
-            "observed/expected bin counts differ in length"
-        );
+        match Self::try_from_counts(observed, expected, fitted_params) {
+            Ok(t) => t,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Chi2Test::from_counts`]: degenerate inputs (mismatched
+    /// slices, negative expectations, fewer than two usable bins, no
+    /// degrees of freedom) come back as a typed [`Chi2Error`] instead of
+    /// aborting the process — the variant to use on untrusted or
+    /// machine-generated bin counts.
+    ///
+    /// # Errors
+    /// Returns the first [`Chi2Error`] the input trips.
+    pub fn try_from_counts(
+        observed: &[f64],
+        expected: &[f64],
+        fitted_params: u32,
+    ) -> Result<Chi2Test, Chi2Error> {
+        if observed.len() != expected.len() {
+            return Err(Chi2Error::LengthMismatch {
+                observed: observed.len(),
+                expected: expected.len(),
+            });
+        }
         let mut stat = 0.0;
         let mut used = 0u32;
         for (&o, &e) in observed.iter().zip(expected) {
-            assert!(e >= 0.0, "expected counts cannot be negative");
+            // `!(e >= 0.0)` rather than `e < 0.0`: NaN expectations must
+            // fail this check too, and NaN compares false both ways.
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            if !(e >= 0.0) {
+                return Err(Chi2Error::NegativeExpected);
+            }
             if e > 0.0 {
                 let d = o - e;
                 stat += d * d / e;
                 used += 1;
             }
         }
-        assert!(
-            used >= 2,
-            "chi-square test needs at least two bins with expected counts"
-        );
+        if used < 2 {
+            return Err(Chi2Error::TooFewBins { usable: used });
+        }
+        if fitted_params >= used - 1 {
+            // from_counts used to underflow `used - 1 - fitted_params`
+            // here rather than reach its df assert.
+            return Err(Chi2Error::NoDegreesOfFreedom);
+        }
+        if !stat.is_finite() {
+            // NaN/∞ observed counts would otherwise trip chi2_sf's
+            // nonnegativity assert downstream.
+            return Err(Chi2Error::NonFiniteStatistic);
+        }
         let df = used - 1 - fitted_params;
-        assert!(df >= 1, "no degrees of freedom left after fitting");
         if obskit::recording_enabled() {
             obskit::counter("statkit_chi2_tests_total").inc();
             obskit::counter("statkit_chi2_cells_evaluated_total").add(u64::from(used));
         }
-        Chi2Test {
+        Ok(Chi2Test {
             statistic: stat,
             df,
             p_value: chi2_sf(df, stat),
-        }
+        })
     }
 
     /// Whether the null hypothesis (sample drawn from the reference
@@ -222,5 +308,46 @@ mod tests {
     #[should_panic(expected = "at least two bins")]
     fn degenerate_bins_panic() {
         let _ = Chi2Test::from_counts(&[5.0, 3.0], &[8.0, 0.0], 0);
+    }
+
+    #[test]
+    fn try_from_counts_reports_degenerate_inputs() {
+        assert_eq!(
+            Chi2Test::try_from_counts(&[1.0], &[1.0, 2.0], 0),
+            Err(Chi2Error::LengthMismatch {
+                observed: 1,
+                expected: 2
+            })
+        );
+        assert_eq!(
+            Chi2Test::try_from_counts(&[5.0, 3.0], &[8.0, -1.0], 0),
+            Err(Chi2Error::NegativeExpected)
+        );
+        assert_eq!(
+            Chi2Test::try_from_counts(&[5.0, 3.0], &[8.0, f64::NAN], 0),
+            Err(Chi2Error::NegativeExpected)
+        );
+        assert_eq!(
+            Chi2Test::try_from_counts(&[5.0, 3.0], &[8.0, 0.0], 0),
+            Err(Chi2Error::TooFewBins { usable: 1 })
+        );
+        assert_eq!(
+            Chi2Test::try_from_counts(&[], &[], 0),
+            Err(Chi2Error::TooFewBins { usable: 0 })
+        );
+        // fitted_params >= usable - 1 used to underflow the df
+        // subtraction instead of reaching the df assert.
+        assert_eq!(
+            Chi2Test::try_from_counts(&[1.0, 2.0, 3.0], &[1.0, 2.0, 3.0], 2),
+            Err(Chi2Error::NoDegreesOfFreedom)
+        );
+        assert_eq!(
+            Chi2Test::try_from_counts(&[f64::NAN, 2.0], &[1.0, 2.0], 0),
+            Err(Chi2Error::NonFiniteStatistic)
+        );
+        // A valid input round-trips identically through both paths.
+        let a = Chi2Test::try_from_counts(&[48.0, 35.0, 17.0], &[50.0, 30.0, 20.0], 0).unwrap();
+        let b = Chi2Test::from_counts(&[48.0, 35.0, 17.0], &[50.0, 30.0, 20.0], 0);
+        assert_eq!(a, b);
     }
 }

@@ -37,7 +37,7 @@ pub mod summary;
 pub use acf::{acf, lag1, white_noise_band};
 pub use ad::AndersonDarling;
 pub use boxplot::Boxplot;
-pub use chi2::{chi2_cdf, chi2_sf, Chi2Test};
+pub use chi2::{chi2_cdf, chi2_sf, Chi2Error, Chi2Test};
 pub use ks::{ks_two_sample, KsTest};
 pub use moments::Moments;
 pub use quantile::{quantile, quantile_sorted};
