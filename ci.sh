@@ -74,6 +74,39 @@ if "$bin" analyze "$tmpdir/cut.pcap" > /dev/null 2>&1; then
 fi
 "$bin" analyze "$tmpdir/cut.pcap" --lossy | grep -q "lossy ingest (pcap)"
 
+echo "== stream: one-pass windowed characterization (stdin, deterministic)"
+# The streaming engine is a pure function of the capture bytes: piping
+# the same capture through stdin twice must print byte-identical
+# output, and reading the same capture as a file must match the pipe.
+for pass in 1 2; do
+    "$bin" stream - --window 2000 --interval 50 < "$tmpdir/pop.pcap" \
+        > "$tmpdir/stream.$pass.out"
+done
+diff "$tmpdir/stream.1.out" "$tmpdir/stream.2.out" || {
+    echo "stream output is nondeterministic across runs" >&2
+    exit 1
+}
+"$bin" stream "$tmpdir/pop.pcap" --window 2000 --interval 50 \
+    > "$tmpdir/stream.file.out"
+diff "$tmpdir/stream.1.out" "$tmpdir/stream.file.out" || {
+    echo "stream differs between stdin and file ingestion" >&2
+    exit 1
+}
+grep -q "mean phi=" "$tmpdir/stream.1.out"
+# A capture that ends mid-record is a data error (sysexits 65) carrying
+# the byte offset of the broken record, like the salvage reader reports.
+if "$bin" stream "$tmpdir/cut.pcap" --window 1000 > /dev/null 2> "$tmpdir/stream.err"; then
+    echo "stream accepted a truncated capture" >&2
+    exit 1
+else
+    code=$?
+    if [ "$code" -ne 65 ]; then
+        echo "stream exited $code on a truncated capture, want 65" >&2
+        exit 1
+    fi
+fi
+grep -q "at byte" "$tmpdir/stream.err"
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

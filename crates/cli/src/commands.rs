@@ -13,7 +13,8 @@ use sampling::{disparity, select_indices, MethodSpec, Target};
 use statkit::SummaryRow;
 use std::fmt::Write as _;
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write as _};
+use streamkit::{run_stream, Backpressure, StreamConfig, StreamError, StreamMethod, WindowSpec};
 
 /// A classified command failure. The class picks the process exit code,
 /// following the `sysexits.h` conventions, so scripts can distinguish
@@ -90,6 +91,24 @@ impl From<TraceError> for CmdError {
         match e {
             TraceError::Io(_) => CmdError::Io(e.to_string()),
             _ => CmdError::Data(e.to_string()),
+        }
+    }
+}
+
+impl From<StreamError> for CmdError {
+    fn from(e: StreamError) -> CmdError {
+        match &e {
+            // Bad geometry or a degenerate method: the caller's flags.
+            StreamError::Config(_) | StreamError::Build(_) => CmdError::Usage(e.to_string()),
+            // The OS failed the read mid-stream.
+            StreamError::Ingest {
+                error: TraceError::Io(_),
+                ..
+            } => CmdError::Io(e.to_string()),
+            // The capture itself is broken; the message carries the
+            // byte offset of the broken structure, like `analyze
+            // --lossy` reports it.
+            StreamError::Ingest { .. } => CmdError::Data(e.to_string()),
         }
     }
 }
@@ -228,8 +247,12 @@ pub fn analyze(args: &Args) -> Result<String, CmdError> {
                 "s"
             },
         )?;
-        if let Some(fault) = &report.error {
-            writeln!(out, "first fault at byte {}: {}", fault.offset, fault.error)?;
+        for (i, fault) in report.faults.iter().enumerate() {
+            if i == 0 {
+                writeln!(out, "first fault at byte {}: {}", fault.offset, fault.error)?;
+            } else {
+                writeln!(out, "      fault at byte {}: {}", fault.offset, fault.error)?;
+            }
         }
         writeln!(out)?;
         report.trace
@@ -417,6 +440,208 @@ pub fn sweep(args: &Args) -> Result<String, CmdError> {
             }
         }
         writeln!(out)?;
+    }
+    Ok(out)
+}
+
+/// Method selection for the streaming engine. Mirrors [`parse_method`]
+/// plus the stream-only reservoir; `random` additionally needs
+/// `--population` (the engine rejects it otherwise, pointing at the
+/// reservoir as the hint-free alternative).
+fn parse_stream_method(args: &Args) -> Result<StreamMethod, CmdError> {
+    let k: usize = args.opt_num("interval", 50)?;
+    if k == 0 {
+        return Err(CmdError::usage(
+            "--interval must be at least 1 (a 1-in-0 selection is undefined)",
+        ));
+    }
+    let method = match args.opt_or("method", "systematic") {
+        "systematic" => StreamMethod::Spec(MethodSpec::Systematic { interval: k }),
+        "stratified" => StreamMethod::Spec(MethodSpec::StratifiedRandom { bucket: k }),
+        "geometric" => StreamMethod::Spec(MethodSpec::GeometricSkip { mean_interval: k }),
+        "random" => StreamMethod::Spec(MethodSpec::SimpleRandom {
+            fraction: 1.0 / k as f64,
+        }),
+        "reservoir" => {
+            let capacity: usize = args.opt_num("capacity", 100)?;
+            if capacity == 0 {
+                return Err(CmdError::usage("--capacity must be at least 1"));
+            }
+            StreamMethod::Reservoir { capacity }
+        }
+        "sys-timer" | "strat-timer" => {
+            return Err(CmdError::usage(
+                "timer methods need a rate; use `sweep` which derives it",
+            ))
+        }
+        other => {
+            return Err(CmdError::usage(format!(
+                "unknown method '{other}' (systematic|stratified|random|geometric|reservoir)"
+            )))
+        }
+    };
+    Ok(method)
+}
+
+/// One scored window as a JSONL record (hand-rendered; the workspace
+/// carries no JSON dependency).
+fn jsonl_record(w: &streamkit::WindowReport) -> String {
+    let num = |v: f64| {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    };
+    let mut s = format!(
+        "{{\"index\":{},\"start_us\":{},\"packets\":{},\"selected\":{}",
+        w.index,
+        w.start_ts.as_u64(),
+        w.packets,
+        w.selected
+    );
+    if let (Some(first), Some(last)) = (w.first_ts, w.last_ts) {
+        let _ = write!(
+            s,
+            ",\"first_us\":{},\"last_us\":{}",
+            first.as_u64(),
+            last.as_u64()
+        );
+    }
+    match &w.report {
+        Some(r) => {
+            let _ = write!(
+                s,
+                ",\"n\":{},\"phi\":{},\"chi2\":{},\"significance\":{}",
+                r.sample_size,
+                num(r.phi),
+                num(r.chi2),
+                num(r.significance)
+            );
+        }
+        None => s.push_str(",\"phi\":null"),
+    }
+    s.push('}');
+    s
+}
+
+/// `netsample stream <trace.pcap|-> [--window N|DUR] [--slide N|DUR]
+/// [--method M] [--interval k] [--capacity c] [--target T] ...` —
+/// one-pass windowed characterization in O(window) memory. `-` reads
+/// the capture from stdin, so a live `tcpdump -w -` pipes straight in.
+/// One tumbling window spanning the whole capture reproduces the batch
+/// `score` φ bit-for-bit for every packet-driven method.
+pub fn stream(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let path = args.positional(0, "trace.pcap")?;
+    let target = parse_target(args.opt_or("target", "packet-size"))?;
+    let window = WindowSpec::parse(args.opt_or("window", "1000")).map_err(CmdError::usage)?;
+    let mut cfg = StreamConfig::new(parse_stream_method(args)?, target, window);
+    cfg.slide = args
+        .opt("slide")
+        .map(WindowSpec::parse)
+        .transpose()
+        .map_err(CmdError::usage)?;
+    cfg.seed = args.opt_num("seed", 1993)?;
+    cfg.replication = args.opt_num("replication", 0)?;
+    if args.opt("population").is_some() {
+        cfg.population_hint = Some(args.opt_num("population", 0usize)?);
+    }
+    cfg.batch = args.opt_num("batch", cfg.batch)?;
+    cfg.queue = args.opt_num("queue", cfg.queue)?;
+    if cfg.batch == 0 || cfg.queue == 0 {
+        return Err(CmdError::usage("--batch and --queue must be at least 1"));
+    }
+    cfg.backpressure = match args.opt_or("backpressure", "block") {
+        "block" => Backpressure::Block,
+        "drop-newest" => Backpressure::DropNewest,
+        other => {
+            return Err(CmdError::usage(format!(
+                "unknown backpressure policy '{other}' (block|drop-newest)"
+            )))
+        }
+    };
+    cfg.jobs = parkit::default_jobs();
+    if let Some(ref_path) = args.opt("reference") {
+        let reference = load(ref_path)?;
+        if reference.is_empty() {
+            return Err(CmdError::data("reference trace is empty"));
+        }
+        cfg.reference = Some(target.population_histogram(reference.packets()));
+    }
+
+    let summary = if path == "-" {
+        run_stream(BufReader::new(std::io::stdin()), &cfg)?
+    } else {
+        let f = File::open(path).map_err(|e| CmdError::io(format!("cannot open {path}: {e}")))?;
+        run_stream(BufReader::new(f), &cfg)?
+    };
+
+    if let Some(jsonl) = args.opt("jsonl") {
+        let f =
+            File::create(jsonl).map_err(|e| CmdError::io(format!("cannot create {jsonl}: {e}")))?;
+        let mut sink = BufWriter::new(f);
+        for w in &summary.windows {
+            writeln!(sink, "{}", jsonl_record(w))
+                .map_err(|e| CmdError::io(format!("cannot write {jsonl}: {e}")))?;
+        }
+        sink.flush()
+            .map_err(|e| CmdError::io(format!("cannot write {jsonl}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    let slide = match cfg.slide {
+        Some(s) => format!("sliding by {s}"),
+        None => "tumbling".to_string(),
+    };
+    writeln!(
+        out,
+        "stream ({}): {} on {}, window {} {}, seed {}",
+        summary.format, summary.method, summary.target, cfg.window, slide, cfg.seed
+    )?;
+    for w in &summary.windows {
+        write!(
+            out,
+            "  window {:>4} start={:<12} n={:<8} selected={:<6}",
+            w.index,
+            format!("{}us", w.start_ts.as_u64()),
+            w.packets,
+            w.selected
+        )?;
+        match &w.report {
+            Some(r) => writeln!(out, " phi={:.5} chi2={:.2}", r.phi, r.chi2)?,
+            None => writeln!(out, " phi=empty")?,
+        }
+    }
+    if summary.dropped_batches > 0 {
+        writeln!(
+            out,
+            "backpressure shed {} batch{} ({} packets)",
+            summary.dropped_batches,
+            if summary.dropped_batches == 1 {
+                ""
+            } else {
+                "es"
+            },
+            summary.dropped_packets
+        )?;
+    }
+    let scored = summary
+        .windows
+        .iter()
+        .filter(|w| w.report.is_some())
+        .count();
+    write!(
+        out,
+        "{} packets, {} selected, {} window{} ({scored} scored)",
+        summary.packets,
+        summary.selected,
+        summary.windows.len(),
+        if summary.windows.len() == 1 { "" } else { "s" },
+    )?;
+    match summary.mean_phi() {
+        Some(phi) => writeln!(out, ", mean phi={phi:.5}")?,
+        None => writeln!(out)?,
     }
     Ok(out)
 }
@@ -638,6 +863,169 @@ mod tests {
 
         std::fs::remove_file(&pop).ok();
         std::fs::remove_file(&cut).ok();
+    }
+
+    const STREAM_OPTS: &[&str] = &[
+        "window",
+        "slide",
+        "method",
+        "interval",
+        "capacity",
+        "target",
+        "seed",
+        "replication",
+        "population",
+        "batch",
+        "queue",
+        "backpressure",
+        "jsonl",
+        "reference",
+    ];
+
+    #[test]
+    fn stream_windows_a_capture_end_to_end() {
+        let pop = tmp("stream_pop");
+        synth(&args(
+            &[&pop, "--seconds", "20", "--seed", "5"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+
+        let out = stream(&args(
+            &[&pop, "--window", "2000", "--interval", "50"],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        assert!(out.contains("stream (pcap): systematic"), "{out}");
+        assert!(out.contains("window    0"), "{out}");
+        assert!(out.contains("mean phi="), "{out}");
+
+        // Time windows and the reservoir, which needs no population.
+        let out = stream(&args(
+            &[
+                &pop,
+                "--window",
+                "5s",
+                "--method",
+                "reservoir",
+                "--capacity",
+                "80",
+            ],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        assert!(out.contains("reservoir(k=80)"), "{out}");
+        assert!(out.contains("window 5s tumbling"), "{out}");
+
+        std::fs::remove_file(&pop).ok();
+    }
+
+    #[test]
+    fn stream_writes_jsonl_per_window() {
+        let pop = tmp("stream_jsonl_pop");
+        synth(&args(
+            &[&pop, "--seconds", "15", "--seed", "8"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        let sink = tmp("stream_jsonl_out");
+        let out = stream(&args(
+            &[&pop, "--window", "1500", "--jsonl", &sink],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        let lines: Vec<String> = std::fs::read_to_string(&sink)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect();
+        let windows = out.lines().filter(|l| l.contains("start=")).count();
+        assert_eq!(lines.len(), windows, "one JSONL record per window");
+        assert!(lines[0].starts_with("{\"index\":0,"), "{}", lines[0]);
+        assert!(lines[0].contains("\"phi\":"), "{}", lines[0]);
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&sink).ok();
+    }
+
+    #[test]
+    fn stream_classifies_failures_like_the_salvage_reader() {
+        let pop = tmp("stream_cut_pop");
+        synth(&args(
+            &[&pop, "--seconds", "10", "--seed", "2"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        let bytes = std::fs::read(&pop).unwrap();
+        let cut = tmp("stream_cut");
+        std::fs::write(&cut, &bytes[..bytes.len() - 7]).unwrap();
+
+        // A capture that ends mid-record is a data error (65) carrying
+        // the byte offset of the broken record, like `analyze --lossy`.
+        let e = stream(&args(&[&cut], STREAM_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 65, "{e}");
+        assert!(e.to_string().contains("at byte"), "{e}");
+
+        // Caller mistakes are usage errors (64), surfaced before any
+        // byte is read.
+        for bad in [
+            vec![&pop as &str, "--window", "0"],
+            vec![&pop, "--window", "10x"],
+            vec![&pop, "--window", "10s", "--slide", "3s"],
+            vec![&pop, "--method", "random"], // needs --population
+            vec![&pop, "--method", "reservoir", "--slide", "500"],
+            vec![&pop, "--backpressure", "sometimes"],
+        ] {
+            let e = stream(&args(&bad, STREAM_OPTS)).unwrap_err();
+            assert_eq!(e.exit_code(), 64, "{bad:?}: {e}");
+        }
+
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    #[test]
+    fn stream_phi_matches_batch_score_on_one_window() {
+        // The CLI-level equivalence smoke: one tumbling window spanning
+        // the capture reproduces `score`'s replication-0 φ digits.
+        let pop = tmp("stream_eq_pop");
+        synth(&args(
+            &[&pop, "--seconds", "12", "--seed", "6"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+        let n = load(&pop).unwrap().len();
+        let streamed = stream(&args(
+            &[
+                &pop,
+                "--window",
+                &n.to_string(),
+                "--interval",
+                "50",
+                "--seed",
+                "11",
+            ],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        let scored = score(&args(
+            &[
+                &pop,
+                "--interval",
+                "50",
+                "--seed",
+                "11",
+                "--replications",
+                "1",
+            ],
+            &["method", "interval", "seed", "target", "replications"],
+        ))
+        .unwrap();
+        let phi_of = |text: &str| {
+            let at = text.find("phi=").expect("phi in output");
+            text[at + 4..at + 11].to_string()
+        };
+        assert_eq!(phi_of(&streamed), phi_of(&scored), "{streamed}\n{scored}");
+        std::fs::remove_file(&pop).ok();
     }
 
     #[test]

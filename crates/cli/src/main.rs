@@ -12,6 +12,7 @@
 //!                   [--target packet-size|interarrival|protocol|port] [--replications R]
 //! netsample compare <a.pcap> <b.pcap> [--target T]
 //! netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+//! netsample stream  <trace.pcap|-> [--window N|DUR] [--method M] [--interval k]
 //! netsample fuzz    [--seed S] [--mutations N] [--cases M]
 //! ```
 
@@ -34,6 +35,11 @@ USAGE:
   netsample score   <population.pcap> [--method M] [--interval k] [--target T] [--replications R]
   netsample compare <a.pcap> <b.pcap> [--target T]
   netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+  netsample stream  <trace.pcap|-> [--window N|DUR] [--slide N|DUR] [--method M]
+                    [--interval k] [--capacity c] [--target T] [--seed S]
+                    [--backpressure block|drop-newest] [--jsonl out.jsonl]
+                    [--reference ref.pcap]   (- reads the capture from stdin;
+                    one-pass, O(window) memory; DUR like 500ms, 10s, 1m)
   netsample fuzz    [--seed S] [--mutations N] [--cases M] [--corpus-packets P]
   netsample perf    record|report|diff ...   (see `netsample perf`)
 
@@ -48,7 +54,7 @@ global options (any position):
   --profile-out <path> write the run's span tree as collapsed stacks
                        (flamegraph/'inferno' input) to <path> at exit
 
-methods: systematic | stratified | random | geometric
+methods: systematic | stratified | random | geometric (stream adds: reservoir)
 targets: packet-size | interarrival | protocol | port
 
 exit codes: 0 ok, 1 failed gate (perf regression, fuzz finding),
@@ -212,6 +218,28 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
         "sweep" => {
             let a = Args::parse(rest, &["target", "replications", "seed", "max-interval"])?;
             commands::sweep(&a)
+        }
+        "stream" => {
+            let a = Args::parse(
+                rest,
+                &[
+                    "window",
+                    "slide",
+                    "method",
+                    "interval",
+                    "capacity",
+                    "target",
+                    "seed",
+                    "replication",
+                    "population",
+                    "batch",
+                    "queue",
+                    "backpressure",
+                    "jsonl",
+                    "reference",
+                ],
+            )?;
+            commands::stream(&a)
         }
         "perf" => perf::perf(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),

@@ -6,7 +6,9 @@
 //!   `--packets` packets), writes the instrumented run as the next
 //!   `BENCH_<n>.json` in `--dir`, and diffs it against the newest prior
 //!   report there. Each of the 30 cells is timed and gated separately
-//!   (`cell/<family>/<target>/k<k>`).
+//!   (`cell/<family>/<target>/k<k>`), plus four end-to-end streaming
+//!   cells (`stream/<target>/k50`) covering decode → window → sample →
+//!   score through `streamkit`.
 //! * `perf report` pretty-prints one report (a named file, or the
 //!   newest in `--dir`).
 //! * `perf diff` compares two report files.
@@ -21,9 +23,10 @@ use crate::commands::CmdError;
 use netsynth::TraceProfile;
 use nettrace::Trace;
 use sampling::experiment::{Experiment, MethodFamily};
-use sampling::Target;
+use sampling::{MethodSpec, Target};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+use streamkit::{run_stream, StreamConfig, StreamMethod, WindowSpec};
 
 const PERF_USAGE: &str = "usage:
   netsample perf record [--dir D] [--packets N] [--seed S] [--replications R]
@@ -197,7 +200,7 @@ fn record(args: &Args) -> Result<String, CmdError> {
                 best_us[i] = best_us[i].min(started.elapsed().as_micros() as u64);
             }
         }
-        let experiments = cells
+        let mut experiments: Vec<perfkit::ExperimentTime> = cells
             .iter()
             .zip(best_us)
             .map(|(&(family, target, k), wall_us)| perfkit::ExperimentTime {
@@ -205,6 +208,50 @@ fn record(args: &Args) -> Result<String, CmdError> {
                 wall_us,
             })
             .collect();
+
+        // The streaming path, end to end: decode the pcap bytes, window,
+        // sample, score — one cell per characterization target at the
+        // paper's k = 50 operating point, 10k-packet tumbling windows.
+        // A regression in chunked ingestion, the windower, or the staged
+        // pipeline shows up here even when the batch cells are clean.
+        let capture = {
+            let _s = obskit::span("perf_stream_encode");
+            let mut buf = Vec::new();
+            nettrace::pcap::write_pcap(&mut buf, &trace)
+                .map_err(|e| CmdError::data(format!("encoding workload capture: {e}")))?;
+            buf
+        };
+        let stream_targets = [
+            Target::PacketSize,
+            Target::Interarrival,
+            Target::Protocol,
+            Target::Port,
+        ];
+        let mut stream_best = vec![u64::MAX; stream_targets.len()];
+        for _pass in 0..RECORD_PASSES {
+            for (i, &target) in stream_targets.iter().enumerate() {
+                let mut cfg = StreamConfig::new(
+                    StreamMethod::Spec(MethodSpec::Systematic { interval: 50 }),
+                    target,
+                    WindowSpec::Count(10_000),
+                );
+                cfg.seed = seed;
+                cfg.jobs = jobs;
+                let started = Instant::now();
+                let _summary = run_stream(capture.as_slice(), &cfg)
+                    .map_err(|e| CmdError::data(format!("stream workload: {e}")))?;
+                stream_best[i] = stream_best[i].min(started.elapsed().as_micros() as u64);
+            }
+        }
+        experiments.extend(
+            stream_targets
+                .iter()
+                .zip(stream_best)
+                .map(|(&target, wall_us)| perfkit::ExperimentTime {
+                    name: format!("stream/{target}/k50"),
+                    wall_us,
+                }),
+        );
         (trace, experiments)
     };
 
@@ -307,6 +354,8 @@ mod tests {
         assert!(out.contains("2 jobs"), "{out}");
         assert!(out.contains("cell/systematic/packet-size/k50"), "{out}");
         assert!(out.contains("cell/strat-timer/interarrival/k100"), "{out}");
+        assert!(out.contains("stream/packet-size/k50"), "{out}");
+        assert!(out.contains("stream/port/k50"), "{out}");
         assert!(out.contains("no prior BENCH_*.json baseline"), "{out}");
         let report = run(&["report", "--dir", dir_s]).unwrap();
         assert!(report.contains("BENCH_1"), "{report}");

@@ -10,7 +10,10 @@
 //!   all: it reports a consistent salvage (`bytes_consumed ≤ total`,
 //!   `packets_salvaged = trace.len()`, fault offset within the image);
 //! * the two agree: a clean lossy parse and a strict accept imply each
-//!   other, with identical packet counts.
+//!   other, with identical packet counts;
+//! * the chunked streaming reader ([`nettrace::CaptureStream`]) agrees
+//!   with the batch reader on every image: same accept/reject verdict,
+//!   same error class on reject, same packets on accept.
 //!
 //! The campaign is a pure function of the seed; its [`Digest`] folds
 //! every case's classification so cross-run identity is one comparison.
@@ -65,11 +68,18 @@ pub struct CampaignReport {
 fn classify(result: &Result<Trace, TraceError>) -> &'static str {
     match result {
         Ok(_) => "ok",
-        Err(TraceError::BadMagic(_)) => "bad_magic",
-        Err(TraceError::TruncatedRecord { .. }) => "truncated",
-        Err(TraceError::OversizedRecord { .. }) => "oversized",
-        Err(TraceError::Io(_)) => "io",
-        Err(_) => "other",
+        Err(e) => classify_error(e),
+    }
+}
+
+/// Stable short name for a [`TraceError`] variant.
+fn classify_error(error: &TraceError) -> &'static str {
+    match error {
+        TraceError::BadMagic(_) => "bad_magic",
+        TraceError::TruncatedRecord { .. } => "truncated",
+        TraceError::OversizedRecord { .. } => "oversized",
+        TraceError::Io(_) => "io",
+        _ => "other",
     }
 }
 
@@ -140,7 +150,7 @@ impl Campaign {
                         report.trace.len()
                     ));
                 }
-                if let Some(fault) = &report.error {
+                for fault in &report.faults {
                     if fault.offset > report.bytes_total {
                         violate(format!(
                             "fault offset {} beyond image of {} bytes",
@@ -148,7 +158,15 @@ impl Campaign {
                         ));
                     }
                 }
-                match (&strict, report.error.is_none()) {
+                for pair in report.faults.windows(2) {
+                    if pair[0].offset >= pair[1].offset {
+                        violate(format!(
+                            "fault offsets not strictly increasing: {} then {}",
+                            pair[0].offset, pair[1].offset
+                        ));
+                    }
+                }
+                match (&strict, report.is_clean()) {
                     (Ok(Ok(trace)), false) => violate(format!(
                         "strict accepted {} packets but lossy reported a fault",
                         trace.len()
@@ -167,6 +185,72 @@ impl Campaign {
                 }
                 self.digest.update_u64(report.packets_salvaged as u64);
                 self.digest.update_u64(report.bytes_consumed);
+                self.digest.update_u64(report.faults.len() as u64);
+            }
+        }
+
+        // The chunked streaming reader must agree with the batch reader
+        // case by case: same accept/reject verdict, and on accept the
+        // same packets (the stream yields file order; the batch reader
+        // sorts, so compare through `Trace::from_unordered`).
+        let streamed = catch_unwind(AssertUnwindSafe(|| {
+            let mut stream = nettrace::CaptureStream::new(image)?;
+            let mut packets = Vec::new();
+            while let Some(packet) = stream.next_packet()? {
+                packets.push(packet);
+            }
+            Ok::<_, TraceError>(packets)
+        }));
+        match streamed {
+            Err(panic) => {
+                self.findings.push(Finding {
+                    case_id,
+                    source: source.to_string(),
+                    detail: format!(
+                        "streaming reader panicked on {what}: {}",
+                        crate::panic_message(&*panic)
+                    ),
+                });
+            }
+            Ok(streamed) => {
+                let mut violate = |detail: String| {
+                    self.findings.push(Finding {
+                        case_id,
+                        source: source.to_string(),
+                        detail: format!("{detail} ({what})"),
+                    });
+                };
+                match (&strict, &streamed) {
+                    (Ok(Ok(trace)), Ok(packets)) => {
+                        if Trace::from_unordered(packets.clone()).packets() != trace.packets() {
+                            violate(format!(
+                                "stream read {} packets that differ from strict's {}",
+                                packets.len(),
+                                trace.len()
+                            ));
+                        }
+                    }
+                    (Ok(Ok(trace)), Err(stream_err)) => violate(format!(
+                        "strict accepted {} packets but stream failed: {stream_err}",
+                        trace.len()
+                    )),
+                    (Ok(Err(strict_err)), Ok(packets)) => violate(format!(
+                        "strict rejected ({strict_err}) a stream that streamed {} packets",
+                        packets.len()
+                    )),
+                    (Ok(Err(strict_err)), Err(stream_err)) => {
+                        let stream_class = classify_error(stream_err);
+                        let strict_class = classify_error(strict_err);
+                        if stream_class != strict_class {
+                            violate(format!(
+                                "strict failed as {strict_class} but stream as {stream_class}"
+                            ));
+                        }
+                    }
+                    (Err(_), _) => {} // strict panic already recorded
+                }
+                self.digest
+                    .update_u64(streamed.as_ref().map_or(u64::MAX, |p| p.len() as u64));
             }
         }
     }

@@ -22,14 +22,15 @@ use sampling::{
 };
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use streamkit::{Offer, ReservoirStream, StreamSampler};
 
 /// State-machine fuzzing knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct StateFuzzConfig {
     /// Master seed.
     pub seed: u64,
-    /// Cases to run, spread round-robin over the eight samplers and the
-    /// disparity metric.
+    /// Cases to run, spread round-robin over the eight batch samplers,
+    /// the streaming reservoir, and the disparity metric.
     pub cases: u32,
 }
 
@@ -197,6 +198,102 @@ impl Fuzzer {
         }
     }
 
+    /// Drive the streaming reservoir through a hostile offer schedule:
+    /// adversarial timestamps plus adversarial window-local gaps (the
+    /// engine never hands it `Some(u64::MAX)`, a corrupted window
+    /// boundary computation might). Contracts: never decides at arrival
+    /// (`Offer::Selected` is for event-driven methods), holds exactly
+    /// `min(capacity, offered)`, same seed ⇒ bit-identical flush, and a
+    /// flushed reservoir starts the next window from a clean count.
+    fn fuzz_reservoir_stream(&mut self, rng: &mut StdRng) {
+        let capacity = rng.random_range(1usize..=100);
+        let seed = rng.random::<u64>();
+        let packets = hostile_packets(rng);
+        let gaps: Vec<Option<u64>> = packets
+            .iter()
+            .map(|_| match rng.random_range(0u8..4) {
+                0 => None,
+                1 => Some(0),
+                2 => Some(u64::MAX),
+                _ => Some(rng.random_range(0u64..=10_000)),
+            })
+            .collect();
+        self.offers += 3 * packets.len() as u64;
+        let offered = packets.len();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let drive = |r: &mut ReservoirStream| {
+                let mut early = 0u64;
+                for (p, g) in packets.iter().zip(&gaps) {
+                    if matches!(r.offer(p, *g), Offer::Selected) {
+                        early += 1;
+                    }
+                }
+                let held = r.held();
+                let keys: Vec<(Micros, u16, Option<u64>)> = r
+                    .flush()
+                    .iter()
+                    .map(|item| (item.packet.timestamp, item.packet.size, item.gap_us))
+                    .collect();
+                (held, keys, early)
+            };
+            let mut a = ReservoirStream::new(capacity, seed);
+            let mut b = ReservoirStream::new(capacity, seed);
+            let (held, first, early) = drive(&mut a);
+            let (_, twin, _) = drive(&mut b);
+            let (held_reused, _, _) = drive(&mut a);
+            (held, first, twin, held_reused, early)
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation("reservoir_stream", format!("panicked: {msg}"));
+                self.record("reservoir_stream", "panic");
+            }
+            Ok((held, first, twin, held_reused, early)) => {
+                let want = capacity.min(offered);
+                if held != want {
+                    self.violation(
+                        "reservoir_stream",
+                        format!("held {held} of {offered} offered with capacity {capacity}"),
+                    );
+                }
+                if first.len() != held {
+                    self.violation(
+                        "reservoir_stream",
+                        format!("flushed {} but held {held}", first.len()),
+                    );
+                }
+                if first != twin {
+                    self.violation(
+                        "reservoir_stream",
+                        format!(
+                            "same seed diverged: {} vs {} items",
+                            first.len(),
+                            twin.len()
+                        ),
+                    );
+                }
+                if early != 0 {
+                    self.violation(
+                        "reservoir_stream",
+                        format!("decided {early} packets at arrival; reservoirs buffer"),
+                    );
+                }
+                if held_reused != want {
+                    self.violation(
+                        "reservoir_stream",
+                        format!("after flush held {held_reused}, want {want}"),
+                    );
+                }
+                self.record("reservoir_stream", "ok");
+                self.digest.update_u64(first.len() as u64);
+                for (ts, _, _) in &first {
+                    self.digest.update_u64(ts.as_u64());
+                }
+            }
+        }
+    }
+
     fn fuzz_disparity(&mut self, rng: &mut StdRng) {
         // Degenerate-prone bins: 1–4 edges over a tiny value domain so
         // empty and impossible bins occur constantly.
@@ -287,7 +384,8 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 }
 
 /// Run the state-machine fuzz: `cases` hostile sequences spread over
-/// the eight samplers and the disparity metric.
+/// the eight batch samplers, the streaming reservoir, and the disparity
+/// metric.
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -301,7 +399,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 9 {
+        match case % 10 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -369,6 +467,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
                 fuzzer.fuzz_sampler("adaptive", s, &mut rng);
             }
             7 => fuzzer.fuzz_reservoir(&mut rng),
+            8 => fuzzer.fuzz_reservoir_stream(&mut rng),
             _ => fuzzer.fuzz_disparity(&mut rng),
         }
     }
@@ -436,6 +535,7 @@ mod tests {
             "stratified_timer",
             "adaptive",
             "reservoir",
+            "reservoir_stream",
             "disparity",
         ] {
             assert!(

@@ -31,6 +31,7 @@ pub mod packet;
 pub mod pcap;
 pub mod pcapng;
 pub mod series;
+pub mod stream;
 pub mod time;
 pub mod trace;
 
@@ -41,6 +42,7 @@ pub use merge::{merge, rebase, shift};
 pub use packet::{PacketRecord, Protocol};
 pub use pcapng::read_capture;
 pub use series::{PerSecondSeries, SecondStats};
+pub use stream::CaptureStream;
 pub use time::{ClockModel, Micros};
 pub use trace::{Trace, TraceStats};
 

@@ -229,7 +229,7 @@ fn read_pcap_records<R: Read>(magic: [u8; 4], mut r: R) -> Result<Trace, TraceEr
     Ok(Trace::from_unordered(packets))
 }
 
-enum ReadOutcome {
+pub(crate) enum ReadOutcome {
     Full,
     Partial,
     Eof,
@@ -237,7 +237,7 @@ enum ReadOutcome {
 
 /// Read exactly `buf.len()` bytes, distinguishing clean EOF (zero bytes)
 /// from truncation (some bytes then EOF).
-fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
+pub(crate) fn read_exact_or_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> ReadOutcome {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {

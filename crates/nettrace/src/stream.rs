@@ -1,0 +1,671 @@
+//! Incremental, bounded-memory capture reader.
+//!
+//! [`read_capture`](crate::read_capture) materializes the whole trace
+//! before returning — fine for offline analysis, wrong for the
+//! operational monitor the paper describes (§2: the NSFNET routers
+//! sample a *stream*, they never hold the day's 650 MB in memory).
+//! [`CaptureStream`] yields packets (or bounded batches) one record at
+//! a time from any [`Read`] source, in **file order**, holding only the
+//! current record plus O(1) decoder state.
+//!
+//! The decoders are the *same functions* the strict batch readers use
+//! ([`crate::pcap::parse_ipv4`], [`crate::pcapng::parse_epb`], …), and
+//! the error conditions mirror [`crate::pcap::read_pcap`] /
+//! [`crate::pcapng::read_pcapng`] case for case, so the streaming and
+//! batch parses cannot drift: on any input, the stream yields exactly
+//! the packets the batch reader would collect (before its defensive
+//! timestamp sort) and fails with the same [`TraceError`] class.
+
+use crate::error::TraceError;
+use crate::packet::PacketRecord;
+use crate::pcap::{self, read_exact_or_eof, ReadOutcome};
+use crate::pcapng::{self, parse_epb, parse_idb, parse_spb, Interface};
+use crate::time::Micros;
+use std::io::Read;
+
+/// Per-format decoder state.
+enum Format {
+    Pcap {
+        endian: pcap::Endian,
+        nanos: bool,
+    },
+    Pcapng {
+        endian: pcapng::Endian,
+        interfaces: Vec<Interface>,
+        /// No block parsed yet: EOF here means "not a capture at all".
+        first: bool,
+        /// Timestamp of the last yielded packet (SPBs carry none).
+        last_ts: Micros,
+    },
+}
+
+/// One-pass incremental reader over a pcap or pcapng byte stream.
+///
+/// Construction sniffs the format from the first bytes; each
+/// [`next_packet`](CaptureStream::next_packet) call consumes exactly one
+/// record (skipping non-packet pcapng blocks), so memory is bounded by
+/// the largest single record regardless of capture size.
+///
+/// Unlike the batch readers, packets arrive in **file order** — the
+/// defensive timestamp sort of [`Trace::from_unordered`]
+/// (crate::trace::Trace::from_unordered) is a whole-trace operation a
+/// one-pass reader cannot perform. Callers needing sorted output must
+/// window-and-sort downstream.
+///
+/// After the stream ends or fails, further calls return `Ok(None)`
+/// (the reader is fused).
+pub struct CaptureStream<R> {
+    reader: R,
+    /// Sniffed bytes not yet consumed by the decoder (pcapng pushback).
+    head: Vec<u8>,
+    head_pos: usize,
+    format: Format,
+    packets_read: usize,
+    /// Bytes consumed from the stream by fully-read structures.
+    consumed: u64,
+    /// Offset of the structure being decoded when an error occurred.
+    fault_offset: Option<u64>,
+    done: bool,
+}
+
+impl<R: Read> CaptureStream<R> {
+    /// Sniff the stream's format and prepare to yield packets.
+    ///
+    /// # Errors
+    /// Exactly the header-stage errors of the batch readers:
+    /// [`TraceError::TruncatedRecord`] (`packets_read: 0`) if the stream
+    /// ends inside the magic or the classic 24-byte global header,
+    /// [`TraceError::BadMagic`] if it is neither format.
+    pub fn new(mut reader: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 4];
+        if !matches!(
+            read_exact_or_eof(&mut reader, &mut magic),
+            ReadOutcome::Full
+        ) {
+            return Err(TraceError::TruncatedRecord { packets_read: 0 });
+        }
+        if u32::from_le_bytes(magic) == pcapng::SHB_TYPE {
+            // The 4 sniffed bytes are the first half of the first block
+            // header: push them back for the block loop.
+            return Ok(CaptureStream {
+                reader,
+                head: magic.to_vec(),
+                head_pos: 0,
+                format: Format::Pcapng {
+                    endian: pcapng::Endian::Little,
+                    interfaces: Vec::new(),
+                    first: true,
+                    last_ts: Micros::ZERO,
+                },
+                packets_read: 0,
+                consumed: 0,
+                fault_offset: None,
+                done: false,
+            });
+        }
+        let Some((endian, nanos)) = pcap::sniff_magic(magic) else {
+            return Err(TraceError::BadMagic(u32::from_le_bytes(magic)));
+        };
+        // Remainder of the classic 24-byte global header.
+        let mut rest = [0u8; 20];
+        if !matches!(read_exact_or_eof(&mut reader, &mut rest), ReadOutcome::Full) {
+            return Err(TraceError::TruncatedRecord { packets_read: 0 });
+        }
+        Ok(CaptureStream {
+            reader,
+            head: Vec::new(),
+            head_pos: 0,
+            format: Format::Pcap { endian, nanos },
+            packets_read: 0,
+            consumed: 24,
+            fault_offset: None,
+            done: false,
+        })
+    }
+
+    /// `"pcap"` or `"pcapng"`.
+    #[must_use]
+    pub fn format(&self) -> &'static str {
+        match self.format {
+            Format::Pcap { .. } => "pcap",
+            Format::Pcapng { .. } => "pcapng",
+        }
+    }
+
+    /// Packets yielded so far.
+    #[must_use]
+    pub fn packets_read(&self) -> usize {
+        self.packets_read
+    }
+
+    /// Bytes of the stream consumed by fully-decoded structures.
+    #[must_use]
+    pub fn byte_offset(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Byte offset of the structure that failed to decode, if the
+    /// stream has failed — the same offset [`crate::lossy::salvage`]
+    /// would report for its first fault.
+    #[must_use]
+    pub fn fault_offset(&self) -> Option<u64> {
+        self.fault_offset
+    }
+
+    /// Read with sniffed-byte pushback, counting consumed bytes only
+    /// when the structure read completes.
+    fn fill(&mut self, buf: &mut [u8]) -> ReadOutcome {
+        let mut filled = 0;
+        if self.head_pos < self.head.len() {
+            let n = (self.head.len() - self.head_pos).min(buf.len());
+            buf[..n].copy_from_slice(&self.head[self.head_pos..self.head_pos + n]);
+            self.head_pos += n;
+            filled = n;
+        }
+        let out = if filled == buf.len() {
+            ReadOutcome::Full
+        } else {
+            match read_exact_or_eof(&mut self.reader, &mut buf[filled..]) {
+                ReadOutcome::Full => ReadOutcome::Full,
+                ReadOutcome::Eof if filled == 0 => ReadOutcome::Eof,
+                _ => ReadOutcome::Partial,
+            }
+        };
+        if matches!(out, ReadOutcome::Full) {
+            self.consumed += buf.len() as u64;
+        }
+        out
+    }
+
+    fn fail(&mut self, at: u64, error: TraceError) -> TraceError {
+        self.done = true;
+        self.fault_offset = Some(at);
+        error
+    }
+
+    fn truncated(&mut self, at: u64) -> TraceError {
+        let packets_read = self.packets_read;
+        self.fail(at, TraceError::TruncatedRecord { packets_read })
+    }
+
+    /// Yield the next packet, or `Ok(None)` at clean end of stream.
+    ///
+    /// # Errors
+    /// The same classes, under the same conditions, as the batch
+    /// readers: [`TraceError::TruncatedRecord`] when the stream ends
+    /// mid-structure, [`TraceError::OversizedRecord`] on an implausible
+    /// length field, [`TraceError::BadMagic`] on a corrupt pcapng
+    /// section header. [`fault_offset`](CaptureStream::fault_offset)
+    /// then reports where. After an error the stream is fused.
+    pub fn next_packet(&mut self) -> Result<Option<PacketRecord>, TraceError> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.format {
+            Format::Pcap { endian, nanos } => self.next_pcap(endian, nanos),
+            Format::Pcapng { .. } => self.next_pcapng(),
+        }
+    }
+
+    fn next_pcap(
+        &mut self,
+        endian: pcap::Endian,
+        nanos: bool,
+    ) -> Result<Option<PacketRecord>, TraceError> {
+        let start = self.consumed;
+        let mut rec_hdr = [0u8; 16];
+        match self.fill(&mut rec_hdr) {
+            ReadOutcome::Eof => {
+                self.done = true;
+                return Ok(None);
+            }
+            ReadOutcome::Partial => return Err(self.truncated(start)),
+            ReadOutcome::Full => {}
+        }
+        let sec = pcap::u32_from(endian, [rec_hdr[0], rec_hdr[1], rec_hdr[2], rec_hdr[3]]);
+        let frac = pcap::u32_from(endian, [rec_hdr[4], rec_hdr[5], rec_hdr[6], rec_hdr[7]]);
+        let caplen = pcap::u32_from(endian, [rec_hdr[8], rec_hdr[9], rec_hdr[10], rec_hdr[11]]);
+        let orig_len = pcap::u32_from(endian, [rec_hdr[12], rec_hdr[13], rec_hdr[14], rec_hdr[15]]);
+        if caplen > pcap::MAX_CAPLEN {
+            return Err(self.fail(start, TraceError::OversizedRecord { caplen }));
+        }
+        let mut data = vec![0u8; caplen as usize];
+        if !matches!(self.fill(&mut data), ReadOutcome::Full) {
+            return Err(self.truncated(start));
+        }
+        let usec = if nanos {
+            u64::from(frac) / 1000
+        } else {
+            u64::from(frac)
+        };
+        let ts = Micros(u64::from(sec) * 1_000_000 + usec);
+        self.packets_read += 1;
+        Ok(Some(pcap::parse_ipv4(&data, orig_len, ts)))
+    }
+
+    fn next_pcapng(&mut self) -> Result<Option<PacketRecord>, TraceError> {
+        loop {
+            let start = self.consumed;
+            let mut hdr = [0u8; 8];
+            match self.fill(&mut hdr) {
+                ReadOutcome::Eof => {
+                    if matches!(self.format, Format::Pcapng { first: true, .. }) {
+                        // A pcapng stream must open with a full SHB.
+                        return Err(self.truncated(start));
+                    }
+                    self.done = true;
+                    return Ok(None);
+                }
+                ReadOutcome::Partial => return Err(self.truncated(start)),
+                ReadOutcome::Full => {}
+            }
+            let raw_type_le = u32::from_le_bytes([hdr[0], hdr[1], hdr[2], hdr[3]]);
+            if matches!(self.format, Format::Pcapng { first: true, .. })
+                && raw_type_le != pcapng::SHB_TYPE
+            {
+                return Err(self.fail(start, TraceError::BadMagic(raw_type_le)));
+            }
+
+            if raw_type_le == pcapng::SHB_TYPE {
+                let mut bom = [0u8; 4];
+                if !matches!(self.fill(&mut bom), ReadOutcome::Full) {
+                    return Err(self.truncated(start));
+                }
+                let section_endian = if u32::from_le_bytes(bom) == pcapng::BOM {
+                    pcapng::Endian::Little
+                } else if u32::from_be_bytes(bom) == pcapng::BOM {
+                    pcapng::Endian::Big
+                } else {
+                    return Err(self.fail(start, TraceError::BadMagic(u32::from_le_bytes(bom))));
+                };
+                let total_len = pcapng::u32_at(section_endian, &hdr[4..8]);
+                if !(28..=pcapng::MAX_BLOCK).contains(&total_len) || !total_len.is_multiple_of(4) {
+                    return Err(self.fail(start, TraceError::OversizedRecord { caplen: total_len }));
+                }
+                if let Err(e) = self.skip(total_len as usize - 12) {
+                    return Err(self.fail(start, e));
+                }
+                if let Format::Pcapng {
+                    endian,
+                    interfaces,
+                    first,
+                    ..
+                } = &mut self.format
+                {
+                    *endian = section_endian;
+                    interfaces.clear();
+                    *first = false;
+                }
+                continue;
+            }
+
+            let Format::Pcapng { endian, .. } = &self.format else {
+                unreachable!("pcapng loop in pcap mode")
+            };
+            let endian = *endian;
+            let block_type = pcapng::u32_at(endian, &hdr[0..4]);
+            let total_len = pcapng::u32_at(endian, &hdr[4..8]);
+            if !(12..=pcapng::MAX_BLOCK).contains(&total_len) || !total_len.is_multiple_of(4) {
+                return Err(self.fail(start, TraceError::OversizedRecord { caplen: total_len }));
+            }
+            let mut body = vec![0u8; total_len as usize - 12];
+            if !matches!(self.fill(&mut body), ReadOutcome::Full) {
+                return Err(self.truncated(start));
+            }
+            let mut trailer = [0u8; 4];
+            if !matches!(self.fill(&mut trailer), ReadOutcome::Full) {
+                return Err(self.truncated(start));
+            }
+
+            let Format::Pcapng {
+                interfaces,
+                last_ts,
+                ..
+            } = &mut self.format
+            else {
+                unreachable!("pcapng loop in pcap mode")
+            };
+            let packet = match block_type {
+                pcapng::IDB_TYPE => {
+                    if let Some(iface) = parse_idb(endian, &body) {
+                        interfaces.push(iface);
+                    }
+                    None
+                }
+                pcapng::EPB_TYPE => parse_epb(endian, &body, interfaces),
+                pcapng::SPB_TYPE => parse_spb(endian, &body, *last_ts),
+                _ => None,
+            };
+            if let Some(p) = packet {
+                *last_ts = p.timestamp;
+                self.packets_read += 1;
+                return Ok(Some(p));
+            }
+        }
+    }
+
+    fn skip(&mut self, mut n: usize) -> Result<(), TraceError> {
+        let mut buf = [0u8; 4096];
+        while n > 0 {
+            let take = n.min(buf.len());
+            if !matches!(self.fill(&mut buf[..take]), ReadOutcome::Full) {
+                return Err(TraceError::TruncatedRecord {
+                    packets_read: self.packets_read,
+                });
+            }
+            n -= take;
+        }
+        Ok(())
+    }
+
+    /// Append up to `max` packets to `out`, returning how many arrived.
+    /// Returns `Ok(0)` only at clean end of stream.
+    ///
+    /// # Errors
+    /// As [`next_packet`](CaptureStream::next_packet); packets decoded
+    /// before the fault are kept in `out`.
+    pub fn next_batch(
+        &mut self,
+        max: usize,
+        out: &mut Vec<PacketRecord>,
+    ) -> Result<usize, TraceError> {
+        let mut got = 0;
+        while got < max {
+            match self.next_packet()? {
+                Some(p) => {
+                    out.push(p);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got > 0 && obskit::recording_enabled() {
+            obskit::counter_labeled(
+                "nettrace_stream_packets_total",
+                &[("format", self.format())],
+            )
+            .add(got as u64);
+        }
+        Ok(got)
+    }
+}
+
+impl<R: Read> Iterator for CaptureStream<R> {
+    type Item = Result<PacketRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.next_packet() {
+            Ok(Some(p)) => Some(Ok(p)),
+            Ok(None) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pcap::write_pcap;
+    use crate::trace::Trace;
+
+    fn sample_trace(n: u64) -> Trace {
+        Trace::new(
+            (0..n)
+                .map(|i| {
+                    PacketRecord::new(Micros(i * 777), if i % 3 == 0 { 40 } else { 552 })
+                        .with_ports(1024 + i as u16, 23)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    /// A reader that hands out one byte at a time — exercises every
+    /// partial-read path in `fill`.
+    struct Trickle<'a>(&'a [u8]);
+
+    impl Read for Trickle<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            if self.0.is_empty() || buf.is_empty() {
+                return Ok(0);
+            }
+            buf[0] = self.0[0];
+            self.0 = &self.0[1..];
+            Ok(1)
+        }
+    }
+
+    /// A minimal little-endian pcapng builder (mirrors the batch tests).
+    struct NgBuilder {
+        buf: Vec<u8>,
+    }
+
+    impl NgBuilder {
+        fn new() -> Self {
+            let mut b = NgBuilder { buf: Vec::new() };
+            let mut body = Vec::new();
+            body.extend_from_slice(&pcapng::BOM.to_le_bytes());
+            body.extend_from_slice(&1u16.to_le_bytes());
+            body.extend_from_slice(&0u16.to_le_bytes());
+            body.extend_from_slice(&(-1i64).to_le_bytes());
+            b.block(pcapng::SHB_TYPE, &body);
+            b
+        }
+
+        fn block(&mut self, btype: u32, body: &[u8]) {
+            let total = 12 + body.len() as u32;
+            self.buf.extend_from_slice(&btype.to_le_bytes());
+            self.buf.extend_from_slice(&total.to_le_bytes());
+            self.buf.extend_from_slice(body);
+            self.buf.extend_from_slice(&total.to_le_bytes());
+        }
+
+        fn idb(&mut self) {
+            let mut body = Vec::new();
+            body.extend_from_slice(&101u16.to_le_bytes());
+            body.extend_from_slice(&0u16.to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes());
+            self.block(pcapng::IDB_TYPE, &body);
+        }
+
+        fn epb(&mut self, ticks: u64, size: u16) {
+            let mut body = Vec::new();
+            body.extend_from_slice(&0u32.to_le_bytes());
+            body.extend_from_slice(&((ticks >> 32) as u32).to_le_bytes());
+            body.extend_from_slice(&((ticks & 0xffff_ffff) as u32).to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes()); // caplen 0
+            body.extend_from_slice(&u32::from(size).to_le_bytes());
+            self.block(pcapng::EPB_TYPE, &body);
+        }
+
+        fn spb(&mut self, size: u16) {
+            let mut body = Vec::new();
+            body.extend_from_slice(&u32::from(size).to_le_bytes());
+            self.block(pcapng::SPB_TYPE, &body);
+        }
+    }
+
+    #[test]
+    fn streams_pcap_identically_to_batch() {
+        let t = sample_trace(50);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        let batch = crate::read_capture(buf.as_slice()).unwrap();
+
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        assert_eq!(s.format(), "pcap");
+        let streamed: Vec<PacketRecord> = (&mut s).map(|r| r.unwrap()).collect();
+        assert_eq!(streamed, batch.packets());
+        assert_eq!(s.packets_read(), 50);
+        assert_eq!(s.byte_offset(), buf.len() as u64);
+        assert!(s.fault_offset().is_none());
+        // Fused after end.
+        assert!(s.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn streams_pcapng_identically_to_batch() {
+        let mut b = NgBuilder::new();
+        b.idb();
+        for i in 0..10u64 {
+            b.epb(1_000 * i, 40 + i as u16);
+        }
+        b.spb(576); // no timestamp: rides on the previous packet's
+        let batch = crate::read_capture(b.buf.as_slice()).unwrap();
+
+        let mut s = CaptureStream::new(b.buf.as_slice()).unwrap();
+        assert_eq!(s.format(), "pcapng");
+        let streamed: Vec<PacketRecord> = (&mut s).map(|r| r.unwrap()).collect();
+        // This capture is in timestamp order, so file order == sorted.
+        assert_eq!(streamed, batch.packets());
+        assert_eq!(s.byte_offset(), b.buf.len() as u64);
+    }
+
+    #[test]
+    fn trickle_reader_matches_whole_slice() {
+        let t = sample_trace(20);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        let whole: Vec<PacketRecord> = CaptureStream::new(buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let trickled: Vec<PacketRecord> = CaptureStream::new(Trickle(&buf))
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(whole, trickled);
+    }
+
+    #[test]
+    fn batches_are_bounded_and_complete() {
+        let t = sample_trace(25);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        let mut all = Vec::new();
+        let mut batches = Vec::new();
+        loop {
+            let before = all.len();
+            let got = s.next_batch(7, &mut all).unwrap();
+            assert_eq!(all.len() - before, got);
+            if got == 0 {
+                break;
+            }
+            batches.push(got);
+        }
+        assert_eq!(all.len(), 25);
+        assert_eq!(batches, vec![7, 7, 7, 4]);
+    }
+
+    #[test]
+    fn truncated_pcap_reports_offset_of_broken_record() {
+        let t = sample_trace(3);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        // Cut into the third record's data.
+        let third_start = 24 + 2 * (16 + 28);
+        buf.truncate(third_start + 16 + 5);
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        assert!(s.next_packet().unwrap().is_some());
+        assert!(s.next_packet().unwrap().is_some());
+        match s.next_packet() {
+            Err(TraceError::TruncatedRecord { packets_read }) => assert_eq!(packets_read, 2),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert_eq!(s.fault_offset(), Some(third_start as u64));
+        // Fused after the fault.
+        assert!(s.next_packet().unwrap().is_none());
+    }
+
+    #[test]
+    fn header_stage_errors_match_batch_reader() {
+        // Short streams: truncated, never Io (batch contract).
+        for len in [0usize, 1, 3] {
+            let bytes = vec![0xa1u8; len];
+            assert!(
+                matches!(
+                    CaptureStream::new(bytes.as_slice()),
+                    Err(TraceError::TruncatedRecord { packets_read: 0 })
+                ),
+                "len {len}"
+            );
+        }
+        // Valid magic, truncated global header.
+        let mut short = pcap::MAGIC_US.to_le_bytes().to_vec();
+        short.extend_from_slice(&[0u8; 7]);
+        assert!(matches!(
+            CaptureStream::new(short.as_slice()),
+            Err(TraceError::TruncatedRecord { packets_read: 0 })
+        ));
+        // Garbage magic.
+        assert!(matches!(
+            CaptureStream::new(&[0u8; 32][..]),
+            Err(TraceError::BadMagic(_))
+        ));
+        // Oversized caplen.
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &Trace::empty()).unwrap();
+        buf.extend_from_slice(&[0u8; 8]);
+        buf.extend_from_slice(&(pcap::MAX_CAPLEN + 1).to_le_bytes());
+        buf.extend_from_slice(&40u32.to_le_bytes());
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        assert!(matches!(
+            s.next_packet(),
+            Err(TraceError::OversizedRecord { .. })
+        ));
+        assert_eq!(s.fault_offset(), Some(24));
+    }
+
+    #[test]
+    fn pcapng_truncation_mid_block_reports_block_start() {
+        let mut b = NgBuilder::new();
+        b.idb();
+        b.epb(1, 40);
+        b.epb(2, 41);
+        let epb_len = 12 + 20; // header+trailer + fixed EPB body
+        let second_epb_start = b.buf.len() - epb_len;
+        let mut buf = b.buf;
+        buf.truncate(buf.len() - 3);
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        assert!(s.next_packet().unwrap().is_some());
+        match s.next_packet() {
+            Err(TraceError::TruncatedRecord { packets_read }) => assert_eq!(packets_read, 1),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert_eq!(s.fault_offset(), Some(second_epb_start as u64));
+    }
+
+    #[test]
+    fn second_section_resets_interfaces() {
+        // Section 1: ms-resolution interface. Section 2: fresh default
+        // µs interface — a stale interface list would mis-scale ts.
+        let mut b = NgBuilder::new();
+        {
+            let mut body = Vec::new();
+            body.extend_from_slice(&101u16.to_le_bytes());
+            body.extend_from_slice(&0u16.to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes());
+            body.extend_from_slice(&9u16.to_le_bytes()); // if_tsresol
+            body.extend_from_slice(&1u16.to_le_bytes());
+            body.push(3); // 10^-3: milliseconds
+            body.extend_from_slice(&[0, 0, 0]);
+            body.extend_from_slice(&0u32.to_le_bytes()); // endofopt
+            b.block(pcapng::IDB_TYPE, &body);
+        }
+        b.epb(2_000, 40); // 2000 ms = 2 s
+        let second = NgBuilder::new();
+        b.buf.extend_from_slice(&second.buf);
+        b.idb();
+        b.epb(5_000_000, 41); // back to µs: 5 s
+
+        let packets: Vec<PacketRecord> = CaptureStream::new(b.buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        let ts: Vec<u64> = packets.iter().map(|p| p.timestamp.as_u64()).collect();
+        assert_eq!(ts, vec![2_000_000, 5_000_000]);
+        let batch = crate::read_capture(b.buf.as_slice()).unwrap();
+        assert_eq!(packets, batch.packets());
+    }
+}

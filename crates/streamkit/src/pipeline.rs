@@ -1,0 +1,390 @@
+//! The staged streaming runtime: source → sampler/windower → scorer.
+//!
+//! Three stages connected by **bounded** channels, so memory stays
+//! O(queue × batch + window) no matter how large the capture is:
+//!
+//! ```text
+//!   source thread          transform thread         main thread
+//!   CaptureStream ──batches──▶ Windower ──windows──▶ scorer (parkit)
+//! ```
+//!
+//! Backpressure at the ingestion edge is explicit policy: [`Block`]
+//! (lossless; the reader stalls until the sampler catches up — the
+//! right default for files) or [`DropNewest`] (a full queue sheds the
+//! freshest batch and counts it — the live-capture stance, where the
+//! kernel would drop anyway and an honest counter beats a silent
+//! stall). Window scoring fans out over a [`parkit::Pool`]; outputs
+//! are merged in window order, so any `--jobs` level is bit-identical
+//! to serial.
+//!
+//! [`Block`]: Backpressure::Block
+//! [`DropNewest`]: Backpressure::DropNewest
+
+use crate::engine::WindowReport;
+use crate::window::{WindowPayload, Windower};
+use nettrace::{CaptureStream, Histogram, Micros, PacketRecord, TraceError};
+use parkit::Pool;
+use std::io::Read;
+use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::thread;
+
+/// Policy when the ingestion queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Stall the reader until the pipeline drains (lossless).
+    #[default]
+    Block,
+    /// Drop the just-read batch and count it (lossy, never stalls).
+    DropNewest,
+}
+
+impl std::fmt::Display for Backpressure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Backpressure::Block => write!(f, "block"),
+            Backpressure::DropNewest => write!(f, "drop-newest"),
+        }
+    }
+}
+
+/// Runtime knobs the engine resolves before launching the pipeline.
+pub(crate) struct PipelineParams<'a> {
+    pub batch: usize,
+    pub queue: usize,
+    pub backpressure: Backpressure,
+    pub jobs: usize,
+    pub reference: Option<&'a Histogram>,
+}
+
+/// What the pipeline hands back to the engine.
+pub(crate) struct PipelineOutput {
+    pub packets: u64,
+    pub selected: u64,
+    pub dropped_batches: u64,
+    pub dropped_packets: u64,
+    pub windows: Vec<WindowReport>,
+}
+
+enum SourceMsg {
+    Batch(Vec<PacketRecord>),
+    Done {
+        dropped_batches: u64,
+        dropped_packets: u64,
+    },
+    Fault {
+        offset: u64,
+        error: TraceError,
+    },
+}
+
+enum StageMsg {
+    Window(Box<WindowPayload>),
+    Done {
+        packets: u64,
+        selected: u64,
+        dropped_batches: u64,
+        dropped_packets: u64,
+    },
+    Fault {
+        offset: u64,
+        error: TraceError,
+    },
+}
+
+enum SendOutcome {
+    Sent,
+    Dropped(u64),
+    Closed,
+}
+
+/// Apply the backpressure policy to one batch send. Factored out so
+/// the drop path is unit-testable without racing real threads.
+fn send_with_policy(
+    tx: &SyncSender<SourceMsg>,
+    batch: Vec<PacketRecord>,
+    policy: Backpressure,
+) -> SendOutcome {
+    match policy {
+        Backpressure::Block => match tx.send(SourceMsg::Batch(batch)) {
+            Ok(()) => SendOutcome::Sent,
+            Err(_) => SendOutcome::Closed,
+        },
+        Backpressure::DropNewest => match tx.try_send(SourceMsg::Batch(batch)) {
+            Ok(()) => SendOutcome::Sent,
+            Err(TrySendError::Full(SourceMsg::Batch(b))) => SendOutcome::Dropped(b.len() as u64),
+            Err(TrySendError::Full(_)) => unreachable!("only batches are try-sent"),
+            Err(TrySendError::Disconnected(_)) => SendOutcome::Closed,
+        },
+    }
+}
+
+/// Read batches off the capture stream until EOF, fault, or a closed
+/// downstream.
+fn source_loop<R: Read>(
+    mut stream: CaptureStream<R>,
+    tx: SyncSender<SourceMsg>,
+    batch: usize,
+    policy: Backpressure,
+) {
+    let _span = obskit::span_labeled("stream_stage", &[("stage", "source")]);
+    let mut dropped_batches = 0u64;
+    let mut dropped_packets = 0u64;
+    loop {
+        let mut buf = Vec::with_capacity(batch);
+        match stream.next_batch(batch, &mut buf) {
+            Ok(0) => {
+                let _ = tx.send(SourceMsg::Done {
+                    dropped_batches,
+                    dropped_packets,
+                });
+                break;
+            }
+            Ok(_) => match send_with_policy(&tx, buf, policy) {
+                SendOutcome::Sent => {}
+                SendOutcome::Dropped(n) => {
+                    dropped_batches += 1;
+                    dropped_packets += n;
+                }
+                SendOutcome::Closed => break,
+            },
+            Err(error) => {
+                let offset = stream
+                    .fault_offset()
+                    .unwrap_or_else(|| stream.byte_offset());
+                let _ = tx.send(SourceMsg::Fault { offset, error });
+                break;
+            }
+        }
+    }
+    if (dropped_batches > 0 || dropped_packets > 0) && obskit::recording_enabled() {
+        obskit::counter("streamkit_dropped_batches_total").add(dropped_batches);
+        obskit::counter("streamkit_dropped_packets_total").add(dropped_packets);
+    }
+}
+
+/// Drive the windower over incoming batches and forward completed
+/// windows. The windower (and through it the sampler) is built lazily
+/// at the first packet, whose timestamp anchors the sampling schedule
+/// exactly like the batch path's `window_start`.
+fn transform_loop<F>(rx: mpsc::Receiver<SourceMsg>, tx: SyncSender<StageMsg>, make_windower: F)
+where
+    F: FnOnce(Micros) -> Windower,
+{
+    let _span = obskit::span_labeled("stream_stage", &[("stage", "transform")]);
+    let mut make = Some(make_windower);
+    let mut windower: Option<Windower> = None;
+    let mut emitted = 0u64;
+    let mut closed = false;
+    'messages: for msg in rx {
+        match msg {
+            SourceMsg::Batch(pkts) => {
+                for p in &pkts {
+                    if windower.is_none() {
+                        windower = Some((make.take().expect("built once"))(p.timestamp));
+                    }
+                    let w = windower.as_mut().expect("windower");
+                    for payload in w.offer(p) {
+                        emitted += 1;
+                        if tx.send(StageMsg::Window(Box::new(payload))).is_err() {
+                            closed = true;
+                            break 'messages;
+                        }
+                    }
+                }
+            }
+            SourceMsg::Done {
+                dropped_batches,
+                dropped_packets,
+            } => {
+                let (packets, selected) = match windower.as_mut() {
+                    Some(w) => {
+                        for payload in w.finish() {
+                            emitted += 1;
+                            if tx.send(StageMsg::Window(Box::new(payload))).is_err() {
+                                closed = true;
+                                break 'messages;
+                            }
+                        }
+                        (w.packets(), w.selected())
+                    }
+                    None => (0, 0),
+                };
+                let _ = tx.send(StageMsg::Done {
+                    packets,
+                    selected,
+                    dropped_batches,
+                    dropped_packets,
+                });
+                break;
+            }
+            SourceMsg::Fault { offset, error } => {
+                let _ = tx.send(StageMsg::Fault { offset, error });
+                break;
+            }
+        }
+    }
+    let _ = closed;
+    if emitted > 0 && obskit::recording_enabled() {
+        obskit::counter("streamkit_windows_emitted_total").add(emitted);
+    }
+}
+
+fn score_one(p: &WindowPayload, reference: Option<&Histogram>) -> WindowReport {
+    let popref = reference.unwrap_or(&p.population);
+    let report = if popref.total() == 0 {
+        None
+    } else {
+        sampling::disparity(popref, &p.sample)
+    };
+    WindowReport {
+        index: p.index,
+        start_ts: p.start_ts,
+        first_ts: p.first_ts,
+        last_ts: p.last_ts,
+        packets: p.packets,
+        selected: p.selected,
+        report,
+    }
+}
+
+/// Score a chunk of pending windows on the pool. `Pool::run` places
+/// outputs by task index, so report order — and every bit of every φ —
+/// is identical at any worker count.
+fn score_chunk(
+    pool: &Pool,
+    reference: Option<&Histogram>,
+    pending: &mut Vec<WindowPayload>,
+    reports: &mut Vec<WindowReport>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let _span = obskit::span_labeled("stream_stage", &[("stage", "score")]);
+    let batch = std::mem::take(pending);
+    let scored = pool
+        .run(batch.len(), |i| score_one(&batch[i], reference))
+        .unwrap_or_else(|e| panic!("window scoring failed: {e}"));
+    reports.extend(scored);
+}
+
+/// Windows buffered before a scoring fan-out. Small enough to keep the
+/// sink responsive, large enough to amortize pool dispatch.
+const SCORE_CHUNK: usize = 64;
+
+/// Run the full pipeline to completion.
+pub(crate) fn run_pipeline<R, F>(
+    stream: CaptureStream<R>,
+    make_windower: F,
+    params: &PipelineParams<'_>,
+) -> Result<PipelineOutput, (u64, TraceError)>
+where
+    R: Read + Send,
+    F: FnOnce(Micros) -> Windower + Send,
+{
+    let batch = params.batch.max(1);
+    let queue = params.queue.max(1);
+    let policy = params.backpressure;
+    let pool = Pool::new(params.jobs.max(1));
+    thread::scope(|s| {
+        let (src_tx, src_rx) = mpsc::sync_channel::<SourceMsg>(queue);
+        let (win_tx, win_rx) = mpsc::sync_channel::<StageMsg>(queue);
+        s.spawn(move || source_loop(stream, src_tx, batch, policy));
+        s.spawn(move || transform_loop(src_rx, win_tx, make_windower));
+
+        let mut pending: Vec<WindowPayload> = Vec::new();
+        let mut reports: Vec<WindowReport> = Vec::new();
+        let mut outcome: Option<Result<PipelineOutput, (u64, TraceError)>> = None;
+        while let Ok(msg) = win_rx.recv() {
+            match msg {
+                StageMsg::Window(p) => {
+                    pending.push(*p);
+                    if pending.len() >= SCORE_CHUNK {
+                        score_chunk(&pool, params.reference, &mut pending, &mut reports);
+                    }
+                }
+                StageMsg::Done {
+                    packets,
+                    selected,
+                    dropped_batches,
+                    dropped_packets,
+                } => {
+                    outcome = Some(Ok(PipelineOutput {
+                        packets,
+                        selected,
+                        dropped_batches,
+                        dropped_packets,
+                        windows: Vec::new(),
+                    }));
+                    break;
+                }
+                StageMsg::Fault { offset, error } => {
+                    outcome = Some(Err((offset, error)));
+                    break;
+                }
+            }
+        }
+        score_chunk(&pool, params.reference, &mut pending, &mut reports);
+        // A missing outcome means a stage panicked; the scope join
+        // below re-raises that panic, so this expect never fires first.
+        let mut outcome = outcome.expect("pipeline ended without a terminal message");
+        if let Ok(out) = outcome.as_mut() {
+            out.windows = reports;
+        }
+        outcome
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn batch_of(n: usize) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i as u64 * 10), 40))
+            .collect()
+    }
+
+    #[test]
+    fn block_policy_never_drops_but_reports_closed_channels() {
+        let (tx, rx) = sync_channel(1);
+        assert!(matches!(
+            send_with_policy(&tx, batch_of(3), Backpressure::Block),
+            SendOutcome::Sent
+        ));
+        drop(rx);
+        assert!(matches!(
+            send_with_policy(&tx, batch_of(3), Backpressure::Block),
+            SendOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn drop_newest_sheds_exactly_the_overflow_batch() {
+        // Capacity 2, no receiver draining: the third send must drop,
+        // deterministically, and report the dropped packet count.
+        let (tx, _rx) = sync_channel(2);
+        assert!(matches!(
+            send_with_policy(&tx, batch_of(5), Backpressure::DropNewest),
+            SendOutcome::Sent
+        ));
+        assert!(matches!(
+            send_with_policy(&tx, batch_of(5), Backpressure::DropNewest),
+            SendOutcome::Sent
+        ));
+        match send_with_policy(&tx, batch_of(7), Backpressure::DropNewest) {
+            SendOutcome::Dropped(n) => assert_eq!(n, 7),
+            _ => panic!("expected a drop"),
+        }
+    }
+
+    #[test]
+    fn drop_newest_reports_disconnect() {
+        let (tx, rx) = sync_channel(2);
+        drop(rx);
+        assert!(matches!(
+            send_with_policy(&tx, batch_of(1), Backpressure::DropNewest),
+            SendOutcome::Closed
+        ));
+    }
+}

@@ -1,0 +1,604 @@
+//! Tumbling and sliding characterization windows.
+//!
+//! The paper's operational setting characterizes traffic in collection
+//! cycles (the 15-minute NSFNET reporting interval, §2); a streaming
+//! monitor generalizes that to windows over packet count or time,
+//! tumbling or sliding. Each window carries the paper's binned target
+//! histograms for its population and its sample, built *incrementally*
+//! so memory stays O(window), and reproduces the batch path exactly: a
+//! window's histograms are bit-identical to running
+//! [`Target::population_histogram`] / [`Target::sample_histogram`]
+//! over that window's packet slice.
+//!
+//! Sliding windows are composed from **stride buckets**: a window of
+//! length `L` sliding by `S` (`S` divides `L`) is the merge of `L/S`
+//! consecutive bucket histograms. Only `L/S` buckets are ever held —
+//! the oldest is evicted as each window completes — so sliding costs
+//! the same bounded memory as tumbling. The only subtlety is the
+//! interarrival target at bucket seams: a bucket's first packet has a
+//! well-defined gap *within a window that also contains its
+//! predecessor*, but not within one where it is the first packet; each
+//! bucket therefore records that single boundary observation
+//! separately and the merge applies it exactly when the batch
+//! semantics would.
+
+use crate::sampler::{Offer, StreamSampler};
+use nettrace::{Histogram, Micros, PacketRecord};
+use sampling::Target;
+use std::collections::VecDeque;
+
+/// Window (or slide stride) extent: a packet count or a time span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowSpec {
+    /// A fixed number of packets.
+    Count(u64),
+    /// A fixed time span (boundaries at `start + n·span`, half-open).
+    Time(Micros),
+}
+
+impl WindowSpec {
+    /// Parse a CLI-style spec: a bare integer is a packet count, an
+    /// integer with a `us`/`ms`/`s`/`m` suffix is a duration.
+    ///
+    /// # Errors
+    /// A human-readable message for malformed or zero specs.
+    pub fn parse(s: &str) -> Result<WindowSpec, String> {
+        let s = s.trim();
+        let split = s.find(|c: char| !c.is_ascii_digit()).unwrap_or(s.len());
+        let (digits, unit) = s.split_at(split);
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| format!("bad window spec '{s}': expected <packets> or <n><us|ms|s|m>"))?;
+        if n == 0 {
+            return Err(format!("bad window spec '{s}': must be positive"));
+        }
+        match unit {
+            "" => Ok(WindowSpec::Count(n)),
+            "us" => Ok(WindowSpec::Time(Micros(n))),
+            "ms" => Ok(WindowSpec::Time(Micros(n.saturating_mul(1_000)))),
+            "s" => Ok(WindowSpec::Time(Micros(n.saturating_mul(1_000_000)))),
+            "m" => Ok(WindowSpec::Time(Micros(n.saturating_mul(60_000_000)))),
+            other => Err(format!(
+                "bad window unit '{other}' in '{s}': use us, ms, s or m"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for WindowSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowSpec::Count(n) => write!(f, "{n} packets"),
+            WindowSpec::Time(t) => {
+                let us = t.as_u64();
+                if us % 60_000_000 == 0 {
+                    write!(f, "{}m", us / 60_000_000)
+                } else if us % 1_000_000 == 0 {
+                    write!(f, "{}s", us / 1_000_000)
+                } else if us % 1_000 == 0 {
+                    write!(f, "{}ms", us / 1_000)
+                } else {
+                    write!(f, "{us}us")
+                }
+            }
+        }
+    }
+}
+
+/// One completed window, ready for scoring: the population and sample
+/// histograms plus bookkeeping. Produced by [`Windower`], consumed by
+/// the scorer stage.
+#[derive(Debug, Clone)]
+pub struct WindowPayload {
+    /// Emission sequence number (fully-empty windows are skipped).
+    pub index: u64,
+    /// Window grid start: the first bucket's start time (time windows)
+    /// or its first packet's timestamp (count windows).
+    pub start_ts: Micros,
+    /// First and last packet timestamps actually observed (None for a
+    /// window whose packets all sit in later buckets).
+    pub first_ts: Option<Micros>,
+    /// Last packet timestamp in the window.
+    pub last_ts: Option<Micros>,
+    /// Packets in the window.
+    pub packets: u64,
+    /// Packets the sampler selected in the window.
+    pub selected: u64,
+    /// The window's parent-population histogram.
+    pub population: Histogram,
+    /// The sample's histogram.
+    pub sample: Histogram,
+}
+
+/// One stride bucket: the window building block.
+struct Bucket {
+    start_ts: Micros,
+    first_ts: Option<Micros>,
+    last_ts: Option<Micros>,
+    packets: u64,
+    selected: u64,
+    population: Histogram,
+    sample: Histogram,
+    /// The first packet's interarrival observation with its
+    /// *cross-bucket* gap — applied by the window merge exactly when
+    /// an earlier bucket of the same window holds its predecessor.
+    pop_edge: Option<(u64, u64)>,
+    /// Same, for the sample histogram (set when that packet was
+    /// selected).
+    sam_edge: Option<(u64, u64)>,
+}
+
+impl Bucket {
+    fn new(start_ts: Micros, target: Target) -> Self {
+        Bucket {
+            start_ts,
+            first_ts: None,
+            last_ts: None,
+            packets: 0,
+            selected: 0,
+            population: Histogram::new(target.bins()),
+            sample: Histogram::new(target.bins()),
+            pop_edge: None,
+            sam_edge: None,
+        }
+    }
+}
+
+/// Streaming window state machine: offers packets to its sampler,
+/// accumulates per-bucket histograms, and emits completed
+/// [`WindowPayload`]s with bounded-memory bucket eviction.
+pub struct Windower {
+    target: Target,
+    stride: WindowSpec,
+    buckets_per_window: usize,
+    sampler: Box<dyn StreamSampler>,
+    /// Completed buckets of the in-progress window(s); holds at most
+    /// `buckets_per_window - 1` entries between offers.
+    ring: VecDeque<Bucket>,
+    cur: Option<Bucket>,
+    /// Current bucket's grid start (time mode).
+    cur_start: Micros,
+    prev_ts: Option<Micros>,
+    next_index: u64,
+    emitted: u64,
+    packets_total: u64,
+    selected_total: u64,
+}
+
+impl Windower {
+    /// New windower over `window`, sliding by `slide` (tumbling when
+    /// `None`).
+    ///
+    /// # Panics
+    /// Panics on specs the engine's validation rejects: zero extents,
+    /// mixed count/time kinds, or a window that is not a multiple of
+    /// its slide.
+    #[must_use]
+    pub fn new(
+        target: Target,
+        window: WindowSpec,
+        slide: Option<WindowSpec>,
+        sampler: Box<dyn StreamSampler>,
+    ) -> Self {
+        let stride = slide.unwrap_or(window);
+        let (win_n, stride_n) = match (window, stride) {
+            (WindowSpec::Count(w), WindowSpec::Count(s)) => (w, s),
+            (WindowSpec::Time(w), WindowSpec::Time(s)) => (w.as_u64(), s.as_u64()),
+            _ => panic!("window and slide must both be counts or both durations"),
+        };
+        assert!(win_n > 0 && stride_n > 0, "window extents must be positive");
+        assert!(
+            win_n % stride_n == 0,
+            "window ({win_n}) must be a multiple of its slide ({stride_n})"
+        );
+        Windower {
+            target,
+            stride,
+            buckets_per_window: (win_n / stride_n) as usize,
+            sampler,
+            ring: VecDeque::new(),
+            cur: None,
+            cur_start: Micros::ZERO,
+            prev_ts: None,
+            next_index: 0,
+            emitted: 0,
+            packets_total: 0,
+            selected_total: 0,
+        }
+    }
+
+    /// Packets offered so far.
+    #[must_use]
+    pub fn packets(&self) -> u64 {
+        self.packets_total
+    }
+
+    /// Packets selected so far (buffered samplers count at flush).
+    #[must_use]
+    pub fn selected(&self) -> u64 {
+        self.selected_total
+    }
+
+    /// The sampler's short name.
+    #[must_use]
+    pub fn sampler_name(&self) -> &'static str {
+        self.sampler.name()
+    }
+
+    /// Offer one packet (arrival order); returns any windows it
+    /// completed.
+    pub fn offer(&mut self, pkt: &PacketRecord) -> Vec<WindowPayload> {
+        let mut out = Vec::new();
+        let edge_gap = self
+            .prev_ts
+            .map(|t| pkt.timestamp.saturating_sub(t).as_u64());
+
+        match self.stride {
+            WindowSpec::Time(stride) => {
+                let s = stride.as_u64().max(1);
+                if self.cur.is_none() {
+                    // The first packet anchors the window grid.
+                    self.cur_start = pkt.timestamp;
+                    self.cur = Some(Bucket::new(self.cur_start, self.target));
+                } else {
+                    let ahead = pkt
+                        .timestamp
+                        .as_u64()
+                        .saturating_sub(self.cur_start.as_u64())
+                        / s;
+                    // Close every bucket the packet has moved past. After
+                    // `buckets_per_window` closes all old content has
+                    // rotated out, so a longer gap holds only fully-empty
+                    // windows: jump over them instead of iterating.
+                    let closes = (ahead as usize).min(self.buckets_per_window);
+                    for _ in 0..closes {
+                        self.close_current(&mut out);
+                        self.cur_start = Micros(self.cur_start.as_u64() + s);
+                        self.cur = Some(Bucket::new(self.cur_start, self.target));
+                    }
+                    if ahead > closes as u64 {
+                        let skipped = ahead - closes as u64;
+                        self.cur_start = Micros(self.cur_start.as_u64() + skipped * s);
+                        // The ring holds only empty gap buckets now;
+                        // rebuild them on the jumped-to grid positions.
+                        self.ring.clear();
+                        for j in (1..self.buckets_per_window as u64).rev() {
+                            self.ring.push_back(Bucket::new(
+                                Micros(self.cur_start.as_u64().saturating_sub(j * s)),
+                                self.target,
+                            ));
+                        }
+                        self.cur = Some(Bucket::new(self.cur_start, self.target));
+                    }
+                }
+                self.accumulate(pkt, edge_gap);
+            }
+            WindowSpec::Count(stride) => {
+                if self.cur.is_none() {
+                    self.cur = Some(Bucket::new(pkt.timestamp, self.target));
+                }
+                self.accumulate(pkt, edge_gap);
+                if self.cur.as_ref().map(|b| b.packets) == Some(stride) {
+                    self.close_current(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// End of stream: flush the sampler and close the partial bucket;
+    /// a stream shorter than one full window still yields one
+    /// (partial) window.
+    pub fn finish(&mut self) -> Vec<WindowPayload> {
+        let mut out = Vec::new();
+        if self.cur.is_some() {
+            self.close_current(&mut out);
+            self.cur = None;
+        }
+        if out.is_empty() && self.emitted == 0 && self.ring.iter().any(|b| b.packets > 0) {
+            out.push(self.merge_window(self.ring.len()));
+        }
+        out
+    }
+
+    /// Feed one packet into the current bucket and the sampler.
+    fn accumulate(&mut self, pkt: &PacketRecord, edge_gap: Option<u64>) {
+        let cur = self.cur.as_mut().expect("current bucket");
+        let bucket_first = cur.packets == 0;
+        // Within a bucket the stream predecessor is the window-local
+        // predecessor; a bucket's first packet has no local gap (the
+        // batch semantics for a window's first packet).
+        let local_gap = if bucket_first { None } else { edge_gap };
+        let verdict = self.sampler.offer(pkt, local_gap);
+        if verdict == Offer::Selected {
+            cur.selected += 1;
+            self.selected_total += 1;
+        }
+        let weight = self.target.weight(pkt);
+        if let Some(v) = self.target.value(pkt, local_gap) {
+            cur.population.observe_weighted(v, weight);
+            if verdict == Offer::Selected {
+                cur.sample.observe_weighted(v, weight);
+            }
+        } else if bucket_first {
+            // Interarrival target, bucket seam: keep the cross-bucket
+            // observation for merges where the predecessor is in-window.
+            cur.pop_edge = self.target.value(pkt, edge_gap).map(|v| (v, weight));
+            if verdict == Offer::Selected {
+                cur.sam_edge = cur.pop_edge;
+            }
+        }
+        cur.packets += 1;
+        if cur.first_ts.is_none() {
+            cur.first_ts = Some(pkt.timestamp);
+        }
+        cur.last_ts = Some(pkt.timestamp);
+        self.prev_ts = Some(pkt.timestamp);
+        self.packets_total += 1;
+    }
+
+    /// Complete the current bucket: drain any buffered sampler
+    /// selections into it, rotate it into the ring, and emit a window
+    /// if one is now complete (fully-empty windows are skipped). The
+    /// eviction keeps the ring bounded at `buckets_per_window`.
+    fn close_current(&mut self, out: &mut Vec<WindowPayload>) {
+        let mut bucket = self.cur.take().expect("current bucket");
+        for item in self.sampler.flush() {
+            bucket.selected += 1;
+            self.selected_total += 1;
+            if let Some(v) = self.target.value(&item.packet, item.gap_us) {
+                bucket
+                    .sample
+                    .observe_weighted(v, self.target.weight(&item.packet));
+            }
+        }
+        self.ring.push_back(bucket);
+        if self.ring.len() == self.buckets_per_window {
+            if self.ring.iter().any(|b| b.packets > 0) {
+                let payload = self.merge_window(self.buckets_per_window);
+                out.push(payload);
+            }
+            self.ring.pop_front();
+        }
+    }
+
+    /// Merge the first `n` ring buckets into one window payload.
+    fn merge_window(&mut self, n: usize) -> WindowPayload {
+        let mut buckets = self.ring.iter().take(n);
+        let first = buckets.next().expect("nonempty ring");
+        let mut population = first.population.clone();
+        let mut sample = first.sample.clone();
+        let mut packets = first.packets;
+        let mut selected = first.selected;
+        let mut first_ts = first.first_ts;
+        let mut last_ts = first.last_ts;
+        // Whether an earlier bucket of this window holds packets — iff
+        // so, a later bucket's first packet has an in-window
+        // predecessor and its seam observation applies.
+        let mut seen_packets = first.packets > 0;
+        for b in buckets {
+            population.merge(&b.population);
+            sample.merge(&b.sample);
+            if seen_packets {
+                if let Some((v, w)) = b.pop_edge {
+                    population.observe_weighted(v, w);
+                }
+                if let Some((v, w)) = b.sam_edge {
+                    sample.observe_weighted(v, w);
+                }
+            }
+            packets += b.packets;
+            selected += b.selected;
+            if first_ts.is_none() {
+                first_ts = b.first_ts;
+            }
+            if b.last_ts.is_some() {
+                last_ts = b.last_ts;
+            }
+            seen_packets = seen_packets || b.packets > 0;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        self.emitted += 1;
+        WindowPayload {
+            index,
+            start_ts: self.ring.front().expect("nonempty ring").start_ts,
+            first_ts,
+            last_ts,
+            packets,
+            selected,
+            population,
+            sample,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::StreamMethod;
+    use sampling::MethodSpec;
+
+    fn packets(n: u64, gap_us: u64) -> Vec<PacketRecord> {
+        (0..n)
+            .map(|i| PacketRecord::new(Micros(i * gap_us), if i % 2 == 0 { 40 } else { 552 }))
+            .collect()
+    }
+
+    fn windower(target: Target, window: WindowSpec, slide: Option<WindowSpec>) -> Windower {
+        let sampler = StreamMethod::Spec(MethodSpec::Systematic { interval: 5 })
+            .build(Micros(0), None, 0, 1993)
+            .unwrap();
+        Windower::new(target, window, slide, sampler)
+    }
+
+    /// Batch-path reference: the histograms an `Experiment` would build
+    /// over this window slice with this selection.
+    fn batch_hists(
+        target: Target,
+        window: &[PacketRecord],
+        selected: &[usize],
+    ) -> (Histogram, Histogram) {
+        (
+            target.population_histogram(window),
+            target.sample_histogram(window, selected),
+        )
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert_eq!(WindowSpec::parse("1000"), Ok(WindowSpec::Count(1000)));
+        assert_eq!(
+            WindowSpec::parse("250ms"),
+            Ok(WindowSpec::Time(Micros(250_000)))
+        );
+        assert_eq!(
+            WindowSpec::parse("2s"),
+            Ok(WindowSpec::Time(Micros(2_000_000)))
+        );
+        assert_eq!(
+            WindowSpec::parse("15m"),
+            Ok(WindowSpec::Time(Micros(900_000_000)))
+        );
+        assert_eq!(WindowSpec::parse("90us"), Ok(WindowSpec::Time(Micros(90))));
+        assert!(WindowSpec::parse("0").is_err());
+        assert!(WindowSpec::parse("10h").is_err());
+        assert!(WindowSpec::parse("").is_err());
+    }
+
+    #[test]
+    fn tumbling_count_windows_match_batch_slices() {
+        let pkts = packets(250, 1_000);
+        let mut w = windower(Target::Interarrival, WindowSpec::Count(100), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 3); // 100 + 100 + 50 (partial tail)
+        for (i, win) in windows.iter().enumerate() {
+            let lo = i * 100;
+            let hi = (lo + 100).min(250);
+            let slice = &pkts[lo..hi];
+            // Reproduce the systematic sampler's in-window selections.
+            let selected: Vec<usize> = (0..slice.len()).filter(|j| (lo + j) % 5 == 0).collect();
+            let (pop, sam) = batch_hists(Target::Interarrival, slice, &selected);
+            assert_eq!(win.population, pop, "window {i} population");
+            assert_eq!(win.sample, sam, "window {i} sample");
+            assert_eq!(win.packets, (hi - lo) as u64);
+        }
+    }
+
+    #[test]
+    fn sliding_count_windows_match_overlapping_batch_slices() {
+        let pkts = packets(300, 700);
+        for target in [Target::Interarrival, Target::PacketSize] {
+            let mut w = windower(target, WindowSpec::Count(100), Some(WindowSpec::Count(25)));
+            let mut windows = Vec::new();
+            for p in &pkts {
+                windows.extend(w.offer(p));
+            }
+            windows.extend(w.finish());
+            // Windows end at packet 100, 125, …, 300: 9 of them.
+            assert_eq!(windows.len(), 9, "{target}");
+            for (i, win) in windows.iter().enumerate() {
+                let hi = 100 + i * 25;
+                let lo = hi - 100;
+                let slice = &pkts[lo..hi];
+                let selected: Vec<usize> = (0..slice.len()).filter(|j| (lo + j) % 5 == 0).collect();
+                let (pop, sam) = batch_hists(target, slice, &selected);
+                assert_eq!(win.population, pop, "{target} window {i} population");
+                assert_eq!(win.sample, sam, "{target} window {i} sample");
+            }
+        }
+    }
+
+    #[test]
+    fn time_windows_tumble_on_the_grid() {
+        // 1 packet per ms, 10 ms windows anchored at the first packet.
+        let pkts = packets(100, 1_000);
+        let mut w = windower(Target::PacketSize, WindowSpec::Time(Micros(10_000)), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 10);
+        for (i, win) in windows.iter().enumerate() {
+            assert_eq!(win.packets, 10, "window {i}");
+            assert_eq!(win.start_ts, Micros(i as u64 * 10_000));
+        }
+    }
+
+    #[test]
+    fn long_idle_gaps_skip_empty_windows_in_bounded_work() {
+        let mut w = windower(Target::PacketSize, WindowSpec::Time(Micros(1_000)), None);
+        let mut windows = Vec::new();
+        windows.extend(w.offer(&PacketRecord::new(Micros(0), 40)));
+        // A ~12-day silence: 10^12 µs = 10^9 empty windows, skipped in
+        // O(buckets_per_window) work.
+        windows.extend(w.offer(&PacketRecord::new(Micros(1_000_000_000_000), 40)));
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].packets, 1);
+        assert_eq!(windows[1].packets, 1);
+        assert_eq!(windows[1].start_ts, Micros(1_000_000_000_000));
+    }
+
+    #[test]
+    fn sliding_time_windows_overlap() {
+        // Packet every 1 ms; window 4 ms sliding by 2 ms.
+        let pkts = packets(20, 1_000);
+        let mut w = windower(
+            Target::PacketSize,
+            WindowSpec::Time(Micros(4_000)),
+            Some(WindowSpec::Time(Micros(2_000))),
+        );
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        for win in &windows {
+            assert!(win.packets >= 2, "overlapping windows each hold packets");
+        }
+        // Consecutive windows advance by the slide, not the window.
+        for pair in windows.windows(2) {
+            assert_eq!(pair[1].start_ts.as_u64() - pair[0].start_ts.as_u64(), 2_000);
+        }
+    }
+
+    #[test]
+    fn short_stream_still_reports_one_window() {
+        let pkts = packets(7, 1_000);
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(100), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].packets, 7);
+        assert_eq!(windows[0].selected, 2); // indices 0 and 5
+    }
+
+    #[test]
+    fn reservoir_selections_arrive_at_window_flush() {
+        let pkts = packets(100, 1_000);
+        let sampler = StreamMethod::Reservoir { capacity: 10 }
+            .build(Micros(0), None, 0, 1993)
+            .unwrap();
+        let mut w = Windower::new(Target::PacketSize, WindowSpec::Count(50), None, sampler);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 2);
+        for win in &windows {
+            assert_eq!(win.selected, 10, "reservoir yields exactly capacity");
+            assert_eq!(win.sample.total(), 10);
+        }
+        assert_eq!(w.selected(), 20);
+    }
+}
