@@ -107,6 +107,60 @@ else
 fi
 grep -q "at byte" "$tmpdir/stream.err"
 
+echo "== serve: live telemetry plane (mid-run scrapes + soak RSS bound)"
+# Run a rate-paced soak with the scrape server on an ephemeral port.
+# While it streams, scrape /metrics twice over plain TCP (bash /dev/tcp)
+# and require a valid exposition whose ingest counter strictly
+# increases between scrapes — proof the registry is being read live,
+# not from an end-of-run snapshot. Then the soak itself must pass its
+# RSS budget (exit 1 otherwise).
+"$bin" --serve 127.0.0.1:0 stream --soak 40 --window 2000 --pace-pps 20000 \
+    --interval 50 > "$tmpdir/soak.out" 2> "$tmpdir/soak.err" &
+soak_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^netsample: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmpdir/soak.err" | head -n1)"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "serve address never appeared on stderr" >&2
+    kill "$soak_pid" 2>/dev/null || true
+    exit 1
+fi
+scrape() {
+    exec 3<>"/dev/tcp/127.0.0.1/$port"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+# The ingest counters register when the pipeline spins up, a moment
+# after the server binds — poll until the first scrape sees them.
+for _ in $(seq 1 100); do
+    scrape /metrics > "$tmpdir/scrape.1" || true
+    grep -q "^stream_packets_ingested_total " "$tmpdir/scrape.1" && break
+    sleep 0.1
+done
+scrape /healthz > "$tmpdir/healthz.out"
+sleep 0.7
+scrape /metrics > "$tmpdir/scrape.2"
+grep -q "# TYPE stream_packets_ingested_total counter" "$tmpdir/scrape.1"
+grep -q "# TYPE proc_rss_kb gauge" "$tmpdir/scrape.1"
+grep -q '"status":"ok"' "$tmpdir/healthz.out"
+ing1="$(sed -n 's/^stream_packets_ingested_total \([0-9]*\)$/\1/p' "$tmpdir/scrape.1")"
+ing2="$(sed -n 's/^stream_packets_ingested_total \([0-9]*\)$/\1/p' "$tmpdir/scrape.2")"
+if [ -z "$ing1" ] || [ -z "$ing2" ] || [ "$ing2" -le "$ing1" ]; then
+    echo "ingest counter did not increase between scrapes ('$ing1' -> '$ing2')" >&2
+    kill "$soak_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$soak_pid" || {
+    echo "soak run failed (RSS budget or stream error):" >&2
+    cat "$tmpdir/soak.out" "$tmpdir/soak.err" >&2
+    exit 1
+}
+grep -Eq "soak: windows=40 .*ok|rss unavailable" "$tmpdir/soak.out"
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

@@ -508,6 +508,13 @@ fn jsonl_record(w: &streamkit::WindowReport) -> String {
             last.as_u64()
         );
     }
+    // The same telemetry the live scrape endpoint exposes, per window:
+    // cumulative shed count, emission→score lag, and process RSS.
+    let _ = write!(
+        s,
+        ",\"shed\":{},\"lag_us\":{},\"rss_kb\":{}",
+        w.shed_packets, w.lag_us, w.rss_kb
+    );
     match &w.report {
         Some(r) => {
             let _ = write!(
@@ -531,9 +538,18 @@ fn jsonl_record(w: &streamkit::WindowReport) -> String {
 /// the capture from stdin, so a live `tcpdump -w -` pipes straight in.
 /// One tumbling window spanning the whole capture reproduces the batch
 /// `score` φ bit-for-bit for every packet-driven method.
+///
+/// `--soak N` replaces the trace file with an internally generated
+/// rate-paced replay of N windows (no positional argument), asserts the
+/// process RSS stays within `--rss-budget-kb` of the pre-run baseline
+/// (exit 1 otherwise), and appends a `soak:` report line — the
+/// bounded-memory evidence the telemetry plane is scraped against.
 pub fn stream(args: &Args) -> Result<String, CmdError> {
-    expect_positionals(args, 1)?;
-    let path = args.positional(0, "trace.pcap")?;
+    let soak: Option<u64> = match args.opt("soak") {
+        Some(_) => Some(args.opt_num("soak", 0u64)?),
+        None => None,
+    };
+    expect_positionals(args, usize::from(soak.is_none()))?;
     let target = parse_target(args.opt_or("target", "packet-size"))?;
     let window = WindowSpec::parse(args.opt_or("window", "1000")).map_err(CmdError::usage)?;
     let mut cfg = StreamConfig::new(parse_stream_method(args)?, target, window);
@@ -570,11 +586,64 @@ pub fn stream(args: &Args) -> Result<String, CmdError> {
         cfg.reference = Some(target.population_histogram(reference.packets()));
     }
 
-    let summary = if path == "-" {
-        run_stream(BufReader::new(std::io::stdin()), &cfg)?
+    let mut soak_report = String::new();
+    let summary = if let Some(windows) = soak {
+        let window_packets = match window {
+            WindowSpec::Count(n) => n,
+            WindowSpec::Time(_) => {
+                return Err(CmdError::usage(
+                    "--soak needs a packet-count --window (the replay is sized in packets)",
+                ))
+            }
+        };
+        if windows == 0 || window_packets == 0 {
+            return Err(CmdError::usage("--soak and --window must be at least 1"));
+        }
+        let pace_pps: u64 = args.opt_num("pace-pps", 0u64)?;
+        let budget_kb: u64 = args.opt_num("rss-budget-kb", 32_768u64)?;
+        // Sample the baseline before the run so the budget measures what
+        // the replay *added*, not what the process already held.
+        let baseline_kb = obskit::telemetry::rss_kb();
+        let telemetry = obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
+        let reader = netsynth::PacedReader::new(netsynth::ReplayConfig {
+            seed: cfg.seed,
+            windows,
+            window_packets,
+            pace_pps,
+        });
+        let summary = run_stream(BufReader::new(reader), &cfg)?;
+        telemetry.sample_now();
+        let max = telemetry.max_rss_kb();
+        match baseline_kb {
+            Some(baseline) if max > 0 => {
+                if max > baseline + budget_kb {
+                    return Err(CmdError::regression(format!(
+                        "soak RSS {max} kB exceeded baseline {baseline} kB + budget {budget_kb} kB"
+                    )));
+                }
+                let _ = writeln!(
+                    soak_report,
+                    "soak: windows={windows} max_rss_kb={max} baseline_rss_kb={baseline} budget_kb={budget_kb} ok"
+                );
+            }
+            // No /proc on this platform: report the run, skip the gate.
+            _ => {
+                let _ = writeln!(
+                    soak_report,
+                    "soak: windows={windows} rss unavailable, budget not asserted"
+                );
+            }
+        }
+        summary
     } else {
-        let f = File::open(path).map_err(|e| CmdError::io(format!("cannot open {path}: {e}")))?;
-        run_stream(BufReader::new(f), &cfg)?
+        let path = args.positional(0, "trace.pcap")?;
+        if path == "-" {
+            run_stream(BufReader::new(std::io::stdin()), &cfg)?
+        } else {
+            let f =
+                File::open(path).map_err(|e| CmdError::io(format!("cannot open {path}: {e}")))?;
+            run_stream(BufReader::new(f), &cfg)?
+        }
     };
 
     if let Some(jsonl) = args.opt("jsonl") {
@@ -643,6 +712,7 @@ pub fn stream(args: &Args) -> Result<String, CmdError> {
         Some(phi) => writeln!(out, ", mean phi={phi:.5}")?,
         None => writeln!(out)?,
     }
+    out.push_str(&soak_report);
     Ok(out)
 }
 
@@ -880,6 +950,9 @@ mod tests {
         "backpressure",
         "jsonl",
         "reference",
+        "soak",
+        "pace-pps",
+        "rss-budget-kb",
     ];
 
     #[test]
@@ -943,8 +1016,77 @@ mod tests {
         assert_eq!(lines.len(), windows, "one JSONL record per window");
         assert!(lines[0].starts_with("{\"index\":0,"), "{}", lines[0]);
         assert!(lines[0].contains("\"phi\":"), "{}", lines[0]);
+        // Every record carries the telemetry triple alongside the score.
+        for line in &lines {
+            for field in ["\"shed\":", "\"lag_us\":", "\"rss_kb\":"] {
+                assert!(line.contains(field), "missing {field} in {line}");
+            }
+        }
         std::fs::remove_file(&pop).ok();
         std::fs::remove_file(&sink).ok();
+    }
+
+    #[test]
+    fn stream_soak_replays_synthetic_windows_and_reports_rss() {
+        // --soak takes no trace argument: the paced replay is generated
+        // in-process, windowed, and the RSS budget asserted at the end.
+        let out = stream(&args(
+            &[
+                "--soak",
+                "4",
+                "--window",
+                "500",
+                "--interval",
+                "25",
+                "--seed",
+                "9",
+            ],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        assert!(out.contains("stream (pcap): systematic"), "{out}");
+        assert_eq!(out.lines().filter(|l| l.contains("start=")).count(), 4);
+        assert!(
+            out.contains("soak: windows=4") || out.contains("rss unavailable"),
+            "{out}"
+        );
+        if let Some(line) = out.lines().find(|l| l.starts_with("soak:")) {
+            assert!(
+                line.ends_with("ok") || line.contains("rss unavailable"),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_soak_rejects_bad_shapes() {
+        // A positional trace alongside --soak, time windows, and a zero
+        // window count are all usage errors.
+        for bad in [
+            vec!["x.pcap", "--soak", "3"],
+            vec!["--soak", "3", "--window", "5s"],
+            vec!["--soak", "0"],
+        ] {
+            let e = stream(&args(&bad, STREAM_OPTS)).unwrap_err();
+            assert_eq!(e.exit_code(), 64, "{bad:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn stream_soak_budget_violation_is_a_regression_exit() {
+        // A 0 kB budget means "no RSS growth at all": either the run
+        // genuinely held flat (reports ok) or the gate must trip with the
+        // regression exit code — never any other failure class.
+        match stream(&args(
+            &["--soak", "2", "--window", "200", "--rss-budget-kb", "0"],
+            STREAM_OPTS,
+        )) {
+            Err(e) => {
+                assert_eq!(e.exit_code(), 1, "{e}");
+                assert!(e.to_string().contains("RSS"), "{e}");
+            }
+            Ok(out) => assert!(out.contains("soak: windows=2"), "{out}"),
+        }
     }
 
     #[test]

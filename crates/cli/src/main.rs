@@ -40,10 +40,18 @@ USAGE:
                     [--backpressure block|drop-newest] [--jsonl out.jsonl]
                     [--reference ref.pcap]   (- reads the capture from stdin;
                     one-pass, O(window) memory; DUR like 500ms, 10s, 1m)
+  netsample stream  --soak N [--pace-pps R] [--rss-budget-kb KB] [stream options]
+                    (no trace argument: replays N synthetic windows, paced at
+                    R pkt/s, and fails with exit 1 if RSS grows past the budget)
   netsample fuzz    [--seed S] [--mutations N] [--cases M] [--corpus-packets P]
   netsample perf    record|report|diff ...   (see `netsample perf`)
 
 global options (any position):
+  --serve <addr>       serve live telemetry over HTTP for the duration of the
+                       run: GET /metrics (Prometheus text), /healthz
+                       (liveness + ingest staleness), /snapshot (JSONL);
+                       <addr> like 127.0.0.1:9184, port 0 picks one (the
+                       bound address is printed to stderr)
   --jobs <n>           worker-pool width for experiment grids (default:
                        available parallelism; NETSAMPLE_JOBS=<n> does
                        the same; 1 forces the serial path — results are
@@ -68,12 +76,13 @@ struct GlobalFlags {
     trace_path: Option<String>,
     profile_out: Option<String>,
     jobs: Option<usize>,
+    serve: Option<String>,
 }
 
 /// Pull `--metrics`, `--jobs <n>`/`--jobs=<n>`,
-/// `--trace <path>`/`--trace=<path>`, and
-/// `--profile-out <path>`/`--profile-out=<path>` out of the argument
-/// list.
+/// `--trace <path>`/`--trace=<path>`,
+/// `--profile-out <path>`/`--profile-out=<path>`, and
+/// `--serve <addr>`/`--serve=<addr>` out of the argument list.
 fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
     let mut flags = GlobalFlags::default();
     let mut i = 0;
@@ -104,8 +113,18 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
                 }
                 flags.jobs = Some(parse_jobs(&argv.remove(i))?);
             }
+            "--serve" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--serve needs a listen address like 127.0.0.1:9184".to_string());
+                }
+                flags.serve = Some(argv.remove(i));
+            }
             other => {
-                if let Some(v) = other.strip_prefix("--trace=") {
+                if let Some(v) = other.strip_prefix("--serve=") {
+                    flags.serve = Some(v.to_string());
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--trace=") {
                     flags.trace_path = Some(v.to_string());
                     argv.remove(i);
                 } else if let Some(v) = other.strip_prefix("--profile-out=") {
@@ -154,6 +173,29 @@ fn main() -> ExitCode {
     // partial trace up to the failure is the debugging artifact.
     let _flush = obskit::trace::flush_on_drop();
 
+    let server = match &flags.serve {
+        Some(addr) => {
+            // The background sampler keeps proc_rss_kb/open-fd gauges
+            // fresh between scrapes even while a command is CPU-bound.
+            obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
+            let cfg = obskit::ServeConfig {
+                addr: addr.clone(),
+                ..obskit::ServeConfig::default()
+            };
+            match obskit::serve(&cfg) {
+                Ok(handle) => {
+                    eprintln!("netsample: serving on {}", handle.addr());
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("netsample: cannot serve on {addr}: {e}");
+                    return ExitCode::from(74);
+                }
+            }
+        }
+        None => None,
+    };
+
     let code = match argv.split_first() {
         None => {
             eprint!("{USAGE}");
@@ -170,6 +212,18 @@ fn main() -> ExitCode {
             }
         },
     };
+
+    if let Some(handle) = server {
+        let addr = handle.addr();
+        // Graceful: stop accepting, drain in-flight handlers, then report.
+        handle.shutdown();
+        let served: u64 = ["/metrics", "/healthz", "/snapshot"]
+            .iter()
+            .map(|p| obskit::counter_labeled("serve_requests_total", &[("path", p)]).get())
+            .sum();
+        let bad = obskit::counter("serve_bad_requests_total").get();
+        eprintln!("netsample: telemetry server {addr} served {served} request(s), {bad} rejected as malformed");
+    }
 
     // The dump runs on failures too: a crashed run's partial counters are
     // exactly what one wants when debugging it.
@@ -237,6 +291,9 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
                     "backpressure",
                     "jsonl",
                     "reference",
+                    "soak",
+                    "pace-pps",
+                    "rss-budget-kb",
                 ],
             )?;
             commands::stream(&a)
@@ -274,6 +331,27 @@ mod tests {
             assert!(extract_global_flags(&mut argv).is_err(), "{bad}");
         }
         let mut argv = vec!["--jobs".into()];
+        assert!(extract_global_flags(&mut argv).is_err());
+    }
+
+    #[test]
+    fn serve_flag_is_extracted_in_both_forms() {
+        let mut argv = vec![
+            "stream".into(),
+            "--serve".into(),
+            "127.0.0.1:0".into(),
+            "x.pcap".into(),
+        ];
+        let f = extract_global_flags(&mut argv).unwrap();
+        assert_eq!(f.serve.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(argv, vec!["stream".to_string(), "x.pcap".to_string()]);
+        let mut argv = vec!["--serve=0.0.0.0:9184".into()];
+        assert_eq!(
+            extract_global_flags(&mut argv).unwrap().serve.as_deref(),
+            Some("0.0.0.0:9184")
+        );
+        assert!(argv.is_empty());
+        let mut argv = vec!["--serve".into()];
         assert!(extract_global_flags(&mut argv).is_err());
     }
 

@@ -8,7 +8,10 @@
 //! `try_*` never panics (degenerate parameters are typed errors),
 //! offers never panic or hang, and `reset` restores bit-identical
 //! behavior. [`sampling::disparity`] gets degenerate-bin histograms and
-//! must keep φ finite in `[0, √2]`.
+//! must keep φ finite in `[0, √2]`. The telemetry server's
+//! [`obskit::parse_request_line`] gets oversized, truncated, binary,
+//! and byte-mutated request lines and must reject (never panic on)
+//! every malformed one, deterministically.
 
 use crate::{Digest, Finding};
 use nettrace::time::Micros;
@@ -30,7 +33,8 @@ pub struct StateFuzzConfig {
     /// Master seed.
     pub seed: u64,
     /// Cases to run, spread round-robin over the eight batch samplers,
-    /// the streaming reservoir, and the disparity metric.
+    /// the streaming reservoir, the disparity metric, and the telemetry
+    /// server's HTTP request-line parser.
     pub cases: u32,
 }
 
@@ -370,6 +374,113 @@ impl Fuzzer {
             }
         }
     }
+
+    /// Feed the telemetry server's request-line parser one hostile line:
+    /// never panics, parses deterministically, and anything it *accepts*
+    /// satisfies the documented method/path/version shape.
+    fn fuzz_http_request(&mut self, rng: &mut StdRng) {
+        let raw = hostile_request_line(rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            (
+                obskit::parse_request_line(&raw),
+                obskit::parse_request_line(&raw),
+            )
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(
+                    "http_request",
+                    format!("parser panicked on {} bytes: {msg}", raw.len()),
+                );
+                self.record("http_request", "panic");
+            }
+            Ok((first, second)) => {
+                if first != second {
+                    self.violation(
+                        "http_request",
+                        format!("parse is not deterministic on {} bytes", raw.len()),
+                    );
+                }
+                match first {
+                    Ok(req) => {
+                        let method_ok = !req.method.is_empty()
+                            && req.method.len() <= 16
+                            && req.method.bytes().all(|b| b.is_ascii_uppercase());
+                        let path_ok = req.path.starts_with('/')
+                            && req.path.len() <= 2048
+                            && req.path.bytes().all(|b| b.is_ascii_graphic());
+                        let version_ok = req.version == "HTTP/1.0" || req.version == "HTTP/1.1";
+                        if !(method_ok && path_ok && version_ok) {
+                            self.violation(
+                                "http_request",
+                                format!("accepted a malformed line as {req:?}"),
+                            );
+                        }
+                        self.record("http_request", "ok");
+                        self.digest.update(req.path.as_bytes());
+                    }
+                    Err(e) => {
+                        self.record("http_request", "rejected");
+                        self.digest.update(e.to_string().as_bytes());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A hostile HTTP request line: valid scrapes, oversized and truncated
+/// lines, raw binary (usually not UTF-8), slowloris-style fragments,
+/// byte-mutated valid lines, and token/terminator abuse.
+fn hostile_request_line(rng: &mut StdRng) -> Vec<u8> {
+    match rng.random_range(0u8..6) {
+        0 => {
+            let paths = ["/metrics", "/healthz", "/snapshot", "/", "/missing"];
+            let path = paths[rng.random_range(0usize..paths.len())];
+            format!("GET {path} HTTP/1.0\r\n").into_bytes()
+        }
+        1 => {
+            // Oversized: straddle the MAX_REQUEST_LINE boundary.
+            let n = rng.random_range(8_150usize..=9_000);
+            let mut v = b"GET /".to_vec();
+            v.resize(v.len() + n, b'a');
+            v.extend_from_slice(b" HTTP/1.1\r\n");
+            v
+        }
+        2 => {
+            // Truncated mid-line, as a dead or slowloris peer leaves it.
+            let full = b"GET /metrics HTTP/1.0\r\n";
+            full[..rng.random_range(0usize..full.len())].to_vec()
+        }
+        3 => {
+            let len = rng.random_range(0usize..=64);
+            (0..len).map(|_| rng.random::<u8>()).collect()
+        }
+        4 => {
+            // Byte-flip a valid line.
+            let mut v = b"GET /metrics HTTP/1.1\r\n".to_vec();
+            for _ in 0..rng.random_range(1usize..=3) {
+                let i = rng.random_range(0usize..v.len());
+                v[i] = rng.random::<u8>();
+            }
+            v
+        }
+        _ => {
+            let methods = ["GET", "get", "POST", "G E T", ""];
+            let paths = ["/metrics", "//", "metrics", "/sp ace", "/\t"];
+            let versions = ["HTTP/1.0", "HTTP/2.0", "http/1.1", "HTTP/1.1 x"];
+            let ends = ["\r\n", "\n", "\r", ""];
+            format!(
+                "{} {} {}{}",
+                methods[rng.random_range(0usize..methods.len())],
+                paths[rng.random_range(0usize..paths.len())],
+                versions[rng.random_range(0usize..versions.len())],
+                ends[rng.random_range(0usize..ends.len())]
+            )
+            .into_bytes()
+        }
+    }
 }
 
 /// Timer periods that stress the schedule arithmetic.
@@ -384,8 +495,8 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 }
 
 /// Run the state-machine fuzz: `cases` hostile sequences spread over
-/// the eight batch samplers, the streaming reservoir, and the disparity
-/// metric.
+/// the eight batch samplers, the streaming reservoir, the disparity
+/// metric, and the telemetry server's HTTP request-line parser.
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -399,7 +510,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 10 {
+        match case % 11 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -468,7 +579,8 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
             }
             7 => fuzzer.fuzz_reservoir(&mut rng),
             8 => fuzzer.fuzz_reservoir_stream(&mut rng),
-            _ => fuzzer.fuzz_disparity(&mut rng),
+            9 => fuzzer.fuzz_disparity(&mut rng),
+            _ => fuzzer.fuzz_http_request(&mut rng),
         }
     }
     obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
@@ -537,6 +649,7 @@ mod tests {
             "reservoir",
             "reservoir_stream",
             "disparity",
+            "http_request",
         ] {
             assert!(
                 report

@@ -40,8 +40,10 @@ pub mod flows;
 pub mod gen;
 pub mod profile;
 pub mod rate;
+pub mod replay;
 pub mod sizes;
 
 pub use flows::{generate_flows, FlowProfile};
 pub use gen::{generate, sdsc_hour};
 pub use profile::{PaperTargets, TraceProfile};
+pub use replay::{PacedReader, ReplayConfig};

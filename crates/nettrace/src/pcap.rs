@@ -71,7 +71,23 @@ pub fn write_pcap<W: Write>(w: W, trace: &Trace) -> Result<(), TraceError> {
 }
 
 fn write_pcap_records<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceError> {
-    // Global header.
+    write_pcap_header(&mut w)?;
+    for p in trace.iter() {
+        write_pcap_record(&mut w, p)?;
+    }
+    Ok(())
+}
+
+/// Write the 24-byte classic pcap global header (little-endian,
+/// microsecond timestamps, `LINKTYPE_RAW`).
+///
+/// Exposed so incremental producers (the rate-paced replay source in
+/// netsynth) emit byte-identical streams to [`write_pcap`] without
+/// materializing a [`Trace`].
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_pcap_header<W: Write>(mut w: W) -> Result<(), TraceError> {
     w.write_all(&MAGIC_US.to_le_bytes())?;
     w.write_all(&2u16.to_le_bytes())?; // version major
     w.write_all(&4u16.to_le_bytes())?; // version minor
@@ -79,18 +95,24 @@ fn write_pcap_records<W: Write>(mut w: W, trace: &Trace) -> Result<(), TraceErro
     w.write_all(&0u32.to_le_bytes())?; // sigfigs
     w.write_all(&(WRITE_CAPLEN as u32).to_le_bytes())?; // snaplen
     w.write_all(&LINKTYPE_RAW.to_le_bytes())?;
+    Ok(())
+}
 
-    for p in trace.iter() {
-        let ts = p.timestamp.as_u64();
-        let sec = (ts / 1_000_000) as u32;
-        let usec = (ts % 1_000_000) as u32;
-        let caplen = WRITE_CAPLEN.min(usize::from(p.size.max(28))) as u32;
-        w.write_all(&sec.to_le_bytes())?;
-        w.write_all(&usec.to_le_bytes())?;
-        w.write_all(&caplen.to_le_bytes())?;
-        w.write_all(&u32::from(p.size).to_le_bytes())?;
-        w.write_all(&synth_header(p)[..caplen as usize])?;
-    }
+/// Write one record (header + synthetic `LINKTYPE_RAW` IPv4 payload),
+/// exactly as [`write_pcap`] would.
+///
+/// # Errors
+/// Propagates I/O errors from the underlying writer.
+pub fn write_pcap_record<W: Write>(mut w: W, p: &PacketRecord) -> Result<(), TraceError> {
+    let ts = p.timestamp.as_u64();
+    let sec = (ts / 1_000_000) as u32;
+    let usec = (ts % 1_000_000) as u32;
+    let caplen = WRITE_CAPLEN.min(usize::from(p.size.max(28))) as u32;
+    w.write_all(&sec.to_le_bytes())?;
+    w.write_all(&usec.to_le_bytes())?;
+    w.write_all(&caplen.to_le_bytes())?;
+    w.write_all(&u32::from(p.size).to_le_bytes())?;
+    w.write_all(&synth_header(p)[..caplen as usize])?;
     Ok(())
 }
 

@@ -27,7 +27,15 @@
 //!   ([`trace::enable_path`]) or via the `NETSAMPLE_TRACE` environment
 //!   variable ([`trace::init_from_env`]).
 //! * [`Registry::render_prometheus`] produces text exposition;
-//!   [`Registry::render_summary`] a human-readable table.
+//!   [`Registry::render_summary`] a human-readable table;
+//!   [`Registry::render_snapshot_jsonl`] a machine-readable JSONL dump.
+//! * [`serve`] is the live telemetry plane: a std-only blocking
+//!   HTTP/1.0 server exposing `GET /metrics` (Prometheus text),
+//!   `GET /healthz` (liveness + ingest-watermark staleness), and
+//!   `GET /snapshot` (JSONL) while the process runs.
+//! * [`telemetry`] runs a background sampler keeping `proc_rss_kb`,
+//!   `proc_open_fds`, and windowed per-second rate gauges fresh, with a
+//!   bounded ring of samples for soak-test evidence.
 //!
 //! ## Hot-path discipline
 //!
@@ -45,15 +53,21 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod exposition;
 mod metrics;
 mod registry;
+pub mod serve;
 mod span;
+pub mod telemetry;
 pub mod trace;
 pub mod tree;
 
+pub use exposition::{parse_exposition, valid_label_name, valid_metric_name, ExpositionSample};
 pub use metrics::{Counter, CounterShard, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, Registry, SnapshotValue};
+pub use serve::{parse_request_line, serve, RequestError, RequestLine, ServeConfig, ServeHandle};
 pub use span::{span, span_labeled, time, SpanGuard};
+pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySample};
 pub use tree::SpanNode;
 
 /// True when recording is compiled in (the `noop` feature is off).

@@ -1,5 +1,7 @@
-//! The metric registry and its two text expositions.
+//! The metric registry and its text expositions (Prometheus, JSONL
+//! snapshot, human summary).
 
+use crate::exposition::{json_escape, parse_label_block};
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -36,6 +38,7 @@ impl MetricKind {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: RwLock<BTreeMap<String, MetricKind>>,
+    help: RwLock<BTreeMap<String, String>>,
 }
 
 static GLOBAL: LazyLock<Registry> = LazyLock::new(Registry::new);
@@ -172,27 +175,67 @@ impl Registry {
             .collect()
     }
 
-    /// Prometheus-style text exposition.
+    /// Attach a `# HELP` string to a metric *name* (not a full key);
+    /// every labeled series under the name shares it. Last write wins.
+    pub fn describe(&self, name: &str, help: &str) {
+        self.help
+            .write()
+            .expect("metric help poisoned")
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// Snapshot re-sorted by `(base name, label block)` so exposition
+    /// keeps every series of one metric name contiguous. A plain sort on
+    /// full keys would split a name group: `'_'` sorts before `'{'`, so
+    /// `ab_c` lands between `ab` and `ab{x="1"}`.
+    fn ordered_snapshot(&self) -> Vec<(String, String, SnapshotValue)> {
+        let mut rows: Vec<(String, String, SnapshotValue)> = self
+            .snapshot()
+            .into_iter()
+            .map(|(key, value)| {
+                let (name, labels) = split_key(&key);
+                (name.to_string(), labels.to_string(), value)
+            })
+            .collect();
+        rows.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        rows
+    }
+
+    /// Prometheus text exposition (format 0.0.4).
     ///
+    /// Series are sorted by `(name, labels)` and grouped by name: each
+    /// name gets exactly one `# TYPE` line (plus a `# HELP` line when
+    /// [`Registry::describe`]d), followed by all of its samples.
     /// Counters and gauges render as single samples; histograms render
     /// their non-empty buckets cumulatively with `le` upper bounds plus
     /// `_sum` and `_count` samples.
     #[must_use]
     pub fn render_prometheus(&self) -> String {
+        let help = self.help.read().expect("metric help poisoned");
         let mut out = String::new();
-        for (key, value) in self.snapshot() {
-            let (name, labels) = split_key(&key);
+        let mut current: Option<String> = None;
+        for (name, labels, value) in self.ordered_snapshot() {
+            if current.as_deref() != Some(name.as_str()) {
+                if let Some(h) = help.get(&name) {
+                    let escaped = h.replace('\\', "\\\\").replace('\n', "\\n");
+                    let _ = writeln!(out, "# HELP {name} {escaped}");
+                }
+                let ty = match value {
+                    SnapshotValue::Counter(_) => "counter",
+                    SnapshotValue::Gauge(_) => "gauge",
+                    SnapshotValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {name} {ty}");
+                current = Some(name.clone());
+            }
             match value {
                 SnapshotValue::Counter(v) => {
-                    let _ = writeln!(out, "# TYPE {name} counter");
-                    let _ = writeln!(out, "{key} {v}");
+                    let _ = writeln!(out, "{name}{} {v}", brace(&labels));
                 }
                 SnapshotValue::Gauge(v) => {
-                    let _ = writeln!(out, "# TYPE {name} gauge");
-                    let _ = writeln!(out, "{key} {v}");
+                    let _ = writeln!(out, "{name}{} {v}", brace(&labels));
                 }
                 SnapshotValue::Histogram(s) => {
-                    let _ = writeln!(out, "# TYPE {name} histogram");
                     let mut cumulative = 0u64;
                     for (i, &c) in s.buckets.iter().enumerate() {
                         if c == 0 {
@@ -203,19 +246,74 @@ impl Registry {
                         let _ = writeln!(
                             out,
                             "{name}_bucket{} {cumulative}",
-                            merge_labels(labels, &format!("le=\"{hi}\""))
+                            merge_labels(&labels, &format!("le=\"{hi}\""))
                         );
                     }
                     let _ = writeln!(
                         out,
                         "{name}_bucket{} {}",
-                        merge_labels(labels, "le=\"+Inf\""),
+                        merge_labels(&labels, "le=\"+Inf\""),
                         s.count
                     );
-                    let _ = writeln!(out, "{name}_sum{} {}", brace(labels), s.sum);
-                    let _ = writeln!(out, "{name}_count{} {}", brace(labels), s.count);
+                    let _ = writeln!(out, "{name}_sum{} {}", brace(&labels), s.sum);
+                    let _ = writeln!(out, "{name}_count{} {}", brace(&labels), s.count);
                 }
             }
+        }
+        out
+    }
+
+    /// JSONL snapshot: one JSON object per line, one line per series,
+    /// sorted by `(name, labels)` — the `/snapshot` endpoint body.
+    ///
+    /// Counters/gauges carry `"value"`; histograms carry `"count"`,
+    /// `"sum"`, `"max"`, and non-empty `"buckets"` as `[le, count]`
+    /// pairs (per-bucket, not cumulative).
+    #[must_use]
+    pub fn render_snapshot_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (name, labels, value) in self.ordered_snapshot() {
+            out.push_str("{\"name\":\"");
+            out.push_str(&json_escape(&name));
+            out.push_str("\",\"labels\":{");
+            // The label block came from `keyed`, so it always parses.
+            let pairs = parse_label_block(&labels).unwrap_or_default();
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            out.push_str("},");
+            match value {
+                SnapshotValue::Counter(v) => {
+                    let _ = write!(out, "\"kind\":\"counter\",\"value\":{v}");
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = write!(out, "\"kind\":\"gauge\",\"value\":{v}");
+                }
+                SnapshotValue::Histogram(s) => {
+                    let _ = write!(
+                        out,
+                        "\"kind\":\"histogram\",\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                        s.count, s.sum, s.max
+                    );
+                    let mut first = true;
+                    for (i, &c) in s.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        let (_, hi) = Histogram::bucket_bounds(i);
+                        let _ = write!(out, "[{hi},{c}]");
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
         }
         out
     }
@@ -369,6 +467,68 @@ lat_us_count{stage=\"read\"} 4
 pkts_total 7
 ";
         assert_eq!(r.render_prometheus(), expected);
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn exposition_keeps_name_groups_contiguous() {
+        // Full-key string order is ab < ab_c < ab{x="1"} ('_' < '{'),
+        // which used to split the `ab` group and emit a duplicate TYPE.
+        let r = Registry::new();
+        r.counter("ab").add(1);
+        r.counter("ab_c").add(2);
+        r.counter("ab{x=\"1\"}").add(3);
+        r.counter("ab{x=\"0\"}").add(4);
+        let text = r.render_prometheus();
+        let expected = "\
+# TYPE ab counter
+ab 1
+ab{x=\"0\"} 4
+ab{x=\"1\"} 3
+# TYPE ab_c counter
+ab_c 2
+";
+        assert_eq!(text, expected);
+        assert_eq!(text.matches("# TYPE ab counter").count(), 1);
+        crate::exposition::parse_exposition(&text).expect("self-exposition must parse");
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn help_lines_render_once_per_name_and_escape() {
+        let r = Registry::new();
+        r.counter("x_total{k=\"a\"}").inc();
+        r.counter("x_total{k=\"b\"}").inc();
+        r.describe("x_total", "slash \\ and\nnewline");
+        let text = r.render_prometheus();
+        assert_eq!(
+            text.matches("# HELP x_total slash \\\\ and\\nnewline")
+                .count(),
+            1
+        );
+        crate::exposition::parse_exposition(&text).expect("help escaping must parse");
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn snapshot_jsonl_is_sorted_and_structured() {
+        let r = Registry::new();
+        r.counter("zz_total").add(9);
+        r.gauge("aa{q=\"v\"}").set(-3);
+        r.histogram("h_us").record(700);
+        let text = r.render_snapshot_jsonl();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"name\":\"aa\",\"labels\":{\"q\":\"v\"},\"kind\":\"gauge\",\"value\":-3}"
+        );
+        assert!(lines[1].starts_with("{\"name\":\"h_us\""));
+        assert!(lines[1].contains("\"kind\":\"histogram\",\"count\":1,\"sum\":700"));
+        assert_eq!(
+            lines[2],
+            "{\"name\":\"zz_total\",\"labels\":{},\"kind\":\"counter\",\"value\":9}"
+        );
     }
 
     #[test]

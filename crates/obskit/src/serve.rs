@@ -1,0 +1,497 @@
+//! `obskit::serve` — the live telemetry plane: a tiny, std-only,
+//! blocking HTTP/1.0 server exposing the global registry while the
+//! process works.
+//!
+//! Endpoints:
+//!
+//! * `GET /metrics` — Prometheus text exposition (format 0.0.4) from
+//!   [`crate::global`], sorted and grouped by metric name;
+//! * `GET /healthz` — liveness plus ingest-watermark staleness: `200
+//!   {"status":"ok",...}` normally, `503 {"status":"stale",...}` once
+//!   [`crate::telemetry::touch_ingest`] stops arriving for longer than
+//!   [`ServeConfig::stale_after`];
+//! * `GET /snapshot` — the JSONL registry snapshot
+//!   ([`crate::Registry::render_snapshot_jsonl`]).
+//!
+//! Design: one bounded accept loop on a [`std::net::TcpListener`], one
+//! short-lived handler thread per connection (at most
+//! [`ServeConfig::max_inflight`]; excess connections get an immediate
+//! `503`), a strict request-line parser ([`parse_request_line`], also
+//! exercised by the faultkit state-fuzz campaign), and per-connection
+//! read timeouts so a slowloris peer costs one thread for at most
+//! [`ServeConfig::read_timeout`]. [`ServeHandle::shutdown`] (or drop)
+//! stops accepting, then joins every in-flight handler so responses
+//! already being written always complete.
+
+use crate::metrics::Counter;
+use crate::telemetry::{ingest_staleness_us, last_ingest_us};
+use std::io::{self, Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest request line (bytes, before line terminator) the parser
+/// accepts.
+pub const MAX_REQUEST_LINE: usize = 8192;
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// Zero bytes before the line terminator.
+    Empty,
+    /// Line exceeds [`MAX_REQUEST_LINE`].
+    TooLong,
+    /// Line is not valid UTF-8.
+    NotUtf8,
+    /// Fewer than three space-separated tokens.
+    MissingTokens,
+    /// More than three space-separated tokens.
+    ExtraTokens,
+    /// Method token empty, too long, or not uppercase ASCII letters.
+    BadMethod,
+    /// Path token empty, not `/`-rooted, too long, or contains
+    /// non-graphic characters.
+    BadPath,
+    /// Version token is not `HTTP/1.0` or `HTTP/1.1`.
+    BadVersion,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            RequestError::Empty => "empty request line",
+            RequestError::TooLong => "request line too long",
+            RequestError::NotUtf8 => "request line is not UTF-8",
+            RequestError::MissingTokens => "request line has fewer than 3 tokens",
+            RequestError::ExtraTokens => "request line has more than 3 tokens",
+            RequestError::BadMethod => "malformed method token",
+            RequestError::BadPath => "malformed path token",
+            RequestError::BadVersion => "unsupported HTTP version",
+        };
+        f.write_str(msg)
+    }
+}
+
+/// A successfully parsed request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestLine {
+    /// Uppercase ASCII method token (`GET`, `POST`, …).
+    pub method: String,
+    /// `/`-rooted path token, verbatim.
+    pub path: String,
+    /// `HTTP/1.0` or `HTTP/1.1`.
+    pub version: String,
+}
+
+/// Strictly parse an HTTP request line from raw bytes.
+///
+/// Accepts an optional trailing `\r\n`, `\n`, or `\r`; everything else
+/// must be exactly `METHOD SP PATH SP VERSION` with single spaces.
+/// Total length (after stripping the terminator) is capped at
+/// [`MAX_REQUEST_LINE`], the method at 16 bytes of uppercase ASCII
+/// letters, the path at 2048 bytes of graphic ASCII starting with `/`.
+///
+/// # Errors
+/// A [`RequestError`] naming the first violated rule. Never panics on
+/// any input — the faultkit state-fuzz campaign holds it to that.
+pub fn parse_request_line(raw: &[u8]) -> Result<RequestLine, RequestError> {
+    let line = raw
+        .strip_suffix(b"\r\n")
+        .or_else(|| raw.strip_suffix(b"\n"))
+        .or_else(|| raw.strip_suffix(b"\r"))
+        .unwrap_or(raw);
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(RequestError::TooLong);
+    }
+    if line.is_empty() {
+        return Err(RequestError::Empty);
+    }
+    let s = std::str::from_utf8(line).map_err(|_| RequestError::NotUtf8)?;
+    let mut tokens = s.split(' ');
+    let method = tokens.next().unwrap_or("");
+    let (path, version) = match (tokens.next(), tokens.next()) {
+        (Some(p), Some(v)) => (p, v),
+        _ => return Err(RequestError::MissingTokens),
+    };
+    if tokens.next().is_some() {
+        return Err(RequestError::ExtraTokens);
+    }
+    if method.is_empty() || method.len() > 16 || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(RequestError::BadMethod);
+    }
+    if !path.starts_with('/') || path.len() > 2048 || !path.bytes().all(|b| b.is_ascii_graphic()) {
+        return Err(RequestError::BadPath);
+    }
+    if version != "HTTP/1.0" && version != "HTTP/1.1" {
+        return Err(RequestError::BadVersion);
+    }
+    Ok(RequestLine {
+        method: method.to_string(),
+        path: path.to_string(),
+        version: version.to_string(),
+    })
+}
+
+/// Scrape server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:9100`; port 0 picks an ephemeral
+    /// port ([`ServeHandle::addr`] reports the real one).
+    pub addr: String,
+    /// Per-connection read timeout (slowloris bound).
+    pub read_timeout: Duration,
+    /// `/healthz` reports `stale` once the ingest watermark is older
+    /// than this.
+    pub stale_after: Duration,
+    /// Maximum concurrent handler threads; excess connections receive
+    /// an immediate `503`.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            read_timeout: Duration::from_secs(2),
+            stale_after: Duration::from_secs(5),
+            max_inflight: 8,
+        }
+    }
+}
+
+struct Ctx {
+    read_timeout: Duration,
+    stale_after_us: u64,
+    started: Instant,
+    requests_metrics: Counter,
+    requests_healthz: Counter,
+    requests_snapshot: Counter,
+    bad_requests: Counter,
+    timeouts: Counter,
+    rejected: Counter,
+}
+
+/// Handle to a running scrape server. [`ServeHandle::shutdown`] (or
+/// drop) stops the accept loop and drains in-flight handlers.
+pub struct ServeHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServeHandle {
+    /// The address actually bound (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake the accept loop, and join every in-flight
+    /// handler thread so responses mid-write complete before return.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in accept(2); a throwaway connection
+        // wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let _ = accept.join();
+    }
+}
+
+impl Drop for ServeHandle {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Bind and start serving on a background thread.
+///
+/// # Errors
+/// Any [`TcpListener::bind`] failure (address in use, permission, bad
+/// address syntax).
+pub fn serve(cfg: &ServeConfig) -> io::Result<ServeHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let ctx = Arc::new(Ctx {
+        read_timeout: cfg.read_timeout,
+        stale_after_us: u64::try_from(cfg.stale_after.as_micros()).unwrap_or(u64::MAX),
+        started: Instant::now(),
+        requests_metrics: crate::counter_labeled("serve_requests_total", &[("path", "/metrics")]),
+        requests_healthz: crate::counter_labeled("serve_requests_total", &[("path", "/healthz")]),
+        requests_snapshot: crate::counter_labeled("serve_requests_total", &[("path", "/snapshot")]),
+        bad_requests: crate::counter("serve_bad_requests_total"),
+        timeouts: crate::counter("serve_timeouts_total"),
+        rejected: crate::counter("serve_rejected_total"),
+    });
+    crate::global().describe(
+        "serve_requests_total",
+        "Requests answered by the telemetry server, by path.",
+    );
+    let max_inflight = cfg.max_inflight.max(1);
+    let loop_stop = Arc::clone(&stop);
+    let accept = std::thread::Builder::new()
+        .name("obskit-serve".to_string())
+        .spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if loop_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() >= max_inflight {
+                    ctx.rejected.inc();
+                    respond(&stream, 503, "Service Unavailable", "text/plain", "busy\n");
+                    continue;
+                }
+                let conn_ctx = Arc::clone(&ctx);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("obskit-serve-conn".to_string())
+                    .spawn(move || handle_conn(&stream, &conn_ctx))
+                {
+                    handlers.push(handle);
+                }
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        })
+        .expect("spawn serve accept thread");
+    Ok(ServeHandle {
+        addr,
+        stop,
+        accept: Some(accept),
+    })
+}
+
+/// Read until the first `\n` (inclusive), EOF, timeout, or the length
+/// cap. `Ok` carries the raw line bytes; `Err(true)` means timeout,
+/// `Err(false)` means connection error/EOF before any terminator.
+fn read_request_line(mut stream: &TcpStream) -> Result<Vec<u8>, bool> {
+    let mut line = Vec::with_capacity(128);
+    let mut byte = [0u8; 1];
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                // EOF: accept what we have if nonempty (lenient peers
+                // omit the final newline), else report a dead peer.
+                return if line.is_empty() {
+                    Err(false)
+                } else {
+                    Ok(line)
+                };
+            }
+            Ok(_) => {
+                line.push(byte[0]);
+                if byte[0] == b'\n' {
+                    return Ok(line);
+                }
+                if line.len() > MAX_REQUEST_LINE + 2 {
+                    return Ok(line); // parser will report TooLong
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Err(true);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Err(false),
+        }
+    }
+}
+
+fn handle_conn(stream: &TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let line = match read_request_line(stream) {
+        Ok(line) => line,
+        Err(true) => {
+            ctx.timeouts.inc();
+            respond(stream, 408, "Request Timeout", "text/plain", "timeout\n");
+            return;
+        }
+        Err(false) => return,
+    };
+    let request = match parse_request_line(&line) {
+        Ok(request) => request,
+        Err(e) => {
+            ctx.bad_requests.inc();
+            respond(stream, 400, "Bad Request", "text/plain", &format!("{e}\n"));
+            return;
+        }
+    };
+    if request.method != "GET" {
+        ctx.bad_requests.inc();
+        respond(
+            stream,
+            405,
+            "Method Not Allowed",
+            "text/plain",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    match request.path.as_str() {
+        "/metrics" => {
+            ctx.requests_metrics.inc();
+            let body = crate::global().render_prometheus();
+            respond(
+                stream,
+                200,
+                "OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            );
+        }
+        "/healthz" => {
+            ctx.requests_healthz.inc();
+            let (status, reason, body) = health(ctx);
+            respond(stream, status, reason, "application/json", &body);
+        }
+        "/snapshot" => {
+            ctx.requests_snapshot.inc();
+            let body = crate::global().render_snapshot_jsonl();
+            respond(stream, 200, "OK", "application/x-ndjson", &body);
+        }
+        _ => {
+            respond(stream, 404, "Not Found", "text/plain", "unknown path\n"); // routes: /metrics /healthz /snapshot
+        }
+    }
+}
+
+/// Build the `/healthz` verdict: stale iff ingest has happened at least
+/// once and the watermark is older than `stale_after`.
+fn health(ctx: &Ctx) -> (u16, &'static str, String) {
+    let uptime_us = u64::try_from(ctx.started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let (last, staleness) = (last_ingest_us(), ingest_staleness_us());
+    let stale = staleness.is_some_and(|s| s > ctx.stale_after_us);
+    let status = if stale { "stale" } else { "ok" };
+    let body = format!(
+        "{{\"status\":\"{status}\",\"uptime_us\":{uptime_us},\"last_ingest_us\":{},\"staleness_us\":{},\"stale_after_us\":{}}}\n",
+        last.map_or("null".to_string(), |v| v.to_string()),
+        staleness.map_or("null".to_string(), |v| v.to_string()),
+        ctx.stale_after_us,
+    );
+    if stale {
+        (503, "Service Unavailable", body)
+    } else {
+        (200, "OK", body)
+    }
+}
+
+fn respond(mut stream: &TcpStream, status: u16, reason: &str, content_type: &str, body: &str) {
+    let header = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(header.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+    // Graceful close. The handler only parses the request line, so the
+    // rest of the client's headers are still unread; closing with
+    // unread data makes the kernel send RST, which destroys the
+    // response sitting in the peer's receive buffer. Half-close our
+    // side, then drain (bounded) until the peer acknowledges with EOF.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut sink = [0u8; 1024];
+    for _ in 0..64 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parser_accepts_canonical_lines() {
+        for raw in [
+            &b"GET /metrics HTTP/1.0\r\n"[..],
+            b"GET /healthz HTTP/1.1\n",
+            b"GET /snapshot HTTP/1.0",
+            b"DELETE /x HTTP/1.1\r\n",
+        ] {
+            let parsed = parse_request_line(raw).expect("canonical line parses");
+            assert!(parsed.path.starts_with('/'));
+        }
+        let r = parse_request_line(b"GET /metrics HTTP/1.0\r\n").unwrap();
+        assert_eq!(
+            r,
+            RequestLine {
+                method: "GET".to_string(),
+                path: "/metrics".to_string(),
+                version: "HTTP/1.0".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn parser_rejects_each_violation_with_the_right_error() {
+        use RequestError::*;
+        let long_path = format!("GET /{} HTTP/1.0", "a".repeat(3000));
+        let too_long = format!("GET /{} HTTP/1.0", "a".repeat(MAX_REQUEST_LINE));
+        let cases: Vec<(&[u8], RequestError)> = vec![
+            (b"", Empty),
+            (b"\r\n", Empty),
+            (too_long.as_bytes(), TooLong),
+            (b"GET /\xff\xfe HTTP/1.0", NotUtf8),
+            (b"GET /metrics", MissingTokens),
+            (b"GET", MissingTokens),
+            (b"GET /metrics HTTP/1.0 extra", ExtraTokens),
+            (b"GET  /metrics HTTP/1.0", ExtraTokens), // double space -> empty 2nd token
+            (b"get /metrics HTTP/1.0", BadMethod),
+            (b"G3T /metrics HTTP/1.0", BadMethod),
+            (b" /metrics HTTP/1.0", BadMethod), // leading space -> empty method
+            (b"GET metrics HTTP/1.0", BadPath),
+            (long_path.as_bytes(), BadPath),
+            (b"GET /\x01 HTTP/1.0", BadPath),
+            (b"GET /metrics HTTP/2.0", BadVersion),
+            (b"GET /metrics http/1.0", BadVersion),
+        ];
+        for (raw, want) in cases {
+            assert_eq!(
+                parse_request_line(raw),
+                Err(want),
+                "input {:?}",
+                String::from_utf8_lossy(raw)
+            );
+        }
+    }
+
+    #[test]
+    fn parser_is_deterministic_on_arbitrary_bytes() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for len in [0usize, 1, 7, 64, 8191, 8192, 8193, 20000] {
+            let mut raw = Vec::with_capacity(len);
+            for _ in 0..len {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                raw.push((state >> 56) as u8);
+            }
+            assert_eq!(parse_request_line(&raw), parse_request_line(&raw));
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Runtime self-telemetry: a background sampler thread that keeps
+//! process gauges (`proc_rss_kb`, `proc_rss_max_kb`, `proc_open_fds`)
+//! fresh, derives windowed per-second rates from registered counters
+//! (`stream_packets_per_sec`, …), and retains a fixed-size ring of
+//! samples for post-run inspection — plus the *ingest watermark* the
+//! `/healthz` endpoint reports staleness against.
+//!
+//! Everything here is std-only. RSS comes from `/proc/self/status`
+//! (`VmRSS:` is already in kB; `/proc/self/statm` reports pages and the
+//! page size is not reachable without libc), fd count from the entry
+//! count of `/proc/self/fd`. On platforms without procfs both readers
+//! return `None` and the gauges simply stay at zero.
+
+use crate::metrics::{Counter, Gauge};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+/// Microseconds since the Unix epoch.
+#[must_use]
+pub fn wall_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_micros()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Wall-clock µs of the most recent ingest, 0 = never.
+static LAST_INGEST_US: AtomicU64 = AtomicU64::new(0);
+
+/// Record "ingest happened now" — the liveness watermark `/healthz`
+/// compares against. Call once per batch, not per packet.
+pub fn touch_ingest() {
+    LAST_INGEST_US.store(wall_us().max(1), Ordering::Release);
+}
+
+/// Wall-clock µs of the last [`touch_ingest`], `None` if never called.
+#[must_use]
+pub fn last_ingest_us() -> Option<u64> {
+    match LAST_INGEST_US.load(Ordering::Acquire) {
+        0 => None,
+        v => Some(v),
+    }
+}
+
+/// Time since the last ingest, `None` if ingest never happened.
+#[must_use]
+pub fn ingest_staleness_us() -> Option<u64> {
+    last_ingest_us().map(|t| wall_us().saturating_sub(t))
+}
+
+/// Resident set size in kB from `/proc/self/status` (`VmRSS:`), `None`
+/// off-Linux or before the first page fault table is populated.
+#[must_use]
+pub fn rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest
+                .trim()
+                .strip_suffix("kB")
+                .map(str::trim)
+                .and_then(|v| v.parse().ok());
+        }
+    }
+    None
+}
+
+/// Number of open file descriptors (entries in `/proc/self/fd`),
+/// `None` off-Linux.
+#[must_use]
+pub fn open_fds() -> Option<u64> {
+    std::fs::read_dir("/proc/self/fd")
+        .ok()
+        .map(|d| d.count() as u64)
+}
+
+/// Derive `gauge` = per-second rate of `counter` between sampler ticks.
+#[derive(Debug, Clone)]
+pub struct RateSpec {
+    /// Source counter key in the global registry (created if missing).
+    pub counter: String,
+    /// Destination gauge key for the rounded per-second rate.
+    pub gauge: String,
+}
+
+/// Sampler configuration.
+#[derive(Debug, Clone)]
+pub struct TelemetryConfig {
+    /// Time between sampler ticks.
+    pub interval: Duration,
+    /// How many [`TelemetrySample`]s the ring retains.
+    pub ring_capacity: usize,
+    /// Counter→gauge rate derivations to maintain.
+    pub rates: Vec<RateSpec>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            interval: Duration::from_millis(200),
+            ring_capacity: 600,
+            rates: Vec::new(),
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// The standard pipeline config: default cadence plus the streaming
+    /// rates the scrape endpoint documents (`stream_packets_per_sec`,
+    /// `stream_windows_per_sec`).
+    #[must_use]
+    pub fn standard() -> Self {
+        TelemetryConfig {
+            rates: vec![
+                RateSpec {
+                    counter: "stream_packets_ingested_total".to_string(),
+                    gauge: "stream_packets_per_sec".to_string(),
+                },
+                RateSpec {
+                    counter: "stream_windows_scored_total".to_string(),
+                    gauge: "stream_windows_per_sec".to_string(),
+                },
+            ],
+            ..TelemetryConfig::default()
+        }
+    }
+}
+
+/// One sampler tick's readings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetrySample {
+    /// Wall-clock µs of the tick.
+    pub ts_us: u64,
+    /// RSS in kB (0 when procfs is unavailable).
+    pub rss_kb: u64,
+    /// Open fd count (0 when procfs is unavailable).
+    pub open_fds: u64,
+}
+
+struct RateTrack {
+    counter: Counter,
+    gauge: Gauge,
+    prev: u64,
+    prev_us: u64,
+}
+
+struct Shared {
+    ring: Mutex<VecDeque<TelemetrySample>>,
+    ring_capacity: usize,
+    max_rss_kb: AtomicU64,
+    rates: Mutex<Vec<RateTrack>>,
+    rss_gauge: Gauge,
+    rss_max_gauge: Gauge,
+    fds_gauge: Gauge,
+    ticks: Counter,
+    stop: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Shared {
+    fn tick(&self) -> TelemetrySample {
+        let now = wall_us();
+        let rss = rss_kb().unwrap_or(0);
+        let fds = open_fds().unwrap_or(0);
+        let prev_max = self.max_rss_kb.fetch_max(rss, Ordering::AcqRel);
+        self.rss_gauge.set(i64::try_from(rss).unwrap_or(i64::MAX));
+        self.rss_max_gauge
+            .set(i64::try_from(prev_max.max(rss)).unwrap_or(i64::MAX));
+        self.fds_gauge.set(i64::try_from(fds).unwrap_or(i64::MAX));
+        self.ticks.inc();
+        {
+            let mut rates = self.rates.lock().expect("telemetry rates poisoned");
+            for t in rates.iter_mut() {
+                let v = t.counter.get();
+                let dt_us = now.saturating_sub(t.prev_us);
+                if dt_us > 0 {
+                    let per_sec = (v.saturating_sub(t.prev) as f64 / (dt_us as f64 / 1e6)).round();
+                    t.gauge.set(per_sec as i64);
+                }
+                t.prev = v;
+                t.prev_us = now;
+            }
+        }
+        let sample = TelemetrySample {
+            ts_us: now,
+            rss_kb: rss,
+            open_fds: fds,
+        };
+        let mut ring = self.ring.lock().expect("telemetry ring poisoned");
+        if ring.len() == self.ring_capacity {
+            ring.pop_front();
+        }
+        ring.push_back(sample);
+        sample
+    }
+}
+
+/// Handle to a running sampler thread. Dropping it stops the thread.
+pub struct Telemetry {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("max_rss_kb", &self.max_rss_kb())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Telemetry {
+    /// Start the sampler thread; the first tick happens immediately so
+    /// gauges are populated before the caller proceeds.
+    #[must_use]
+    pub fn start(cfg: TelemetryConfig) -> Telemetry {
+        let now = wall_us();
+        let rates = cfg
+            .rates
+            .iter()
+            .map(|spec| RateTrack {
+                counter: crate::counter(&spec.counter),
+                gauge: crate::gauge(&spec.gauge),
+                prev: 0,
+                prev_us: now,
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            ring: Mutex::new(VecDeque::with_capacity(cfg.ring_capacity.max(1))),
+            ring_capacity: cfg.ring_capacity.max(1),
+            max_rss_kb: AtomicU64::new(0),
+            rates: Mutex::new(rates),
+            rss_gauge: crate::gauge("proc_rss_kb"),
+            rss_max_gauge: crate::gauge("proc_rss_max_kb"),
+            fds_gauge: crate::gauge("proc_open_fds"),
+            ticks: crate::counter("telemetry_samples_total"),
+            stop: Mutex::new(false),
+            wake: Condvar::new(),
+        });
+        shared.tick();
+        let interval = cfg.interval.max(Duration::from_millis(1));
+        let worker = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("obskit-telemetry".to_string())
+            .spawn(move || loop {
+                {
+                    let stopped = worker.stop.lock().expect("telemetry stop poisoned");
+                    let (stopped, _) = worker
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .expect("telemetry stop poisoned");
+                    if *stopped {
+                        return;
+                    }
+                }
+                worker.tick();
+            })
+            .expect("spawn telemetry thread");
+        Telemetry {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Force a tick from the calling thread (tests; end-of-run flush so
+    /// `max_rss_kb` includes the final state).
+    pub fn sample_now(&self) -> TelemetrySample {
+        self.shared.tick()
+    }
+
+    /// Highest RSS (kB) seen by any tick so far.
+    #[must_use]
+    pub fn max_rss_kb(&self) -> u64 {
+        self.shared.max_rss_kb.load(Ordering::Acquire)
+    }
+
+    /// Copy of the retained sample ring, oldest first.
+    #[must_use]
+    pub fn samples(&self) -> Vec<TelemetrySample> {
+        self.shared
+            .ring
+            .lock()
+            .expect("telemetry ring poisoned")
+            .iter()
+            .copied()
+            .collect()
+    }
+}
+
+impl Drop for Telemetry {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            *self.shared.stop.lock().expect("telemetry stop poisoned") = true;
+            self.shared.wake.notify_all();
+            let _ = thread.join();
+        }
+    }
+}
+
+static GLOBAL_TELEMETRY: OnceLock<Telemetry> = OnceLock::new();
+
+/// Start the process-wide sampler if it is not already running; either
+/// way return it. The global sampler runs until process exit.
+pub fn ensure_global(cfg: TelemetryConfig) -> &'static Telemetry {
+    GLOBAL_TELEMETRY.get_or_init(|| Telemetry::start(cfg))
+}
+
+/// The process-wide sampler, if [`ensure_global`] has run.
+#[must_use]
+pub fn global_telemetry() -> Option<&'static Telemetry> {
+    GLOBAL_TELEMETRY.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_moves_forward() {
+        assert!(ingest_staleness_us().is_none() || last_ingest_us().is_some());
+        touch_ingest();
+        let first = last_ingest_us().expect("watermark set");
+        std::thread::sleep(Duration::from_millis(2));
+        touch_ingest();
+        let second = last_ingest_us().expect("watermark set");
+        assert!(second > first);
+        assert!(ingest_staleness_us().expect("stale") < 1_000_000);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn proc_readers_return_plausible_values() {
+        let rss = rss_kb().expect("VmRSS on linux");
+        assert!(rss > 100, "rss {rss} kB implausibly small");
+        let fds = open_fds().expect("fd dir on linux");
+        assert!(fds >= 3, "stdio alone gives 3 fds, got {fds}");
+    }
+
+    #[test]
+    #[cfg(not(feature = "noop"))]
+    fn sampler_fills_ring_and_tracks_max() {
+        let t = Telemetry::start(TelemetryConfig {
+            interval: Duration::from_millis(5),
+            ring_capacity: 4,
+            rates: vec![RateSpec {
+                counter: "telemetry_test_src_total".to_string(),
+                gauge: "telemetry_test_rate_per_sec".to_string(),
+            }],
+        });
+        crate::counter("telemetry_test_src_total").add(1000);
+        for _ in 0..6 {
+            t.sample_now();
+        }
+        let samples = t.samples();
+        assert_eq!(samples.len(), 4, "ring must stay bounded");
+        assert!(samples.windows(2).all(|w| w[0].ts_us <= w[1].ts_us));
+        #[cfg(target_os = "linux")]
+        {
+            assert!(t.max_rss_kb() > 0);
+            assert!(crate::gauge("proc_rss_kb").get() > 0);
+            assert!(crate::gauge("proc_rss_max_kb").get() >= crate::gauge("proc_rss_kb").get());
+        }
+        drop(t); // joins the thread
+    }
+}

@@ -133,6 +133,14 @@ pub struct WindowReport {
     pub packets: u64,
     /// Packets the sampler selected.
     pub selected: u64,
+    /// Packets shed by backpressure across the run so far, sampled when
+    /// this window was scored (cumulative, monotone across windows).
+    pub shed_packets: u64,
+    /// Queueing lag: wall time from window emission to scoring, µs.
+    pub lag_us: u64,
+    /// Process RSS in kB when this window's score chunk ran (0 when
+    /// procfs is unavailable).
+    pub rss_kb: u64,
     /// The window's disparity scores (`None` when the sample — or the
     /// reference — was empty).
     pub report: Option<DisparityReport>,

@@ -25,8 +25,11 @@ use crate::window::{WindowPayload, Windower};
 use nettrace::{CaptureStream, Histogram, Micros, PacketRecord, TraceError};
 use parkit::Pool;
 use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, SyncSender, TrySendError};
+use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 
 /// Policy when the ingestion queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,7 +81,9 @@ enum SourceMsg {
 }
 
 enum StageMsg {
-    Window(Box<WindowPayload>),
+    /// A completed window plus its emission instant, so the scorer can
+    /// report queueing lag (`lag_us`) per window.
+    Window(Box<WindowPayload>, Instant),
     Done {
         packets: u64,
         selected: u64,
@@ -89,6 +94,51 @@ enum StageMsg {
         offset: u64,
         error: TraceError,
     },
+}
+
+/// Live per-run telemetry shared across the three stages.
+///
+/// The obskit counters/gauges are flushed *per batch / per window*
+/// (not at end of run) so a concurrent `/metrics` scrape sees them
+/// move; `shed_packets` additionally keeps a run-local total so a
+/// [`WindowReport`] can carry the shed count of *this* run even when
+/// several runs share the process-wide registry.
+struct LiveStats {
+    packets: obskit::Counter,
+    batches: obskit::Counter,
+    shed_packets_total: obskit::Counter,
+    shed_batches_total: obskit::Counter,
+    stalls: obskit::Counter,
+    depth_ingest: obskit::Gauge,
+    depth_score: obskit::Gauge,
+    windows_emitted: obskit::Counter,
+    windows_scored: obskit::Counter,
+    shed_packets: AtomicU64,
+}
+
+impl LiveStats {
+    fn new() -> Arc<LiveStats> {
+        obskit::global().describe(
+            "stream_channel_depth",
+            "Occupancy of the bounded inter-stage channels, by consuming stage.",
+        );
+        obskit::global().describe(
+            "stream_shed_total",
+            "Packets shed by the drop-newest backpressure policy.",
+        );
+        Arc::new(LiveStats {
+            packets: obskit::counter("stream_packets_ingested_total"),
+            batches: obskit::counter("stream_batches_ingested_total"),
+            shed_packets_total: obskit::counter("stream_shed_total"),
+            shed_batches_total: obskit::counter("stream_shed_batches_total"),
+            stalls: obskit::counter("stream_backpressure_stalls_total"),
+            depth_ingest: obskit::gauge_labeled("stream_channel_depth", &[("stage", "transform")]),
+            depth_score: obskit::gauge_labeled("stream_channel_depth", &[("stage", "score")]),
+            windows_emitted: obskit::counter("stream_windows_emitted_total"),
+            windows_scored: obskit::counter("stream_windows_scored_total"),
+            shed_packets: AtomicU64::new(0),
+        })
+    }
 }
 
 enum SendOutcome {
@@ -118,13 +168,35 @@ fn send_with_policy(
     }
 }
 
+/// Like [`send_with_policy`] for the `Block` policy, but visible: a
+/// full queue first counts a backpressure stall, then blocks.
+fn send_blocking_counted(
+    tx: &SyncSender<SourceMsg>,
+    batch: Vec<PacketRecord>,
+    stats: &LiveStats,
+) -> SendOutcome {
+    match tx.try_send(SourceMsg::Batch(batch)) {
+        Ok(()) => SendOutcome::Sent,
+        Err(TrySendError::Full(msg)) => {
+            stats.stalls.inc();
+            match tx.send(msg) {
+                Ok(()) => SendOutcome::Sent,
+                Err(_) => SendOutcome::Closed,
+            }
+        }
+        Err(TrySendError::Disconnected(_)) => SendOutcome::Closed,
+    }
+}
+
 /// Read batches off the capture stream until EOF, fault, or a closed
-/// downstream.
+/// downstream. Ingest counters, the channel-depth gauge, and shed
+/// counters are flushed per batch so a live scrape sees them move.
 fn source_loop<R: Read>(
     mut stream: CaptureStream<R>,
     tx: SyncSender<SourceMsg>,
     batch: usize,
     policy: Backpressure,
+    stats: &LiveStats,
 ) {
     let _span = obskit::span_labeled("stream_stage", &[("stage", "source")]);
     let mut dropped_batches = 0u64;
@@ -139,14 +211,33 @@ fn source_loop<R: Read>(
                 });
                 break;
             }
-            Ok(_) => match send_with_policy(&tx, buf, policy) {
-                SendOutcome::Sent => {}
-                SendOutcome::Dropped(n) => {
-                    dropped_batches += 1;
-                    dropped_packets += n;
+            Ok(n) => {
+                stats.packets.add(n as u64);
+                stats.batches.inc();
+                obskit::telemetry::touch_ingest();
+                // Inc the depth gauge *before* the send so the consumer's
+                // dec never races it below zero.
+                stats.depth_ingest.add(1);
+                let outcome = match policy {
+                    Backpressure::Block => send_blocking_counted(&tx, buf, stats),
+                    Backpressure::DropNewest => send_with_policy(&tx, buf, policy),
+                };
+                match outcome {
+                    SendOutcome::Sent => {}
+                    SendOutcome::Dropped(shed) => {
+                        stats.depth_ingest.add(-1);
+                        dropped_batches += 1;
+                        dropped_packets += shed;
+                        stats.shed_batches_total.inc();
+                        stats.shed_packets_total.add(shed);
+                        stats.shed_packets.fetch_add(shed, Ordering::Relaxed);
+                    }
+                    SendOutcome::Closed => {
+                        stats.depth_ingest.add(-1);
+                        break;
+                    }
                 }
-                SendOutcome::Closed => break,
-            },
+            }
             Err(error) => {
                 let offset = stream
                     .fault_offset()
@@ -156,36 +247,46 @@ fn source_loop<R: Read>(
             }
         }
     }
-    if (dropped_batches > 0 || dropped_packets > 0) && obskit::recording_enabled() {
-        obskit::counter("streamkit_dropped_batches_total").add(dropped_batches);
-        obskit::counter("streamkit_dropped_packets_total").add(dropped_packets);
-    }
 }
 
 /// Drive the windower over incoming batches and forward completed
 /// windows. The windower (and through it the sampler) is built lazily
 /// at the first packet, whose timestamp anchors the sampling schedule
 /// exactly like the batch path's `window_start`.
-fn transform_loop<F>(rx: mpsc::Receiver<SourceMsg>, tx: SyncSender<StageMsg>, make_windower: F)
-where
+fn transform_loop<F>(
+    rx: mpsc::Receiver<SourceMsg>,
+    tx: SyncSender<StageMsg>,
+    make_windower: F,
+    stats: &LiveStats,
+) where
     F: FnOnce(Micros) -> Windower,
 {
     let _span = obskit::span_labeled("stream_stage", &[("stage", "transform")]);
     let mut make = Some(make_windower);
     let mut windower: Option<Windower> = None;
-    let mut emitted = 0u64;
     let mut closed = false;
+    let send_window = |payload: WindowPayload| {
+        stats.windows_emitted.inc();
+        stats.depth_score.add(1);
+        let sent = tx
+            .send(StageMsg::Window(Box::new(payload), Instant::now()))
+            .is_ok();
+        if !sent {
+            stats.depth_score.add(-1);
+        }
+        sent
+    };
     'messages: for msg in rx {
         match msg {
             SourceMsg::Batch(pkts) => {
+                stats.depth_ingest.add(-1);
                 for p in &pkts {
                     if windower.is_none() {
                         windower = Some((make.take().expect("built once"))(p.timestamp));
                     }
                     let w = windower.as_mut().expect("windower");
                     for payload in w.offer(p) {
-                        emitted += 1;
-                        if tx.send(StageMsg::Window(Box::new(payload))).is_err() {
+                        if !send_window(payload) {
                             closed = true;
                             break 'messages;
                         }
@@ -199,8 +300,7 @@ where
                 let (packets, selected) = match windower.as_mut() {
                     Some(w) => {
                         for payload in w.finish() {
-                            emitted += 1;
-                            if tx.send(StageMsg::Window(Box::new(payload))).is_err() {
+                            if !send_window(payload) {
                                 closed = true;
                                 break 'messages;
                             }
@@ -224,12 +324,15 @@ where
         }
     }
     let _ = closed;
-    if emitted > 0 && obskit::recording_enabled() {
-        obskit::counter("streamkit_windows_emitted_total").add(emitted);
-    }
 }
 
-fn score_one(p: &WindowPayload, reference: Option<&Histogram>) -> WindowReport {
+fn score_one(
+    p: &WindowPayload,
+    reference: Option<&Histogram>,
+    emitted_at: Instant,
+    shed_packets: u64,
+    rss_kb: u64,
+) -> WindowReport {
     let popref = reference.unwrap_or(&p.population);
     let report = if popref.total() == 0 {
         None
@@ -243,27 +346,39 @@ fn score_one(p: &WindowPayload, reference: Option<&Histogram>) -> WindowReport {
         last_ts: p.last_ts,
         packets: p.packets,
         selected: p.selected,
+        shed_packets,
+        lag_us: u64::try_from(emitted_at.elapsed().as_micros()).unwrap_or(u64::MAX),
+        rss_kb,
         report,
     }
 }
 
 /// Score a chunk of pending windows on the pool. `Pool::run` places
 /// outputs by task index, so report order — and every bit of every φ —
-/// is identical at any worker count.
+/// is identical at any worker count. Telemetry fields are sampled once
+/// per chunk: shed count and RSS are per-run/process facts, not
+/// per-window ones, and a chunk scores within a few milliseconds.
 fn score_chunk(
     pool: &Pool,
     reference: Option<&Histogram>,
-    pending: &mut Vec<WindowPayload>,
+    pending: &mut Vec<(WindowPayload, Instant)>,
     reports: &mut Vec<WindowReport>,
+    stats: &LiveStats,
 ) {
     if pending.is_empty() {
         return;
     }
     let _span = obskit::span_labeled("stream_stage", &[("stage", "score")]);
     let batch = std::mem::take(pending);
+    let shed = stats.shed_packets.load(Ordering::Relaxed);
+    let rss_kb = obskit::telemetry::rss_kb().unwrap_or(0);
     let scored = pool
-        .run(batch.len(), |i| score_one(&batch[i], reference))
+        .run(batch.len(), |i| {
+            let (payload, emitted_at) = &batch[i];
+            score_one(payload, reference, *emitted_at, shed, rss_kb)
+        })
         .unwrap_or_else(|e| panic!("window scoring failed: {e}"));
+    stats.windows_scored.add(batch.len() as u64);
     reports.extend(scored);
 }
 
@@ -285,21 +400,25 @@ where
     let queue = params.queue.max(1);
     let policy = params.backpressure;
     let pool = Pool::new(params.jobs.max(1));
+    let stats = LiveStats::new();
     thread::scope(|s| {
         let (src_tx, src_rx) = mpsc::sync_channel::<SourceMsg>(queue);
         let (win_tx, win_rx) = mpsc::sync_channel::<StageMsg>(queue);
-        s.spawn(move || source_loop(stream, src_tx, batch, policy));
-        s.spawn(move || transform_loop(src_rx, win_tx, make_windower));
+        let src_stats = Arc::clone(&stats);
+        let tf_stats = Arc::clone(&stats);
+        s.spawn(move || source_loop(stream, src_tx, batch, policy, &src_stats));
+        s.spawn(move || transform_loop(src_rx, win_tx, make_windower, &tf_stats));
 
-        let mut pending: Vec<WindowPayload> = Vec::new();
+        let mut pending: Vec<(WindowPayload, Instant)> = Vec::new();
         let mut reports: Vec<WindowReport> = Vec::new();
         let mut outcome: Option<Result<PipelineOutput, (u64, TraceError)>> = None;
         while let Ok(msg) = win_rx.recv() {
             match msg {
-                StageMsg::Window(p) => {
-                    pending.push(*p);
+                StageMsg::Window(p, emitted_at) => {
+                    stats.depth_score.add(-1);
+                    pending.push((*p, emitted_at));
                     if pending.len() >= SCORE_CHUNK {
-                        score_chunk(&pool, params.reference, &mut pending, &mut reports);
+                        score_chunk(&pool, params.reference, &mut pending, &mut reports, &stats);
                     }
                 }
                 StageMsg::Done {
@@ -323,7 +442,7 @@ where
                 }
             }
         }
-        score_chunk(&pool, params.reference, &mut pending, &mut reports);
+        score_chunk(&pool, params.reference, &mut pending, &mut reports, &stats);
         // A missing outcome means a stage panicked; the scope join
         // below re-raises that panic, so this expect never fires first.
         let mut outcome = outcome.expect("pipeline ended without a terminal message");
