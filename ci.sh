@@ -161,6 +161,128 @@ wait "$soak_pid" || {
 }
 grep -Eq "soak: windows=40 .*ok|rss unavailable" "$tmpdir/soak.out"
 
+echo "== watch: alert rules + scrape-driven gate (both directions)"
+# Load two rules into a served soak: 'quiet' can never fire, 'tripwire'
+# fires on the first telemetry tick. `watch --fail-on` must gate both
+# ways against the same live server: exit 0 on the quiet rule, exit 1
+# (and only 1) on the tripped one — that asymmetry is what CI pipelines
+# hang an alerting regression gate on.
+cat > "$tmpdir/watch.rules" <<'RULES'
+# ci.sh watch-stage rules
+rule quiet    value(telemetry_samples_total) > 1000000000
+rule tripwire value(telemetry_samples_total) >= 1 for 1
+RULES
+"$bin" --serve 127.0.0.1:0 --rules "$tmpdir/watch.rules" \
+    --telemetry-interval-ms 100 stream --soak 80 --window 2000 \
+    --pace-pps 20000 --interval 50 --adaptive-shed tripwire \
+    > "$tmpdir/wsoak.out" 2> "$tmpdir/wsoak.err" &
+wsoak_pid=$!
+wport=""
+for _ in $(seq 1 100); do
+    wport="$(sed -n 's/^netsample: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmpdir/wsoak.err" | head -n1)"
+    [ -n "$wport" ] && break
+    sleep 0.1
+done
+if [ -z "$wport" ]; then
+    echo "watch-stage serve address never appeared on stderr" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+fi
+# While the server is still up: the monitoring path's self-fidelity
+# check must be reporting φ for the systematic strides k=2,5,10 over
+# the RSS and channel-depth series, and /series must answer JSON.
+scrape_w() {
+    exec 3<>"/dev/tcp/127.0.0.1/$wport"
+    printf 'GET %s HTTP/1.0\r\n\r\n' "$1" >&3
+    cat <&3
+    exec 3<&- 3>&-
+}
+# The channel-depth fidelity gauge is the last to appear (the pipeline
+# must publish its depth gauges before the store can snapshot them), so
+# it is the readiness condition for the whole set.
+for _ in $(seq 1 100); do
+    scrape_w /metrics > "$tmpdir/watch.metrics" 2>/dev/null || true
+    grep -Fq 'series="stream_channel_depth{stage=\"transform\"}",k="10"' \
+        "$tmpdir/watch.metrics" && break
+    sleep 0.1
+done
+for k in 2 5 10; do
+    for pat in \
+        "series_fidelity_phi_x1000{series=\"proc_rss_kb\",k=\"$k\"}" \
+        'series="stream_channel_depth{stage=\"transform\"}",k="'"$k"'"'; do
+        grep -Fq "$pat" "$tmpdir/watch.metrics" || {
+            echo "fidelity gauge missing from /metrics: $pat" >&2
+            kill "$wsoak_pid" 2>/dev/null || true
+            exit 1
+        }
+    done
+done
+scrape_w '/series?name=proc_rss_kb&step=5' > "$tmpdir/watch.series"
+grep -q '"key":"proc_rss_kb"' "$tmpdir/watch.series" || {
+    echo "/series did not return the proc_rss_kb key" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+}
+# Clean direction: the quiet rule exists and never fires -> exit 0,
+# with sparklines and alert state on stdout.
+"$bin" watch "127.0.0.1:$wport" --for 5 --interval-ms 150 --fail-on quiet \
+    > "$tmpdir/watch.ok.out" || {
+    echo "clean watch direction failed (want exit 0):" >&2
+    cat "$tmpdir/watch.ok.out" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q "alert quiet" "$tmpdir/watch.ok.out" || {
+    echo "clean watch never printed the quiet alert line" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+}
+grep -q "watch: rule 'quiet' ok" "$tmpdir/watch.ok.out" || {
+    echo "clean watch missing its ok summary" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+}
+# Tripped direction: the tripwire rule fires -> exit 1, not 0 and not
+# any other failure class.
+if "$bin" watch "127.0.0.1:$wport" --for 5 --interval-ms 150 --fail-on tripwire \
+    > "$tmpdir/watch.trip.out" 2> "$tmpdir/watch.trip.err"; then
+    echo "watch exited 0 while its --fail-on rule was firing" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+else
+    code=$?
+    if [ "$code" -ne 1 ]; then
+        echo "watch exited $code on a firing rule, want 1" >&2
+        kill "$wsoak_pid" 2>/dev/null || true
+        exit 1
+    fi
+fi
+grep -q "fired during the watch" "$tmpdir/watch.trip.err" || {
+    echo "tripped watch exit 1 but missing its diagnostic" >&2
+    cat "$tmpdir/watch.trip.err" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+}
+# A typo'd rule name must be a data error (65), never a silent pass.
+if "$bin" watch "127.0.0.1:$wport" --for 1 --fail-on no_such_rule \
+    > /dev/null 2> "$tmpdir/watch.typo.err"; then
+    echo "watch exited 0 for an unknown --fail-on rule" >&2
+    kill "$wsoak_pid" 2>/dev/null || true
+    exit 1
+else
+    code=$?
+    if [ "$code" -ne 65 ]; then
+        echo "watch exited $code for an unknown rule, want 65" >&2
+        kill "$wsoak_pid" 2>/dev/null || true
+        exit 1
+    fi
+fi
+wait "$wsoak_pid" || {
+    echo "watch-stage soak failed:" >&2
+    cat "$tmpdir/wsoak.out" "$tmpdir/wsoak.err" >&2
+    exit 1
+}
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

@@ -578,6 +578,28 @@ pub fn stream(args: &Args) -> Result<String, CmdError> {
         }
     };
     cfg.jobs = parkit::default_jobs();
+    if let Some(rule) = args.opt("adaptive-shed") {
+        cfg.adaptive_shed = Some(rule.to_string());
+        // The control loop reads alert_active{rule}, which only flips on
+        // telemetry ticks over the series rings — make sure both run
+        // even without --serve.
+        obskit::series::ensure_global_series(obskit::SeriesConfig::default());
+        obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
+        let engine = obskit::rules::global_engine();
+        if !engine.has_rule(rule) {
+            // No rule of that name loaded (via --rules): install the
+            // built-in channel high-water tripwire at 3/4 queue depth.
+            let hiwater = (3 * cfg.queue).div_ceil(4).max(1);
+            let text = format!(
+                "rule {rule} value(stream_channel_depth{{stage=\"transform\"}}) >= {hiwater} for 2"
+            );
+            let parsed = obskit::parse_rules(&text)
+                .map_err(|e| CmdError::usage(format!("--adaptive-shed '{rule}': {e}")))?;
+            engine
+                .add_rules(parsed)
+                .map_err(|e| CmdError::data(format!("--adaptive-shed '{rule}': {e}")))?;
+        }
+    }
     if let Some(ref_path) = args.opt("reference") {
         let reference = load(ref_path)?;
         if reference.is_empty() {
@@ -604,6 +626,22 @@ pub fn stream(args: &Args) -> Result<String, CmdError> {
         // Sample the baseline before the run so the budget measures what
         // the replay *added*, not what the process already held.
         let baseline_kb = obskit::telemetry::rss_kb();
+        // Mirror the exit-code gate as a live alert: a scraper (or
+        // `watch --fail-on rss_budget`) sees a budget breach while it
+        // happens, not only in the exit status afterwards.
+        obskit::series::ensure_global_series(obskit::SeriesConfig::default());
+        if let Some(baseline) = baseline_kb {
+            let engine = obskit::rules::global_engine();
+            if !engine.has_rule("rss_budget") {
+                let text = format!(
+                    "rule rss_budget value(proc_rss_kb) > {} for 2",
+                    baseline + budget_kb
+                );
+                if let Ok(parsed) = obskit::parse_rules(&text) {
+                    let _ = engine.add_rules(parsed);
+                }
+            }
+        }
         let telemetry = obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
         let reader = netsynth::PacedReader::new(netsynth::ReplayConfig {
             seed: cfg.seed,
@@ -953,6 +991,7 @@ mod tests {
         "soak",
         "pace-pps",
         "rss-budget-kb",
+        "adaptive-shed",
     ];
 
     #[test]
@@ -1087,6 +1126,45 @@ mod tests {
             }
             Ok(out) => assert!(out.contains("soak: windows=2"), "{out}"),
         }
+    }
+
+    #[test]
+    fn stream_adaptive_shed_installs_builtin_rule_and_rejects_bad_names() {
+        // No rule of this name is loaded, so stream installs the
+        // built-in channel high-water tripwire under it and still
+        // completes the soak.
+        let out = stream(&args(
+            &[
+                "--soak",
+                "2",
+                "--window",
+                "200",
+                "--queue",
+                "4",
+                "--adaptive-shed",
+                "cli_shed_probe",
+            ],
+            STREAM_OPTS,
+        ))
+        .unwrap();
+        assert!(out.contains("stream (pcap): systematic"), "{out}");
+        assert!(obskit::rules::global_engine().has_rule("cli_shed_probe"));
+
+        // A name the rule grammar rejects is a usage error, surfaced
+        // before any packet is read.
+        let e = stream(&args(
+            &[
+                "--soak",
+                "1",
+                "--window",
+                "100",
+                "--adaptive-shed",
+                "bad name",
+            ],
+            STREAM_OPTS,
+        ))
+        .unwrap_err();
+        assert_eq!(e.exit_code(), 64, "{e}");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 mod args;
 mod commands;
 mod perf;
+mod watch;
 
 use args::Args;
 use std::process::ExitCode;
@@ -38,20 +39,35 @@ USAGE:
   netsample stream  <trace.pcap|-> [--window N|DUR] [--slide N|DUR] [--method M]
                     [--interval k] [--capacity c] [--target T] [--seed S]
                     [--backpressure block|drop-newest] [--jsonl out.jsonl]
-                    [--reference ref.pcap]   (- reads the capture from stdin;
-                    one-pass, O(window) memory; DUR like 500ms, 10s, 1m)
+                    [--reference ref.pcap] [--adaptive-shed RULE]
+                    (- reads the capture from stdin; one-pass, O(window)
+                    memory; DUR like 500ms, 10s, 1m; --adaptive-shed widens
+                    shedding while alert RULE fires — a built-in channel
+                    high-water rule is installed if RULE is not loaded)
   netsample stream  --soak N [--pace-pps R] [--rss-budget-kb KB] [stream options]
                     (no trace argument: replays N synthetic windows, paced at
                     R pkt/s, and fails with exit 1 if RSS grows past the budget)
   netsample fuzz    [--seed S] [--mutations N] [--cases M] [--corpus-packets P]
+  netsample watch   <addr> [--for N] [--interval-ms MS] [--step K]
+                    [--series CSV] [--fail-on RULE]
+                    (poll a serving netsample's /series and /alerts,
+                    render sparklines; with --fail-on, exit 1 if RULE
+                    fires, 65 if RULE is unknown to the server)
   netsample perf    record|report|diff ...   (see `netsample perf`)
 
 global options (any position):
   --serve <addr>       serve live telemetry over HTTP for the duration of the
                        run: GET /metrics (Prometheus text), /healthz
-                       (liveness + ingest staleness), /snapshot (JSONL);
+                       (liveness + ingest staleness), /snapshot (JSONL),
+                       /series (ring-buffer history), /alerts (rule state);
                        <addr> like 127.0.0.1:9184, port 0 picks one (the
                        bound address is printed to stderr)
+  --rules <path>       load alert rules (one `rule NAME FUNC(METRIC) OP
+                       THRESHOLD [for TICKS]` per line) and evaluate them
+                       every telemetry tick; state appears on /alerts
+  --telemetry-interval-ms <ms>  background sampler cadence (default 200)
+  --stale-after-ms <ms>         /healthz ingest-staleness threshold
+                                (default 5000)
   --jobs <n>           worker-pool width for experiment grids (default:
                        available parallelism; NETSAMPLE_JOBS=<n> does
                        the same; 1 forces the serial path — results are
@@ -77,12 +93,17 @@ struct GlobalFlags {
     profile_out: Option<String>,
     jobs: Option<usize>,
     serve: Option<String>,
+    rules_path: Option<String>,
+    telemetry_interval_ms: Option<u64>,
+    stale_after_ms: Option<u64>,
 }
 
 /// Pull `--metrics`, `--jobs <n>`/`--jobs=<n>`,
 /// `--trace <path>`/`--trace=<path>`,
-/// `--profile-out <path>`/`--profile-out=<path>`, and
-/// `--serve <addr>`/`--serve=<addr>` out of the argument list.
+/// `--profile-out <path>`/`--profile-out=<path>`,
+/// `--serve <addr>`/`--serve=<addr>`, `--rules <path>`,
+/// `--telemetry-interval-ms <ms>`, and `--stale-after-ms <ms>` out of
+/// the argument list (each value flag accepts both spellings).
 fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
     let mut flags = GlobalFlags::default();
     let mut i = 0;
@@ -120,9 +141,40 @@ fn extract_global_flags(argv: &mut Vec<String>) -> Result<GlobalFlags, String> {
                 }
                 flags.serve = Some(argv.remove(i));
             }
+            "--rules" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--rules needs a file path".to_string());
+                }
+                flags.rules_path = Some(argv.remove(i));
+            }
+            "--telemetry-interval-ms" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--telemetry-interval-ms needs a value".to_string());
+                }
+                flags.telemetry_interval_ms =
+                    Some(parse_ms(&argv.remove(i), "telemetry-interval-ms")?);
+            }
+            "--stale-after-ms" => {
+                argv.remove(i);
+                if i >= argv.len() {
+                    return Err("--stale-after-ms needs a value".to_string());
+                }
+                flags.stale_after_ms = Some(parse_ms(&argv.remove(i), "stale-after-ms")?);
+            }
             other => {
                 if let Some(v) = other.strip_prefix("--serve=") {
                     flags.serve = Some(v.to_string());
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--rules=") {
+                    flags.rules_path = Some(v.to_string());
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--telemetry-interval-ms=") {
+                    flags.telemetry_interval_ms = Some(parse_ms(v, "telemetry-interval-ms")?);
+                    argv.remove(i);
+                } else if let Some(v) = other.strip_prefix("--stale-after-ms=") {
+                    flags.stale_after_ms = Some(parse_ms(v, "stale-after-ms")?);
                     argv.remove(i);
                 } else if let Some(v) = other.strip_prefix("--trace=") {
                     flags.trace_path = Some(v.to_string());
@@ -149,6 +201,28 @@ fn parse_jobs(v: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_ms(v: &str, flag: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!(
+            "--{flag} needs a positive millisecond count, got '{v}'"
+        )),
+    }
+}
+
+/// Load `--rules <path>` into the global engine. Installs the series
+/// store first so the rules have rings to evaluate against on the next
+/// telemetry tick.
+fn install_rules(path: &str) -> Result<usize, (u8, String)> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| (74, format!("cannot read rules file {path}: {e}")))?;
+    let rules = obskit::parse_rules(&text).map_err(|e| (65, format!("{path}: {e}")))?;
+    obskit::series::ensure_global_series(obskit::SeriesConfig::default());
+    obskit::rules::global_engine()
+        .add_rules(rules)
+        .map_err(|e| (65, format!("{path}: {e}")))
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     let flags = match extract_global_flags(&mut argv) {
@@ -173,15 +247,41 @@ fn main() -> ExitCode {
     // partial trace up to the failure is the debugging artifact.
     let _flush = obskit::trace::flush_on_drop();
 
+    // Cadence must be set before any ensure_global: a sampler already
+    // running keeps its original interval.
+    if let Some(ms) = flags.telemetry_interval_ms {
+        obskit::telemetry::set_default_interval_ms(ms);
+    }
+    if let Some(path) = &flags.rules_path {
+        match install_rules(path) {
+            Ok(n) => {
+                eprintln!("netsample: loaded {n} alert rule(s) from {path}");
+                // Rules only evaluate on telemetry ticks; make sure the
+                // sampler runs even without --serve.
+                obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
+            }
+            Err((code, msg)) => {
+                eprintln!("netsample: {msg}");
+                return ExitCode::from(code);
+            }
+        }
+    }
+
     let server = match &flags.serve {
         Some(addr) => {
+            // The series store must exist before the sampler's first
+            // tick for /series to carry history from t=0.
+            obskit::series::ensure_global_series(obskit::SeriesConfig::default());
             // The background sampler keeps proc_rss_kb/open-fd gauges
             // fresh between scrapes even while a command is CPU-bound.
             obskit::telemetry::ensure_global(obskit::TelemetryConfig::standard());
-            let cfg = obskit::ServeConfig {
+            let mut cfg = obskit::ServeConfig {
                 addr: addr.clone(),
                 ..obskit::ServeConfig::default()
             };
+            if let Some(ms) = flags.stale_after_ms {
+                cfg.stale_after = std::time::Duration::from_millis(ms);
+            }
             match obskit::serve(&cfg) {
                 Ok(handle) => {
                     eprintln!("netsample: serving on {}", handle.addr());
@@ -217,7 +317,7 @@ fn main() -> ExitCode {
         let addr = handle.addr();
         // Graceful: stop accepting, drain in-flight handlers, then report.
         handle.shutdown();
-        let served: u64 = ["/metrics", "/healthz", "/snapshot"]
+        let served: u64 = ["/metrics", "/healthz", "/snapshot", "/series", "/alerts"]
             .iter()
             .map(|p| obskit::counter_labeled("serve_requests_total", &[("path", p)]).get())
             .sum();
@@ -294,9 +394,14 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
                     "soak",
                     "pace-pps",
                     "rss-budget-kb",
+                    "adaptive-shed",
                 ],
             )?;
             commands::stream(&a)
+        }
+        "watch" => {
+            let a = Args::parse(rest, &["for", "interval-ms", "fail-on", "series", "step"])?;
+            watch::watch(&a)
         }
         "perf" => perf::perf(&rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
@@ -353,6 +458,44 @@ mod tests {
         assert!(argv.is_empty());
         let mut argv = vec!["--serve".into()];
         assert!(extract_global_flags(&mut argv).is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_are_extracted_in_both_forms() {
+        let mut argv = vec![
+            "stream".into(),
+            "--telemetry-interval-ms".into(),
+            "50".into(),
+            "--stale-after-ms=2500".into(),
+            "--rules".into(),
+            "alerts.rules".into(),
+            "x.pcap".into(),
+        ];
+        let f = extract_global_flags(&mut argv).unwrap();
+        assert_eq!(f.telemetry_interval_ms, Some(50));
+        assert_eq!(f.stale_after_ms, Some(2500));
+        assert_eq!(f.rules_path.as_deref(), Some("alerts.rules"));
+        assert_eq!(argv, vec!["stream".to_string(), "x.pcap".to_string()]);
+        for bad in ["0", "-5", "soon"] {
+            let mut argv = vec!["--telemetry-interval-ms".into(), bad.into()];
+            assert!(extract_global_flags(&mut argv).is_err(), "{bad}");
+            let mut argv = vec![format!("--stale-after-ms={bad}")];
+            assert!(extract_global_flags(&mut argv).is_err(), "{bad}");
+        }
+        let mut argv = vec!["--rules".into()];
+        assert!(extract_global_flags(&mut argv).is_err());
+    }
+
+    #[test]
+    fn rules_install_reports_missing_file_and_bad_grammar() {
+        let missing = install_rules("/nonexistent/netsample.rules").unwrap_err();
+        assert_eq!(missing.0, 74);
+        let bad = std::env::temp_dir().join(format!("netsample_rules_{}.bad", std::process::id()));
+        std::fs::write(&bad, "rule broken nonsense\n").unwrap();
+        let e = install_rules(&bad.to_string_lossy()).unwrap_err();
+        assert_eq!(e.0, 65);
+        assert!(e.1.contains("rule line 1"));
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! must keep φ finite in `[0, √2]`. The telemetry server's
 //! [`obskit::parse_request_line`] gets oversized, truncated, binary,
 //! and byte-mutated request lines and must reject (never panic on)
-//! every malformed one, deterministically.
+//! every malformed one, deterministically. The same contract covers the
+//! two text surfaces behind that server: the `/series` query parser
+//! ([`obskit::parse_series_query`]) and the alert-rule grammar
+//! ([`obskit::parse_rules`]) — anything they *accept* must satisfy the
+//! documented caps (step/threshold/name bounds), and everything else
+//! must come back as a typed error.
 
 use crate::{Digest, Finding};
 use nettrace::time::Micros;
@@ -34,7 +39,8 @@ pub struct StateFuzzConfig {
     pub seed: u64,
     /// Cases to run, spread round-robin over the eight batch samplers,
     /// the streaming reservoir, the disparity metric, and the telemetry
-    /// server's HTTP request-line parser.
+    /// server's three text surfaces (HTTP request line, `/series`
+    /// query, alert-rule grammar).
     pub cases: u32,
 }
 
@@ -428,6 +434,269 @@ impl Fuzzer {
             }
         }
     }
+
+    /// Feed the `/series` query parser one hostile query string: never
+    /// panics, parses deterministically, and anything *accepted* stays
+    /// inside the documented caps.
+    fn fuzz_series_query(&mut self, rng: &mut StdRng) {
+        let raw = hostile_series_query(rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            (
+                obskit::parse_series_query(&raw),
+                obskit::parse_series_query(&raw),
+            )
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(
+                    "series_query",
+                    format!("parser panicked on {} bytes: {msg}", raw.len()),
+                );
+                self.record("series_query", "panic");
+            }
+            Ok((first, second)) => {
+                if first != second {
+                    self.violation(
+                        "series_query",
+                        format!("parse is not deterministic on {} bytes", raw.len()),
+                    );
+                }
+                match first {
+                    Ok(q) => {
+                        let step_ok = (1..=1_000_000).contains(&q.step);
+                        let name_ok = q.name.as_deref().is_none_or(|n| {
+                            !n.is_empty()
+                                && n.len() <= 256
+                                && n.bytes().all(|b| b.is_ascii_graphic())
+                        });
+                        if !(step_ok && name_ok) {
+                            self.violation(
+                                "series_query",
+                                format!("accepted an out-of-cap query as {q:?}"),
+                            );
+                        }
+                        self.record("series_query", "ok");
+                        self.digest.update_u64(q.step as u64);
+                        self.digest.update_u64(q.since_us);
+                    }
+                    Err(e) => {
+                        self.record("series_query", "rejected");
+                        self.digest.update(e.to_string().as_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feed the alert-rule grammar one hostile document: never panics,
+    /// parses deterministically, and every *accepted* rule satisfies
+    /// the name/threshold/hysteresis caps with set-unique names.
+    fn fuzz_rule_grammar(&mut self, rng: &mut StdRng) {
+        let raw = hostile_rules_doc(rng);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            (obskit::parse_rules(&raw), obskit::parse_rules(&raw))
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(
+                    "rule_grammar",
+                    format!("parser panicked on {} bytes: {msg}", raw.len()),
+                );
+                self.record("rule_grammar", "panic");
+            }
+            Ok((first, second)) => {
+                if first != second {
+                    self.violation(
+                        "rule_grammar",
+                        format!("parse is not deterministic on {} bytes", raw.len()),
+                    );
+                }
+                match first {
+                    Ok(rules) => {
+                        for r in &rules {
+                            let name_ok = !r.name.is_empty()
+                                && r.name.len() <= 64
+                                && r.name
+                                    .bytes()
+                                    .all(|b| b.is_ascii_alphanumeric() || b == b'_');
+                            let caps_ok = r.threshold.is_finite()
+                                && (1..=10_000).contains(&r.for_ticks)
+                                && r.metric.bytes().all(|b| b.is_ascii_graphic());
+                            if !(name_ok && caps_ok) {
+                                self.violation(
+                                    "rule_grammar",
+                                    format!("accepted an out-of-cap rule as {r:?}"),
+                                );
+                            }
+                        }
+                        let mut names: Vec<&str> = rules.iter().map(|r| r.name.as_str()).collect();
+                        names.sort_unstable();
+                        names.dedup();
+                        if names.len() != rules.len() || rules.len() > 256 {
+                            self.violation(
+                                "rule_grammar",
+                                format!("accepted {} rules with duplicate names", rules.len()),
+                            );
+                        }
+                        self.record("rule_grammar", "ok");
+                        self.digest.update_u64(rules.len() as u64);
+                        for r in &rules {
+                            self.digest.update(r.name.as_bytes());
+                        }
+                    }
+                    Err(e) => {
+                        self.record("rule_grammar", "rejected");
+                        self.digest.update_u64(e.line as u64);
+                        self.digest.update(e.reason.as_bytes());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A hostile `/series` query string: valid queries, oversized values,
+/// percent-escape abuse, duplicate/unknown keys, lossy-decoded random
+/// bytes, and byte-flipped valid queries.
+fn hostile_series_query(rng: &mut StdRng) -> String {
+    match rng.random_range(0u8..6) {
+        0 => {
+            let names = [
+                "proc_rss_kb",
+                "stream_channel_depth{stage=\"transform\"}",
+                "telemetry_samples_total",
+            ];
+            format!(
+                "name={}&since={}&step={}",
+                names[rng.random_range(0usize..names.len())],
+                rng.random::<u64>(),
+                rng.random_range(0usize..=2_000_000)
+            )
+        }
+        1 => {
+            // Oversized: straddle the MAX_QUERY_LEN / value-length caps.
+            let n = rng.random_range(200usize..=2_300);
+            let mut s = String::from("name=");
+            for _ in 0..n {
+                s.push('a');
+            }
+            s
+        }
+        2 => {
+            // Percent-escape abuse: truncated, non-hex, non-UTF-8.
+            let frags = ["%", "%2", "%zz", "%ff%fe", "%20", "%00", "%252f"];
+            let mut s = String::from("name=x");
+            for _ in 0..rng.random_range(1usize..=4) {
+                s.push_str(frags[rng.random_range(0usize..frags.len())]);
+            }
+            s
+        }
+        3 => {
+            // Key abuse: duplicates, unknowns, empty pairs, missing '='.
+            let pairs = [
+                "name=a", "name=b", "since=1", "step=2", "depth=9", "", "step",
+            ];
+            let mut parts = Vec::new();
+            for _ in 0..rng.random_range(1usize..=5) {
+                parts.push(pairs[rng.random_range(0usize..pairs.len())]);
+            }
+            parts.join("&")
+        }
+        4 => {
+            let len = rng.random_range(0usize..=64);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.random::<u8>()).collect();
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        _ => {
+            // Byte-flip a valid query (staying valid UTF-8 via char map).
+            let mut v: Vec<char> = "name=proc_rss_kb&since=100&step=5".chars().collect();
+            for _ in 0..rng.random_range(1usize..=3) {
+                let i = rng.random_range(0usize..v.len());
+                v[i] = char::from(rng.random_range(0x20u8..0x7f));
+            }
+            v.into_iter().collect()
+        }
+    }
+}
+
+/// A hostile alert-rules document: valid rules, token abuse, oversized
+/// names and lines, comment/blank interleaving, lossy-decoded random
+/// bytes, and byte-flipped valid lines.
+fn hostile_rules_doc(rng: &mut StdRng) -> String {
+    match rng.random_range(0u8..6) {
+        0 => {
+            let funcs = ["value", "rate", "delta", "stale"];
+            let ops = [">", "<", ">=", "<="];
+            format!(
+                "# soak gate\n\nrule r{} {}(m_total) {} {} for {}\n",
+                rng.random_range(0u32..3),
+                funcs[rng.random_range(0usize..funcs.len())],
+                ops[rng.random_range(0usize..ops.len())],
+                rng.random_range(-5_000i64..=5_000),
+                rng.random_range(0u32..=11_000)
+            )
+        }
+        1 => {
+            // Token abuse: wrong keyword order, bad funcs/ops/thresholds.
+            let lines = [
+                "rule x value(m) >> 1",
+                "rule x median(m) > 1",
+                "rule x value(m) > inf",
+                "rule x value(m) > nan",
+                "rule x value(m) > 1 for",
+                "rule x value(m) > 1 within 3",
+                "alert x value(m) > 1",
+                "rule x value(m > 1",
+                "rule x value() > 1",
+                "rule 9x value(m) > 1",
+            ];
+            let mut doc = String::new();
+            for _ in 0..rng.random_range(1usize..=3) {
+                doc.push_str(lines[rng.random_range(0usize..lines.len())]);
+                doc.push('\n');
+            }
+            doc
+        }
+        2 => {
+            // Oversized: name and line straddle their byte caps.
+            let n = rng.random_range(50usize..=1_100);
+            let mut s = String::from("rule ");
+            for _ in 0..n {
+                s.push('a');
+            }
+            s.push_str(" value(m_total) > 1\n");
+            s
+        }
+        3 => {
+            // Duplicate names across lines, straddling the set cap.
+            let mut doc = String::new();
+            for i in 0..rng.random_range(2usize..=6) {
+                let name = if rng.random_range(0u8..2) == 0 { 0 } else { i };
+                let _ = std::fmt::write(
+                    &mut doc,
+                    format_args!("rule dup{name} value(m_total) > {i}\n"),
+                );
+            }
+            doc
+        }
+        4 => {
+            let len = rng.random_range(0usize..=96);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.random::<u8>()).collect();
+            String::from_utf8_lossy(&bytes).into_owned()
+        }
+        _ => {
+            let mut v: Vec<char> = "rule ok value(proc_rss_kb) >= 100 for 2".chars().collect();
+            for _ in 0..rng.random_range(1usize..=3) {
+                let i = rng.random_range(0usize..v.len());
+                v[i] = char::from(rng.random_range(0x20u8..0x7f));
+            }
+            let mut s: String = v.into_iter().collect();
+            s.push('\n');
+            s
+        }
+    }
 }
 
 /// A hostile HTTP request line: valid scrapes, oversized and truncated
@@ -496,7 +765,8 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 
 /// Run the state-machine fuzz: `cases` hostile sequences spread over
 /// the eight batch samplers, the streaming reservoir, the disparity
-/// metric, and the telemetry server's HTTP request-line parser.
+/// metric, and the telemetry server's three text surfaces (HTTP
+/// request line, `/series` query, alert-rule grammar).
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -510,7 +780,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 11 {
+        match case % 13 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -580,7 +850,9 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
             7 => fuzzer.fuzz_reservoir(&mut rng),
             8 => fuzzer.fuzz_reservoir_stream(&mut rng),
             9 => fuzzer.fuzz_disparity(&mut rng),
-            _ => fuzzer.fuzz_http_request(&mut rng),
+            10 => fuzzer.fuzz_http_request(&mut rng),
+            11 => fuzzer.fuzz_series_query(&mut rng),
+            _ => fuzzer.fuzz_rule_grammar(&mut rng),
         }
     }
     obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
@@ -650,6 +922,8 @@ mod tests {
             "reservoir_stream",
             "disparity",
             "http_request",
+            "series_query",
+            "rule_grammar",
         ] {
             assert!(
                 report

@@ -36,6 +36,14 @@
 //! * [`telemetry`] runs a background sampler keeping `proc_rss_kb`,
 //!   `proc_open_fds`, and windowed per-second rate gauges fresh, with a
 //!   bounded ring of samples for soak-test evidence.
+//! * [`series`] is an on-board bounded ring-buffer time-series store
+//!   fed by each telemetry tick, served as `GET /series`, and scored
+//!   against its own systematic downsamples with the paper's φ
+//!   disparity metric (`series_fidelity_phi_x1000{series,k}`).
+//! * [`rules`] evaluates threshold / rate / delta / staleness alert
+//!   rules (strict text grammar, hysteresis) over the series rings each
+//!   tick, exported as `alert_active{rule}` / `alert_flaps_total{rule}`
+//!   and `GET /alerts`.
 //!
 //! ## Hot-path discipline
 //!
@@ -56,6 +64,8 @@
 pub mod exposition;
 mod metrics;
 mod registry;
+pub mod rules;
+pub mod series;
 pub mod serve;
 mod span;
 pub mod telemetry;
@@ -65,6 +75,11 @@ pub mod tree;
 pub use exposition::{parse_exposition, valid_label_name, valid_metric_name, ExpositionSample};
 pub use metrics::{Counter, CounterShard, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{MetricKind, Registry, SnapshotValue};
+pub use rules::{parse_rules, Rule, RuleEngine, RuleParseError};
+pub use series::{
+    downsample_systematic, fidelity_phi, parse_series_query, SeriesConfig, SeriesPoint,
+    SeriesQuery, SeriesStore,
+};
 pub use serve::{parse_request_line, serve, RequestError, RequestLine, ServeConfig, ServeHandle};
 pub use span::{span, span_labeled, time, SpanGuard};
 pub use telemetry::{Telemetry, TelemetryConfig, TelemetrySample};

@@ -377,7 +377,7 @@ pub enum SnapshotValue {
 
 /// Split a registry key into `(base_name, label_block)` where the label
 /// block is the `k="v",...` interior (empty when unlabeled).
-fn split_key(key: &str) -> (&str, &str) {
+pub(crate) fn split_key(key: &str) -> (&str, &str) {
     match key.split_once('{') {
         Some((name, rest)) => (name, rest.strip_suffix('}').unwrap_or(rest)),
         None => (key, ""),

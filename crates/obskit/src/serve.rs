@@ -11,7 +11,14 @@
 //!   [`crate::telemetry::touch_ingest`] stops arriving for longer than
 //!   [`ServeConfig::stale_after`];
 //! * `GET /snapshot` — the JSONL registry snapshot
-//!   ([`crate::Registry::render_snapshot_jsonl`]).
+//!   ([`crate::Registry::render_snapshot_jsonl`]);
+//! * `GET /series?name=&since=&step=` — JSON time-series dump from the
+//!   on-board ring-buffer store ([`crate::series`]), with server-side
+//!   systematic-`step` downsampling (`503` until
+//!   [`crate::series::ensure_global_series`] has run, `400` on a
+//!   malformed query);
+//! * `GET /alerts` — one JSONL line per installed alert rule
+//!   ([`crate::rules`]), with firing state and flap counts.
 //!
 //! Design: one bounded accept loop on a [`std::net::TcpListener`], one
 //! short-lived handler thread per connection (at most
@@ -168,6 +175,8 @@ struct Ctx {
     requests_metrics: Counter,
     requests_healthz: Counter,
     requests_snapshot: Counter,
+    requests_series: Counter,
+    requests_alerts: Counter,
     bad_requests: Counter,
     timeouts: Counter,
     rejected: Counter,
@@ -236,6 +245,8 @@ pub fn serve(cfg: &ServeConfig) -> io::Result<ServeHandle> {
         requests_metrics: crate::counter_labeled("serve_requests_total", &[("path", "/metrics")]),
         requests_healthz: crate::counter_labeled("serve_requests_total", &[("path", "/healthz")]),
         requests_snapshot: crate::counter_labeled("serve_requests_total", &[("path", "/snapshot")]),
+        requests_series: crate::counter_labeled("serve_requests_total", &[("path", "/series")]),
+        requests_alerts: crate::counter_labeled("serve_requests_total", &[("path", "/alerts")]),
         bad_requests: crate::counter("serve_bad_requests_total"),
         timeouts: crate::counter("serve_timeouts_total"),
         rejected: crate::counter("serve_rejected_total"),
@@ -351,7 +362,12 @@ fn handle_conn(stream: &TcpStream, ctx: &Ctx) {
         );
         return;
     }
-    match request.path.as_str() {
+    // Split off the query string: only /series takes one.
+    let (path, query) = match request.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (request.path.as_str(), ""),
+    };
+    match path {
         "/metrics" => {
             ctx.requests_metrics.inc();
             let body = crate::global().render_prometheus();
@@ -373,8 +389,37 @@ fn handle_conn(stream: &TcpStream, ctx: &Ctx) {
             let body = crate::global().render_snapshot_jsonl();
             respond(stream, 200, "OK", "application/x-ndjson", &body);
         }
+        "/series" => {
+            ctx.requests_series.inc();
+            let Some(store) = crate::series::global_series() else {
+                respond(
+                    stream,
+                    503,
+                    "Service Unavailable",
+                    "text/plain",
+                    "series store not running\n",
+                );
+                return;
+            };
+            match crate::series::parse_series_query(query) {
+                Ok(q) => {
+                    let body = store.render_query_json(&q, crate::telemetry::wall_us());
+                    respond(stream, 200, "OK", "application/json", &body);
+                }
+                Err(e) => {
+                    ctx.bad_requests.inc();
+                    respond(stream, 400, "Bad Request", "text/plain", &format!("{e}\n"));
+                }
+            }
+        }
+        "/alerts" => {
+            ctx.requests_alerts.inc();
+            let body = crate::rules::global_engine().alerts_jsonl();
+            respond(stream, 200, "OK", "application/x-ndjson", &body);
+        }
         _ => {
-            respond(stream, 404, "Not Found", "text/plain", "unknown path\n"); // routes: /metrics /healthz /snapshot
+            // routes: /metrics /healthz /snapshot /series /alerts
+            respond(stream, 404, "Not Found", "text/plain", "unknown path\n");
         }
     }
 }

@@ -27,6 +27,37 @@ pub fn wall_us() -> u64 {
         .unwrap_or(0)
 }
 
+/// Process-wide default sampler cadence in ms (see
+/// [`set_default_interval_ms`]).
+static DEFAULT_INTERVAL_MS: AtomicU64 = AtomicU64::new(200);
+
+/// Override the default sampler cadence (ms, clamped to >= 1) used by
+/// [`TelemetryConfig::default`] / [`TelemetryConfig::standard`]. Set
+/// this **before** [`ensure_global`] — a sampler already running keeps
+/// its original interval.
+pub fn set_default_interval_ms(ms: u64) {
+    DEFAULT_INTERVAL_MS.store(ms.max(1), Ordering::Release);
+}
+
+/// The current default sampler cadence in ms.
+#[must_use]
+pub fn default_interval_ms() -> u64 {
+    DEFAULT_INTERVAL_MS.load(Ordering::Acquire)
+}
+
+/// Windowed per-second rate of a counter between two readings,
+/// **counter-reset-aware**: when `cur < prev` (registry reset, process
+/// restart behind the same scrape address) the delta clamps to 0
+/// instead of wrapping into a huge spurious rate. `None` when no time
+/// elapsed.
+#[must_use]
+pub fn counter_rate_per_sec(prev: u64, cur: u64, dt_us: u64) -> Option<f64> {
+    if dt_us == 0 {
+        return None;
+    }
+    Some(cur.saturating_sub(prev) as f64 / (dt_us as f64 / 1e6))
+}
+
 /// Wall-clock µs of the most recent ingest, 0 = never.
 static LAST_INGEST_US: AtomicU64 = AtomicU64::new(0);
 
@@ -100,7 +131,7 @@ pub struct TelemetryConfig {
 impl Default for TelemetryConfig {
     fn default() -> Self {
         TelemetryConfig {
-            interval: Duration::from_millis(200),
+            interval: Duration::from_millis(default_interval_ms()),
             ring_capacity: 600,
             rates: Vec::new(),
         }
@@ -176,9 +207,8 @@ impl Shared {
             for t in rates.iter_mut() {
                 let v = t.counter.get();
                 let dt_us = now.saturating_sub(t.prev_us);
-                if dt_us > 0 {
-                    let per_sec = (v.saturating_sub(t.prev) as f64 / (dt_us as f64 / 1e6)).round();
-                    t.gauge.set(per_sec as i64);
+                if let Some(per_sec) = counter_rate_per_sec(t.prev, v, dt_us) {
+                    t.gauge.set(per_sec.round() as i64);
                 }
                 t.prev = v;
                 t.prev_us = now;
@@ -189,11 +219,16 @@ impl Shared {
             rss_kb: rss,
             open_fds: fds,
         };
-        let mut ring = self.ring.lock().expect("telemetry ring poisoned");
-        if ring.len() == self.ring_capacity {
-            ring.pop_front();
+        {
+            let mut ring = self.ring.lock().expect("telemetry ring poisoned");
+            if ring.len() == self.ring_capacity {
+                ring.pop_front();
+            }
+            ring.push_back(sample);
         }
-        ring.push_back(sample);
+        // With the tick's gauges fresh and no locks held, feed the
+        // series store (and through it the alert engine), if installed.
+        crate::series::on_tick(now);
         sample
     }
 }
@@ -317,6 +352,31 @@ pub fn global_telemetry() -> Option<&'static Telemetry> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counter_rate_is_reset_aware() {
+        // Normal progression: 500 in half a second = 1000/s.
+        assert_eq!(counter_rate_per_sec(1000, 1500, 500_000), Some(1000.0));
+        // Counter reset (cur < prev): clamp to 0, never a spurious
+        // huge rate from wraparound arithmetic.
+        assert_eq!(counter_rate_per_sec(1500, 10, 500_000), Some(0.0));
+        // No elapsed time: undefined, not a division by zero.
+        assert_eq!(counter_rate_per_sec(0, 100, 0), None);
+    }
+
+    #[test]
+    fn default_interval_is_configurable_and_clamped() {
+        let original = default_interval_ms();
+        set_default_interval_ms(50);
+        assert_eq!(default_interval_ms(), 50);
+        assert_eq!(
+            TelemetryConfig::default().interval,
+            Duration::from_millis(50)
+        );
+        set_default_interval_ms(0);
+        assert_eq!(default_interval_ms(), 1, "0 clamps to 1ms");
+        set_default_interval_ms(original);
+    }
 
     #[test]
     fn watermark_moves_forward() {

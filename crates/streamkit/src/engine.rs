@@ -47,6 +47,13 @@ pub struct StreamConfig {
     /// Score each window against this fixed reference instead of the
     /// window's own population. Bins must match the target's.
     pub reference: Option<Histogram>,
+    /// Name of an alert rule (in obskit's global rule engine) that
+    /// drives **adaptive shedding**: while `alert_active{rule=<name>}`
+    /// is 1, the source stage widens its drop-newest shedding —
+    /// `Block` escalates to drop-newest instead of stalling, and
+    /// batches shed proactively at half queue occupancy. `None` keeps
+    /// the static policy.
+    pub adaptive_shed: Option<String>,
 }
 
 impl StreamConfig {
@@ -68,6 +75,7 @@ impl StreamConfig {
             backpressure: Backpressure::Block,
             jobs: 1,
             reference: None,
+            adaptive_shed: None,
         }
     }
 }
@@ -243,6 +251,13 @@ fn validate(cfg: &StreamConfig) -> Result<(), StreamError> {
             ));
         }
     }
+    if let Some(rule) = &cfg.adaptive_shed {
+        if rule.is_empty() || !rule.bytes().all(|b| b.is_ascii_graphic()) {
+            return Err(StreamError::Config(
+                "adaptive-shed rule name must be nonempty graphic ASCII".into(),
+            ));
+        }
+    }
     // Probe-build the sampler so degenerate methods fail here, not in
     // the transform thread. The real build differs only in its window
     // anchor, which cannot affect fallibility.
@@ -286,6 +301,7 @@ pub fn run_stream<R: Read + Send>(
         backpressure: cfg.backpressure,
         jobs: cfg.jobs,
         reference: cfg.reference.as_ref(),
+        shed_rule: cfg.adaptive_shed.as_deref(),
     };
     let out = run_pipeline(stream, make, &params)
         .map_err(|(offset, error)| StreamError::Ingest { offset, error })?;
@@ -428,6 +444,13 @@ mod tests {
             run_stream(&[][..], &cfg),
             Err(StreamError::Config(_))
         ));
+
+        let mut cfg = base(systematic(5));
+        cfg.adaptive_shed = Some(String::new());
+        match run_stream(&[][..], &cfg) {
+            Err(StreamError::Config(msg)) => assert!(msg.contains("adaptive-shed"), "{msg}"),
+            other => panic!("expected config error, got {other:?}"),
+        }
     }
 
     #[test]

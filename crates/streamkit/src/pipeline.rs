@@ -17,6 +17,17 @@
 //! are merged in window order, so any `--jobs` level is bit-identical
 //! to serial.
 //!
+//! **Scrape-driven adaptive control**: when the engine names a shed
+//! rule ([`crate::StreamConfig::adaptive_shed`]), the source stage
+//! reads the on-board alert engine's `alert_active{rule=...}` gauge
+//! each batch. While the alert fires, shedding *widens*: the `Block`
+//! policy escalates to drop-newest instead of stalling the reader,
+//! and batches are shed proactively once the queue passes half
+//! occupancy (not only when it is full). Adaptive drops are counted
+//! separately in `stream_adaptive_shed_total`. The control loop is
+//! entirely on-board — rule evaluation happens on the telemetry tick,
+//! no external scraper in the loop.
+//!
 //! [`Block`]: Backpressure::Block
 //! [`DropNewest`]: Backpressure::DropNewest
 
@@ -57,6 +68,9 @@ pub(crate) struct PipelineParams<'a> {
     pub backpressure: Backpressure,
     pub jobs: usize,
     pub reference: Option<&'a Histogram>,
+    /// Alert rule whose `alert_active{rule=...}` gauge widens shedding
+    /// while it fires (`None` = static backpressure policy).
+    pub shed_rule: Option<&'a str>,
 }
 
 /// What the pipeline hands back to the engine.
@@ -113,6 +127,7 @@ struct LiveStats {
     depth_score: obskit::Gauge,
     windows_emitted: obskit::Counter,
     windows_scored: obskit::Counter,
+    adaptive_shed: obskit::Counter,
     shed_packets: AtomicU64,
 }
 
@@ -126,6 +141,10 @@ impl LiveStats {
             "stream_shed_total",
             "Packets shed by the drop-newest backpressure policy.",
         );
+        obskit::global().describe(
+            "stream_adaptive_shed_total",
+            "Packets shed because an adaptive-shed alert rule was firing.",
+        );
         Arc::new(LiveStats {
             packets: obskit::counter("stream_packets_ingested_total"),
             batches: obskit::counter("stream_batches_ingested_total"),
@@ -136,6 +155,7 @@ impl LiveStats {
             depth_score: obskit::gauge_labeled("stream_channel_depth", &[("stage", "score")]),
             windows_emitted: obskit::counter("stream_windows_emitted_total"),
             windows_scored: obskit::counter("stream_windows_scored_total"),
+            adaptive_shed: obskit::counter("stream_adaptive_shed_total"),
             shed_packets: AtomicU64::new(0),
         })
     }
@@ -195,10 +215,18 @@ fn source_loop<R: Read>(
     mut stream: CaptureStream<R>,
     tx: SyncSender<SourceMsg>,
     batch: usize,
+    queue: usize,
     policy: Backpressure,
+    shed_rule: Option<&str>,
     stats: &LiveStats,
 ) {
     let _span = obskit::span_labeled("stream_stage", &[("stage", "source")]);
+    // Resolve the adaptive-control gauge once; the alert engine flips
+    // it on the telemetry tick, the hot loop only reads an atomic.
+    let shed_gauge = shed_rule.map(|r| obskit::gauge_labeled("alert_active", &[("rule", r)]));
+    // "Widened" shedding threshold: once the alert fires, shed at half
+    // queue occupancy instead of waiting for a full queue.
+    let hiwater = i64::try_from(queue / 2).unwrap_or(i64::MAX).max(1);
     let mut dropped_batches = 0u64;
     let mut dropped_packets = 0u64;
     loop {
@@ -218,9 +246,21 @@ fn source_loop<R: Read>(
                 // Inc the depth gauge *before* the send so the consumer's
                 // dec never races it below zero.
                 stats.depth_ingest.add(1);
-                let outcome = match policy {
-                    Backpressure::Block => send_blocking_counted(&tx, buf, stats),
-                    Backpressure::DropNewest => send_with_policy(&tx, buf, policy),
+                let firing = shed_gauge.as_ref().is_some_and(|g| g.get() >= 1);
+                let outcome = if firing {
+                    // Alert firing: widen shedding. Never stall (Block
+                    // escalates to drop-newest) and shed proactively
+                    // past the half-occupancy high-water mark.
+                    if stats.depth_ingest.get() > hiwater {
+                        SendOutcome::Dropped(buf.len() as u64)
+                    } else {
+                        send_with_policy(&tx, buf, Backpressure::DropNewest)
+                    }
+                } else {
+                    match policy {
+                        Backpressure::Block => send_blocking_counted(&tx, buf, stats),
+                        Backpressure::DropNewest => send_with_policy(&tx, buf, policy),
+                    }
                 };
                 match outcome {
                     SendOutcome::Sent => {}
@@ -231,6 +271,9 @@ fn source_loop<R: Read>(
                         stats.shed_batches_total.inc();
                         stats.shed_packets_total.add(shed);
                         stats.shed_packets.fetch_add(shed, Ordering::Relaxed);
+                        if firing {
+                            stats.adaptive_shed.add(shed);
+                        }
                     }
                     SendOutcome::Closed => {
                         stats.depth_ingest.add(-1);
@@ -406,7 +449,8 @@ where
         let (win_tx, win_rx) = mpsc::sync_channel::<StageMsg>(queue);
         let src_stats = Arc::clone(&stats);
         let tf_stats = Arc::clone(&stats);
-        s.spawn(move || source_loop(stream, src_tx, batch, policy, &src_stats));
+        let shed_rule = params.shed_rule;
+        s.spawn(move || source_loop(stream, src_tx, batch, queue, policy, shed_rule, &src_stats));
         s.spawn(move || transform_loop(src_rx, win_tx, make_windower, &tf_stats));
 
         let mut pending: Vec<(WindowPayload, Instant)> = Vec::new();
@@ -505,5 +549,73 @@ mod tests {
             send_with_policy(&tx, batch_of(1), Backpressure::DropNewest),
             SendOutcome::Closed
         ));
+    }
+
+    /// Drive `source_loop` against a deliberately slow consumer and
+    /// return the `(stalls, shed_packets, adaptive_shed)` deltas this
+    /// run contributed to the global counters.
+    fn drive_source(policy: Backpressure, shed_rule: Option<&str>) -> (u64, u64, u64) {
+        let stats = LiveStats::new();
+        let stalls0 = stats.stalls.get();
+        let shed0 = stats.shed_packets_total.get();
+        let adaptive0 = stats.adaptive_shed.get();
+        let bytes = {
+            let packets: Vec<PacketRecord> = (0..60u64)
+                .map(|i| PacketRecord::new(Micros(i * 10), 40))
+                .collect();
+            let trace = nettrace::Trace::from_unordered(packets);
+            let mut buf = Vec::new();
+            nettrace::pcap::write_pcap(&mut buf, &trace).unwrap();
+            buf
+        };
+        let stream = CaptureStream::new(bytes.as_slice()).unwrap();
+        let (tx, rx) = sync_channel::<SourceMsg>(2);
+        let consumer = thread::spawn(move || {
+            for msg in rx {
+                if matches!(msg, SourceMsg::Batch(_)) {
+                    stats_sleep();
+                }
+            }
+        });
+        source_loop(stream, tx, 1, 2, policy, shed_rule, &stats);
+        consumer.join().unwrap();
+        (
+            stats.stalls.get() - stalls0,
+            stats.shed_packets_total.get() - shed0,
+            stats.adaptive_shed.get() - adaptive0,
+        )
+    }
+
+    fn stats_sleep() {
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    #[test]
+    fn adaptive_shed_reduces_block_stalls_while_alert_fires() {
+        // The control gauge the alert engine would normally flip.
+        obskit::gauge_labeled("alert_active", &[("rule", "pipeline_test_hiwater")]).set(1);
+        // Static Block path: 60 one-packet batches into a depth-2
+        // queue drained at 2ms/batch must stall the reader repeatedly.
+        let (stalls_static, _, adaptive_static) = drive_source(Backpressure::Block, None);
+        assert!(stalls_static > 0, "static Block path must stall");
+        assert_eq!(adaptive_static, 0, "no rule, no adaptive shedding");
+        // Same load with the alert firing: Block escalates to
+        // drop-newest, so the reader sheds instead of stalling.
+        let (stalls_adaptive, shed, adaptive) =
+            drive_source(Backpressure::Block, Some("pipeline_test_hiwater"));
+        assert!(
+            stalls_adaptive < stalls_static,
+            "adaptive shed must reduce stalls ({stalls_adaptive} vs {stalls_static})"
+        );
+        assert!(adaptive > 0, "widened shedding must engage");
+        assert!(shed >= adaptive, "adaptive drops are counted as shed too");
+    }
+
+    #[test]
+    fn adaptive_shed_stays_inert_while_alert_is_clear() {
+        obskit::gauge_labeled("alert_active", &[("rule", "pipeline_test_quiet")]).set(0);
+        let (stalls, _, adaptive) = drive_source(Backpressure::Block, Some("pipeline_test_quiet"));
+        assert!(stalls > 0, "clear alert keeps the static Block policy");
+        assert_eq!(adaptive, 0, "no adaptive drops while the rule is clear");
     }
 }
