@@ -283,6 +283,52 @@ wait "$wsoak_pid" || {
     exit 1
 }
 
+echo "== flows: inversion smoke + determinism + calibration battery"
+# Synthesize the flow-id-carrying Zipf pack the inversion subcommand is
+# built for, smoke the estimator table, and pin determinism end to end:
+# the JSONL replication log must be byte-identical across runs, and the
+# calibration battery (tests/flow_inversion_calibration.rs) must pass
+# twice in a row — inversion is a pure function of (trace bytes,
+# interval, replication offset).
+"$bin" synth "$tmpdir/zipf.pcap" --profile zipf --seconds 20 --seed 1993 | grep -q "wrote"
+"$bin" flows "$tmpdir/zipf.pcap" --method systematic --interval 100 \
+    > "$tmpdir/flows.out"
+grep -q "flow inversion: 1-in-100 systematic" "$tmpdir/flows.out"
+grep -qE '^ *em ' "$tmpdir/flows.out"
+for pass in 1 2; do
+    "$bin" flows "$tmpdir/zipf.pcap" --interval 50 \
+        --jsonl "$tmpdir/flows.$pass.jsonl" > /dev/null
+done
+cmp "$tmpdir/flows.1.jsonl" "$tmpdir/flows.2.jsonl" || {
+    echo "flows --jsonl output is nondeterministic across runs" >&2
+    exit 1
+}
+# A 1-in-0 selection is a usage error (64); a capture that ends
+# mid-record is a data error (65) — same contract as score/stream.
+if "$bin" flows "$tmpdir/zipf.pcap" --interval 0 > /dev/null 2>&1; then
+    echo "flows accepted --interval 0" >&2
+    exit 1
+else
+    code=$?
+    if [ "$code" -ne 64 ]; then
+        echo "flows exited $code on --interval 0, want 64" >&2
+        exit 1
+    fi
+fi
+if "$bin" flows "$tmpdir/cut.pcap" > /dev/null 2>&1; then
+    echo "flows accepted a truncated capture" >&2
+    exit 1
+else
+    code=$?
+    if [ "$code" -ne 65 ]; then
+        echo "flows exited $code on a truncated capture, want 65" >&2
+        exit 1
+    fi
+fi
+for pass in 1 2; do
+    cargo test --offline -q --test flow_inversion_calibration
+done
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

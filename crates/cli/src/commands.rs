@@ -9,7 +9,7 @@ use nettrace::pcap::write_pcap;
 use nettrace::pcapng::read_capture;
 use nettrace::{Micros, PerSecondSeries, Trace, TraceError};
 use sampling::experiment::{Experiment, MethodFamily};
-use sampling::{disparity, select_indices, MethodSpec, Target};
+use sampling::{disparity, select_indices, FlowEstimator, FlowExperiment, MethodSpec, Target};
 use statkit::SummaryRow;
 use std::fmt::Write as _;
 use std::fs::File;
@@ -207,9 +207,18 @@ pub fn synth(args: &Args) -> Result<String, CmdError> {
             },
             seed,
         ),
+        // Flow-id-carrying pack with Zipf parent flow sizes: the input
+        // the `flows` inversion subcommand is built for.
+        "zipf" => netsynth::generate_flow_pack(
+            &netsynth::FlowPackConfig {
+                duration_secs: seconds,
+                ..netsynth::FlowPackConfig::default()
+            },
+            seed,
+        ),
         other => {
             return Err(CmdError::usage(format!(
-                "unknown profile '{other}' (sdsc|fixwest|flows)"
+                "unknown profile '{other}' (sdsc|fixwest|flows|zipf)"
             )))
         }
     };
@@ -444,6 +453,112 @@ pub fn sweep(args: &Args) -> Result<String, CmdError> {
     Ok(out)
 }
 
+/// One flow-inversion replication as a JSONL record (hand-rendered like
+/// [`jsonl_record`]; deterministic — the CI stage byte-diffs two runs).
+fn flows_jsonl_record(estimator: FlowEstimator, k: u64, r: &sampling::FlowReplication) -> String {
+    format!(
+        "{{\"estimator\":\"{}\",\"k\":{},\"replication\":{},\"sampled_packets\":{},\
+         \"sampled_flows\":{},\"estimated_flows\":{},\"syn_estimate\":{},\"phi\":{}}}",
+        estimator.name(),
+        k,
+        r.replication,
+        r.sampled_packets,
+        r.sampled_flows,
+        r.estimated_flows,
+        r.syn_estimate,
+        r.report.phi
+    )
+}
+
+/// `netsample flows <trace.pcap> [--method systematic] [--interval k]
+/// [--replications R] [--jsonl out.jsonl]` — recover the parent
+/// flow-size distribution from a 1-in-k sampled packet stream and score
+/// every inversion estimator (naive / tail-rescale / EM, plus the
+/// SYN-based flow count) with φ against the trace's true flow table.
+/// Only deterministic systematic sampling is supported: the inversion
+/// model is calibrated for exact 1-in-k thinning, and replication `r`
+/// is the systematic offset `r mod k`.
+pub fn flows(args: &Args) -> Result<String, CmdError> {
+    expect_positionals(args, 1)?;
+    let trace = load(args.positional(0, "trace.pcap")?)?;
+    if trace.is_empty() {
+        return Err(CmdError::data("trace is empty"));
+    }
+    match args.opt_or("method", "systematic") {
+        "systematic" => {}
+        other => {
+            return Err(CmdError::usage(format!(
+                "flow inversion supports only deterministic 1-in-k sampling \
+                 (--method systematic), got '{other}'"
+            )))
+        }
+    }
+    let k: u64 = args.opt_num("interval", 50)?;
+    if k == 0 {
+        return Err(CmdError::usage(
+            "--interval must be at least 1 (a 1-in-0 selection is undefined)",
+        ));
+    }
+    let reps: u32 = args.opt_num("replications", 5)?;
+    if reps == 0 {
+        return Err(CmdError::usage("--replications must be at least 1"));
+    }
+    let exp = FlowExperiment::new(trace.packets());
+    let cells: Vec<(FlowEstimator, u64)> =
+        FlowEstimator::all().into_iter().map(|e| (e, k)).collect();
+    let results = exp.run_grid_with(&parkit::Pool::with_default_jobs(), &cells, reps);
+
+    if let Some(jsonl) = args.opt("jsonl") {
+        let f =
+            File::create(jsonl).map_err(|e| CmdError::io(format!("cannot create {jsonl}: {e}")))?;
+        let mut sink = BufWriter::new(f);
+        for res in &results {
+            for r in &res.replications {
+                writeln!(sink, "{}", flows_jsonl_record(res.estimator, res.k, r))
+                    .map_err(|e| CmdError::io(format!("cannot write {jsonl}: {e}")))?;
+            }
+        }
+        sink.flush()
+            .map_err(|e| CmdError::io(format!("cannot write {jsonl}: {e}")))?;
+    }
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "flow inversion: 1-in-{k} systematic, {} true flows (mean size {:.1} packets), {reps} replication(s)",
+        exp.true_flows(),
+        exp.true_mean_size()
+    )?;
+    writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>12} {:>10}",
+        "est", "mean phi", "est flows", "syn flows", "unscored"
+    )?;
+    let mut any_scored = false;
+    for res in &results {
+        any_scored |= !res.replications.is_empty();
+        let fmt = |v: Option<f64>, prec: usize| match v {
+            Some(v) => format!("{v:.prec$}"),
+            None => "-".to_string(),
+        };
+        writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>12} {:>10}",
+            res.estimator.name(),
+            fmt(res.mean_phi(), 5),
+            fmt(res.mean_estimated_flows(), 1),
+            fmt(res.mean_syn_estimate(), 1),
+            res.unscored
+        )?;
+    }
+    if !any_scored {
+        return Err(CmdError::data(
+            "no replication produced a scorable estimate (sample too sparse for this interval?)",
+        ));
+    }
+    Ok(out)
+}
+
 /// Method selection for the streaming engine. Mirrors [`parse_method`]
 /// plus the stream-only reservoir; `random` additionally needs
 /// `--population` (the engine rejects it otherwise, pointing at the
@@ -508,6 +623,9 @@ fn jsonl_record(w: &streamkit::WindowReport) -> String {
             last.as_u64()
         );
     }
+    // Per-window flow accounting (bounded flow table): live flows and
+    // flows that began in-window (SYN-marked).
+    let _ = write!(s, ",\"flows\":{},\"syn_flows\":{}", w.flows, w.syn_flows);
     // The same telemetry the live scrape endpoint exposes, per window:
     // cumulative shed count, emission→score lag, and process RSS.
     let _ = write!(
@@ -709,11 +827,12 @@ pub fn stream(args: &Args) -> Result<String, CmdError> {
     for w in &summary.windows {
         write!(
             out,
-            "  window {:>4} start={:<12} n={:<8} selected={:<6}",
+            "  window {:>4} start={:<12} n={:<8} selected={:<6} flows={:<6}",
             w.index,
             format!("{}us", w.start_ts.as_u64()),
             w.packets,
-            w.selected
+            w.selected,
+            w.flows
         )?;
         match &w.report {
             Some(r) => writeln!(out, " phi={:.5} chi2={:.2}", r.phi, r.chi2)?,
@@ -968,6 +1087,102 @@ mod tests {
         let clean = analyze(&lossy(&[&pop, "--lossy"])).unwrap();
         assert!(clean.contains("lossy ingest (pcap)"), "{clean}");
         assert!(!clean.contains("first fault"), "{clean}");
+
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&cut).ok();
+    }
+
+    const FLOWS_OPTS: &[&str] = &["method", "interval", "replications", "jsonl"];
+
+    #[test]
+    fn flows_inverts_a_zipf_pack_end_to_end() {
+        let pop = tmp("flows_pop");
+        synth(&args(
+            &[&pop, "--profile", "zipf", "--seconds", "20", "--seed", "9"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+
+        let out = flows(&args(
+            &[&pop, "--interval", "10", "--replications", "3"],
+            FLOWS_OPTS,
+        ))
+        .unwrap();
+        assert!(out.contains("flow inversion: 1-in-10"), "{out}");
+        for name in ["naive", "tail", "em"] {
+            assert!(out.contains(name), "{out}");
+        }
+
+        std::fs::remove_file(&pop).ok();
+    }
+
+    #[test]
+    fn flows_jsonl_is_deterministic() {
+        let pop = tmp("flows_jsonl_pop");
+        synth(&args(
+            &[&pop, "--profile", "zipf", "--seconds", "15", "--seed", "4"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+
+        let sink_a = tmp("flows_jsonl_a");
+        let sink_b = tmp("flows_jsonl_b");
+        for sink in [&sink_a, &sink_b] {
+            flows(&args(
+                &[
+                    &pop,
+                    "--interval",
+                    "20",
+                    "--replications",
+                    "2",
+                    "--jsonl",
+                    sink,
+                ],
+                FLOWS_OPTS,
+            ))
+            .unwrap();
+        }
+        let a = std::fs::read(&sink_a).unwrap();
+        let b = std::fs::read(&sink_b).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "two identical runs must emit identical JSONL");
+        let text = String::from_utf8(a).unwrap();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"estimator\":\"naive\""), "{first}");
+        assert!(first.contains("\"phi\":"), "{first}");
+
+        std::fs::remove_file(&pop).ok();
+        std::fs::remove_file(&sink_a).ok();
+        std::fs::remove_file(&sink_b).ok();
+    }
+
+    #[test]
+    fn flows_rejects_bad_invocations_and_bad_data() {
+        let pop = tmp("flows_err_pop");
+        synth(&args(
+            &[&pop, "--profile", "zipf", "--seconds", "10"],
+            &["seconds", "seed", "profile"],
+        ))
+        .unwrap();
+
+        // --interval 0 and non-systematic methods: usage (64).
+        let e = flows(&args(&[&pop, "--interval", "0"], FLOWS_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 64, "{e}");
+        let e = flows(&args(&[&pop, "--method", "stratified"], FLOWS_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 64, "{e}");
+        let e = flows(&args(&[&pop, "--replications", "0"], FLOWS_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 64, "{e}");
+
+        // Truncated capture: data (65).
+        let bytes = std::fs::read(&pop).unwrap();
+        let cut = tmp("flows_err_cut");
+        std::fs::write(&cut, &bytes[..bytes.len() - 7]).unwrap();
+        let e = flows(&args(&[&cut], FLOWS_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 65, "{e}");
+
+        // Missing file: I/O (74).
+        let e = flows(&args(&["/nonexistent/flows.pcap"], FLOWS_OPTS)).unwrap_err();
+        assert_eq!(e.exit_code(), 74, "{e}");
 
         std::fs::remove_file(&pop).ok();
         std::fs::remove_file(&cut).ok();

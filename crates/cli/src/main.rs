@@ -4,7 +4,7 @@
 //! reproduction:
 //!
 //! ```text
-//! netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
+//! netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows|zipf] [--seconds N] [--seed S]
 //! netsample analyze <trace.pcap> [--lossy]
 //! netsample sample  <in.pcap> <out.pcap> [--method systematic|stratified|random|geometric]
 //!                   [--interval k] [--seed S]
@@ -30,12 +30,19 @@ use std::process::ExitCode;
 const USAGE: &str = "netsample — packet-sampling toolkit (SIGCOMM 1993 reproduction)
 
 USAGE:
-  netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows] [--seconds N] [--seed S]
+  netsample synth   <out.pcap>  [--profile sdsc|fixwest|flows|zipf] [--seconds N] [--seed S]
   netsample analyze <trace.pcap> [--lossy]   (--lossy salvages damaged captures)
   netsample sample  <in.pcap> <out.pcap> [--method M] [--interval k] [--seed S]
   netsample score   <population.pcap> [--method M] [--interval k] [--target T] [--replications R]
   netsample compare <a.pcap> <b.pcap> [--target T]
   netsample sweep   <trace.pcap> [--target T] [--max-interval K] [--replications R]
+  netsample flows   <trace.pcap> [--method systematic] [--interval k]
+                    [--replications R] [--jsonl out.jsonl]
+                    (recover the parent flow-size distribution from the
+                    1-in-k sampled stream; scores naive / tail-rescale /
+                    EM inversion plus the SYN flow count with phi against
+                    the trace's true flow table; traces from
+                    `synth --profile zipf` carry the flow ids this needs)
   netsample stream  <trace.pcap|-> [--window N|DUR] [--slide N|DUR] [--method M]
                     [--interval k] [--capacity c] [--target T] [--seed S]
                     [--backpressure block|drop-newest] [--jsonl out.jsonl]
@@ -372,6 +379,10 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
         "sweep" => {
             let a = Args::parse(rest, &["target", "replications", "seed", "max-interval"])?;
             commands::sweep(&a)
+        }
+        "flows" => {
+            let a = Args::parse(rest, &["method", "interval", "replications", "jsonl"])?;
+            commands::flows(&a)
         }
         "stream" => {
             let a = Args::parse(

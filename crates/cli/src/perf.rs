@@ -8,7 +8,9 @@
 //!   report there. Each of the 30 cells is timed and gated separately
 //!   (`cell/<family>/<target>/k<k>`), plus four end-to-end streaming
 //!   cells (`stream/<target>/k50`) covering decode → window → sample →
-//!   score through `streamkit`.
+//!   score through `streamkit`, plus six flow-inversion cells
+//!   (`cell/flows/<estimator>/k<k>`) covering sample → aggregate →
+//!   invert → score through the flow-statistics suite.
 //! * `perf report` pretty-prints one report (a named file, or the
 //!   newest in `--dir`).
 //! * `perf diff` compares two report files.
@@ -23,7 +25,7 @@ use crate::commands::CmdError;
 use netsynth::TraceProfile;
 use nettrace::Trace;
 use sampling::experiment::{Experiment, MethodFamily};
-use sampling::{MethodSpec, Target};
+use sampling::{FlowEstimator, FlowExperiment, MethodSpec, Target};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 use streamkit::{run_stream, StreamConfig, StreamMethod, WindowSpec};
@@ -252,6 +254,46 @@ fn record(args: &Args) -> Result<String, CmdError> {
                     wall_us,
                 }),
         );
+
+        // The flow-inversion path: sample a flow-structured pack,
+        // aggregate the sample back into flows, invert the parent size
+        // distribution, score with φ — one gated cell per estimator at
+        // a dense (k = 10) and a sparse (k = 100) operating point. EM
+        // dominates this family's cost; the naive/tail cells isolate
+        // the shared sample-aggregate-score substrate.
+        let flow_pack = {
+            let _s = obskit::span("perf_flow_pack");
+            netsynth::generate_flow_pack(
+                &netsynth::FlowPackConfig {
+                    flows: (packets / 50).clamp(100, 2_000) as u32,
+                    duration_secs: 30,
+                    ..netsynth::FlowPackConfig::default()
+                },
+                seed,
+            )
+        };
+        let flow_exp = FlowExperiment::new(flow_pack.packets());
+        let flow_cells: Vec<(FlowEstimator, u64)> = FlowEstimator::all()
+            .iter()
+            .flat_map(|&est| [10u64, 100].into_iter().map(move |k| (est, k)))
+            .collect();
+        let mut flow_best = vec![u64::MAX; flow_cells.len()];
+        for _pass in 0..RECORD_PASSES {
+            for (i, &(est, k)) in flow_cells.iter().enumerate() {
+                let started = Instant::now();
+                let _result = flow_exp.run_with(&pool, est, k, replications);
+                flow_best[i] = flow_best[i].min(started.elapsed().as_micros() as u64);
+            }
+        }
+        experiments.extend(
+            flow_cells
+                .iter()
+                .zip(flow_best)
+                .map(|(&(est, k), wall_us)| perfkit::ExperimentTime {
+                    name: format!("cell/flows/{}/k{k}", est.name()),
+                    wall_us,
+                }),
+        );
         (trace, experiments)
     };
 
@@ -356,6 +398,8 @@ mod tests {
         assert!(out.contains("cell/strat-timer/interarrival/k100"), "{out}");
         assert!(out.contains("stream/packet-size/k50"), "{out}");
         assert!(out.contains("stream/port/k50"), "{out}");
+        assert!(out.contains("cell/flows/naive/k10"), "{out}");
+        assert!(out.contains("cell/flows/em/k100"), "{out}");
         assert!(out.contains("no prior BENCH_*.json baseline"), "{out}");
         let report = run(&["report", "--dir", dir_s]).unwrap();
         assert!(report.contains("BENCH_1"), "{report}");

@@ -75,6 +75,7 @@
 pub mod adaptive;
 pub mod estimate;
 pub mod experiment;
+pub mod flows;
 pub mod geometric;
 pub mod metrics;
 pub mod nullband;
@@ -90,6 +91,10 @@ pub mod timer;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSampler};
 pub use experiment::{Experiment, ExperimentResult, Replication};
+pub use flows::{
+    estimate_histogram, flow_size_bins, FlowEstimator, FlowExperiment, FlowExperimentResult,
+    FlowReplication,
+};
 pub use geometric::GeometricSkipSampler;
 pub use metrics::{disparity, DisparityReport};
 pub use nullband::{phi_null_band, PhiNullBand};

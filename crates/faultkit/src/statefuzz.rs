@@ -16,11 +16,17 @@
 //! ([`obskit::parse_series_query`]) and the alert-rule grammar
 //! ([`obskit::parse_rules`]) — anything they *accept* must satisfy the
 //! documented caps (step/threshold/name bounds), and everything else
-//! must come back as a typed error.
+//! must come back as a typed error. The flow-inversion suite gets the
+//! same treatment: [`nettrace::FlowTable`] is driven with hostile flow
+//! identities (id 0, `u32::MAX`, colliding ids, random SYN placement)
+//! and must keep its capacity bound and packet conservation, and the
+//! `statkit::inversion` estimators get degenerate sampled-size vectors
+//! (empty, zeros, overflowing sizes, `k == 0`) that must come back as
+//! typed [`statkit::InversionError`]s — never a panic.
 
 use crate::{Digest, Finding};
 use nettrace::time::Micros;
-use nettrace::{BinSpec, Histogram, PacketRecord};
+use nettrace::{BinSpec, FlowTable, Histogram, PacketRecord};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sampling::{
@@ -28,6 +34,8 @@ use sampling::{
     ReservoirSampler, Sampler, SimpleRandomSampler, StratifiedSampler, StratifiedTimerSampler,
     SystematicSampler, SystematicTimerSampler,
 };
+use statkit::inversion::{em_invert, naive_scaling, syn_flow_count, tail_rescale};
+use statkit::InversionError;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use streamkit::{Offer, ReservoirStream, StreamSampler};
@@ -38,9 +46,10 @@ pub struct StateFuzzConfig {
     /// Master seed.
     pub seed: u64,
     /// Cases to run, spread round-robin over the eight batch samplers,
-    /// the streaming reservoir, the disparity metric, and the telemetry
+    /// the streaming reservoir, the disparity metric, the telemetry
     /// server's three text surfaces (HTTP request line, `/series`
-    /// query, alert-rule grammar).
+    /// query, alert-rule grammar), the flow table, and the flow-size
+    /// inversion estimators.
     pub cases: u32,
 }
 
@@ -555,6 +564,181 @@ impl Fuzzer {
             }
         }
     }
+
+    /// Drive the flow table through a hostile packet stream — the
+    /// adversarial timestamps of [`hostile_packets`] decorated with
+    /// adversarial flow identities — streamed, batched, and as a merge
+    /// of unbounded halves. Contracts: no panic, the capacity bound
+    /// holds, packet conservation (live + evicted == offered), batch
+    /// aggregation is bit-identical to streaming, and merging two
+    /// unbounded halves equals one unbounded pass.
+    fn fuzz_flow_table(&mut self, rng: &mut StdRng) {
+        let cap = rng.random_range(1usize..=64);
+        let packets = hostile_flow_packets(rng);
+        self.offers += 4 * packets.len() as u64;
+        let offered = packets.len() as u64;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut streamed = FlowTable::with_capacity(cap);
+            for p in &packets {
+                streamed.offer(p);
+            }
+            let batch = FlowTable::from_packets(cap, &packets);
+            let mid = packets.len() / 2;
+            let mut merged = FlowTable::unbounded();
+            merged.merge(&FlowTable::from_packets(usize::MAX, &packets[..mid]));
+            merged.merge(&FlowTable::from_packets(usize::MAX, &packets[mid..]));
+            let whole = FlowTable::from_packets(usize::MAX, &packets);
+            (streamed, batch, merged, whole)
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(
+                    "flow_table",
+                    format!("panicked on {offered} packets with capacity {cap}: {msg}"),
+                );
+                self.record("flow_table", "panic");
+            }
+            Ok((streamed, batch, merged, whole)) => {
+                if streamed.len() > cap {
+                    self.violation(
+                        "flow_table",
+                        format!("holds {} flows with capacity {cap}", streamed.len()),
+                    );
+                }
+                if streamed.offered() != offered
+                    || streamed.live_packets() + streamed.evicted_packets() != offered
+                {
+                    self.violation(
+                        "flow_table",
+                        format!(
+                            "lost packets: {} live + {} evicted of {offered} offered",
+                            streamed.live_packets(),
+                            streamed.evicted_packets()
+                        ),
+                    );
+                }
+                if streamed.sizes() != batch.sizes()
+                    || streamed.evicted_flows() != batch.evicted_flows()
+                    || streamed.syn_flows() != batch.syn_flows()
+                {
+                    self.violation(
+                        "flow_table",
+                        format!(
+                            "batch and stream diverged: {} vs {} flows",
+                            batch.len(),
+                            streamed.len()
+                        ),
+                    );
+                }
+                let snapshot = |t: &FlowTable| t.flows().map(|(k, r)| (*k, *r)).collect::<Vec<_>>();
+                if snapshot(&merged) != snapshot(&whole) || merged.offered() != whole.offered() {
+                    self.violation(
+                        "flow_table",
+                        format!(
+                            "merge of halves diverged from one pass: {} vs {} flows",
+                            merged.len(),
+                            whole.len()
+                        ),
+                    );
+                }
+                self.record("flow_table", "ok");
+                self.digest.update_u64(streamed.len() as u64);
+                self.digest.update_u64(streamed.evicted_packets());
+                self.digest.update_u64(whole.syn_flows());
+            }
+        }
+    }
+
+    /// Feed the flow-size inversion estimators one hostile input:
+    /// degenerate sampled-size vectors (empty, zero sizes, sizes whose
+    /// rescaling overflows `u64`) under degenerate intervals (`k == 0`,
+    /// `u64::MAX`). Contracts: typed errors — never a panic — with the
+    /// documented error for each recognized degenerate shape, equal
+    /// results on a second run, and every *accepted* estimate carries
+    /// finite positive weights on strictly increasing parent sizes.
+    fn fuzz_flow_inversion(&mut self, rng: &mut StdRng) {
+        let sampled = hostile_sampled_sizes(rng);
+        let k = hostile_interval(rng);
+        let run = || {
+            (
+                naive_scaling(&sampled, k),
+                tail_rescale(&sampled, k),
+                em_invert(&sampled, k),
+                syn_flow_count(sampled.len() as u64, k),
+            )
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| (run(), run())));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation(
+                    "flow_inversion",
+                    format!(
+                        "estimator panicked on {} sizes with k={k}: {msg}",
+                        sampled.len()
+                    ),
+                );
+                self.record("flow_inversion", "panic");
+            }
+            Ok((first, second)) => {
+                if first != second {
+                    self.violation(
+                        "flow_inversion",
+                        format!("estimators are not deterministic for k={k}"),
+                    );
+                }
+                let (naive, tail, em, syn) = first;
+                if k == 0 && naive != Err(InversionError::ZeroInterval) {
+                    self.violation(
+                        "flow_inversion",
+                        "k=0 must map to InversionError::ZeroInterval".to_string(),
+                    );
+                }
+                if k > 0 && sampled.is_empty() && naive != Err(InversionError::Empty) {
+                    self.violation(
+                        "flow_inversion",
+                        "empty input must map to InversionError::Empty".to_string(),
+                    );
+                }
+                let mut accepted = 0u32;
+                for (name, est) in [("naive", &naive), ("tail", &tail), ("em", &em)] {
+                    match est {
+                        Ok(e) => {
+                            accepted += 1;
+                            let sizes_ok = e.points.windows(2).all(|w| w[0].0 < w[1].0);
+                            let weights_ok = e
+                                .points
+                                .iter()
+                                .all(|&(s, w)| s > 0 && w.is_finite() && w > 0.0);
+                            let total_ok = e.total_flows.is_finite() && e.total_flows > 0.0;
+                            if !(sizes_ok && weights_ok && total_ok) {
+                                self.violation(
+                                    "flow_inversion",
+                                    format!("{name} accepted a malformed estimate for k={k}"),
+                                );
+                            }
+                            self.digest.update_u64(e.total_flows.to_bits());
+                        }
+                        Err(e) => self.digest.update(e.to_string().as_bytes()),
+                    }
+                }
+                match syn {
+                    Ok(v) => {
+                        if !(v.is_finite() && v >= 0.0) {
+                            self.violation("flow_inversion", format!("syn count {v} for k={k}"));
+                        }
+                        self.digest.update_u64(v.to_bits());
+                    }
+                    Err(e) => self.digest.update(e.to_string().as_bytes()),
+                }
+                self.record(
+                    "flow_inversion",
+                    if accepted > 0 { "ok" } else { "rejected" },
+                );
+            }
+        }
+    }
 }
 
 /// A hostile `/series` query string: valid queries, oversized values,
@@ -752,6 +936,53 @@ fn hostile_request_line(rng: &mut StdRng) -> Vec<u8> {
     }
 }
 
+/// Hostile timestamps from [`hostile_packets`] decorated with hostile
+/// flow identities: no id at all (the 5-tuple path, with colliding
+/// ports), `u32::MAX`, arbitrary ids, a tiny colliding id range, and
+/// random SYN placement.
+fn hostile_flow_packets(rng: &mut StdRng) -> Vec<PacketRecord> {
+    hostile_packets(rng)
+        .into_iter()
+        .map(|p| {
+            let syn = rng.random_range(0u8..4) == 0;
+            match rng.random_range(0u8..4) {
+                0 => p.with_ports(rng.random_range(0u16..4), rng.random_range(0u16..4)),
+                1 => p.with_flow(u32::MAX, syn),
+                2 => p.with_flow(rng.random::<u32>(), syn),
+                _ => p.with_flow(rng.random_range(1u32..=8), syn),
+            }
+        })
+        .collect()
+}
+
+/// A hostile sampled-flow-size vector: zeros (an upstream aggregation
+/// bug), single packets, sizes whose `j·k` rescaling overflows `u64`,
+/// arbitrary sizes, and realistic small sizes — possibly empty.
+fn hostile_sampled_sizes(rng: &mut StdRng) -> Vec<u64> {
+    let len = rng.random_range(0usize..=48);
+    (0..len)
+        .map(|_| match rng.random_range(0u8..6) {
+            0 => 0,
+            1 => 1,
+            2 => u64::MAX,
+            3 => u64::MAX / 2,
+            4 => rng.random::<u64>(),
+            _ => rng.random_range(1u64..=500),
+        })
+        .collect()
+}
+
+/// Sampling intervals that stress the inversion arithmetic.
+fn hostile_interval(rng: &mut StdRng) -> u64 {
+    match rng.random_range(0u8..5) {
+        0 => 0, // rejected: not a sampling process
+        1 => 1,
+        2 => u64::MAX,
+        3 => rng.random::<u64>(),
+        _ => rng.random_range(2u64..=1_000),
+    }
+}
+
 /// Timer periods that stress the schedule arithmetic.
 fn hostile_period(rng: &mut StdRng) -> u64 {
     match rng.random_range(0u8..5) {
@@ -765,8 +996,9 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 
 /// Run the state-machine fuzz: `cases` hostile sequences spread over
 /// the eight batch samplers, the streaming reservoir, the disparity
-/// metric, and the telemetry server's three text surfaces (HTTP
-/// request line, `/series` query, alert-rule grammar).
+/// metric, the telemetry server's three text surfaces (HTTP request
+/// line, `/series` query, alert-rule grammar), the flow table, and
+/// the flow-size inversion estimators.
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -780,7 +1012,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 13 {
+        match case % 15 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -852,7 +1084,9 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
             9 => fuzzer.fuzz_disparity(&mut rng),
             10 => fuzzer.fuzz_http_request(&mut rng),
             11 => fuzzer.fuzz_series_query(&mut rng),
-            _ => fuzzer.fuzz_rule_grammar(&mut rng),
+            12 => fuzzer.fuzz_rule_grammar(&mut rng),
+            13 => fuzzer.fuzz_flow_table(&mut rng),
+            _ => fuzzer.fuzz_flow_inversion(&mut rng),
         }
     }
     obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
@@ -924,6 +1158,8 @@ mod tests {
             "http_request",
             "series_query",
             "rule_grammar",
+            "flow_table",
+            "flow_inversion",
         ] {
             assert!(
                 report

@@ -193,6 +193,8 @@ fn schedule_flow(
                 dst_port: dport,
                 src_net,
                 dst_net,
+                flow_id: 0,
+                flags: 0,
             },
         });
     };

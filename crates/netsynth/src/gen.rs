@@ -79,6 +79,8 @@ pub fn generate(profile: &TraceProfile, seed: u64) -> Trace {
                 dst_port,
                 src_net,
                 dst_net,
+                flow_id: 0,
+                flags: 0,
             });
         }
     }

@@ -1,0 +1,404 @@
+//! Bounded-memory flow aggregation.
+//!
+//! A [`FlowTable`] groups packets into flows — by synthetic flow id
+//! when one is present, by 5-tuple otherwise — and accumulates per-flow
+//! packet/byte counts, SYN observation, and first/last timestamps. It
+//! is the aggregation substrate of the flow-statistics inversion suite:
+//! run it over the *sampled* packet stream and the resulting sampled
+//! flow sizes feed `statkit::inversion`; run it over the full trace and
+//! the sizes are the ground truth the estimators are scored against.
+//!
+//! Two properties matter and are pinned by tests:
+//!
+//! * **Determinism** — the table is keyed by a `BTreeMap` (iteration
+//!   order is the key order, never hash-randomized), and batch
+//!   construction is defined as the left fold of [`FlowTable::offer`],
+//!   so batch and streaming aggregation are bit-identical.
+//! * **Bounded memory** — a capacity-limited table evicts the least
+//!   -recently-updated flow (smallest key on ties) when a new flow
+//!   would exceed the cap, counting what it dropped; surviving flows
+//!   are never corrupted by an eviction.
+
+use crate::histogram::{BinSpec, Histogram};
+use crate::packet::{PacketRecord, Protocol};
+use crate::time::Micros;
+use std::collections::btree_map::Entry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Flow identity: synthetic id when assigned, 5-tuple otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FlowKey {
+    /// Synthetic flow id (nonzero), as set by the flow generators.
+    Id(u32),
+    /// Classic 5-tuple for packets without a synthetic id.
+    Tuple {
+        /// IP protocol number.
+        protocol: u8,
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Source network number.
+        src_net: u16,
+        /// Destination network number.
+        dst_net: u16,
+    },
+}
+
+impl FlowKey {
+    /// The key a packet aggregates under.
+    #[must_use]
+    pub fn of(p: &PacketRecord) -> FlowKey {
+        if p.flow_id != 0 {
+            FlowKey::Id(p.flow_id)
+        } else {
+            FlowKey::Tuple {
+                protocol: p.protocol.number(),
+                src_port: p.src_port,
+                dst_port: p.dst_port,
+                src_net: p.src_net,
+                dst_net: p.dst_net,
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowKey::Id(id) => write!(f, "flow#{id}"),
+            FlowKey::Tuple {
+                protocol,
+                src_port,
+                dst_port,
+                src_net,
+                dst_net,
+            } => write!(
+                f,
+                "{}:{src_net}.{src_port}>{dst_net}.{dst_port}",
+                Protocol::from_number(*protocol)
+            ),
+        }
+    }
+}
+
+/// Accumulated state of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Packets observed.
+    pub packets: u64,
+    /// Bytes observed (sum of packet sizes).
+    pub bytes: u64,
+    /// Whether a SYN-flagged packet was observed.
+    pub syn_seen: bool,
+    /// Timestamp of the first observed packet.
+    pub first_ts: Micros,
+    /// Timestamp of the most recent observed packet.
+    pub last_ts: Micros,
+}
+
+/// Bounded, deterministic flow aggregator. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlowTable {
+    map: BTreeMap<FlowKey, FlowRecord>,
+    /// Eviction index mirroring `map`: one `(last_ts, key)` entry per
+    /// live flow, so the LRU victim is `O(log n)` to find instead of a
+    /// full scan — at capacity every new flow evicts, and a linear
+    /// scan there turns streaming aggregation quadratic. Unbounded
+    /// tables never evict, so they skip the index entirely.
+    order: BTreeSet<(Micros, FlowKey)>,
+    cap: usize,
+    evicted_flows: u64,
+    evicted_packets: u64,
+    offered: u64,
+}
+
+impl FlowTable {
+    /// A table evicting past `cap` live flows.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0` — a table that can hold nothing cannot
+    /// aggregate anything.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> FlowTable {
+        assert!(cap > 0, "flow table capacity must be positive");
+        FlowTable {
+            map: BTreeMap::new(),
+            order: BTreeSet::new(),
+            cap,
+            evicted_flows: 0,
+            evicted_packets: 0,
+            offered: 0,
+        }
+    }
+
+    /// An effectively unbounded table (capacity `usize::MAX`).
+    #[must_use]
+    pub fn unbounded() -> FlowTable {
+        FlowTable::with_capacity(usize::MAX)
+    }
+
+    /// Aggregate every packet of a slice: exactly the left fold of
+    /// [`FlowTable::offer`], so it is bit-identical to streaming the
+    /// same packets one at a time.
+    #[must_use]
+    pub fn from_packets(cap: usize, packets: &[PacketRecord]) -> FlowTable {
+        let mut t = FlowTable::with_capacity(cap);
+        for p in packets {
+            t.offer(p);
+        }
+        t
+    }
+
+    /// Offer one packet. A packet for a new flow when the table is at
+    /// capacity first evicts the least-recently-updated flow (smallest
+    /// key on ties).
+    pub fn offer(&mut self, p: &PacketRecord) {
+        self.offered += 1;
+        let key = FlowKey::of(p);
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            self.evict_one();
+        }
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                let rec = e.get_mut();
+                rec.packets += 1;
+                rec.bytes += u64::from(p.size);
+                rec.syn_seen |= p.syn();
+                if p.timestamp < rec.first_ts {
+                    rec.first_ts = p.timestamp;
+                }
+                if p.timestamp > rec.last_ts {
+                    if self.cap != usize::MAX {
+                        self.order.remove(&(rec.last_ts, key));
+                        self.order.insert((p.timestamp, key));
+                    }
+                    rec.last_ts = p.timestamp;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(FlowRecord {
+                    packets: 1,
+                    bytes: u64::from(p.size),
+                    syn_seen: p.syn(),
+                    first_ts: p.timestamp,
+                    last_ts: p.timestamp,
+                });
+                if self.cap != usize::MAX {
+                    self.order.insert((p.timestamp, key));
+                }
+            }
+        }
+    }
+
+    /// Evict the least-recently-updated flow; ties broken by smallest
+    /// key, so eviction is fully deterministic.
+    fn evict_one(&mut self) {
+        if let Some((_, key)) = self.order.pop_first() {
+            if let Some(rec) = self.map.remove(&key) {
+                self.evicted_flows += 1;
+                self.evicted_packets += rec.packets;
+            }
+        }
+    }
+
+    /// Merge another table's flows into this one (first/last timestamps
+    /// widen, counters add, SYN ors). The merged table keeps *this*
+    /// table's capacity and may evict to respect it.
+    pub fn merge(&mut self, other: &FlowTable) {
+        for (key, rec) in &other.map {
+            if !self.map.contains_key(key) && self.map.len() >= self.cap {
+                self.evict_one();
+            }
+            match self.map.entry(*key) {
+                Entry::Occupied(mut e) => {
+                    let r = e.get_mut();
+                    r.packets += rec.packets;
+                    r.bytes += rec.bytes;
+                    r.syn_seen |= rec.syn_seen;
+                    r.first_ts = r.first_ts.min(rec.first_ts);
+                    if rec.last_ts > r.last_ts {
+                        if self.cap != usize::MAX {
+                            self.order.remove(&(r.last_ts, *key));
+                            self.order.insert((rec.last_ts, *key));
+                        }
+                        r.last_ts = rec.last_ts;
+                    }
+                }
+                Entry::Vacant(e) => {
+                    e.insert(*rec);
+                    if self.cap != usize::MAX {
+                        self.order.insert((rec.last_ts, *key));
+                    }
+                }
+            }
+        }
+        self.evicted_flows += other.evicted_flows;
+        self.evicted_packets += other.evicted_packets;
+        self.offered += other.offered;
+    }
+
+    /// Live flows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no flows are live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Packets offered (including any later evicted).
+    #[must_use]
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Flows evicted by the capacity bound.
+    #[must_use]
+    pub fn evicted_flows(&self) -> u64 {
+        self.evicted_flows
+    }
+
+    /// Packets inside evicted flows at their eviction instants.
+    #[must_use]
+    pub fn evicted_packets(&self) -> u64 {
+        self.evicted_packets
+    }
+
+    /// Iterate live flows in key order.
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowKey, &FlowRecord)> {
+        self.map.iter()
+    }
+
+    /// Live flow sizes (packets per flow) in key order.
+    #[must_use]
+    pub fn sizes(&self) -> Vec<u64> {
+        self.map.values().map(|r| r.packets).collect()
+    }
+
+    /// Live flows that saw a SYN.
+    #[must_use]
+    pub fn syn_flows(&self) -> u64 {
+        self.map.values().filter(|r| r.syn_seen).count() as u64
+    }
+
+    /// Packets held by live flows.
+    #[must_use]
+    pub fn live_packets(&self) -> u64 {
+        self.map.values().map(|r| r.packets).sum()
+    }
+
+    /// Histogram of live flow sizes under `spec`.
+    #[must_use]
+    pub fn size_histogram(&self, spec: &BinSpec) -> Histogram {
+        Histogram::from_values(spec.clone(), self.map.values().map(|r| r.packets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(t: u64, flow: u32, first: bool) -> PacketRecord {
+        PacketRecord::new(Micros(t), 100).with_flow(flow, first)
+    }
+
+    #[test]
+    fn groups_by_flow_id_and_tuple() {
+        let mut t = FlowTable::unbounded();
+        t.offer(&pkt(0, 1, true));
+        t.offer(&pkt(10, 1, false));
+        t.offer(&pkt(20, 2, true));
+        // No flow id: keyed by 5-tuple.
+        t.offer(&PacketRecord::new(Micros(30), 40).with_ports(53, 53));
+        t.offer(&PacketRecord::new(Micros(40), 40).with_ports(53, 53));
+        t.offer(&PacketRecord::new(Micros(50), 40).with_ports(80, 80));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.sizes(), vec![2, 1, 2, 1]);
+        assert_eq!(t.syn_flows(), 2);
+        assert_eq!(t.offered(), 6);
+        assert_eq!(t.live_packets(), 6);
+        let rec = t.flows().next().unwrap().1;
+        assert_eq!(rec.packets, 2);
+        assert_eq!(rec.bytes, 200);
+        assert!(rec.syn_seen);
+        assert_eq!(rec.first_ts, Micros(0));
+        assert_eq!(rec.last_ts, Micros(10));
+    }
+
+    #[test]
+    fn eviction_is_lru_with_key_tiebreak_and_counts() {
+        let mut t = FlowTable::with_capacity(2);
+        t.offer(&pkt(0, 1, true));
+        t.offer(&pkt(5, 2, true));
+        t.offer(&pkt(5, 2, false));
+        // Flow 3 arrives at capacity: flow 1 (oldest last_ts) goes.
+        t.offer(&pkt(10, 3, true));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted_flows(), 1);
+        assert_eq!(t.evicted_packets(), 1);
+        let keys: Vec<FlowKey> = t.flows().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![FlowKey::Id(2), FlowKey::Id(3)]);
+        // Survivors keep exact counts (no corruption by eviction).
+        assert_eq!(t.sizes(), vec![2, 1]);
+        // Equal last_ts: the smallest key is the victim.
+        let mut t = FlowTable::with_capacity(2);
+        t.offer(&pkt(7, 5, true));
+        t.offer(&pkt(7, 4, true));
+        t.offer(&pkt(9, 6, true));
+        let keys: Vec<FlowKey> = t.flows().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![FlowKey::Id(5), FlowKey::Id(6)]);
+    }
+
+    #[test]
+    fn batch_is_fold_of_offer() {
+        let pkts: Vec<PacketRecord> = (0..100)
+            .map(|i| pkt(i, (i % 7) as u32 + 1, i < 7))
+            .collect();
+        let batch = FlowTable::from_packets(3, &pkts);
+        let mut streamed = FlowTable::with_capacity(3);
+        for p in &pkts {
+            streamed.offer(p);
+        }
+        assert_eq!(batch.sizes(), streamed.sizes());
+        assert_eq!(batch.evicted_flows(), streamed.evicted_flows());
+        assert_eq!(batch.offered(), streamed.offered());
+    }
+
+    #[test]
+    fn merge_combines_flows() {
+        let mut a = FlowTable::unbounded();
+        a.offer(&pkt(0, 1, true));
+        a.offer(&pkt(10, 2, true));
+        let mut b = FlowTable::unbounded();
+        b.offer(&pkt(20, 1, false));
+        b.offer(&pkt(30, 3, true));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.sizes(), vec![2, 1, 1]);
+        assert_eq!(a.offered(), 4);
+        let rec = a.flows().next().unwrap().1;
+        assert_eq!((rec.first_ts, rec.last_ts), (Micros(0), Micros(20)));
+        assert!(rec.syn_seen);
+    }
+
+    #[test]
+    fn size_histogram_counts_flows_not_packets() {
+        let mut t = FlowTable::unbounded();
+        for i in 0..10 {
+            t.offer(&pkt(i, 1, i == 0));
+        }
+        t.offer(&pkt(100, 2, true));
+        let h = t.size_histogram(&BinSpec::FixedWidth { width: 4, cap: 16 });
+        assert_eq!(h.total(), 2); // two flows
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = FlowTable::with_capacity(0);
+    }
+}

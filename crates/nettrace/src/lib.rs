@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod error;
+pub mod flowtable;
 pub mod histogram;
 pub mod lossy;
 pub mod merge;
@@ -36,6 +37,7 @@ pub mod time;
 pub mod trace;
 
 pub use error::TraceError;
+pub use flowtable::{FlowKey, FlowRecord, FlowTable};
 pub use histogram::{BinSpec, Histogram};
 pub use lossy::{read_capture_lossy, IngestFault, IngestReport};
 pub use merge::{merge, rebase, shift};

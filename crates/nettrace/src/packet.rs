@@ -84,9 +84,20 @@ pub struct PacketRecord {
     pub src_net: u16,
     /// Destination network number.
     pub dst_net: u16,
+    /// Synthetic flow identifier; 0 means "unassigned" and flow
+    /// aggregation falls back to the 5-tuple. Nonzero ids come from the
+    /// flow-structured generators (and survive a pcap round trip).
+    pub flow_id: u32,
+    /// Header flag bits; see [`PacketRecord::FLAG_SYN`].
+    pub flags: u8,
 }
 
 impl PacketRecord {
+    /// TCP SYN bit: set on the first packet of a flow by the
+    /// flow-structured generators, the signal the SYN-count flow
+    /// estimator scales up.
+    pub const FLAG_SYN: u8 = 0x02;
+
     /// A minimal record with the given timestamp and size; protocol defaults
     /// to TCP and all other fields to zero. Convenient for tests and for
     /// size/interarrival-only analyses.
@@ -100,6 +111,8 @@ impl PacketRecord {
             dst_port: 0,
             src_net: 0,
             dst_net: 0,
+            flow_id: 0,
+            flags: 0,
         }
     }
 
@@ -124,6 +137,25 @@ impl PacketRecord {
         self.src_net = src;
         self.dst_net = dst;
         self
+    }
+
+    /// Builder-style: assign a synthetic flow id and mark whether this is
+    /// the flow's first packet (sets the SYN bit).
+    #[must_use]
+    pub fn with_flow(mut self, flow_id: u32, first: bool) -> Self {
+        self.flow_id = flow_id;
+        if first {
+            self.flags |= Self::FLAG_SYN;
+        } else {
+            self.flags &= !Self::FLAG_SYN;
+        }
+        self
+    }
+
+    /// Whether the SYN bit is set (flow-start marker).
+    #[must_use]
+    pub fn syn(&self) -> bool {
+        self.flags & Self::FLAG_SYN != 0
     }
 }
 
@@ -170,5 +202,17 @@ mod tests {
         assert_eq!(p.protocol, Protocol::Udp);
         assert_eq!((p.src_port, p.dst_port), (53, 2049));
         assert_eq!((p.src_net, p.dst_net), (192, 35));
+        assert_eq!(p.flow_id, 0);
+        assert!(!p.syn());
+    }
+
+    #[test]
+    fn flow_builder_sets_and_clears_syn() {
+        let p = PacketRecord::new(Micros(0), 40).with_flow(7, true);
+        assert_eq!(p.flow_id, 7);
+        assert!(p.syn());
+        let q = p.with_flow(7, false);
+        assert!(!q.syn());
+        assert_eq!(q.flow_id, 7);
     }
 }

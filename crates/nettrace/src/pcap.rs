@@ -120,6 +120,10 @@ pub fn write_pcap_record<W: Write>(mut w: W, p: &PacketRecord) -> Result<(), Tra
 fn synth_header(p: &PacketRecord) -> [u8; WRITE_CAPLEN] {
     let mut h = [0u8; WRITE_CAPLEN];
     h[0] = 0x45; // version 4, IHL 5
+                 // TOS byte carries the synthetic flag bits (SYN marker); harmless to
+                 // standard tools and recoverable on read, like the 10.x.x.1
+                 // network-number encoding below.
+    h[1] = p.flags;
     h[2..4].copy_from_slice(&p.size.to_be_bytes()); // total length
     h[8] = 64; // TTL
     h[9] = p.protocol.number();
@@ -131,9 +135,11 @@ fn synth_header(p: &PacketRecord) -> [u8; WRITE_CAPLEN] {
     h[16] = 10;
     h[17..19].copy_from_slice(&p.dst_net.to_be_bytes());
     h[19] = 1;
-    // First 4 bytes of TCP/UDP header: source and destination ports.
+    // First 8 bytes of TCP/UDP header: source and destination ports,
+    // then the synthetic flow id in the TCP sequence-number slot.
     h[20..22].copy_from_slice(&p.src_port.to_be_bytes());
     h[22..24].copy_from_slice(&p.dst_port.to_be_bytes());
+    h[24..28].copy_from_slice(&p.flow_id.to_be_bytes());
     h
 }
 
@@ -142,6 +148,7 @@ pub(crate) fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord
     let mut rec = PacketRecord::new(ts, orig_len.min(u32::from(u16::MAX)) as u16);
     if data.len() >= 20 && data[0] >> 4 == 4 {
         rec.protocol = Protocol::from_number(data[9]);
+        rec.flags = data[1];
         rec.src_net = u16::from_be_bytes([data[13], data[14]]);
         rec.dst_net = u16::from_be_bytes([data[17], data[18]]);
         let ihl = usize::from(data[0] & 0x0f) * 4;
@@ -152,6 +159,10 @@ pub(crate) fn parse_ipv4(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord
         if matches!(rec.protocol, Protocol::Tcp | Protocol::Udp) && data.len() >= ihl + 4 {
             rec.src_port = u16::from_be_bytes([data[ihl], data[ihl + 1]]);
             rec.dst_port = u16::from_be_bytes([data[ihl + 2], data[ihl + 3]]);
+        }
+        if data.len() >= ihl + 8 {
+            rec.flow_id =
+                u32::from_be_bytes([data[ihl + 4], data[ihl + 5], data[ihl + 6], data[ihl + 7]]);
         }
     }
     rec
@@ -288,11 +299,13 @@ mod tests {
             PacketRecord::new(Micros(0), 40)
                 .with_protocol(Protocol::Tcp)
                 .with_ports(1023, 23)
-                .with_nets(192, 35),
+                .with_nets(192, 35)
+                .with_flow(7, true),
             PacketRecord::new(Micros(2358), 552)
                 .with_protocol(Protocol::Udp)
                 .with_ports(53, 53)
-                .with_nets(16, 128),
+                .with_nets(16, 128)
+                .with_flow(u32::MAX, false),
             PacketRecord::new(Micros(1_000_000), 1500).with_protocol(Protocol::Icmp),
         ])
         .unwrap()
@@ -313,6 +326,8 @@ mod tests {
             assert_eq!(a.dst_port, b.dst_port);
             assert_eq!(a.src_net, b.src_net);
             assert_eq!(a.dst_net, b.dst_net);
+            assert_eq!(a.flow_id, b.flow_id);
+            assert_eq!(a.flags, b.flags);
         }
     }
 

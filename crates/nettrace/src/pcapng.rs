@@ -9,7 +9,9 @@
 //! pcap ([`crate::pcap::write_pcap`]) — universally readable.
 
 use crate::error::TraceError;
-use crate::packet::{PacketRecord, Protocol};
+use crate::packet::PacketRecord;
+#[cfg(test)]
+use crate::packet::Protocol;
 use crate::time::Micros;
 use crate::trace::Trace;
 use std::io::Read;
@@ -310,24 +312,9 @@ impl<R: Read> Read for Chain<R> {
     }
 }
 
-/// Reuse the classic reader's IPv4 recovery.
+/// Reuse the classic reader's IPv4 recovery (one parser, no drift).
 pub(crate) fn parse_payload(data: &[u8], orig_len: u32, ts: Micros) -> PacketRecord {
-    let mut rec = PacketRecord::new(ts, orig_len.min(u32::from(u16::MAX)) as u16);
-    if data.len() >= 20 && data[0] >> 4 == 4 {
-        rec.protocol = Protocol::from_number(data[9]);
-        rec.src_net = u16::from_be_bytes([data[13], data[14]]);
-        rec.dst_net = u16::from_be_bytes([data[17], data[18]]);
-        let ihl = usize::from(data[0] & 0x0f) * 4;
-        let total_len = u16::from_be_bytes([data[2], data[3]]);
-        if total_len > 0 {
-            rec.size = total_len;
-        }
-        if matches!(rec.protocol, Protocol::Tcp | Protocol::Udp) && data.len() >= ihl + 4 {
-            rec.src_port = u16::from_be_bytes([data[ihl], data[ihl + 1]]);
-            rec.dst_port = u16::from_be_bytes([data[ihl + 2], data[ihl + 3]]);
-        }
-    }
-    rec
+    crate::pcap::parse_ipv4(data, orig_len, ts)
 }
 
 enum ReadOutcome {

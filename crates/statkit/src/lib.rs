@@ -27,6 +27,7 @@ pub mod acf;
 pub mod ad;
 pub mod boxplot;
 pub mod chi2;
+pub mod inversion;
 pub mod ks;
 pub mod moments;
 pub mod quantile;
@@ -38,6 +39,10 @@ pub use acf::{acf, lag1, white_noise_band};
 pub use ad::AndersonDarling;
 pub use boxplot::Boxplot;
 pub use chi2::{chi2_cdf, chi2_sf, Chi2Error, Chi2Test};
+pub use inversion::{
+    detection_probability, em_invert, em_invert_with, naive_scaling, syn_flow_count, tail_rescale,
+    EmConfig, FlowEstimate, InversionError,
+};
 pub use ks::{ks_two_sample, KsTest};
 pub use moments::Moments;
 pub use quantile::{quantile, quantile_sorted};

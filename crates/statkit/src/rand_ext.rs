@@ -344,6 +344,114 @@ impl<T: Clone> Discrete<T> {
     }
 }
 
+/// Zipf distribution over `{1, …, n}` with exponent `alpha`:
+/// `P(X = i) ∝ i^(-alpha)`. Sampled by binary search on the cumulative
+/// table, so draws cost O(log n) and are exact.
+///
+/// Flow-size distributions in measured traffic are famously Zipf-like;
+/// this is the generator behind the heavy-tailed flow packs the
+/// inversion estimators are scored against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl Zipf {
+    /// Build over support `{1, …, n}` with exponent `alpha > 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `alpha` is not a positive finite number.
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf support must be nonempty");
+        assert!(
+            alpha.is_finite() && alpha > 0.0,
+            "zipf exponent must be positive"
+        );
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for i in 1..=n {
+            total += (i as f64).powf(-alpha);
+            cumulative.push(total);
+        }
+        Zipf { cumulative, total }
+    }
+
+    /// Draw one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random::<f64>() * self.total;
+        let idx = self.cumulative.partition_point(|&c| c <= u);
+        (idx.min(self.cumulative.len() - 1) + 1) as u64
+    }
+
+    /// The probability of rank `i` (1-based).
+    #[must_use]
+    pub fn probability(&self, i: u64) -> f64 {
+        let i = i as usize;
+        if i == 0 || i > self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if i == 1 { 0.0 } else { self.cumulative[i - 2] };
+        (self.cumulative[i - 1] - prev) / self.total
+    }
+}
+
+/// Geometric distribution on `{1, 2, …}` with success probability `p`:
+/// `P(X = s) = (1-p)^(s-1) · p`, mean `1/p`. Drawn by inversion.
+///
+/// The calibration battery leans on this one: a geometric parent
+/// flow-size distribution has closed-form sampled-size expectations
+/// under 1-in-k thinning, so estimator error is measurable exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Create with success probability `0 < p <= 1`.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `(0, 1]` or not finite.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!(
+            p.is_finite() && p > 0.0 && p <= 1.0,
+            "geometric p must be in (0, 1]"
+        );
+        Geometric { p }
+    }
+
+    /// The distribution mean, `1/p`.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        1.0 / self.p
+    }
+
+    /// `P(X = s)` for `s >= 1`.
+    #[must_use]
+    pub fn pmf(&self, s: u64) -> f64 {
+        if s == 0 {
+            return 0.0;
+        }
+        (1.0 - self.p).powi((s - 1) as i32) * self.p
+    }
+
+    /// Draw one value in `{1, 2, …}` by inversion.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 1;
+        }
+        let u: f64 = 1.0 - rng.random::<f64>(); // (0, 1]
+        let s = (u.ln() / (1.0 - self.p).ln()).ceil();
+        if s < 1.0 {
+            1
+        } else {
+            s as u64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,5 +682,53 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn bad_exponential_panics() {
         let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn zipf_ranks_follow_power_law() {
+        let z = Zipf::new(100, 1.0);
+        // P(1)/P(2) = 2 for alpha = 1.
+        assert!((z.probability(1) / z.probability(2) - 2.0).abs() < 1e-9);
+        assert_eq!(z.probability(0), 0.0);
+        assert_eq!(z.probability(101), 0.0);
+        let mut r = rng(11);
+        let mut ones = 0usize;
+        let mut total = 0usize;
+        for _ in 0..50_000 {
+            let s = z.sample(&mut r);
+            assert!((1..=100).contains(&s));
+            if s == 1 {
+                ones += 1;
+            }
+            total += 1;
+        }
+        let expect = z.probability(1);
+        assert!((ones as f64 / total as f64 - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn geometric_mean_and_pmf_match() {
+        let g = Geometric::new(0.02);
+        assert!((g.mean() - 50.0).abs() < 1e-12);
+        // PMF sums to ~1 over a long prefix.
+        let head: f64 = (1..=2000).map(|s| g.pmf(s)).sum();
+        assert!((head - 1.0).abs() < 1e-9, "{head}");
+        let mut r = rng(12);
+        let mean = (0..200_000).map(|_| g.sample(&mut r) as f64).sum::<f64>() / 200_000.0;
+        assert!((mean - 50.0).abs() < 1.0, "{mean}");
+        // p = 1 is the degenerate point mass at 1.
+        assert_eq!(Geometric::new(1.0).sample(&mut r), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn bad_zipf_panics() {
+        let _ = Zipf::new(10, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric p")]
+    fn bad_geometric_panics() {
+        let _ = Geometric::new(0.0);
     }
 }

@@ -141,6 +141,11 @@ pub struct WindowReport {
     pub packets: u64,
     /// Packets the sampler selected.
     pub selected: u64,
+    /// Live flows observed in the window (bounded flow table; see
+    /// `streamkit::window`).
+    pub flows: u64,
+    /// Window flows that carried a SYN (flows that began in-window).
+    pub syn_flows: u64,
     /// Packets shed by backpressure across the run so far, sampled when
     /// this window was scored (cumulative, monotone across windows).
     pub shed_packets: u64,

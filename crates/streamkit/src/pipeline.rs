@@ -389,6 +389,8 @@ fn score_one(
         last_ts: p.last_ts,
         packets: p.packets,
         selected: p.selected,
+        flows: p.flows,
+        syn_flows: p.syn_flows,
         shed_packets,
         lag_us: u64::try_from(emitted_at.elapsed().as_micros()).unwrap_or(u64::MAX),
         rss_kb,

@@ -23,9 +23,16 @@
 //! semantics would.
 
 use crate::sampler::{Offer, StreamSampler};
-use nettrace::{Histogram, Micros, PacketRecord};
+use nettrace::{FlowTable, Histogram, Micros, PacketRecord};
 use sampling::Target;
 use std::collections::VecDeque;
+
+/// Per-bucket flow-table capacity. A window tracks at most
+/// `buckets_per_window × this` live flows, so flow accounting keeps the
+/// engine's O(window) memory bound even on flow-id-free traffic where
+/// every distinct 5-tuple is a flow; overflow evicts the
+/// least-recently-updated flow deterministically.
+const BUCKET_FLOW_CAP: usize = 4_096;
 
 /// Window (or slide stride) extent: a packet count or a time span.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +115,12 @@ pub struct WindowPayload {
     pub population: Histogram,
     /// The sample's histogram.
     pub sample: Histogram,
+    /// Live flows observed in the window (synthetic-id or 5-tuple
+    /// keyed, capacity-bounded — see [`BUCKET_FLOW_CAP`]).
+    pub flows: u64,
+    /// Window flows that carried a SYN (≈ flows that *began* in the
+    /// window; the flow generators SYN-mark each flow's first packet).
+    pub syn_flows: u64,
 }
 
 /// One stride bucket: the window building block.
@@ -119,6 +132,7 @@ struct Bucket {
     selected: u64,
     population: Histogram,
     sample: Histogram,
+    flows: FlowTable,
     /// The first packet's interarrival observation with its
     /// *cross-bucket* gap — applied by the window merge exactly when
     /// an earlier bucket of the same window holds its predecessor.
@@ -138,6 +152,7 @@ impl Bucket {
             selected: 0,
             population: Histogram::new(target.bins()),
             sample: Histogram::new(target.bins()),
+            flows: FlowTable::with_capacity(BUCKET_FLOW_CAP),
             pop_edge: None,
             sam_edge: None,
         }
@@ -328,6 +343,7 @@ impl Windower {
                 cur.sam_edge = cur.pop_edge;
             }
         }
+        cur.flows.offer(pkt);
         cur.packets += 1;
         if cur.first_ts.is_none() {
             cur.first_ts = Some(pkt.timestamp);
@@ -372,6 +388,8 @@ impl Windower {
         let mut selected = first.selected;
         let mut first_ts = first.first_ts;
         let mut last_ts = first.last_ts;
+        let mut flows = FlowTable::with_capacity(BUCKET_FLOW_CAP * self.buckets_per_window);
+        flows.merge(&first.flows);
         // Whether an earlier bucket of this window holds packets — iff
         // so, a later bucket's first packet has an in-window
         // predecessor and its seam observation applies.
@@ -387,6 +405,7 @@ impl Windower {
                     sample.observe_weighted(v, w);
                 }
             }
+            flows.merge(&b.flows);
             packets += b.packets;
             selected += b.selected;
             if first_ts.is_none() {
@@ -409,6 +428,8 @@ impl Windower {
             selected,
             population,
             sample,
+            flows: flows.len() as u64,
+            syn_flows: flows.syn_flows(),
         }
     }
 }
@@ -580,6 +601,68 @@ mod tests {
         assert_eq!(windows.len(), 1);
         assert_eq!(windows[0].packets, 7);
         assert_eq!(windows[0].selected, 2); // indices 0 and 5
+    }
+
+    #[test]
+    fn windows_count_flows_and_syn_starts() {
+        // 3 interleaved flows of 40 packets each; flow f's first packet
+        // is SYN-marked and lands in the first window.
+        let pkts: Vec<PacketRecord> = (0..120u64)
+            .map(|i| {
+                let flow = (i % 3) as u32 + 1;
+                PacketRecord::new(Micros(i * 1_000), 552).with_flow(flow, i < 3)
+            })
+            .collect();
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(60), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].flows, windows[0].syn_flows), (3, 3));
+        // Continuing flows appear again but did not *start* here.
+        assert_eq!((windows[1].flows, windows[1].syn_flows), (3, 0));
+
+        // Matches the batch reference: a FlowTable over the same slice.
+        let batch = nettrace::FlowTable::from_packets(usize::MAX, &pkts[..60]);
+        assert_eq!(windows[0].flows, batch.len() as u64);
+        assert_eq!(windows[0].syn_flows, batch.syn_flows());
+
+        // Flow-id-free packets group by 5-tuple instead.
+        let plain = packets(10, 1_000);
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(10), None);
+        let mut windows = Vec::new();
+        for p in &plain {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows[0].flows, 1, "identical 5-tuples are one flow");
+        assert_eq!(windows[0].syn_flows, 0);
+    }
+
+    #[test]
+    fn sliding_windows_report_overlapping_flows() {
+        // Flow 1 spans packets 0..50, flow 2 spans 50..100; window 100
+        // sliding by 50 sees both in the overlapping window.
+        let pkts: Vec<PacketRecord> = (0..100u64)
+            .map(|i| {
+                let flow = if i < 50 { 1 } else { 2 };
+                PacketRecord::new(Micros(i * 1_000), 40).with_flow(flow, i == 0 || i == 50)
+            })
+            .collect();
+        let mut w = windower(
+            Target::PacketSize,
+            WindowSpec::Count(100),
+            Some(WindowSpec::Count(50)),
+        );
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows[0].flows, 2);
+        assert_eq!(windows[0].syn_flows, 2);
     }
 
     #[test]

@@ -6,11 +6,16 @@ use netsample::sampling::{
     SystematicSampler, Target,
 };
 use nettrace::pcap::{read_pcap, write_pcap};
-use nettrace::{BinSpec, ClockModel, Histogram, Micros, PacketRecord, Protocol, Trace};
+use nettrace::{
+    BinSpec, ClockModel, FlowKey, FlowTable, Histogram, Micros, PacketRecord, Protocol, Trace,
+};
 use proptest::prelude::*;
 use statkit::{quantile, Moments};
 
 /// Strategy: an ordered packet stream with realistic field ranges.
+/// Roughly half the packets carry a synthetic flow id (0 = unassigned,
+/// falling back to 5-tuple keying); the first packet seen per flow id
+/// gets the SYN bit, as the flow generators would set it.
 fn packet_stream(max_len: usize) -> impl Strategy<Value = Vec<PacketRecord>> {
     prop::collection::vec(
         (
@@ -21,15 +26,18 @@ fn packet_stream(max_len: usize) -> impl Strategy<Value = Vec<PacketRecord>> {
             0u16..=1024u16,  // dst port
             0u16..=300u16,   // src net
             0u16..=300u16,   // dst net
+            0u32..=40u32,    // flow id (0 = unassigned)
         ),
         1..max_len,
     )
     .prop_map(|rows| {
         let mut t = 0u64;
+        let mut seen_flows = std::collections::BTreeSet::new();
         rows.into_iter()
-            .map(|(gap, size, proto, sp, dp, sn, dn)| {
+            .map(|(gap, size, proto, sp, dp, sn, dn, flow)| {
                 t += gap;
-                PacketRecord {
+                let first = flow != 0 && seen_flows.insert(flow);
+                let mut p = PacketRecord {
                     timestamp: Micros(t),
                     size,
                     protocol: Protocol::from_number(proto),
@@ -37,7 +45,13 @@ fn packet_stream(max_len: usize) -> impl Strategy<Value = Vec<PacketRecord>> {
                     dst_port: dp,
                     src_net: sn,
                     dst_net: dn,
+                    flow_id: 0,
+                    flags: 0,
+                };
+                if flow != 0 {
+                    p = p.with_flow(flow, first);
                 }
+                p
             })
             .collect()
     })
@@ -83,6 +97,8 @@ proptest! {
             prop_assert_eq!(a.protocol, b.protocol);
             prop_assert_eq!(a.src_net, b.src_net);
             prop_assert_eq!(a.dst_net, b.dst_net);
+            prop_assert_eq!(a.flow_id, b.flow_id);
+            prop_assert_eq!(a.flags, b.flags);
         }
     }
 
@@ -324,6 +340,85 @@ proptest! {
         }
         let _ = read_pcap(buf.as_slice());
         let _ = nettrace::read_capture(buf.as_slice());
+    }
+
+    #[test]
+    fn flow_table_matches_reference_grouping(pkts in packet_stream(200)) {
+        // An unbounded table is exactly a one-shot grouping by FlowKey.
+        let table = FlowTable::from_packets(usize::MAX, &pkts);
+        let mut reference: std::collections::BTreeMap<FlowKey, (u64, u64, bool)> =
+            std::collections::BTreeMap::new();
+        for p in &pkts {
+            let e = reference.entry(FlowKey::of(p)).or_insert((0, 0, false));
+            e.0 += 1;
+            e.1 += u64::from(p.size);
+            e.2 |= p.syn();
+        }
+        prop_assert_eq!(table.len(), reference.len());
+        prop_assert_eq!(table.evicted_flows(), 0);
+        for (key, rec) in table.flows() {
+            let &(packets, bytes, syn) = reference.get(key).expect("key in reference");
+            prop_assert_eq!(rec.packets, packets);
+            prop_assert_eq!(rec.bytes, bytes);
+            prop_assert_eq!(rec.syn_seen, syn);
+            prop_assert!(rec.first_ts <= rec.last_ts);
+        }
+    }
+
+    #[test]
+    fn flow_table_eviction_never_corrupts_survivors(
+        pkts in packet_stream(200), cap in 1usize..16
+    ) {
+        let table = FlowTable::from_packets(cap, &pkts);
+        prop_assert!(table.len() <= cap);
+        // Conservation: every offered packet is live or was counted at
+        // its flow's eviction.
+        prop_assert_eq!(table.offered(), pkts.len() as u64);
+        prop_assert_eq!(
+            table.live_packets() + table.evicted_packets(),
+            pkts.len() as u64
+        );
+        // Survivors never exceed the true per-flow totals (an evicted
+        // flow that returns restarts; it never double-counts).
+        let reference = FlowTable::from_packets(usize::MAX, &pkts);
+        let truth: std::collections::BTreeMap<_, _> =
+            reference.flows().map(|(k, r)| (*k, *r)).collect();
+        for (key, rec) in table.flows() {
+            let full = truth.get(key).expect("survivor exists in full grouping");
+            prop_assert!(rec.packets >= 1 && rec.packets <= full.packets);
+            prop_assert!(rec.bytes <= full.bytes);
+            prop_assert!(rec.first_ts >= full.first_ts && rec.last_ts <= full.last_ts);
+            prop_assert!(rec.first_ts <= rec.last_ts);
+        }
+    }
+
+    #[test]
+    fn flow_table_batch_equals_stream(pkts in packet_stream(200), cap in 1usize..16) {
+        let batch = FlowTable::from_packets(cap, &pkts);
+        let mut streamed = FlowTable::with_capacity(cap);
+        for p in &pkts {
+            streamed.offer(p);
+        }
+        let snapshot = |t: &FlowTable| t.flows().map(|(k, r)| (*k, *r)).collect::<Vec<_>>();
+        prop_assert_eq!(snapshot(&batch), snapshot(&streamed));
+        prop_assert_eq!(batch.offered(), streamed.offered());
+        prop_assert_eq!(batch.evicted_flows(), streamed.evicted_flows());
+        prop_assert_eq!(batch.evicted_packets(), streamed.evicted_packets());
+    }
+
+    #[test]
+    fn flow_table_merge_of_halves_equals_one_pass(
+        pkts in packet_stream(200), split_raw in 0usize..200
+    ) {
+        let split = split_raw % (pkts.len() + 1);
+        let mut merged = FlowTable::unbounded();
+        merged.merge(&FlowTable::from_packets(usize::MAX, &pkts[..split]));
+        merged.merge(&FlowTable::from_packets(usize::MAX, &pkts[split..]));
+        let whole = FlowTable::from_packets(usize::MAX, &pkts);
+        let snapshot = |t: &FlowTable| t.flows().map(|(k, r)| (*k, *r)).collect::<Vec<_>>();
+        prop_assert_eq!(snapshot(&merged), snapshot(&whole));
+        prop_assert_eq!(merged.offered(), whole.offered());
+        prop_assert_eq!(merged.live_packets(), whole.live_packets());
     }
 
     #[test]
