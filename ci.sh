@@ -341,6 +341,16 @@ cp BENCH_*.json "$perfdir"/ 2>/dev/null || true
     --profile-out "$perfdir/profile.folded" > "$tmpdir/perf.out"
 grep -q "BENCH_" "$tmpdir/perf.out"
 grep -q "cell/systematic" "$tmpdir/perf.out"
+# The columnar hot path must stay on the board: every sampler family's
+# gated cells plus the stream pipeline cells, so a future refactor that
+# silently drops a family from the harness fails here, not in review.
+for fam in systematic stratified random sys-timer strat-timer; do
+    grep -q "cell/$fam/packet-size/k50" "$tmpdir/perf.out"
+    grep -q "cell/$fam/interarrival/k50" "$tmpdir/perf.out"
+done
+for tgt in packet-size interarrival protocol port; do
+    grep -q "stream/$tgt/k50" "$tmpdir/perf.out"
+done
 grep -q "^perf_record;" "$perfdir/profile.folded"
 "$bin" perf report --dir "$perfdir" | grep -q "experiments"
 

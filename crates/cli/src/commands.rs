@@ -321,8 +321,10 @@ pub fn sample(args: &Args) -> Result<String, CmdError> {
     let output = args.positional(1, "out.pcap")?;
     let seed: u64 = args.opt_num("seed", 1993)?;
     let trace = load(input)?;
+    // Guard before the percentage math below: `trace.len() == 0` would
+    // print a NaN selection rate. Same message and exit (65) as `flows`.
     if trace.is_empty() {
-        return Err(CmdError::data("input trace is empty"));
+        return Err(CmdError::data("trace is empty"));
     }
     let spec = parse_method(args)?;
     // parse_method already rejects the reachable degenerate flags, but

@@ -106,6 +106,32 @@ fn exit_codes_distinguish_error_classes() {
     std::fs::remove_file(&garbage).ok();
 }
 
+/// Regression: `sample` on a valid-but-empty capture used to reach the
+/// selection-rate arithmetic (0/0 → NaN percentage). It must exit 65
+/// with the same typed message `flows` reports.
+#[test]
+fn empty_capture_is_a_clean_data_error_for_sample_and_flows() {
+    let empty = tmp("empty");
+    let sink = tmp("empty_out");
+    let trace = nettrace::Trace::new(Vec::new()).unwrap();
+    let mut buf = Vec::new();
+    nettrace::pcap::write_pcap(&mut buf, &trace).unwrap();
+    std::fs::write(&empty, &buf).unwrap();
+
+    let out = netsample(&["sample", &empty, &sink, "--interval", "10"]);
+    assert_eq!(out.status.code(), Some(65));
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(err.contains("trace is empty"), "{err}");
+    assert!(!err.contains("NaN"), "{err}");
+
+    let out = netsample(&["flows", &empty, "--interval", "10"]);
+    assert_eq!(out.status.code(), Some(65));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("trace is empty"));
+
+    std::fs::remove_file(&empty).ok();
+    std::fs::remove_file(&sink).ok();
+}
+
 #[test]
 fn metrics_flag_dumps_registry_to_stderr() {
     let pop = tmp("metrics");

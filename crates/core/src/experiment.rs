@@ -25,7 +25,7 @@
 //! (the `--jobs` flag / `NETSAMPLE_JOBS`).
 
 use crate::metrics::{disparity, DisparityReport};
-use crate::sampler::{select_indices, MethodSpec};
+use crate::sampler::{select_indices_ts, MethodSpec};
 use crate::targets::Target;
 use nettrace::{Histogram, Micros, PacketRecord, Trace};
 use parkit::Pool;
@@ -196,13 +196,33 @@ impl ExperimentResult {
     }
 }
 
+/// Sentinel bin code for "this packet contributes no observation" (the
+/// first packet of an interarrival window has no population gap).
+const NO_BIN: u32 = u32::MAX;
+
 /// A fixed population window + target, ready to score methods.
+///
+/// Construction projects the window into flat columns — timestamp, bin
+/// index, bin weight — once. Each replication then runs entirely over
+/// those columns: batch selection on the timestamp column, then a flat
+/// `counts[bin[i]] += weight[i]` accumulation. The per-row
+/// `Target::value`/`BinSpec::bin_index` work is paid once per window
+/// instead of once per (replication × packet), and the result is
+/// bit-identical to binning `PacketRecord`s one at a time.
 #[derive(Debug, Clone)]
 pub struct Experiment<'a> {
     packets: &'a [PacketRecord],
     target: Target,
     population: Histogram,
     window_start: Micros,
+    /// Timestamp column (µs), driving batch selection.
+    ts: Vec<u64>,
+    /// Precomputed bin index per packet; [`NO_BIN`] when the packet
+    /// contributes no observation to this target.
+    bin: Vec<u32>,
+    /// Precomputed bin weight per packet (1 for count targets, bytes for
+    /// volume targets; 0 when the bin is [`NO_BIN`]).
+    weight: Vec<u64>,
 }
 
 impl<'a> Experiment<'a> {
@@ -215,11 +235,35 @@ impl<'a> Experiment<'a> {
     pub fn new(packets: &'a [PacketRecord], target: Target) -> Self {
         assert!(!packets.is_empty(), "experiment needs a nonempty window");
         let population = target.population_histogram(packets);
+        let spec = target.bins();
+        let mut ts = Vec::with_capacity(packets.len());
+        let mut bin = Vec::with_capacity(packets.len());
+        let mut weight = Vec::with_capacity(packets.len());
+        let mut prev_ts: Option<u64> = None;
+        for p in packets {
+            let t = p.timestamp.as_u64();
+            let gap = prev_ts.map(|q| t.saturating_sub(q));
+            prev_ts = Some(t);
+            ts.push(t);
+            match target.value(p, gap) {
+                Some(v) => {
+                    bin.push(spec.bin_index(v) as u32);
+                    weight.push(target.weight(p));
+                }
+                None => {
+                    bin.push(NO_BIN);
+                    weight.push(0);
+                }
+            }
+        }
         Experiment {
             packets,
             target,
             population,
             window_start: packets[0].timestamp,
+            ts,
+            bin,
+            weight,
         }
     }
 
@@ -262,13 +306,27 @@ impl<'a> Experiment<'a> {
         &self.population
     }
 
-    /// One replication: build the sampler for `(rep, seed)`, select,
-    /// bin, score. Pure in its arguments plus the experiment's
+    /// One replication: build the sampler for `(rep, seed)`, select over
+    /// the timestamp column, accumulate the precomputed bin/weight
+    /// columns, score. Pure in its arguments plus the experiment's
     /// precomputed state — the unit of work the pool schedules.
+    ///
+    /// Equivalent (bit for bit) to the per-packet
+    /// `select_indices` + `Target::sample_histogram` pipeline: batch
+    /// selection preserves each sampler's decision and RNG schedule, and
+    /// the column accumulation replays exactly the
+    /// `observe_weighted(value, weight)` calls the pull path makes.
     fn replicate(&self, method: MethodSpec, rep: u64, seed: u64) -> Option<Replication> {
         let mut sampler = method.build(self.packets.len(), self.window_start, rep, seed);
-        let selected = select_indices(sampler.as_mut(), self.packets);
-        let sample = self.target.sample_histogram(self.packets, &selected);
+        let selected = select_indices_ts(sampler.as_mut(), &self.ts);
+        let mut counts = vec![0u64; self.population.spec().bin_count()];
+        for &i in &selected {
+            let b = self.bin[i];
+            if b != NO_BIN {
+                counts[b as usize] += self.weight[i];
+            }
+        }
+        let sample = Histogram::from_bin_counts(self.population.spec().clone(), counts);
         disparity(&self.population, &sample).map(|report| Replication {
             replication: rep,
             report,
@@ -743,5 +801,85 @@ mod tests {
     #[should_panic(expected = "nonempty window")]
     fn empty_window_panics() {
         let _ = Experiment::new(&[], Target::PacketSize);
+    }
+
+    /// A window with protocol/port variety so the categorical targets
+    /// exercise more than one bin.
+    fn varied_window(n: usize) -> Vec<PacketRecord> {
+        use nettrace::Protocol;
+        window(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let proto = match i % 5 {
+                    0 | 1 => Protocol::Tcp,
+                    2 => Protocol::Udp,
+                    3 => Protocol::Icmp,
+                    _ => Protocol::Other(89),
+                };
+                let dst = [20, 23, 25, 53, 119, 8080][i % 6];
+                p.with_protocol(proto).with_ports(1024, dst)
+            })
+            .collect()
+    }
+
+    /// The columnar replicate must reproduce, bit for bit, the original
+    /// per-packet pipeline (`select_indices` over `PacketRecord`s, then
+    /// `Target::sample_histogram`) for every family × target.
+    #[test]
+    fn columnar_replicate_matches_pull_path() {
+        let w = varied_window(4000);
+        let families = [
+            MethodFamily::Systematic,
+            MethodFamily::StratifiedRandom,
+            MethodFamily::SimpleRandom,
+            MethodFamily::SystematicTimer,
+            MethodFamily::StratifiedTimer,
+            MethodFamily::GeometricSkip,
+        ];
+        for target in Target::all_extended() {
+            let exp = Experiment::new(&w, target);
+            for family in families {
+                let spec = family.at_granularity(13, exp.mean_pps());
+                for rep in 0..3u64 {
+                    let mut sampler = spec.build(w.len(), w[0].timestamp, rep, 77);
+                    let selected = crate::sampler::select_indices(sampler.as_mut(), &w);
+                    let sample = target.sample_histogram(&w, &selected);
+                    let reference = disparity(&exp.population, &sample).map(|report| Replication {
+                        replication: rep,
+                        report,
+                    });
+                    assert_eq!(
+                        exp.replicate(spec, rep, 77),
+                        reference,
+                        "{} / {target} / rep {rep}",
+                        family.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// φ output is bit-identical across pool widths: batch selection and
+    /// column binning change nothing about per-replication results, and
+    /// the pool reassembles by task index.
+    #[test]
+    fn results_are_bit_identical_across_jobs() {
+        let w = window(5000);
+        for target in [Target::PacketSize, Target::Interarrival] {
+            let exp = Experiment::new(&w, target);
+            for family in MethodFamily::paper_five() {
+                let spec = family.at_granularity(16, exp.mean_pps());
+                let serial = exp.run_with(&Pool::new(1), spec, 10, 1993);
+                for jobs in [4, 8] {
+                    assert_eq!(
+                        serial,
+                        exp.run_with(&Pool::new(jobs), spec, 10, 1993),
+                        "{} / {target} @ {jobs} jobs",
+                        family.name()
+                    );
+                }
+            }
+        }
     }
 }

@@ -83,6 +83,26 @@ impl Sampler for GeometricSkipSampler {
         true
     }
 
+    /// Skip-jump override: hop straight from selection to selection.
+    /// Each iteration lands on one selected packet and spends exactly
+    /// the one RNG draw the per-packet path spends there, so the random
+    /// stream stays aligned; skipped packets cost nothing.
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        let n = ts.len() as u64;
+        let mut i = 0u64;
+        loop {
+            let remaining = n - i;
+            if self.skip >= remaining {
+                self.skip -= remaining;
+                return;
+            }
+            i += self.skip;
+            out.push(base + i as usize);
+            self.skip = Self::draw_skip(&mut self.rng, self.mean_interval);
+            i += 1;
+        }
+    }
+
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.skip = Self::draw_skip(&mut self.rng, self.mean_interval);

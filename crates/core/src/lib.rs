@@ -100,7 +100,9 @@ pub use metrics::{disparity, DisparityReport};
 pub use nullband::{phi_null_band, PhiNullBand};
 pub use random::SimpleRandomSampler;
 pub use reservoir::ReservoirSampler;
-pub use sampler::{select_indices, BuildError, MethodClass, MethodSpec, Sampler};
+pub use sampler::{
+    select_indices, select_indices_ts, BuildError, MethodClass, MethodSpec, Sampler,
+};
 pub use samplesize::{required_sample_size, SampleSizeSpec};
 pub use stratified::StratifiedSampler;
 pub use systematic::SystematicSampler;

@@ -93,6 +93,31 @@ impl Sampler for SimpleRandomSampler {
         selected
     }
 
+    /// Tight-loop override: the same Algorithm S recurrence — one draw
+    /// per in-population element, in the same stream positions — minus
+    /// the per-packet dispatch. Once the sample or the population is
+    /// exhausted, the rest of the run is rejected in O(1) (the
+    /// per-packet path's chain of `saturating_sub(1)` collapses to one
+    /// saturating subtraction of the remaining run length).
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        let n = ts.len();
+        let mut i = 0;
+        while i < n {
+            if self.remaining_pop == 0 || self.remaining_sample == 0 {
+                self.remaining_pop = self.remaining_pop.saturating_sub(n - i);
+                return;
+            }
+            let selected = (self.rng.random::<f64>() * self.remaining_pop as f64)
+                < self.remaining_sample as f64;
+            self.remaining_pop -= 1;
+            if selected {
+                self.remaining_sample -= 1;
+                out.push(base + i);
+            }
+            i += 1;
+        }
+    }
+
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.remaining_pop = self.population;

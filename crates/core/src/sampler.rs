@@ -80,6 +80,27 @@ pub trait Sampler {
     /// the sample. Packets must be offered in arrival order.
     fn offer(&mut self, pkt: &PacketRecord) -> bool;
 
+    /// Offer a run of packets by their arrival timestamps, appending
+    /// `base + i` to `out` for every selected element `i` — the
+    /// columnar hot path over an SoA timestamp column.
+    ///
+    /// **Contract:** the selection must be bit-identical to offering
+    /// the same run through [`offer`](Sampler::offer) one packet at a
+    /// time, including the positions consumed from any random stream.
+    /// The default implementation guarantees this by delegating to
+    /// `offer` with a synthesized record carrying only the timestamp —
+    /// sound because a sampler's decision depends only on the arrival
+    /// schedule, never on packet contents (the paper's §4 methods are
+    /// content-blind by construction). Implementations override this
+    /// with equivalent strided / skip-jump index math for speed.
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        for (i, &t) in ts.iter().enumerate() {
+            if self.offer(&PacketRecord::new(Micros(t), 0)) {
+                out.push(base + i);
+            }
+        }
+    }
+
     /// Restore the initial state (counters, schedules, and the random
     /// stream position are all reset to their post-construction values).
     fn reset(&mut self);
@@ -114,6 +135,31 @@ pub fn select_indices<S: Sampler + ?Sized>(
         let labels = [("method", sampler.method_name())];
         obskit::counter_labeled("sampling_packets_examined_total", &labels)
             .add(packets.len() as u64);
+        obskit::counter_labeled("sampling_packets_selected_total", &labels)
+            .add(selected.len() as u64);
+    }
+    drop(span);
+    selected
+}
+
+/// Columnar sibling of [`select_indices`]: run a sampler over a flat
+/// timestamp column (one element per packet, arrival order), returning
+/// the indices of selected packets.
+///
+/// Dispatches once into [`Sampler::offer_ts_batch`] instead of once per
+/// packet, so the strided/skip-jump overrides run a tight loop over a
+/// dense `&[u64]`. Selection — and therefore every φ computed from it —
+/// is bit-identical to [`select_indices`] over the records the column
+/// was projected from; telemetry mirrors it counter for counter.
+pub fn select_indices_ts<S: Sampler + ?Sized>(sampler: &mut S, ts: &[u64]) -> Vec<usize> {
+    let span = obskit::span_labeled("sampling_select", &[("method", sampler.method_name())]);
+    let mut selected = Vec::new();
+    sampler.offer_ts_batch(0, ts, &mut selected);
+    // Metrics are flushed once per batch, not per packet, so the batch
+    // hot loop stays free of atomic traffic.
+    if obskit::recording_enabled() {
+        let labels = [("method", sampler.method_name())];
+        obskit::counter_labeled("sampling_packets_examined_total", &labels).add(ts.len() as u64);
         obskit::counter_labeled("sampling_packets_selected_total", &labels)
             .add(selected.len() as u64);
     }
@@ -499,6 +545,75 @@ mod tests {
                 &pkts,
             );
             assert_eq!(a, b, "{spec}");
+        }
+    }
+
+    /// Every family the workspace ships, at a granularity that
+    /// exercises mid-bucket / mid-skip state.
+    fn all_specs() -> Vec<MethodSpec> {
+        let mut specs = MethodSpec::paper_five(7, 1000.0).to_vec();
+        specs.push(MethodSpec::GeometricSkip { mean_interval: 7 });
+        specs.push(MethodSpec::GeometricSkip { mean_interval: 1 });
+        specs
+    }
+
+    #[test]
+    fn batch_selection_is_bit_identical_to_per_packet_offers() {
+        let pkts = packets(500);
+        let ts: Vec<u64> = pkts.iter().map(|p| p.timestamp.as_u64()).collect();
+        for spec in all_specs() {
+            for rep in 0..5u64 {
+                let pull =
+                    select_indices(spec.build(pkts.len(), Micros(0), rep, 1993).as_mut(), &pkts);
+                let batch =
+                    select_indices_ts(spec.build(pkts.len(), Micros(0), rep, 1993).as_mut(), &ts);
+                assert_eq!(pull, batch, "{spec} rep {rep}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_batches_carry_state_across_chunk_seams() {
+        // Chunk sizes coprime with every interval/bucket in use, so
+        // seams land mid-bucket and mid-skip.
+        let pkts = packets(500);
+        let ts: Vec<u64> = pkts.iter().map(|p| p.timestamp.as_u64()).collect();
+        for spec in all_specs() {
+            let pull = select_indices(spec.build(pkts.len(), Micros(0), 3, 42).as_mut(), &pkts);
+            for chunk in [1usize, 3, 11, 499, 500] {
+                let mut s = spec.build(pkts.len(), Micros(0), 3, 42);
+                let mut out = Vec::new();
+                let mut base = 0;
+                for run in ts.chunks(chunk) {
+                    s.offer_ts_batch(base, run, &mut out);
+                    base += run.len();
+                }
+                assert_eq!(pull, out, "{spec} chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_resumes_after_reset_and_partial_runs() {
+        // A partial per-packet prefix followed by a batch over the rest
+        // must equal the all-batch run: the overrides read and write
+        // the same state the per-packet path does.
+        let pkts = packets(200);
+        let ts: Vec<u64> = pkts.iter().map(|p| p.timestamp.as_u64()).collect();
+        for spec in all_specs() {
+            let whole = select_indices_ts(spec.build(pkts.len(), Micros(0), 0, 7).as_mut(), &ts);
+            let mut s = spec.build(pkts.len(), Micros(0), 0, 7);
+            let mut mixed: Vec<usize> = pkts[..37]
+                .iter()
+                .enumerate()
+                .filter_map(|(i, p)| s.offer(p).then_some(i))
+                .collect();
+            s.offer_ts_batch(37, &ts[37..], &mut mixed);
+            assert_eq!(whole, mixed, "{spec} mixed pull/batch");
+            s.reset();
+            let mut again = Vec::new();
+            s.offer_ts_batch(0, &ts, &mut again);
+            assert_eq!(whole, again, "{spec} after reset");
         }
     }
 

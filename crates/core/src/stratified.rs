@@ -73,6 +73,29 @@ impl Sampler for StratifiedSampler {
         selected
     }
 
+    /// Bucket-jump override: advance bucket by bucket instead of packet
+    /// by packet. Each full bucket costs one range check, at most one
+    /// push, and exactly the one RNG draw the per-packet path spends at
+    /// its boundary — so the random stream position stays bit-identical
+    /// while the per-packet counter churn disappears.
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        let n = ts.len();
+        let mut i = 0;
+        while i < n {
+            // Run length inside the current bucket.
+            let step = (self.bucket - self.pos).min(n - i);
+            if self.target >= self.pos && self.target < self.pos + step {
+                out.push(base + i + (self.target - self.pos));
+            }
+            self.pos += step;
+            i += step;
+            if self.pos == self.bucket {
+                self.pos = 0;
+                self.target = self.rng.random_range(0..self.bucket);
+            }
+        }
+    }
+
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
         self.pos = 0;

@@ -97,6 +97,26 @@ impl Sampler for SystematicSampler {
         selected
     }
 
+    /// Strided override: the selected arrival numbers in
+    /// `[count, count + n)` are the solutions of
+    /// `c ≡ offset (mod interval)`, so selection is pure index math —
+    /// O(selected) pushes, no per-packet work at all.
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        let r = self.count % self.interval;
+        // First in-run position whose arrival number hits the offset
+        // (phrased overflow-free for arbitrarily large intervals).
+        let mut j = if self.offset >= r {
+            self.offset - r
+        } else {
+            self.interval - r + self.offset
+        };
+        while j < ts.len() {
+            out.push(base + j);
+            j += self.interval;
+        }
+        self.count += ts.len();
+    }
+
     fn reset(&mut self) {
         self.count = 0;
     }

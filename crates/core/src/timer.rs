@@ -64,11 +64,10 @@ impl SystematicTimerSampler {
     pub fn period(&self) -> Micros {
         Micros(self.period)
     }
-}
 
-impl Sampler for SystematicTimerSampler {
-    fn offer(&mut self, pkt: &PacketRecord) -> bool {
-        let ts = pkt.timestamp.as_u64();
+    /// The arm-and-fire decision against one arrival timestamp — the
+    /// whole of `offer`, which never reads any other packet field.
+    fn offer_ts(&mut self, ts: u64) -> bool {
         if ts < self.next_fire {
             return false;
         }
@@ -83,6 +82,24 @@ impl Sampler for SystematicTimerSampler {
             .and_then(|offset| self.start.checked_add(offset))
             .unwrap_or(u64::MAX);
         true
+    }
+}
+
+impl Sampler for SystematicTimerSampler {
+    fn offer(&mut self, pkt: &PacketRecord) -> bool {
+        self.offer_ts(pkt.timestamp.as_u64())
+    }
+
+    /// Column override: the decision reads nothing but the timestamp,
+    /// so the batch path is a tight compare-and-rarely-rearm loop over
+    /// the dense column (most packets fail the `ts < next_fire` check
+    /// without touching the schedule).
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        for (i, &t) in ts.iter().enumerate() {
+            if self.offer_ts(t) {
+                out.push(base + i);
+            }
+        }
     }
 
     fn reset(&mut self) {
@@ -188,11 +205,10 @@ impl StratifiedTimerSampler {
     pub fn period(&self) -> Micros {
         Micros(self.period)
     }
-}
 
-impl Sampler for StratifiedTimerSampler {
-    fn offer(&mut self, pkt: &PacketRecord) -> bool {
-        let ts = pkt.timestamp.as_u64();
+    /// The arm-and-fire decision against one arrival timestamp — the
+    /// whole of `offer`, which never reads any other packet field.
+    fn offer_ts(&mut self, ts: u64) -> bool {
         if ts < self.start {
             return false;
         }
@@ -222,6 +238,23 @@ impl Sampler for StratifiedTimerSampler {
             }
         }
         false
+    }
+}
+
+impl Sampler for StratifiedTimerSampler {
+    fn offer(&mut self, pkt: &PacketRecord) -> bool {
+        self.offer_ts(pkt.timestamp.as_u64())
+    }
+
+    /// Column override: stratum accounting runs unchanged (same RNG
+    /// draws in the same positions), only the per-packet dispatch and
+    /// record deref disappear.
+    fn offer_ts_batch(&mut self, base: usize, ts: &[u64], out: &mut Vec<usize>) {
+        for (i, &t) in ts.iter().enumerate() {
+            if self.offer_ts(t) {
+                out.push(base + i);
+            }
+        }
     }
 
     fn reset(&mut self) {

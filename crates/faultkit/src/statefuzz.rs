@@ -22,11 +22,15 @@
 //! and must keep its capacity bound and packet conservation, and the
 //! `statkit::inversion` estimators get degenerate sampled-size vectors
 //! (empty, zeros, overflowing sizes, `k == 0`) that must come back as
-//! typed [`statkit::InversionError`]s — never a panic.
+//! typed [`statkit::InversionError`]s — never a panic. Finally, the
+//! columnar batch path is held to the per-packet path: walking a
+//! [`nettrace::PacketBatch`]'s timestamp column through `offer_ts_batch`
+//! in random-sized chunks must select bit-identical indices to the
+//! per-packet `offer` loop, even on hostile timestamps.
 
 use crate::{Digest, Finding};
 use nettrace::time::Micros;
-use nettrace::{BinSpec, FlowTable, Histogram, PacketRecord};
+use nettrace::{BinSpec, FlowTable, Histogram, PacketBatch, PacketRecord};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sampling::{
@@ -48,8 +52,8 @@ pub struct StateFuzzConfig {
     /// Cases to run, spread round-robin over the eight batch samplers,
     /// the streaming reservoir, the disparity metric, the telemetry
     /// server's three text surfaces (HTTP request line, `/series`
-    /// query, alert-rule grammar), the flow table, and the flow-size
-    /// inversion estimators.
+    /// query, alert-rule grammar), the flow table, the flow-size
+    /// inversion estimators, and the columnar packet-batch path.
     pub cases: u32,
 }
 
@@ -739,6 +743,99 @@ impl Fuzzer {
             }
         }
     }
+
+    /// Drive one sampler through the columnar batch path: the chunked
+    /// `offer_ts_batch` walk over a [`PacketBatch`] must select exactly
+    /// the per-packet `offer` indices, at any chunk seam, even on
+    /// hostile timestamps. This is the determinism contract the
+    /// vectorized experiment hot path rests on.
+    fn fuzz_packet_batch(&mut self, rng: &mut StdRng) {
+        let sampler: Result<Box<dyn Sampler>, String> = match rng.random_range(0u8..6) {
+            0 => SystematicSampler::try_with_offset(
+                rng.random_range(0usize..=1_000),
+                rng.random_range(0usize..=1_050),
+            )
+            .map(|s| Box::new(s) as Box<dyn Sampler>)
+            .map_err(|e| e.to_string()),
+            1 => StratifiedSampler::try_new(rng.random_range(0usize..=1_000), rng.random::<u64>())
+                .map(|s| Box::new(s) as Box<dyn Sampler>)
+                .map_err(|e| e.to_string()),
+            2 => SimpleRandomSampler::try_new(
+                rng.random_range(0usize..=5_000),
+                rng.random_range(0usize..=5_500),
+                rng.random::<u64>(),
+            )
+            .map(|s| Box::new(s) as Box<dyn Sampler>)
+            .map_err(|e| e.to_string()),
+            3 => {
+                GeometricSkipSampler::try_new(rng.random_range(0usize..=1_000), rng.random::<u64>())
+                    .map(|s| Box::new(s) as Box<dyn Sampler>)
+                    .map_err(|e| e.to_string())
+            }
+            4 => SystematicTimerSampler::try_new(
+                Micros(hostile_period(rng)),
+                Micros(rng.random::<u64>()),
+            )
+            .map(|s| Box::new(s) as Box<dyn Sampler>)
+            .map_err(|e| e.to_string()),
+            _ => StratifiedTimerSampler::try_new(
+                Micros(hostile_period(rng)),
+                Micros(rng.random::<u64>()),
+                rng.random::<u64>(),
+            )
+            .map(|s| Box::new(s) as Box<dyn Sampler>)
+            .map_err(|e| e.to_string()),
+        };
+        let mut sampler = match sampler {
+            Ok(s) => s,
+            Err(_) => {
+                self.record("packet_batch", "rejected");
+                return;
+            }
+        };
+        let packets = hostile_packets(rng);
+        let chunk = rng.random_range(1usize..=64);
+        self.offers += 2 * packets.len() as u64;
+        let outcome = catch_unwind(AssertUnwindSafe(move || {
+            let per_packet = select_indices(&mut *sampler, &packets);
+            sampler.reset();
+            let batch = PacketBatch::from_records(&packets);
+            let mut batched = Vec::new();
+            let mut base = 0usize;
+            for ts in batch.ts.chunks(chunk) {
+                sampler.offer_ts_batch(base, ts, &mut batched);
+                base += ts.len();
+            }
+            (per_packet, batched, packets.len())
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation("packet_batch", format!("batch path panicked: {msg}"));
+                self.record("packet_batch", "panic");
+            }
+            Ok((per_packet, batched, offered)) => {
+                if per_packet != batched {
+                    self.violation(
+                        "packet_batch",
+                        format!(
+                            "chunked batch diverged from per-packet: {} vs {} selections (chunk {chunk})",
+                            batched.len(),
+                            per_packet.len()
+                        ),
+                    );
+                }
+                if batched.iter().any(|&i| i >= offered) {
+                    self.violation(
+                        "packet_batch",
+                        format!("batch selected an index past {offered} offered"),
+                    );
+                }
+                self.record("packet_batch", "ok");
+                self.digest.update_u64(batched.len() as u64);
+            }
+        }
+    }
 }
 
 /// A hostile `/series` query string: valid queries, oversized values,
@@ -997,8 +1094,9 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 /// Run the state-machine fuzz: `cases` hostile sequences spread over
 /// the eight batch samplers, the streaming reservoir, the disparity
 /// metric, the telemetry server's three text surfaces (HTTP request
-/// line, `/series` query, alert-rule grammar), the flow table, and
-/// the flow-size inversion estimators.
+/// line, `/series` query, alert-rule grammar), the flow table, the
+/// flow-size inversion estimators, and the columnar packet-batch
+/// path (chunked `offer_ts_batch` vs the per-packet loop).
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -1012,7 +1110,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 15 {
+        match case % 16 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -1086,7 +1184,8 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
             11 => fuzzer.fuzz_series_query(&mut rng),
             12 => fuzzer.fuzz_rule_grammar(&mut rng),
             13 => fuzzer.fuzz_flow_table(&mut rng),
-            _ => fuzzer.fuzz_flow_inversion(&mut rng),
+            14 => fuzzer.fuzz_flow_inversion(&mut rng),
+            _ => fuzzer.fuzz_packet_batch(&mut rng),
         }
     }
     obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
@@ -1160,6 +1259,7 @@ mod tests {
             "rule_grammar",
             "flow_table",
             "flow_inversion",
+            "packet_batch",
         ] {
             assert!(
                 report

@@ -1,0 +1,143 @@
+//! Structure-of-arrays packet batches for the columnar hot path.
+//!
+//! The per-packet pull model ([`PacketRecord`] at a time) is the right
+//! interface for correctness-critical consumers — flow accounting needs
+//! the full 5-tuple, the windower needs every header field — but the
+//! ingest→sample→score loop touches only a *projection* of the record:
+//! the arrival timestamp drives every sampler, and size/flow-id/flags
+//! drive the paper's volume and flow statistics. [`PacketBatch`] holds
+//! exactly that projection as four flat columns, so the samplers'
+//! batch paths ([`Sampler::offer_ts_batch`](../../sampling) and the
+//! strided overrides) can stream over a dense `&[u64]` instead of
+//! striding through 32-byte records, and binning can run column-wise.
+//!
+//! A batch is a **lossy projection**: protocol, ports and network
+//! numbers are deliberately not carried (consumers that need them keep
+//! pulling whole records). Within the carried columns the mapping is
+//! exact and positional — element `i` of every column describes the
+//! same packet — so a chunked columnar decode is equivalent to a
+//! per-packet decode, a property the proptest suite pins for both
+//! capture formats.
+
+use crate::packet::PacketRecord;
+
+/// A structure-of-arrays view of a run of packets: four parallel
+/// columns, one element per packet, in arrival (file) order.
+///
+/// Columns are deliberately wider than the packed [`PacketRecord`]
+/// fields (`size: u32` vs `u16`, `flow_id: u64` vs `u32`) so column
+/// arithmetic — byte-volume sums, flow-id keys — never widens in the
+/// inner loop.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PacketBatch {
+    /// Arrival timestamps, microseconds since trace start.
+    pub ts: Vec<u64>,
+    /// IP packet lengths in bytes.
+    pub size: Vec<u32>,
+    /// Synthetic flow identifiers (0 = unassigned).
+    pub flow_id: Vec<u64>,
+    /// Header flag bits (see [`PacketRecord::FLAG_SYN`]).
+    pub flags: Vec<u8>,
+}
+
+impl PacketBatch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        PacketBatch::default()
+    }
+
+    /// An empty batch with room for `cap` packets in every column.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        PacketBatch {
+            ts: Vec::with_capacity(cap),
+            size: Vec::with_capacity(cap),
+            flow_id: Vec::with_capacity(cap),
+            flags: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Packets in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether the batch holds no packets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ts.is_empty()
+    }
+
+    /// Append one packet's projection to every column.
+    pub fn push(&mut self, pkt: &PacketRecord) {
+        self.ts.push(pkt.timestamp.as_u64());
+        self.size.push(u32::from(pkt.size));
+        self.flow_id.push(u64::from(pkt.flow_id));
+        self.flags.push(pkt.flags);
+    }
+
+    /// Drop all packets, keeping the column allocations.
+    pub fn clear(&mut self) {
+        self.ts.clear();
+        self.size.clear();
+        self.flow_id.clear();
+        self.flags.clear();
+    }
+
+    /// Project a slice of records into a fresh batch.
+    #[must_use]
+    pub fn from_records(records: &[PacketRecord]) -> Self {
+        let mut batch = PacketBatch::with_capacity(records.len());
+        for p in records {
+            batch.push(p);
+        }
+        batch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Micros;
+
+    #[test]
+    fn columns_stay_parallel() {
+        let records: Vec<PacketRecord> = (0..10u64)
+            .map(|i| {
+                PacketRecord::new(Micros(i * 400), 40 + i as u16)
+                    .with_flow(i as u32 + 1, i % 2 == 0)
+            })
+            .collect();
+        let batch = PacketBatch::from_records(&records);
+        assert_eq!(batch.len(), 10);
+        assert!(!batch.is_empty());
+        for (i, p) in records.iter().enumerate() {
+            assert_eq!(batch.ts[i], p.timestamp.as_u64());
+            assert_eq!(batch.size[i], u32::from(p.size));
+            assert_eq!(batch.flow_id[i], u64::from(p.flow_id));
+            assert_eq!(batch.flags[i], p.flags);
+        }
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut batch = PacketBatch::with_capacity(64);
+        for i in 0..64u64 {
+            batch.push(&PacketRecord::new(Micros(i), 40));
+        }
+        let cap = batch.ts.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.len(), 0);
+        assert!(batch.ts.capacity() >= cap);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let batch = PacketBatch::new();
+        assert!(batch.is_empty());
+        assert_eq!(batch, PacketBatch::from_records(&[]));
+    }
+}

@@ -10,20 +10,69 @@
 //!
 //! Two properties matter and are pinned by tests:
 //!
-//! * **Determinism** — the table is keyed by a `BTreeMap` (iteration
-//!   order is the key order, never hash-randomized), and batch
+//! * **Determinism** — storage is a hash map under a fixed (never
+//!   randomized) in-tree hasher, every ordered read ([`FlowTable::flows`],
+//!   [`FlowTable::sizes`]) sorts by key before returning, and batch
 //!   construction is defined as the left fold of [`FlowTable::offer`],
 //!   so batch and streaming aggregation are bit-identical.
 //! * **Bounded memory** — a capacity-limited table evicts the least
 //!   -recently-updated flow (smallest key on ties) when a new flow
 //!   would exceed the cap, counting what it dropped; surviving flows
 //!   are never corrupted by an eviction.
+//!
+//! The hot path is `O(1)` per packet: an unbounded table is one hash
+//! probe per offer (no eviction index at all), which is what lets the
+//! streaming windower aggregate flows per bucket at line rate and
+//! enforce its budget once per window via
+//! [`FlowTable::truncate_lru`].
 
 use crate::histogram::{BinSpec, Histogram};
 use crate::packet::{PacketRecord, Protocol};
 use crate::time::Micros;
-use std::collections::btree_map::Entry;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Deterministic multiply-xor hasher (FxHash-style) for flow keys.
+///
+/// `std`'s default hasher is seeded per process; flow aggregation must
+/// hash identically on every run, so the table pins this fixed-key
+/// folding instead. Not DoS-hardened — flow keys come from decoded
+/// captures we already bound elsewhere, not from an open network
+/// socket.
+#[derive(Debug, Default)]
+pub struct FlowHasher {
+    state: u64,
+}
+
+impl FlowHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FlowHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, word: u64) {
+        self.fold(word);
+    }
+
+    fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+type FlowMap = HashMap<FlowKey, FlowRecord, BuildHasherDefault<FlowHasher>>;
 
 /// Flow identity: synthetic id when assigned, 5-tuple otherwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,6 +107,35 @@ impl FlowKey {
                 dst_port: p.dst_port,
                 src_net: p.src_net,
                 dst_net: p.dst_net,
+            }
+        }
+    }
+}
+
+impl std::hash::Hash for FlowKey {
+    /// Pack the whole identity into two words (variant tag in the low
+    /// bit) so hashing is two folds, not one per field.
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match *self {
+            FlowKey::Id(id) => {
+                state.write_u64(u64::from(id) << 1);
+                state.write_u64(0);
+            }
+            FlowKey::Tuple {
+                protocol,
+                src_port,
+                dst_port,
+                src_net,
+                dst_net,
+            } => {
+                state.write_u64(
+                    (u64::from(protocol) << 33)
+                        | (u64::from(src_port) << 17)
+                        | (u64::from(dst_port) << 1)
+                        | 1,
+                );
+                state.write_u64((u64::from(src_net) << 16) | u64::from(dst_net));
             }
         }
     }
@@ -100,7 +178,7 @@ pub struct FlowRecord {
 /// Bounded, deterministic flow aggregator. See the module docs.
 #[derive(Debug, Clone)]
 pub struct FlowTable {
-    map: BTreeMap<FlowKey, FlowRecord>,
+    map: FlowMap,
     /// Eviction index mirroring `map`: one `(last_ts, key)` entry per
     /// live flow, so the LRU victim is `O(log n)` to find instead of a
     /// full scan — at capacity every new flow evicts, and a linear
@@ -123,7 +201,7 @@ impl FlowTable {
     pub fn with_capacity(cap: usize) -> FlowTable {
         assert!(cap > 0, "flow table capacity must be positive");
         FlowTable {
-            map: BTreeMap::new(),
+            map: FlowMap::default(),
             order: BTreeSet::new(),
             cap,
             evicted_flows: 0,
@@ -136,6 +214,13 @@ impl FlowTable {
     #[must_use]
     pub fn unbounded() -> FlowTable {
         FlowTable::with_capacity(usize::MAX)
+    }
+
+    /// Pre-size the storage for about `flows` live flows, so a burst of
+    /// distinct flows does not pay a chain of rehashes. A hint, not a
+    /// bound: the table still grows past it.
+    pub fn reserve(&mut self, flows: usize) {
+        self.map.reserve(flows.saturating_sub(self.map.len()));
     }
 
     /// Aggregate every packet of a slice: exactly the left fold of
@@ -156,7 +241,9 @@ impl FlowTable {
     pub fn offer(&mut self, p: &PacketRecord) {
         self.offered += 1;
         let key = FlowKey::of(p);
-        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+        // Length check first: below capacity (and always when
+        // unbounded) the offer is a single hash probe.
+        if self.map.len() >= self.cap && !self.map.contains_key(&key) {
             self.evict_one();
         }
         match self.map.entry(key) {
@@ -205,37 +292,90 @@ impl FlowTable {
     /// Merge another table's flows into this one (first/last timestamps
     /// widen, counters add, SYN ors). The merged table keeps *this*
     /// table's capacity and may evict to respect it.
+    ///
+    /// A bounded merge processes `other`'s flows in key order so the
+    /// interleaving of insertions and evictions — and therefore the
+    /// surviving set — is deterministic. An unbounded merge never
+    /// evicts, so every per-flow update commutes and the flows are
+    /// folded in storage order directly.
     pub fn merge(&mut self, other: &FlowTable) {
-        for (key, rec) in &other.map {
-            if !self.map.contains_key(key) && self.map.len() >= self.cap {
-                self.evict_one();
+        if self.cap == usize::MAX {
+            for (key, rec) in &other.map {
+                self.merge_record(*key, rec);
             }
-            match self.map.entry(*key) {
-                Entry::Occupied(mut e) => {
-                    let r = e.get_mut();
-                    r.packets += rec.packets;
-                    r.bytes += rec.bytes;
-                    r.syn_seen |= rec.syn_seen;
-                    r.first_ts = r.first_ts.min(rec.first_ts);
-                    if rec.last_ts > r.last_ts {
-                        if self.cap != usize::MAX {
-                            self.order.remove(&(r.last_ts, *key));
-                            self.order.insert((rec.last_ts, *key));
-                        }
-                        r.last_ts = rec.last_ts;
-                    }
+        } else {
+            let mut keys: Vec<&FlowKey> = other.map.keys().collect();
+            keys.sort_unstable();
+            for key in keys {
+                if self.map.len() >= self.cap && !self.map.contains_key(key) {
+                    self.evict_one();
                 }
-                Entry::Vacant(e) => {
-                    e.insert(*rec);
-                    if self.cap != usize::MAX {
-                        self.order.insert((rec.last_ts, *key));
-                    }
-                }
+                self.merge_record(*key, &other.map[key]);
             }
         }
         self.evicted_flows += other.evicted_flows;
         self.evicted_packets += other.evicted_packets;
         self.offered += other.offered;
+    }
+
+    /// Fold one flow's accumulated state into this table (no eviction).
+    fn merge_record(&mut self, key: FlowKey, rec: &FlowRecord) {
+        match self.map.entry(key) {
+            Entry::Occupied(mut e) => {
+                let r = e.get_mut();
+                r.packets += rec.packets;
+                r.bytes += rec.bytes;
+                r.syn_seen |= rec.syn_seen;
+                r.first_ts = r.first_ts.min(rec.first_ts);
+                if rec.last_ts > r.last_ts {
+                    if self.cap != usize::MAX {
+                        self.order.remove(&(r.last_ts, key));
+                        self.order.insert((rec.last_ts, key));
+                    }
+                    r.last_ts = rec.last_ts;
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(*rec);
+                if self.cap != usize::MAX {
+                    self.order.insert((rec.last_ts, key));
+                }
+            }
+        }
+    }
+
+    /// Enforce a capacity bound in one shot: keep the `cap`
+    /// most-recently-updated flows (largest key on ties) and evict the
+    /// rest, counting them exactly like incremental eviction. The
+    /// table's capacity becomes `cap`, so later offers keep the bound.
+    ///
+    /// This is the windower's merge-time budget: buckets aggregate
+    /// unbounded (one hash probe per packet), and the survivor set is
+    /// chosen once per window — `O(flows)` to select — instead of
+    /// maintaining an eviction index on every packet.
+    ///
+    /// # Panics
+    /// Panics when `cap == 0`.
+    pub fn truncate_lru(&mut self, cap: usize) {
+        assert!(cap > 0, "flow table capacity must be positive");
+        self.cap = cap;
+        if self.map.len() > cap {
+            let mut ranks: Vec<(Micros, FlowKey)> =
+                self.map.iter().map(|(k, r)| (r.last_ts, *k)).collect();
+            // Partition around the cap'th most-recent entry: everything
+            // below the pivot is evicted. O(flows), no full sort.
+            let cut = ranks.len() - cap;
+            ranks.select_nth_unstable(cut - 1);
+            for &(_, key) in &ranks[..cut] {
+                if let Some(rec) = self.map.remove(&key) {
+                    self.evicted_flows += 1;
+                    self.evicted_packets += rec.packets;
+                }
+            }
+        }
+        if self.cap != usize::MAX {
+            self.order = self.map.iter().map(|(k, r)| (r.last_ts, *k)).collect();
+        }
     }
 
     /// Live flows.
@@ -270,13 +410,15 @@ impl FlowTable {
 
     /// Iterate live flows in key order.
     pub fn flows(&self) -> impl Iterator<Item = (&FlowKey, &FlowRecord)> {
-        self.map.iter()
+        let mut v: Vec<(&FlowKey, &FlowRecord)> = self.map.iter().collect();
+        v.sort_unstable_by_key(|&(k, _)| *k);
+        v.into_iter()
     }
 
     /// Live flow sizes (packets per flow) in key order.
     #[must_use]
     pub fn sizes(&self) -> Vec<u64> {
-        self.map.values().map(|r| r.packets).collect()
+        self.flows().map(|(_, r)| r.packets).collect()
     }
 
     /// Live flows that saw a SYN.

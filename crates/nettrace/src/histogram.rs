@@ -181,6 +181,29 @@ impl Histogram {
         h
     }
 
+    /// Adopt per-bin counts accumulated externally (the columnar hot
+    /// path bins into a flat `Vec<u64>` indexed by
+    /// [`BinSpec::bin_index`] and wraps it at the end). The total is
+    /// the column sum, exactly as repeated `observe_weighted` calls
+    /// would leave it.
+    ///
+    /// # Panics
+    /// Panics if `counts.len()` differs from the spec's bin count.
+    #[must_use]
+    pub fn from_bin_counts(spec: BinSpec, counts: Vec<u64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            spec.bin_count(),
+            "count column length must match the bin count"
+        );
+        let total = counts.iter().sum();
+        Histogram {
+            spec,
+            counts,
+            total,
+        }
+    }
+
     /// The bin specification.
     #[must_use]
     pub fn spec(&self) -> &BinSpec {
@@ -340,6 +363,23 @@ mod tests {
         let mut a = Histogram::new(BinSpec::paper_packet_size());
         let b = Histogram::new(BinSpec::paper_interarrival());
         a.merge(&b);
+    }
+
+    #[test]
+    fn from_bin_counts_matches_observes() {
+        let mut by_observe = Histogram::new(BinSpec::paper_packet_size());
+        by_observe.observe_weighted(40, 3);
+        by_observe.observe_weighted(100, 2);
+        by_observe.observe_weighted(552, 7);
+        let by_counts = Histogram::from_bin_counts(BinSpec::paper_packet_size(), vec![3, 2, 7]);
+        assert_eq!(by_observe, by_counts);
+        assert_eq!(by_counts.total(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the bin count")]
+    fn from_bin_counts_rejects_wrong_length() {
+        let _ = Histogram::from_bin_counts(BinSpec::paper_packet_size(), vec![1, 2]);
     }
 
     #[test]

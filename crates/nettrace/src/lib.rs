@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod error;
 pub mod flowtable;
 pub mod histogram;
@@ -36,6 +37,7 @@ pub mod stream;
 pub mod time;
 pub mod trace;
 
+pub use batch::PacketBatch;
 pub use error::TraceError;
 pub use flowtable::{FlowKey, FlowRecord, FlowTable};
 pub use histogram::{BinSpec, Histogram};

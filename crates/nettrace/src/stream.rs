@@ -388,6 +388,41 @@ impl<R: Read> CaptureStream<R> {
         }
         Ok(got)
     }
+
+    /// Append up to `max` packets to the columns of `out`, returning
+    /// how many arrived. The columnar sibling of
+    /// [`next_batch`](CaptureStream::next_batch): element `i` of every
+    /// column is packet `i`'s projection, in file order, so a chunked
+    /// columnar decode sees exactly the packets a per-packet decode
+    /// would. Returns `Ok(0)` only at clean end of stream.
+    ///
+    /// # Errors
+    /// As [`next_packet`](CaptureStream::next_packet); packets decoded
+    /// before the fault are kept in `out`.
+    pub fn next_chunk(
+        &mut self,
+        max: usize,
+        out: &mut crate::batch::PacketBatch,
+    ) -> Result<usize, TraceError> {
+        let mut got = 0;
+        while got < max {
+            match self.next_packet()? {
+                Some(p) => {
+                    out.push(&p);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got > 0 && obskit::recording_enabled() {
+            obskit::counter_labeled(
+                "nettrace_stream_packets_total",
+                &[("format", self.format())],
+            )
+            .add(got as u64);
+        }
+        Ok(got)
+    }
 }
 
 impl<R: Read> Iterator for CaptureStream<R> {
@@ -556,6 +591,46 @@ mod tests {
         }
         assert_eq!(all.len(), 25);
         assert_eq!(batches, vec![7, 7, 7, 4]);
+    }
+
+    #[test]
+    fn chunks_project_the_same_packets_as_batches() {
+        let t = sample_trace(25);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        let mut chunk = crate::batch::PacketBatch::new();
+        let mut sizes = Vec::new();
+        loop {
+            let before = chunk.len();
+            let got = s.next_chunk(7, &mut chunk).unwrap();
+            assert_eq!(chunk.len() - before, got);
+            if got == 0 {
+                break;
+            }
+            sizes.push(got);
+        }
+        assert_eq!(sizes, vec![7, 7, 7, 4]);
+        let pulled: Vec<PacketRecord> = CaptureStream::new(buf.as_slice())
+            .unwrap()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(chunk, crate::batch::PacketBatch::from_records(&pulled));
+    }
+
+    #[test]
+    fn chunk_keeps_packets_decoded_before_a_fault() {
+        let t = sample_trace(3);
+        let mut buf = Vec::new();
+        write_pcap(&mut buf, &t).unwrap();
+        buf.truncate(buf.len() - 5);
+        let mut s = CaptureStream::new(buf.as_slice()).unwrap();
+        let mut chunk = crate::batch::PacketBatch::new();
+        match s.next_chunk(10, &mut chunk) {
+            Err(TraceError::TruncatedRecord { packets_read }) => assert_eq!(packets_read, 2),
+            other => panic!("expected truncation, got {other:?}"),
+        }
+        assert_eq!(chunk.len(), 2);
     }
 
     #[test]

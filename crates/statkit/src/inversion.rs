@@ -261,13 +261,14 @@ pub fn em_invert_with(
     // j_max·k cannot overflow (validated); the 1.5 headroom is saturating.
     let s_max = (j_max * k).saturating_add((j_max * k) / 2).max(2);
     let step = s_max.div_ceil(cfg.grid_points as u64).max(1);
-    // Saturating products: with j_max near u64::MAX (k == 1 passes
-    // validation) the last grid points would otherwise overflow. The
-    // dedup collapses the saturated tail back to one point, keeping
-    // the grid strictly increasing.
+    // Clamp every product into [1, s_max]: with j_max near u64::MAX
+    // (k == 1 passes validation) the later products saturate, and the
+    // old `take_while` predicate both admitted points past s_max and
+    // cut the grid short at the first saturated product. Clamping and
+    // deduping the collapsed tail keeps the grid strictly increasing
+    // and never past the ceiling.
     let mut grid: Vec<u64> = (1..=cfg.grid_points as u64)
-        .map(|i| i.saturating_mul(step))
-        .take_while(|&s| s <= s_max || s < step.saturating_mul(2))
+        .map(|i| i.saturating_mul(step).min(s_max))
         .collect();
     grid.dedup();
     let m = grid.len();
@@ -414,6 +415,32 @@ mod tests {
                 Err(InversionError::SizeOverflow { size: u64::MAX / 2 })
             );
         }
+    }
+
+    /// Regression: the grid builder's old `take_while` predicate could
+    /// admit points past `s_max` and cut the grid at the first
+    /// saturated product. At `k == 1` with a sampled size near
+    /// `u64::MAX` (which passes overflow validation), later grid
+    /// products saturate; the estimate must still come back with
+    /// strictly increasing support bounded by the grid ceiling.
+    #[test]
+    fn em_grid_survives_saturating_sizes_at_k_one() {
+        let j_max = u64::MAX;
+        let est = em_invert(&[1, 5, j_max], 1).unwrap();
+        // s_max = saturating 1.5 · j_max · k.
+        let s_max = j_max.saturating_add(j_max / 2);
+        assert!(!est.points.is_empty());
+        for pair in est.points.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "grid support must strictly increase");
+        }
+        for &(s, w) in &est.points {
+            assert!(
+                (1..=s_max).contains(&s),
+                "support point {s} outside [1, s_max]"
+            );
+            assert!(w.is_finite() && w > 0.0);
+        }
+        assert!(est.total_flows.is_finite() && est.total_flows > 0.0);
     }
 
     #[test]

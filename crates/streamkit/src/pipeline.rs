@@ -323,16 +323,15 @@ fn transform_loop<F>(
         match msg {
             SourceMsg::Batch(pkts) => {
                 stats.depth_ingest.add(-1);
-                for p in &pkts {
-                    if windower.is_none() {
-                        windower = Some((make.take().expect("built once"))(p.timestamp));
-                    }
-                    let w = windower.as_mut().expect("windower");
-                    for payload in w.offer(p) {
-                        if !send_window(payload) {
-                            closed = true;
-                            break 'messages;
-                        }
+                let Some(first) = pkts.first() else { continue };
+                if windower.is_none() {
+                    windower = Some((make.take().expect("built once"))(first.timestamp));
+                }
+                let w = windower.as_mut().expect("windower");
+                for payload in w.offer_slice(&pkts) {
+                    if !send_window(payload) {
+                        closed = true;
+                        break 'messages;
                     }
                 }
             }

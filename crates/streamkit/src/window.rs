@@ -27,11 +27,21 @@ use nettrace::{FlowTable, Histogram, Micros, PacketRecord};
 use sampling::Target;
 use std::collections::VecDeque;
 
-/// Per-bucket flow-table capacity. A window tracks at most
-/// `buckets_per_window × this` live flows, so flow accounting keeps the
-/// engine's O(window) memory bound even on flow-id-free traffic where
-/// every distinct 5-tuple is a flow; overflow evicts the
+/// Per-bucket flow budget. A window reports at most
+/// `buckets_per_window × this` live flows, keeping the engine's
+/// O(window) memory bound even on flow-id-free traffic where every
+/// distinct 5-tuple is a flow; overflow evicts the
 /// least-recently-updated flow deterministically.
+///
+/// The budget is enforced **once, at the window merge** — buckets
+/// aggregate unbounded. A capacity-bounded table pays an LRU order
+/// index (a `BTreeSet` insert/remove pair) on every packet that
+/// advances a flow's last-seen time, which put two O(log n) tree
+/// operations in the per-packet hot path; an unbounded table is one
+/// hash probe per packet, and the merge keeps the budget's worth of
+/// most-recently-updated flows in a single O(flows) selection
+/// ([`FlowTable::truncate_lru`]) with the same deterministic
+/// least-recently-updated-first, smallest-key-on-ties policy.
 const BUCKET_FLOW_CAP: usize = 4_096;
 
 /// Window (or slide stride) extent: a packet count or a time span.
@@ -116,7 +126,8 @@ pub struct WindowPayload {
     /// The sample's histogram.
     pub sample: Histogram,
     /// Live flows observed in the window (synthetic-id or 5-tuple
-    /// keyed, capacity-bounded — see [`BUCKET_FLOW_CAP`]).
+    /// keyed, budget-bounded at the window merge — see
+    /// [`BUCKET_FLOW_CAP`]).
     pub flows: u64,
     /// Window flows that carried a SYN (≈ flows that *began* in the
     /// window; the flow generators SYN-mark each flow's first packet).
@@ -152,7 +163,14 @@ impl Bucket {
             selected: 0,
             population: Histogram::new(target.bins()),
             sample: Histogram::new(target.bins()),
-            flows: FlowTable::with_capacity(BUCKET_FLOW_CAP),
+            // Unbounded on the hot path; the window merge enforces the
+            // flow budget (see BUCKET_FLOW_CAP). Pre-sized to the
+            // budget so a flow-heavy bucket skips the rehash chain.
+            flows: {
+                let mut t = FlowTable::unbounded();
+                t.reserve(BUCKET_FLOW_CAP);
+                t
+            },
             pop_edge: None,
             sam_edge: None,
         }
@@ -244,6 +262,23 @@ impl Windower {
     /// completed.
     pub fn offer(&mut self, pkt: &PacketRecord) -> Vec<WindowPayload> {
         let mut out = Vec::new();
+        self.offer_into(pkt, &mut out);
+        out
+    }
+
+    /// Offer a decoded chunk in arrival order, appending every window it
+    /// completes to one output vector. Exactly the left fold of
+    /// [`Windower::offer`] — bit-identical windows — without a returned
+    /// `Vec` per packet.
+    pub fn offer_slice(&mut self, pkts: &[PacketRecord]) -> Vec<WindowPayload> {
+        let mut out = Vec::new();
+        for p in pkts {
+            self.offer_into(p, &mut out);
+        }
+        out
+    }
+
+    fn offer_into(&mut self, pkt: &PacketRecord, out: &mut Vec<WindowPayload>) {
         let edge_gap = self
             .prev_ts
             .map(|t| pkt.timestamp.saturating_sub(t).as_u64());
@@ -267,7 +302,7 @@ impl Windower {
                     // windows: jump over them instead of iterating.
                     let closes = (ahead as usize).min(self.buckets_per_window);
                     for _ in 0..closes {
-                        self.close_current(&mut out);
+                        self.close_current(out);
                         self.cur_start = Micros(self.cur_start.as_u64() + s);
                         self.cur = Some(Bucket::new(self.cur_start, self.target));
                     }
@@ -294,11 +329,10 @@ impl Windower {
                 }
                 self.accumulate(pkt, edge_gap);
                 if self.cur.as_ref().map(|b| b.packets) == Some(stride) {
-                    self.close_current(&mut out);
+                    self.close_current(out);
                 }
             }
         }
-        out
     }
 
     /// End of stream: flush the sampler and close the partial bucket;
@@ -380,21 +414,25 @@ impl Windower {
 
     /// Merge the first `n` ring buckets into one window payload.
     fn merge_window(&mut self, n: usize) -> WindowPayload {
-        let mut buckets = self.ring.iter().take(n);
-        let first = buckets.next().expect("nonempty ring");
+        // The front bucket never serves another window — it is popped
+        // (or the ring dropped) right after the merge — so steal its
+        // flow table instead of re-inserting every record. Later
+        // buckets slide into future windows and are merged by copy.
+        let first = self.ring.front_mut().expect("nonempty ring");
+        // Merge unbounded (pure hash-map folds), then enforce the
+        // window budget once: keep the most-recently-updated flows.
+        let mut flows = std::mem::replace(&mut first.flows, FlowTable::unbounded());
         let mut population = first.population.clone();
         let mut sample = first.sample.clone();
         let mut packets = first.packets;
         let mut selected = first.selected;
         let mut first_ts = first.first_ts;
         let mut last_ts = first.last_ts;
-        let mut flows = FlowTable::with_capacity(BUCKET_FLOW_CAP * self.buckets_per_window);
-        flows.merge(&first.flows);
         // Whether an earlier bucket of this window holds packets — iff
         // so, a later bucket's first packet has an in-window
         // predecessor and its seam observation applies.
-        let mut seen_packets = first.packets > 0;
-        for b in buckets {
+        let mut seen_packets = packets > 0;
+        for b in self.ring.iter().take(n).skip(1) {
             population.merge(&b.population);
             sample.merge(&b.sample);
             if seen_packets {
@@ -416,6 +454,7 @@ impl Windower {
             }
             seen_packets = seen_packets || b.packets > 0;
         }
+        flows.truncate_lru(BUCKET_FLOW_CAP.saturating_mul(self.buckets_per_window));
         let index = self.next_index;
         self.next_index += 1;
         self.emitted += 1;
@@ -663,6 +702,101 @@ mod tests {
         windows.extend(w.finish());
         assert_eq!(windows[0].flows, 2);
         assert_eq!(windows[0].syn_flows, 2);
+    }
+
+    /// The flow budget moved from the per-packet path to the window
+    /// merge; per-window flow accounting must not have changed. Pinned
+    /// against the pre-refactor values and the unbounded batch
+    /// reference.
+    #[test]
+    fn merge_time_flow_budget_reports_the_same_windows() {
+        // Many flows, heavily interleaved, SYNs scattered across both
+        // windows — every packet advances its flow's last-seen time,
+        // which is exactly the case that paid the order-index churn.
+        let pkts: Vec<PacketRecord> = (0..2_000u64)
+            .map(|i| {
+                let flow = (i % 97) as u32 + 1;
+                PacketRecord::new(Micros(i * 500), 552).with_flow(flow, i < 97 || i == 1_500)
+            })
+            .collect();
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(1_000), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 2);
+        assert_eq!((windows[0].flows, windows[0].syn_flows), (97, 97));
+        assert_eq!((windows[1].flows, windows[1].syn_flows), (97, 1));
+        for (i, win) in windows.iter().enumerate() {
+            let batch =
+                nettrace::FlowTable::from_packets(usize::MAX, &pkts[i * 1_000..(i + 1) * 1_000]);
+            assert_eq!(win.flows, batch.len() as u64, "window {i}");
+            assert_eq!(win.syn_flows, batch.syn_flows(), "window {i}");
+        }
+    }
+
+    /// Overflowing the flow budget still evicts — the bound moved to the
+    /// merge, it did not disappear.
+    #[test]
+    fn flow_budget_is_still_enforced_at_the_merge() {
+        let n = BUCKET_FLOW_CAP as u64 + 500;
+        let pkts: Vec<PacketRecord> = (0..n)
+            .map(|i| PacketRecord::new(Micros(i * 10), 40).with_flow(i as u32 + 1, true))
+            .collect();
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(n), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].packets, n);
+        assert_eq!(windows[0].flows, BUCKET_FLOW_CAP as u64);
+    }
+
+    /// `offer_slice` is the left fold of `offer`: same windows, same
+    /// histograms, same flow counts, for tumbling and sliding shapes and
+    /// for any chunking of the stream.
+    #[test]
+    fn offer_slice_matches_per_packet_offers() {
+        let pkts: Vec<PacketRecord> = (0..500u64)
+            .map(|i| {
+                PacketRecord::new(Micros(i * 900), if i % 2 == 0 { 40 } else { 552 })
+                    .with_flow((i % 7) as u32 + 1, i < 7)
+            })
+            .collect();
+        for (window, slide) in [
+            (WindowSpec::Count(120), None),
+            (WindowSpec::Count(120), Some(WindowSpec::Count(30))),
+            (WindowSpec::Time(Micros(50_000)), None),
+        ] {
+            let mut per_packet = windower(Target::Interarrival, window, slide);
+            let mut reference = Vec::new();
+            for p in &pkts {
+                reference.extend(per_packet.offer(p));
+            }
+            reference.extend(per_packet.finish());
+
+            for chunk in [1usize, 17, 120, 500] {
+                let mut sliced = windower(Target::Interarrival, window, slide);
+                let mut got = Vec::new();
+                for c in pkts.chunks(chunk) {
+                    got.extend(sliced.offer_slice(c));
+                }
+                got.extend(sliced.finish());
+                assert_eq!(got.len(), reference.len(), "chunk {chunk}");
+                for (a, b) in got.iter().zip(&reference) {
+                    assert_eq!(a.population, b.population, "chunk {chunk}");
+                    assert_eq!(a.sample, b.sample, "chunk {chunk}");
+                    assert_eq!(
+                        (a.packets, a.selected, a.flows, a.syn_flows),
+                        (b.packets, b.selected, b.flows, b.syn_flows),
+                        "chunk {chunk}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
