@@ -329,6 +329,92 @@ for pass in 1 2; do
     cargo test --offline -q --test flow_inversion_calibration
 done
 
+echo "== collect: sharded collector (determinism + live shard gauges + soak)"
+# The collector's contract: reports are a pure function of (seed, fleet,
+# method). The same config run twice must be byte-identical, and an
+# S-shard run must merge to the exact bytes of the single-shard run —
+# only the summary line differs (it carries the shard count), so it is
+# stripped before the cross-shard compare.
+for pass in 1 2; do
+    "$bin" serve --shards 4 --tenants 3 --interfaces 2 --windows 3 \
+        --window-packets 4000 --flows-per-window 400 --interval 10 \
+        --seed 1993 --jsonl "$tmpdir/collect.$pass.jsonl" > /dev/null
+done
+cmp "$tmpdir/collect.1.jsonl" "$tmpdir/collect.2.jsonl" || {
+    echo "serve --jsonl output is nondeterministic across runs" >&2
+    exit 1
+}
+"$bin" serve --shards 1 --tenants 3 --interfaces 2 --windows 3 \
+    --window-packets 4000 --flows-per-window 400 --interval 10 \
+    --seed 1993 --jsonl "$tmpdir/collect.single.jsonl" > /dev/null
+grep -v '"summary"' "$tmpdir/collect.1.jsonl" > "$tmpdir/collect.multi.reports"
+grep -v '"summary"' "$tmpdir/collect.single.jsonl" > "$tmpdir/collect.single.reports"
+cmp "$tmpdir/collect.multi.reports" "$tmpdir/collect.single.reports" || {
+    echo "multi-shard reports diverge from the single-shard run" >&2
+    exit 1
+}
+# Live shard telemetry: a draining collector on an ephemeral port must
+# expose the per-shard gauges mid-run, with the per-shard RSS alert
+# rule installed and quiet (the soak gate below proves it can fire by
+# budget, this proves a healthy run keeps it at 0).
+"$bin" --serve 127.0.0.1:0 serve --shards 2 --tenants 2 --interfaces 2 \
+    --windows 100000 --window-packets 5000 --flows-per-window 200 \
+    --interval 10 --duration-ms 6000 --shard-rss-budget-kb 200000 \
+    > "$tmpdir/collect.live.out" 2> "$tmpdir/collect.live.err" &
+collect_pid=$!
+port=""
+for _ in $(seq 1 100); do
+    port="$(sed -n 's/^netsample: serving on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$tmpdir/collect.live.err" | head -n1)"
+    [ -n "$port" ] && break
+    sleep 0.1
+done
+if [ -z "$port" ]; then
+    echo "collect-stage serve address never appeared on stderr" >&2
+    kill "$collect_pid" 2>/dev/null || true
+    exit 1
+fi
+for _ in $(seq 1 100); do
+    scrape /metrics > "$tmpdir/collect.scrape" || true
+    grep -q '^collectd_shard_flows{shard="0"} ' "$tmpdir/collect.scrape" && break
+    sleep 0.1
+done
+for want in \
+    'collectd_shard_flows{shard="0"} ' \
+    'collectd_shard_flows{shard="1"} ' \
+    'collectd_shard_rss_kb{shard="0"} ' \
+    'collectd_shard_evictions{shard="0"} ' \
+    'collectd_routing_imbalance_x1000 ' \
+    'collectd_live_flows '; do
+    grep -q "^$want" "$tmpdir/collect.scrape" || {
+        echo "mid-run scrape is missing $want" >&2
+        kill "$collect_pid" 2>/dev/null || true
+        exit 1
+    }
+done
+grep -q '^alert_active{rule="collectd_shard_rss_0"} 0' "$tmpdir/collect.scrape" || {
+    echo "per-shard RSS rule is absent or firing on a healthy run" >&2
+    kill "$collect_pid" 2>/dev/null || true
+    exit 1
+}
+wait "$collect_pid" || {
+    echo "draining collector run failed:" >&2
+    cat "$tmpdir/collect.live.out" "$tmpdir/collect.live.err" >&2
+    exit 1
+}
+grep -q "(drained)" "$tmpdir/collect.live.out"
+# ROADMAP soak target: ≥1M aggregate live flows across 4 shards × 8
+# lanes with the modeled per-shard flow state held under budget
+# (worst-case routing parks 3 of 8 lanes on one shard: 450k flows ×
+# 96 B ≈ 42 MB < 50 MB). Exit 1 on a missed target or budget is the CI
+# gate; the 10M reference run is documented in EXPERIMENTS.md.
+"$bin" serve --shards 4 --tenants 2 --interfaces 4 --windows 2 \
+    --window-packets 300000 --flows-per-window 150000 \
+    --lane-flow-budget 200000 --interval 10 \
+    --target-flows 1000000 --shard-rss-budget-kb 50000 \
+    > "$tmpdir/collect.soak.out"
+grep -q "soak: max_live_flows=1200000 target=1000000 ok" "$tmpdir/collect.soak.out"
+grep -q "shard budget: max_shard_rss_kb=42188 budget_kb=50000 ok" "$tmpdir/collect.soak.out"
+
 echo "== perf: record trajectory point + regression gate"
 # Seed the trajectory with the committed baselines, then record a fresh
 # fixed-seed run against them. The diff gates at 25% unless

@@ -122,7 +122,7 @@ impl From<std::fmt::Error> for CmdError {
 }
 
 /// Reject stray positional arguments (typo'd flags usually land here).
-fn expect_positionals(args: &Args, n: usize) -> Result<(), ArgError> {
+pub(crate) fn expect_positionals(args: &Args, n: usize) -> Result<(), ArgError> {
     if args.positional_count() > n {
         return Err(ArgError(format!(
             "unexpected extra argument (expected {n} positional argument{})",
@@ -143,7 +143,7 @@ fn store(path: &str, trace: &Trace) -> Result<(), CmdError> {
     Ok(())
 }
 
-fn parse_target(name: &str) -> Result<Target, ArgError> {
+pub(crate) fn parse_target(name: &str) -> Result<Target, ArgError> {
     match name {
         "packet-size" | "size" => Ok(Target::PacketSize),
         "interarrival" | "ia" => Ok(Target::Interarrival),
@@ -565,7 +565,7 @@ pub fn flows(args: &Args) -> Result<String, CmdError> {
 /// plus the stream-only reservoir; `random` additionally needs
 /// `--population` (the engine rejects it otherwise, pointing at the
 /// reservoir as the hint-free alternative).
-fn parse_stream_method(args: &Args) -> Result<StreamMethod, CmdError> {
+pub(crate) fn parse_stream_method(args: &Args) -> Result<StreamMethod, CmdError> {
     let k: usize = args.opt_num("interval", 50)?;
     if k == 0 {
         return Err(CmdError::usage(

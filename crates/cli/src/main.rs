@@ -22,6 +22,7 @@
 mod args;
 mod commands;
 mod perf;
+mod serve;
 mod watch;
 
 use args::Args;
@@ -55,6 +56,19 @@ USAGE:
                     (no trace argument: replays N synthetic windows, paced at
                     R pkt/s, and fails with exit 1 if RSS grows past the budget)
   netsample fuzz    [--seed S] [--mutations N] [--cases M] [--corpus-packets P]
+  netsample serve   [--shards S] [--tenants N] [--interfaces I] [--windows W]
+                    [--window-packets P] [--lane-queue Q] [--lane-flow-budget B]
+                    [--flows-per-window F] [--method M] [--interval k]
+                    [--source synth|replay] [--size-dist zipf|lognormal|geometric]
+                    [--seed S] [--duration-ms MS] [--target-flows N]
+                    [--shard-rss-budget-kb KB] [--rss-budget-kb KB]
+                    [--jsonl out.jsonl]
+                    (sharded multi-tenant collector daemon: N tenants ×
+                    I interfaces routed onto S shards, per-window per-tenant
+                    reports with inversion estimates; output is bit-identical
+                    at any shard count; --duration-ms drains gracefully with
+                    a partial-window flush; exit 1 if --target-flows or an
+                    RSS budget is missed, 65 if conservation breaks)
   netsample watch   <addr> [--for N] [--interval-ms MS] [--step K]
                     [--series CSV] [--fail-on RULE]
                     (poll a serving netsample's /series and /alerts,
@@ -409,6 +423,36 @@ fn run(cmd: &str, rest: Vec<String>) -> Result<String, commands::CmdError> {
                 ],
             )?;
             commands::stream(&a)
+        }
+        "serve" => {
+            let a = Args::parse(
+                rest,
+                &[
+                    "shards",
+                    "tenants",
+                    "interfaces",
+                    "windows",
+                    "window-packets",
+                    "lane-queue",
+                    "lane-flow-budget",
+                    "flows-per-window",
+                    "mean-gap-us",
+                    "seed",
+                    "target",
+                    "method",
+                    "interval",
+                    "capacity",
+                    "source",
+                    "size-dist",
+                    "pace-pps",
+                    "duration-ms",
+                    "target-flows",
+                    "shard-rss-budget-kb",
+                    "rss-budget-kb",
+                    "jsonl",
+                ],
+            )?;
+            serve::serve(&a)
         }
         "watch" => {
             let a = Args::parse(rest, &["for", "interval-ms", "fail-on", "series", "step"])?;

@@ -1,0 +1,216 @@
+//! Deterministic (tenant, interface) → shard routing.
+//!
+//! The routing key is a splitmix64 finalizer over the packed lane pair,
+//! reduced modulo the shard count. Two properties carry the collector's
+//! guarantees:
+//!
+//! * **Pure function of the pair.** The hash never folds in the shard
+//!   count, a seed, or anything run-local, so the same fleet routes the
+//!   same way in every process — reports can name their shard and two
+//!   operators will agree on it.
+//! * **Divisibility stability.** Because the reduction is a plain `mod`,
+//!   `route(t, i, S) ≡ route(t, i, S') (mod S')` whenever `S'` divides
+//!   `S` — halving a deployment's shard count re-groups lanes by folding
+//!   shards together instead of reshuffling them, which keeps warm flow
+//!   state adjacent. The routing proptest pins this.
+
+use crate::error::CollectError;
+use netstat_sim::Fleet;
+
+/// splitmix64 finalizer — the same mix the in-tree `rand` seeds with,
+/// reused as a stateless hash.
+#[must_use]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The stateless routing key for a (tenant, interface) pair.
+#[must_use]
+pub fn route_key(tenant: u32, interface: u32) -> u64 {
+    splitmix64((u64::from(tenant) << 32) | u64::from(interface))
+}
+
+/// Route a (tenant, interface) pair onto one of `shards` shards.
+///
+/// # Errors
+/// [`CollectError::NoShards`] when `shards == 0`.
+pub fn route(tenant: u32, interface: u32, shards: u32) -> Result<u32, CollectError> {
+    if shards == 0 {
+        return Err(CollectError::NoShards);
+    }
+    Ok((route_key(tenant, interface) % u64::from(shards)) as u32)
+}
+
+/// A fleet's materialized routing: lane index → shard, plus the static
+/// balance diagnostics the telemetry plane publishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingPlan {
+    shards: u32,
+    interfaces: u32,
+    tenants: u32,
+    /// `assignment[lane] = shard`, lane-indexed (tenant-major).
+    assignment: Vec<u32>,
+}
+
+impl RoutingPlan {
+    /// Route every lane of `fleet` onto `shards` shards.
+    ///
+    /// # Errors
+    /// [`CollectError::NoShards`] when `shards == 0`.
+    pub fn new(fleet: &Fleet, shards: u32) -> Result<RoutingPlan, CollectError> {
+        if shards == 0 {
+            return Err(CollectError::NoShards);
+        }
+        let assignment = fleet
+            .lanes()
+            .map(|l| route(l.tenant, l.interface, shards))
+            .collect::<Result<Vec<u32>, CollectError>>()?;
+        Ok(RoutingPlan {
+            shards,
+            interfaces: fleet.interfaces(),
+            tenants: fleet.tenants().len() as u32,
+            assignment,
+        })
+    }
+
+    /// The shard count this plan was built for.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Total lanes routed.
+    #[must_use]
+    pub fn lane_count(&self) -> u32 {
+        self.assignment.len() as u32
+    }
+
+    /// The shard hosting a lane index.
+    ///
+    /// # Errors
+    /// [`CollectError::UnknownLane`] for a lane outside the fleet.
+    pub fn shard_of_lane(&self, lane: u32) -> Result<u32, CollectError> {
+        self.assignment
+            .get(lane as usize)
+            .copied()
+            .ok_or(CollectError::UnknownLane {
+                tenant: lane / self.interfaces.max(1),
+                interface: lane % self.interfaces.max(1),
+            })
+    }
+
+    /// The shard hosting a (tenant, interface) pair.
+    ///
+    /// # Errors
+    /// [`CollectError::UnknownLane`] when the pair is outside the fleet.
+    pub fn shard_for(&self, tenant: u32, interface: u32) -> Result<u32, CollectError> {
+        if tenant >= self.tenants || interface >= self.interfaces {
+            return Err(CollectError::UnknownLane { tenant, interface });
+        }
+        self.shard_of_lane(tenant * self.interfaces + interface)
+    }
+
+    /// Lane indices hosted by `shard`, ascending — the order a shard
+    /// iterates its lanes, fixed by the fleet alone.
+    #[must_use]
+    pub fn lanes_of(&self, shard: u32) -> Vec<u32> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s == shard)
+            .map(|(i, _)| i as u32)
+            .collect()
+    }
+
+    /// Lanes per shard, shard-indexed.
+    #[must_use]
+    pub fn loads(&self) -> Vec<u32> {
+        let mut loads = vec![0u32; self.shards as usize];
+        for &s in &self.assignment {
+            loads[s as usize] += 1;
+        }
+        loads
+    }
+
+    /// Static routing imbalance: `max_shard_lanes / mean_shard_lanes`,
+    /// scaled ×1000 (1000 = perfectly balanced). Published as the
+    /// `collectd_routing_imbalance_x1000` gauge.
+    #[must_use]
+    pub fn imbalance_x1000(&self) -> u64 {
+        let lanes = self.assignment.len() as u64;
+        if lanes == 0 {
+            return 1000;
+        }
+        let max = u64::from(self.loads().into_iter().max().unwrap_or(0));
+        // max / (lanes / shards) × 1000, in integer math.
+        max * u64::from(self.shards) * 1000 / lanes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_shards_is_a_typed_error() {
+        assert_eq!(route(0, 0, 0).unwrap_err(), CollectError::NoShards);
+        let fleet = Fleet::anonymous(2, 2).unwrap();
+        assert_eq!(
+            RoutingPlan::new(&fleet, 0).unwrap_err(),
+            CollectError::NoShards
+        );
+    }
+
+    #[test]
+    fn plan_matches_the_stateless_route() {
+        let fleet = Fleet::anonymous(3, 5).unwrap();
+        let plan = RoutingPlan::new(&fleet, 4).unwrap();
+        for lane in fleet.lanes() {
+            assert_eq!(
+                plan.shard_for(lane.tenant, lane.interface).unwrap(),
+                route(lane.tenant, lane.interface, 4).unwrap()
+            );
+            assert_eq!(
+                plan.shard_of_lane(lane.lane).unwrap(),
+                plan.assignment[lane.lane as usize]
+            );
+        }
+        assert_eq!(plan.loads().iter().sum::<u32>(), 15);
+        assert!(plan.imbalance_x1000() >= 1000);
+    }
+
+    #[test]
+    fn out_of_fleet_lookups_are_unknown_lane() {
+        let fleet = Fleet::anonymous(2, 2).unwrap();
+        let plan = RoutingPlan::new(&fleet, 2).unwrap();
+        assert_eq!(
+            plan.shard_for(2, 0).unwrap_err(),
+            CollectError::UnknownLane {
+                tenant: 2,
+                interface: 0
+            }
+        );
+        assert_eq!(
+            plan.shard_for(0, 9).unwrap_err(),
+            CollectError::UnknownLane {
+                tenant: 0,
+                interface: 9
+            }
+        );
+        assert!(matches!(
+            plan.shard_of_lane(4).unwrap_err(),
+            CollectError::UnknownLane { .. }
+        ));
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let fleet = Fleet::anonymous(4, 4).unwrap();
+        let plan = RoutingPlan::new(&fleet, 1).unwrap();
+        assert!(plan.loads() == vec![16]);
+        assert_eq!(plan.imbalance_x1000(), 1000);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the collector's routing and sharding contracts:
+//!
+//! * (tenant, interface) → shard is a pure function of the pair, and is
+//!   **divisibility-stable**: when `S'` divides `S`, the shard under
+//!   `S'` is the shard under `S` folded modulo `S'` — halving a
+//!   deployment re-groups lanes instead of reshuffling them.
+//! * Merged per-shard reports are bit-for-bit equal to a single-shard
+//!   run on the same interleaved input, at any shard count.
+
+use collectd::{report_jsonl, route, run_collector, CollectorConfig, LaneSource, RoutingPlan};
+use netstat_sim::Fleet;
+use netsynth::FlowSizeDist;
+use parkit::Pool;
+use proptest::prelude::*;
+use sampling::{MethodSpec, Target};
+use streamkit::StreamMethod;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // `route(t, i, S) mod S' == route(t, i, S')` whenever `S'` divides
+    // `S` — the modulo-reduction stability the docs promise.
+    #[test]
+    fn routing_is_stable_across_evenly_dividing_shard_counts(
+        tenant in 0u32..10_000,
+        interface in 0u32..10_000,
+        divisor in 1u32..16,
+        factor in 1u32..16,
+    ) {
+        let small = divisor;
+        let large = divisor * factor;
+        let under_large = route(tenant, interface, large).unwrap();
+        let under_small = route(tenant, interface, small).unwrap();
+        prop_assert_eq!(under_large % small, under_small);
+    }
+
+    // The same stability holds for whole materialized plans.
+    #[test]
+    fn plans_fold_when_shard_counts_divide(
+        tenants in 1u32..6,
+        interfaces in 1u32..6,
+        divisor in 1u32..8,
+        factor in 1u32..8,
+    ) {
+        let fleet = Fleet::anonymous(tenants, interfaces).unwrap();
+        let large = RoutingPlan::new(&fleet, divisor * factor).unwrap();
+        let small = RoutingPlan::new(&fleet, divisor).unwrap();
+        for lane in fleet.lanes() {
+            prop_assert_eq!(
+                large.shard_of_lane(lane.lane).unwrap() % divisor,
+                small.shard_of_lane(lane.lane).unwrap()
+            );
+        }
+    }
+
+    // Merged multi-shard reports equal the single-shard run bit for
+    // bit on the same interleaved input — rendered JSONL compared as
+    // strings, so float formatting is part of the contract.
+    #[test]
+    fn merged_shard_reports_match_single_shard_bit_for_bit(
+        shards in 2u32..7,
+        tenants in 1u32..4,
+        interfaces in 1u32..4,
+        seed in 0u64..1_000,
+        interval in 2usize..12,
+    ) {
+        let cfg = |s: u32| CollectorConfig {
+            fleet: Fleet::anonymous(tenants, interfaces).unwrap(),
+            shards: s,
+            method: StreamMethod::Spec(MethodSpec::Systematic { interval }),
+            target: Target::PacketSize,
+            windows: 2,
+            window_packets: 200,
+            lane_queue: 150,
+            lane_flow_budget: 32,
+            seed,
+            source: LaneSource::Synth {
+                flows_per_window: 10,
+                size_dist: FlowSizeDist::LogNormal { mean: 2.0, std: 1.0 },
+                mean_gap_us: 40,
+            },
+        };
+        let pool = Pool::with_default_jobs();
+        let single = run_collector(cfg(1), &pool, None, |_| {}).unwrap();
+        let multi = run_collector(cfg(shards), &pool, None, |_| {}).unwrap();
+        let single_lines: Vec<String> = single.reports.iter().map(report_jsonl).collect();
+        let multi_lines: Vec<String> = multi.reports.iter().map(report_jsonl).collect();
+        prop_assert_eq!(single_lines, multi_lines);
+        prop_assert_eq!(single.summary.ingested, multi.summary.ingested);
+        prop_assert_eq!(single.summary.selected, multi.summary.selected);
+        prop_assert_eq!(single.summary.max_live_flows, multi.summary.max_live_flows);
+    }
+}

@@ -74,8 +74,10 @@ impl fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
-/// An event-driven packet sampler.
-pub trait Sampler {
+/// An event-driven packet sampler. `Send` is a supertrait so boxed
+/// samplers can live inside per-shard state handed to worker pools
+/// (every in-tree sampler is plain owned data).
+pub trait Sampler: Send {
     /// Offer one arriving packet; returns `true` if it is selected into
     /// the sample. Packets must be offered in arrival order.
     fn offer(&mut self, pkt: &PacketRecord) -> bool;

@@ -1,0 +1,162 @@
+//! Exploratory bench: can a *skip-sampling* random family beat
+//! Algorithm S?
+//!
+//! The BENCH_3 trajectory note (ROADMAP.md) accepts that the
+//! `cell/random/*` perf cells moved only ~1.3–1.5× under the columnar
+//! refactor: [`sampling::SimpleRandomSampler`] spends one RNG draw per
+//! in-population element, and that draw schedule is pinned by the
+//! bit-identical determinism guarantee — batching cannot remove draws
+//! without changing which packets are selected under a given seed.
+//!
+//! A faster family needs a *changed seed contract*: Vitter's skip-length
+//! methods (Algorithm D, CACM 1984) draw once per **selected** element
+//! by sampling the gap to the next selection directly, so the draw count
+//! falls from `N` to `n`. This file prototypes the simpler of Vitter's
+//! two schedules — Algorithm A, the inverse-CDF gap walk — checks that
+//! it still produces exactly `n` strictly increasing in-range indices
+//! with plausibly uniform coverage, and times it against Algorithm S at
+//! trace scale.
+//!
+//! It is `#[ignore]`d: an exploration, not a gate. The numbers justify
+//! (or kill) a future `MethodSpec::SkipRandom` with its own seed
+//! contract; they do not alter the shipped `random` family, whose
+//! selections existing experiments pin bit-for-bit. Run it with
+//! `cargo test -p sampling --test skip_sampling_explore -- --ignored --nocapture`.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sampling::{Sampler, SimpleRandomSampler};
+use std::time::Instant;
+
+/// Prototype skip-sampler: Vitter's Algorithm A. When `m` selections
+/// remain out of `r` candidates, the gap `s` to the next selection has
+/// `P(s ≥ k) = (r−m)(r−m−1)…(r−m−k+1) / (r(r−1)…(r−k+1))`; walking that
+/// product against one uniform draw costs one draw per *selection*.
+struct SkipRandomPrototype {
+    remaining_pop: u64,
+    remaining_sample: u64,
+    rng: StdRng,
+}
+
+impl SkipRandomPrototype {
+    fn new(population: u64, sample: u64, seed: u64) -> Self {
+        assert!(population > 0 && sample <= population);
+        SkipRandomPrototype {
+            remaining_pop: population,
+            remaining_sample: sample,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Absolute indices (0-based) of all selections, in one pass.
+    fn select_indices(mut self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.remaining_sample as usize);
+        let mut pos: u64 = 0;
+        while self.remaining_sample > 0 {
+            if self.remaining_sample == self.remaining_pop {
+                // Dense tail: everything left is selected, no draws.
+                for _ in 0..self.remaining_sample {
+                    out.push(pos);
+                    pos += 1;
+                }
+                break;
+            }
+            // One uniform draw decides the whole gap.
+            let u: f64 = self.rng.random::<f64>();
+            let mut skip: u64 = 0;
+            let mut quot =
+                (self.remaining_pop - self.remaining_sample) as f64 / self.remaining_pop as f64;
+            while quot > u {
+                skip += 1;
+                let top = self.remaining_pop - self.remaining_sample - skip;
+                let bottom = self.remaining_pop - skip;
+                quot *= top as f64 / bottom as f64;
+            }
+            pos += skip;
+            out.push(pos);
+            pos += 1;
+            self.remaining_pop -= skip + 1;
+            self.remaining_sample -= 1;
+        }
+        out
+    }
+}
+
+fn algorithm_s_indices(population: u64, sample: u64, seed: u64) -> Vec<u64> {
+    let mut s = SimpleRandomSampler::new(population as usize, sample as usize, seed);
+    let mut out = Vec::with_capacity(sample as usize);
+    let ts: Vec<u64> = (0..population).collect();
+    let mut picked = Vec::new();
+    for chunk in ts.chunks(8192) {
+        picked.clear();
+        s.offer_ts_batch(chunk[0] as usize, chunk, &mut picked);
+        out.extend(picked.iter().map(|&i| i as u64));
+    }
+    out
+}
+
+#[test]
+#[ignore = "exploration for a future skip-sampling family, not a gate"]
+fn skip_sampling_is_exact_and_faster_than_algorithm_s() {
+    const N: u64 = 4_000_000;
+    const N_SAMPLE: u64 = 40_000; // 1-in-100, the paper's deep-thinning regime
+
+    // Correctness first: exactly n, strictly increasing, in range.
+    for seed in 0..20u64 {
+        let picks = SkipRandomPrototype::new(N, N_SAMPLE, seed).select_indices();
+        assert_eq!(picks.len(), N_SAMPLE as usize);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]));
+        assert!(*picks.last().unwrap() < N);
+    }
+
+    // Plausible uniformity: each decile of the stream should hold
+    // ~n/10 selections. χ²(9 df) at α=0.001 is 27.9; stay under it.
+    let picks = SkipRandomPrototype::new(N, N_SAMPLE, 1993).select_indices();
+    let mut deciles = [0f64; 10];
+    for p in &picks {
+        deciles[(p * 10 / N) as usize] += 1.0;
+    }
+    let expected = N_SAMPLE as f64 / 10.0;
+    let chi2: f64 = deciles
+        .iter()
+        .map(|o| (o - expected).powi(2) / expected)
+        .sum();
+    assert!(chi2 < 27.9, "decile χ² {chi2:.1} suggests non-uniform gaps");
+
+    // The draw-count argument, measured. Min-of-passes, same policy as
+    // the perf harness.
+    let time = |f: &dyn Fn() -> Vec<u64>| {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let t = Instant::now();
+            let v = f();
+            assert!(!v.is_empty());
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let t_s = time(&|| algorithm_s_indices(N, N_SAMPLE, 7));
+    let t_skip = time(&|| SkipRandomPrototype::new(N, N_SAMPLE, 7).select_indices());
+    println!(
+        "algorithm S: {:.1} ms   skip (Vitter A): {:.1} ms   speedup: {:.1}x \
+         ({N} packets, {N_SAMPLE} selected)",
+        t_s * 1e3,
+        t_skip * 1e3,
+        t_s / t_skip
+    );
+    // The point of the exploration: fewer draws must actually win at
+    // deep thinning, else the future family is not worth a new seed
+    // contract. Algorithm S draws N times; the skip walk draws n times
+    // (the quot loop is multiply-only).
+    assert!(
+        t_skip < t_s,
+        "skip-sampling prototype is not faster: {t_skip}s vs {t_s}s"
+    );
+
+    // And the contract change is real: the two families select
+    // different packets under the same seed. This is why it must land
+    // as a new MethodSpec, not a drop-in.
+    let s_picks = algorithm_s_indices(N, N_SAMPLE, 7);
+    let skip_picks = SkipRandomPrototype::new(N, N_SAMPLE, 7).select_indices();
+    assert_ne!(s_picks, skip_picks, "seed contract unexpectedly compatible");
+}

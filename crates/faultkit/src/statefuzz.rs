@@ -26,11 +26,20 @@
 //! columnar batch path is held to the per-packet path: walking a
 //! [`nettrace::PacketBatch`]'s timestamp column through `offer_ts_batch`
 //! in random-sized chunks must select bit-identical indices to the
-//! per-packet `offer` loop, even on hostile timestamps.
+//! per-packet `offer` loop, even on hostile timestamps. The sharded
+//! collector gets hostile fleets and knobs — tenant ids carrying the
+//! forbidden `"{}\,` label bytes, non-ASCII and oversized ids, zero
+//! interfaces, zero shards, degenerate window/queue/budget values, and
+//! mid-stream reshard attempts — and must reject each with a typed
+//! error while every accepted run conserves packets.
 
 use crate::{Digest, Finding};
+use collectd::{route, CollectError, Collector, CollectorConfig, LaneSource, RoutingPlan};
+use netstat_sim::Fleet;
+use netsynth::FlowSizeDist;
 use nettrace::time::Micros;
 use nettrace::{BinSpec, FlowTable, Histogram, PacketBatch, PacketRecord};
+use parkit::Pool;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use sampling::{
@@ -38,10 +47,12 @@ use sampling::{
     ReservoirSampler, Sampler, SimpleRandomSampler, StratifiedSampler, StratifiedTimerSampler,
     SystematicSampler, SystematicTimerSampler,
 };
+use sampling::{MethodSpec, Target};
 use statkit::inversion::{em_invert, naive_scaling, syn_flow_count, tail_rescale};
 use statkit::InversionError;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use streamkit::StreamMethod;
 use streamkit::{Offer, ReservoirStream, StreamSampler};
 
 /// State-machine fuzzing knobs.
@@ -53,7 +64,8 @@ pub struct StateFuzzConfig {
     /// the streaming reservoir, the disparity metric, the telemetry
     /// server's three text surfaces (HTTP request line, `/series`
     /// query, alert-rule grammar), the flow table, the flow-size
-    /// inversion estimators, and the columnar packet-batch path.
+    /// inversion estimators, the columnar packet-batch path, and the
+    /// sharded collector's fleet/routing/config surfaces.
     pub cases: u32,
 }
 
@@ -836,6 +848,176 @@ impl Fuzzer {
             }
         }
     }
+
+    /// Drive the sharded collector through one hostile configuration:
+    /// tenant ids with quotes, braces, commas and backslashes, non-ASCII
+    /// and oversized ids, empties and duplicates; zero-interface fleets;
+    /// zero-shard routing; degenerate window/queue/budget knobs; and a
+    /// mid-stream reshard. Contracts: every degenerate is a typed error
+    /// — never a panic — a reshard after ingest is a typed
+    /// [`CollectError::ShardMismatch`], and every accepted run conserves
+    /// packets (`ingested == considered + shed`) with per-shard flows
+    /// bounded by lanes × budget.
+    fn fuzz_collector(&mut self, rng: &mut StdRng) {
+        let tenants = hostile_tenants(rng);
+        let interfaces = rng.random_range(0u32..=3);
+        let shards = rng.random_range(0u32..=4);
+        let windows = rng.random_range(0u64..=2);
+        let window_packets = rng.random_range(0u64..=48);
+        let lane_queue = rng.random_range(0u64..=48);
+        let lane_flow_budget = rng.random_range(0usize..=12);
+        let seed = rng.random::<u64>();
+        let reshard_to = rng.random_range(0u32..=4);
+        let interval = rng.random_range(1usize..=8);
+        self.offers += windows * window_packets;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut problems: Vec<String> = Vec::new();
+            // Stateless routing must reject zero shards, typed.
+            if route(rng_free_tenant(seed), 0, 0).is_ok() {
+                problems.push("route accepted zero shards".to_string());
+            }
+            let fleet = match Fleet::new(tenants.clone(), interfaces) {
+                Err(_) => return (problems, "rejected", None),
+                Ok(f) => f,
+            };
+            if shards > 0 && RoutingPlan::new(&fleet, shards).is_err() {
+                problems.push(format!("plan rejected {shards} shards for a valid fleet"));
+            }
+            let cfg = CollectorConfig {
+                fleet,
+                shards,
+                method: StreamMethod::Spec(MethodSpec::Systematic { interval }),
+                target: Target::PacketSize,
+                windows,
+                window_packets,
+                lane_queue,
+                lane_flow_budget,
+                seed,
+                source: LaneSource::Synth {
+                    flows_per_window: 4,
+                    size_dist: FlowSizeDist::Geometric { p: 0.2 },
+                    mean_gap_us: 10,
+                },
+            };
+            let degenerate = shards == 0
+                || windows == 0
+                || window_packets < 4 // fewer packets than the 4 flows per window
+                || lane_queue == 0
+                || lane_flow_budget == 0;
+            let mut collector = match Collector::new(cfg) {
+                Err(CollectError::NoShards | CollectError::BadConfig(_)) if degenerate => {
+                    return (problems, "rejected", None);
+                }
+                Err(e) => {
+                    problems.push(format!("unexpected rejection: {e}"));
+                    return (problems, "rejected", None);
+                }
+                Ok(_) if degenerate => {
+                    problems.push("accepted a degenerate config".to_string());
+                    return (problems, "rejected", None);
+                }
+                Ok(c) => c,
+            };
+            let pool = Pool::serial();
+            let lanes = u64::from(collector.plan().lane_count());
+            for _ in 0..windows {
+                match collector.run_round(&pool) {
+                    Ok(stats) => {
+                        if stats.ingested != stats.considered + stats.shed {
+                            problems.push(format!(
+                                "round broke conservation: {} != {} + {}",
+                                stats.ingested, stats.considered, stats.shed
+                            ));
+                        }
+                        if stats
+                            .shard_flows
+                            .iter()
+                            .any(|&f| f > lanes * lane_flow_budget as u64)
+                        {
+                            problems.push(format!(
+                                "a shard holds more than {lanes} lanes × {lane_flow_budget} flows"
+                            ));
+                        }
+                    }
+                    Err(e) => problems.push(format!("round failed: {e}")),
+                }
+            }
+            if windows > 0 {
+                // Ingest has started: a reshard must be a typed mismatch
+                // (or a typed NoShards for zero), never a silent re-key.
+                match collector.reshard(reshard_to) {
+                    Err(CollectError::ShardMismatch { expected, got })
+                        if expected == shards && got == reshard_to => {}
+                    Err(CollectError::NoShards) if reshard_to == 0 => {}
+                    Err(e) => problems.push(format!("reshard gave the wrong error: {e}")),
+                    Ok(()) => problems.push("reshard succeeded mid-stream".to_string()),
+                }
+            }
+            match collector.finish() {
+                Err(e) => {
+                    problems.push(format!("finish failed: {e}"));
+                    (problems, "ok", None)
+                }
+                Ok(out) => {
+                    let s = out.summary;
+                    if s.ingested != s.considered + s.shed {
+                        problems.push(format!(
+                            "summary broke conservation: {} != {} + {}",
+                            s.ingested, s.considered, s.shed
+                        ));
+                    }
+                    (
+                        problems,
+                        "ok",
+                        Some((s.ingested, s.selected, s.flows_reported)),
+                    )
+                }
+            }
+        }));
+        match outcome {
+            Err(panic) => {
+                let msg = crate::panic_message(&*panic);
+                self.violation("collector", format!("panicked: {msg}"));
+                self.record("collector", "panic");
+            }
+            Ok((problems, class, digest)) => {
+                for p in problems {
+                    self.violation("collector", p);
+                }
+                self.record("collector", class);
+                if let Some((ingested, selected, flows)) = digest {
+                    self.digest.update_u64(ingested);
+                    self.digest.update_u64(selected);
+                    self.digest.update_u64(flows);
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic pseudo-tenant index for the zero-shard routing probe.
+fn rng_free_tenant(seed: u64) -> u32 {
+    (seed % 1_000) as u32
+}
+
+/// A hostile tenant-id list: empties, oversized ids, ids carrying the
+/// forbidden `"{}\,` label bytes, non-ASCII, and valid short ids that
+/// may duplicate — possibly an empty list.
+fn hostile_tenants(rng: &mut StdRng) -> Vec<String> {
+    let len = rng.random_range(0usize..=4);
+    (0..len)
+        .map(|_| match rng.random_range(0u8..9) {
+            0 => String::new(),
+            1 => "a".repeat(rng.random_range(60usize..=80)),
+            2 => format!("t{}\"quoted", rng.random_range(0u32..4)),
+            3 => format!("t{{{}}}", rng.random_range(0u32..4)),
+            4 => format!("t,{}", rng.random_range(0u32..4)),
+            5 => format!("t\\{}", rng.random_range(0u32..4)),
+            6 => format!("t\u{e9}{}", rng.random_range(0u32..4)),
+            7 => format!("t {}", rng.random_range(0u32..4)),
+            _ => format!("t{}", rng.random_range(0u32..4)),
+        })
+        .collect()
 }
 
 /// A hostile `/series` query string: valid queries, oversized values,
@@ -1095,8 +1277,9 @@ fn hostile_period(rng: &mut StdRng) -> u64 {
 /// the eight batch samplers, the streaming reservoir, the disparity
 /// metric, the telemetry server's three text surfaces (HTTP request
 /// line, `/series` query, alert-rule grammar), the flow table, the
-/// flow-size inversion estimators, and the columnar packet-batch
-/// path (chunked `offer_ts_batch` vs the per-packet loop).
+/// flow-size inversion estimators, the columnar packet-batch path
+/// (chunked `offer_ts_batch` vs the per-packet loop), and the sharded
+/// collector (hostile fleets, zero-shard routing, mid-stream reshards).
 #[must_use]
 pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     let _span = obskit::span("faultkit_statefuzz");
@@ -1110,7 +1293,7 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
     };
     for case in 0..cfg.cases {
         fuzzer.cases += 1;
-        match case % 16 {
+        match case % 17 {
             0 => {
                 let interval = rng.random_range(0usize..=1_000);
                 let offset = rng.random_range(0usize..=1_050);
@@ -1185,7 +1368,8 @@ pub fn run_state_fuzz(cfg: &StateFuzzConfig) -> StateFuzzReport {
             12 => fuzzer.fuzz_rule_grammar(&mut rng),
             13 => fuzzer.fuzz_flow_table(&mut rng),
             14 => fuzzer.fuzz_flow_inversion(&mut rng),
-            _ => fuzzer.fuzz_packet_batch(&mut rng),
+            15 => fuzzer.fuzz_packet_batch(&mut rng),
+            _ => fuzzer.fuzz_collector(&mut rng),
         }
     }
     obskit::counter("faultkit_statefuzz_cases_total").add(fuzzer.cases);
@@ -1260,6 +1444,7 @@ mod tests {
             "flow_table",
             "flow_inversion",
             "packet_batch",
+            "collector",
         ] {
             assert!(
                 report

@@ -19,19 +19,23 @@
 //!   finite capacity and optional 1-in-k systematic sampling;
 //! * [`backbone`] — multiple nodes polled by a central agent every
 //!   fifteen minutes, collect-and-reset (§2);
-//! * [`figure1`] — the monthly growth scenario that reproduces Figure 1.
+//! * [`figure1`] — the monthly growth scenario that reproduces Figure 1;
+//! * [`fleet`] — the multi-tenant interface fleet the `collectd` daemon
+//!   shards: M tenants × N virtual interfaces enumerated as lanes.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod backbone;
 pub mod figure1;
+pub mod fleet;
 pub mod node;
 pub mod objects;
 pub mod snmp;
 
 pub use backbone::{Backbone, PollCycle};
 pub use figure1::{figure1_series, Figure1Config, MonthPoint};
+pub use fleet::{Fleet, FleetError, Lane, MAX_LANES};
 pub use node::{CollectorNode, NodeReport};
 pub use objects::{ArtsObjects, Counts, ObjectSet};
 pub use snmp::SnmpCounters;

@@ -38,6 +38,7 @@ pub mod apps;
 pub mod canonical;
 pub mod flows;
 pub mod gen;
+pub mod lanes;
 pub mod pack;
 pub mod profile;
 pub mod rate;
@@ -46,6 +47,7 @@ pub mod sizes;
 
 pub use flows::{generate_flows, FlowProfile};
 pub use gen::{generate, sdsc_hour};
+pub use lanes::{replay_lane, LaneConfig, LaneGen, ReplayLane};
 pub use pack::{generate_flow_pack, FlowPackConfig, FlowSizeDist};
 pub use profile::{PaperTargets, TraceProfile};
 pub use replay::{PacedReader, ReplayConfig};

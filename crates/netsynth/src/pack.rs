@@ -50,14 +50,14 @@ pub enum FlowSizeDist {
 }
 
 /// Built samplers, constructed once per generation run.
-enum SizeSampler {
+pub(crate) enum SizeSampler {
     Zipf(Zipf),
     LogNormal(LogNormal),
     Geometric(Geometric),
 }
 
 impl SizeSampler {
-    fn build(dist: FlowSizeDist) -> SizeSampler {
+    pub(crate) fn build(dist: FlowSizeDist) -> SizeSampler {
         match dist {
             FlowSizeDist::Zipf { max_size, alpha } => SizeSampler::Zipf(Zipf::new(max_size, alpha)),
             FlowSizeDist::LogNormal { mean, std } => {
@@ -67,7 +67,7 @@ impl SizeSampler {
         }
     }
 
-    fn sample(&self, rng: &mut StdRng, cap: u64) -> u64 {
+    pub(crate) fn sample(&self, rng: &mut StdRng, cap: u64) -> u64 {
         let s = match self {
             SizeSampler::Zipf(z) => z.sample(rng),
             SizeSampler::LogNormal(l) => l.sample(rng).ceil().max(1.0) as u64,

@@ -32,8 +32,10 @@ pub enum Offer {
 }
 
 /// A sampler that consumes an unbounded packet stream in O(1)/O(k)
-/// memory. Packets must be offered in arrival order.
-pub trait StreamSampler {
+/// memory. Packets must be offered in arrival order. `Send` is a
+/// supertrait so a boxed stream sampler (inside a `Windower`) can move
+/// into — or be shared behind a lock with — pool workers.
+pub trait StreamSampler: Send {
     /// Offer one arriving packet with its window-local interarrival gap.
     fn offer(&mut self, pkt: &PacketRecord, gap_us: Option<u64>) -> Offer;
 

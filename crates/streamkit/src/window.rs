@@ -127,11 +127,19 @@ pub struct WindowPayload {
     pub sample: Histogram,
     /// Live flows observed in the window (synthetic-id or 5-tuple
     /// keyed, budget-bounded at the window merge — see
-    /// [`BUCKET_FLOW_CAP`]).
+    /// [`BUCKET_FLOW_CAP`] and [`Windower::with_flow_budget`]).
     pub flows: u64,
     /// Window flows that carried a SYN (≈ flows that *began* in the
     /// window; the flow generators SYN-mark each flow's first packet).
     pub syn_flows: u64,
+    /// Flows the window budget evicted at this window's merge.
+    pub evicted_flows: u64,
+    /// Sizes (packets per flow, key order) of the flows seen among the
+    /// *selected* packets — the sampled flow table a 1-in-k inversion
+    /// estimator runs on. Bounded by the same window flow budget.
+    pub sampled_sizes: Vec<u64>,
+    /// Sampled-table flows whose selected packets included a SYN.
+    pub sampled_syn_flows: u64,
 }
 
 /// One stride bucket: the window building block.
@@ -144,6 +152,10 @@ struct Bucket {
     population: Histogram,
     sample: Histogram,
     flows: FlowTable,
+    /// Flows among the *selected* packets only — what a collector
+    /// downstream of the sampler would aggregate, and the input the
+    /// statkit inversion estimators expect.
+    sampled: FlowTable,
     /// The first packet's interarrival observation with its
     /// *cross-bucket* gap — applied by the window merge exactly when
     /// an earlier bucket of the same window holds its predecessor.
@@ -171,6 +183,9 @@ impl Bucket {
                 t.reserve(BUCKET_FLOW_CAP);
                 t
             },
+            // Selected packets are a 1-in-k thinning of the stream; the
+            // sampled table stays small and grows on demand.
+            sampled: FlowTable::unbounded(),
             pop_edge: None,
             sam_edge: None,
         }
@@ -196,6 +211,9 @@ pub struct Windower {
     emitted: u64,
     packets_total: u64,
     selected_total: u64,
+    /// Per-window flow budget override; `None` keeps the default
+    /// `BUCKET_FLOW_CAP × buckets_per_window`.
+    flow_budget: Option<usize>,
 }
 
 impl Windower {
@@ -237,7 +255,31 @@ impl Windower {
             emitted: 0,
             packets_total: 0,
             selected_total: 0,
+            flow_budget: None,
         }
+    }
+
+    /// Override the per-window flow budget (default
+    /// `BUCKET_FLOW_CAP × buckets_per_window`). A collector that knows
+    /// its per-lane flow arrival rate sizes the budget to it; overflow
+    /// still evicts least-recently-updated flows deterministically.
+    ///
+    /// # Panics
+    /// Panics when `budget == 0` — a windower that may keep no flows
+    /// cannot report flow counts.
+    #[must_use]
+    pub fn with_flow_budget(mut self, budget: usize) -> Self {
+        assert!(budget > 0, "flow budget must be positive");
+        self.flow_budget = Some(budget);
+        self
+    }
+
+    /// Flows currently held across the open bucket and the ring — the
+    /// instantaneous live-flow count a collector gauge publishes.
+    #[must_use]
+    pub fn live_flows(&self) -> u64 {
+        let cur = self.cur.as_ref().map_or(0, |b| b.flows.len() as u64);
+        cur + self.ring.iter().map(|b| b.flows.len() as u64).sum::<u64>()
     }
 
     /// Packets offered so far.
@@ -378,6 +420,9 @@ impl Windower {
             }
         }
         cur.flows.offer(pkt);
+        if verdict == Offer::Selected {
+            cur.sampled.offer(pkt);
+        }
         cur.packets += 1;
         if cur.first_ts.is_none() {
             cur.first_ts = Some(pkt.timestamp);
@@ -401,6 +446,7 @@ impl Windower {
                     .sample
                     .observe_weighted(v, self.target.weight(&item.packet));
             }
+            bucket.sampled.offer(&item.packet);
         }
         self.ring.push_back(bucket);
         if self.ring.len() == self.buckets_per_window {
@@ -422,6 +468,7 @@ impl Windower {
         // Merge unbounded (pure hash-map folds), then enforce the
         // window budget once: keep the most-recently-updated flows.
         let mut flows = std::mem::replace(&mut first.flows, FlowTable::unbounded());
+        let mut sampled = std::mem::replace(&mut first.sampled, FlowTable::unbounded());
         let mut population = first.population.clone();
         let mut sample = first.sample.clone();
         let mut packets = first.packets;
@@ -444,6 +491,7 @@ impl Windower {
                 }
             }
             flows.merge(&b.flows);
+            sampled.merge(&b.sampled);
             packets += b.packets;
             selected += b.selected;
             if first_ts.is_none() {
@@ -454,7 +502,12 @@ impl Windower {
             }
             seen_packets = seen_packets || b.packets > 0;
         }
-        flows.truncate_lru(BUCKET_FLOW_CAP.saturating_mul(self.buckets_per_window));
+        let budget = self
+            .flow_budget
+            .unwrap_or_else(|| BUCKET_FLOW_CAP.saturating_mul(self.buckets_per_window));
+        let before = flows.len() as u64;
+        flows.truncate_lru(budget);
+        sampled.truncate_lru(budget);
         let index = self.next_index;
         self.next_index += 1;
         self.emitted += 1;
@@ -469,6 +522,9 @@ impl Windower {
             sample,
             flows: flows.len() as u64,
             syn_flows: flows.syn_flows(),
+            evicted_flows: before - flows.len() as u64,
+            sampled_sizes: sampled.sizes(),
+            sampled_syn_flows: sampled.syn_flows(),
         }
     }
 }
@@ -799,6 +855,58 @@ mod tests {
         }
     }
 
+    /// The sampled flow table is exactly the flows of the selected
+    /// packets: what a collector downstream of the 1-in-k tap would
+    /// aggregate, and the input the inversion estimators expect.
+    #[test]
+    fn sampled_flow_sizes_follow_the_selected_packets() {
+        // 1-in-5 systematic over 4 interleaved flows: selected indices
+        // 0,5,10,…,95 cycle through the flows (gcd(4,5)=1), 5 hits each.
+        let pkts: Vec<PacketRecord> = (0..100u64)
+            .map(|i| PacketRecord::new(Micros(i * 1_000), 552).with_flow((i % 4) as u32 + 1, i < 4))
+            .collect();
+        let mut w = windower(Target::PacketSize, WindowSpec::Count(100), None);
+        let mut windows = Vec::new();
+        for p in &pkts {
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 1);
+        let win = &windows[0];
+        assert_eq!(win.flows, 4);
+        assert_eq!(win.sampled_sizes, vec![5, 5, 5, 5]);
+        // Only flow 1's SYN (index 0) landed on the selection grid.
+        assert_eq!(win.sampled_syn_flows, 1);
+        assert_eq!(win.evicted_flows, 0);
+    }
+
+    /// A per-window flow budget override bounds both tables and reports
+    /// its evictions; `live_flows` tracks the open bucket.
+    #[test]
+    fn flow_budget_override_bounds_and_reports_evictions() {
+        let pkts: Vec<PacketRecord> = (0..100u64)
+            .map(|i| PacketRecord::new(Micros(i * 10), 40).with_flow(i as u32 + 1, true))
+            .collect();
+        let sampler = StreamMethod::Spec(MethodSpec::Systematic { interval: 5 })
+            .build(Micros(0), None, 0, 1993)
+            .unwrap();
+        let mut w = Windower::new(Target::PacketSize, WindowSpec::Count(100), None, sampler)
+            .with_flow_budget(30);
+        let mut windows = Vec::new();
+        for (i, p) in pkts.iter().enumerate() {
+            if i == 50 {
+                assert_eq!(w.live_flows(), 50, "open bucket holds one flow per packet");
+            }
+            windows.extend(w.offer(p));
+        }
+        windows.extend(w.finish());
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].flows, 30);
+        assert_eq!(windows[0].evicted_flows, 70);
+        assert!(windows[0].sampled_sizes.len() <= 30);
+        assert_eq!(w.live_flows(), 0, "closed windows release their flows");
+    }
+
     #[test]
     fn reservoir_selections_arrive_at_window_flush() {
         let pkts = packets(100, 1_000);
@@ -815,6 +923,9 @@ mod tests {
         for win in &windows {
             assert_eq!(win.selected, 10, "reservoir yields exactly capacity");
             assert_eq!(win.sample.total(), 10);
+            // Buffered selections land in the sampled flow table at the
+            // flush; id-free packets collapse to one 5-tuple flow.
+            assert_eq!(win.sampled_sizes.iter().sum::<u64>(), 10);
         }
         assert_eq!(w.selected(), 20);
     }
